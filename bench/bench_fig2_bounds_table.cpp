@@ -1,0 +1,71 @@
+// Figure 2: the paper's table of previous vs new lower bounds, regenerated
+// with (a) the evaluated bound formulas and (b) measured upper-bound round
+// counts of this library's verification algorithms on random low-diameter
+// networks (the upper bounds the lower bounds must stay below).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "comm/codes.hpp"
+#include "core/bounds.hpp"
+#include "dist/verify.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qdc;
+  Rng rng(23);
+
+  std::printf("=== Figure 2: lower bounds (B-model, B = 8 fields) ===\n\n");
+  std::printf("B-model distributed network rows "
+              "(Omega(sqrt(n / B log n)), quantum + entanglement):\n");
+  std::printf("%8s %22s %22s\n", "n", "verification LB", "opt LB (W=n,a=1)");
+  for (const int n : {1 << 10, 1 << 14, 1 << 18, 1 << 22}) {
+    const double bits = core::fields_to_bits(8, n);
+    std::printf("%8d %22.1f %22.1f\n", n,
+                core::verification_lower_bound(n, bits),
+                core::optimization_lower_bound(n, bits, double(n), 1.0));
+  }
+
+  std::printf("\nMeasured verifier upper bounds (rounds, incl. all "
+              "sub-runs) vs the evaluated lower bound:\n");
+  std::printf("%6s %6s %9s | %7s %7s %7s %7s %7s %7s | %9s\n", "n", "D",
+              "LB", "Ham", "ST", "Conn", "Bipart", "Cut", "stConn", "LB<=UB?");
+  for (const int n : {64, 128, 256}) {
+    const auto topo = graph::random_connected(n, 6.0 / n, rng);
+    congest::Network net(topo, congest::NetworkConfig{.bandwidth = 8});
+    const auto tree = dist::build_bfs_tree(net, 0);
+    const auto m = graph::random_edge_subset(topo, 0.5, rng);
+    const auto ham = dist::verify_hamiltonian_cycle(net, tree, m);
+    const auto st = dist::verify_spanning_tree(net, tree, m);
+    const auto conn = dist::verify_connectivity(net, tree, m);
+    const auto bip = dist::verify_bipartiteness(net, tree, m);
+    const auto cut = dist::verify_cut(net, tree, m);
+    const auto stc = dist::verify_st_connectivity(net, tree, m, 0, n - 1);
+    const double lb =
+        core::verification_lower_bound(n, core::fields_to_bits(8, n));
+    const int min_ub = std::min(
+        {ham.rounds, st.rounds, conn.rounds, bip.rounds, cut.rounds,
+         stc.rounds});
+    std::printf("%6d %6d %9.1f | %7d %7d %7d %7d %7d %7d | %9s\n", n,
+                graph::diameter(topo), lb, ham.rounds, st.rounds,
+                conn.rounds, bip.rounds, cut.rounds, stc.rounds,
+                lb <= min_ub ? "yes" : "NO");
+  }
+
+  std::printf("\nCommunication-complexity rows (Omega(n), two-sided error, "
+              "quantum + entanglement):\n");
+  std::printf("fooling-set certificates for Gap-Eq (Section 6, via "
+              "Gilbert-Varshamov codes, beta = 0.05):\n");
+  std::printf("%6s %14s %20s\n", "n", "fool1 size", "GV bound 2^(1-H)n");
+  for (const std::size_t n : {10, 14, 18}) {
+    const std::size_t delta = std::max<std::size_t>(1, n / 10);
+    const auto code = comm::greedy_code(n, 2 * delta);
+    std::printf("%6zu %14zu %20.1f\n", n, code.size(),
+                comm::gilbert_varshamov_bound(n, 2 * delta));
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,99 @@
+#include "comm/codes.hpp"
+
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace qdc::comm {
+
+double binary_entropy(double p) {
+  QDC_EXPECT(p >= 0.0 && p <= 1.0, "binary_entropy: p out of [0,1]");
+  if (p == 0.0 || p == 1.0) return 0.0;
+  return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
+}
+
+double gilbert_varshamov_bound(std::size_t n, std::size_t d) {
+  QDC_EXPECT(d >= 1 && d <= n + 1, "gilbert_varshamov_bound: bad distance");
+  // V(n, d-1) in log space to avoid overflow.
+  double volume = 0.0;  // plain sum is fine for n <= ~60
+  double binom = 1.0;
+  for (std::size_t i = 0; i < d; ++i) {
+    if (i > 0) {
+      binom *= static_cast<double>(n - i + 1) / static_cast<double>(i);
+    }
+    volume += binom;
+  }
+  return std::pow(2.0, static_cast<double>(n)) / volume;
+}
+
+std::vector<BitString> greedy_code(std::size_t n, std::size_t d) {
+  QDC_EXPECT(n >= 1 && n <= 20, "greedy_code: n out of range");
+  std::vector<BitString> code;
+  for (std::size_t v = 0; v < (std::size_t{1} << n); ++v) {
+    BitString s(n);
+    for (std::size_t i = 0; i < n; ++i) s.set(i, (v >> i) & 1);
+    bool ok = true;
+    for (const BitString& c : code) {
+      if (c.hamming_distance(s) < d) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) code.push_back(std::move(s));
+  }
+  return code;
+}
+
+std::vector<BitString> random_code(std::size_t n, std::size_t d,
+                                   std::size_t attempts, Rng& rng) {
+  std::vector<BitString> code;
+  for (std::size_t t = 0; t < attempts; ++t) {
+    BitString s = BitString::random(n, rng);
+    bool ok = true;
+    for (const BitString& c : code) {
+      if (c.hamming_distance(s) < d) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) code.push_back(std::move(s));
+  }
+  return code;
+}
+
+bool has_min_distance(const std::vector<BitString>& code, std::size_t d) {
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    for (std::size_t j = i + 1; j < code.size(); ++j) {
+      if (code[i].hamming_distance(code[j]) < d) return false;
+    }
+  }
+  return true;
+}
+
+bool is_one_fooling_set(
+    const std::function<bool(const BitString&, const BitString&)>& f,
+    const std::vector<FoolingPair>& pairs) {
+  for (const FoolingPair& p : pairs) {
+    if (!f(p.x, p.y)) return false;
+  }
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    for (std::size_t j = i + 1; j < pairs.size(); ++j) {
+      if (f(pairs[i].x, pairs[j].y) && f(pairs[j].x, pairs[i].y)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<FoolingPair> gap_eq_fooling_set(
+    const std::vector<BitString>& code) {
+  std::vector<FoolingPair> pairs;
+  pairs.reserve(code.size());
+  for (const BitString& c : code) {
+    pairs.push_back(FoolingPair{c, c});
+  }
+  return pairs;
+}
+
+}  // namespace qdc::comm

@@ -1,0 +1,178 @@
+#include "comm/lemma32.hpp"
+
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace qdc::comm {
+
+namespace {
+
+constexpr int kParties = 3;
+
+PartyView fresh_view(const BitString& input) {
+  PartyView v;
+  v.input = input;
+  v.received.resize(kParties);
+  return v;
+}
+
+void push(PartyView& to, ServerParty from, const std::vector<bool>& bits) {
+  auto& bucket = to.received[static_cast<std::size_t>(from)];
+  bucket.insert(bucket.end(), bits.begin(), bits.end());
+}
+
+/// Per-round record of one full (honest) protocol execution.
+struct Trace {
+  std::vector<RoundMessages> carol, david, server;
+  std::vector<bool> carol_bits;  ///< flattened charged bits of Carol
+  std::vector<bool> david_bits;  ///< flattened charged bits of David
+};
+
+Trace run_and_trace(const ServerProtocol& protocol, const BitString& x,
+                    const BitString& y) {
+  PartyView carol = fresh_view(x);
+  PartyView david = fresh_view(y);
+  PartyView server = fresh_view(BitString{});
+  Trace t;
+  for (int round = 0; round < protocol.rounds; ++round) {
+    const RoundMessages mc = protocol.next(ServerParty::kCarol, round, carol);
+    const RoundMessages md = protocol.next(ServerParty::kDavid, round, david);
+    const RoundMessages ms =
+        protocol.next(ServerParty::kServer, round, server);
+    for (bool b : mc.to_david) t.carol_bits.push_back(b);
+    for (bool b : mc.to_server) t.carol_bits.push_back(b);
+    for (bool b : md.to_carol) t.david_bits.push_back(b);
+    for (bool b : md.to_server) t.david_bits.push_back(b);
+    push(carol, ServerParty::kDavid, md.to_carol);
+    push(carol, ServerParty::kServer, ms.to_carol);
+    push(david, ServerParty::kCarol, mc.to_david);
+    push(david, ServerParty::kServer, ms.to_david);
+    push(server, ServerParty::kCarol, mc.to_server);
+    push(server, ServerParty::kDavid, md.to_server);
+    t.carol.push_back(mc);
+    t.david.push_back(md);
+    t.server.push_back(ms);
+  }
+  return t;
+}
+
+/// Alice's side of the Lemma 3.2 strategy: simulate Carol plus a server
+/// replica, with David's bits replaced by the shared guess (shaped like the
+/// honest run). Returns {aborted, output}.
+struct SideResult {
+  bool aborted = false;
+  bool output = false;
+};
+
+SideResult simulate_carol_side(const ServerProtocol& protocol,
+                               const BitString& x, const Trace& shape,
+                               const std::vector<bool>& guess_a,
+                               const std::vector<bool>& guess_b) {
+  PartyView carol = fresh_view(x);
+  PartyView server = fresh_view(BitString{});
+  std::size_t a_pos = 0;
+  std::size_t b_pos = 0;
+  for (int round = 0; round < protocol.rounds; ++round) {
+    const RoundMessages mc = protocol.next(ServerParty::kCarol, round, carol);
+    const RoundMessages ms =
+        protocol.next(ServerParty::kServer, round, server);
+    // Check Carol's actual bits against the shared guess a.
+    for (bool bit : mc.to_david) {
+      if (bit != guess_a[a_pos++]) return {true, false};
+    }
+    for (bool bit : mc.to_server) {
+      if (bit != guess_a[a_pos++]) return {true, false};
+    }
+    // David's bits come from the guess b, shaped like the honest run.
+    const auto& david_shape = shape.david[static_cast<std::size_t>(round)];
+    std::vector<bool> d_to_carol, d_to_server;
+    for (std::size_t i = 0; i < david_shape.to_carol.size(); ++i) {
+      d_to_carol.push_back(guess_b[b_pos++]);
+    }
+    for (std::size_t i = 0; i < david_shape.to_server.size(); ++i) {
+      d_to_server.push_back(guess_b[b_pos++]);
+    }
+    push(carol, ServerParty::kDavid, d_to_carol);
+    push(carol, ServerParty::kServer, ms.to_carol);
+    push(server, ServerParty::kCarol, mc.to_server);
+    push(server, ServerParty::kDavid, d_to_server);
+  }
+  return {false, protocol.output(carol)};
+}
+
+/// Bob's side: simulate David plus a server replica with Carol's bits
+/// guessed; abort on David mismatch. Bob's XOR answer when surviving is 0.
+bool simulate_david_side_aborts(const ServerProtocol& protocol,
+                                const BitString& y, const Trace& shape,
+                                const std::vector<bool>& guess_a,
+                                const std::vector<bool>& guess_b) {
+  PartyView david = fresh_view(y);
+  PartyView server = fresh_view(BitString{});
+  std::size_t a_pos = 0;
+  std::size_t b_pos = 0;
+  for (int round = 0; round < protocol.rounds; ++round) {
+    const RoundMessages md = protocol.next(ServerParty::kDavid, round, david);
+    const RoundMessages ms =
+        protocol.next(ServerParty::kServer, round, server);
+    for (bool bit : md.to_carol) {
+      if (bit != guess_b[b_pos++]) return true;
+    }
+    for (bool bit : md.to_server) {
+      if (bit != guess_b[b_pos++]) return true;
+    }
+    const auto& carol_shape = shape.carol[static_cast<std::size_t>(round)];
+    std::vector<bool> c_to_david, c_to_server;
+    for (std::size_t i = 0; i < carol_shape.to_david.size(); ++i) {
+      c_to_david.push_back(guess_a[a_pos++]);
+    }
+    for (std::size_t i = 0; i < carol_shape.to_server.size(); ++i) {
+      c_to_server.push_back(guess_a[a_pos++]);
+    }
+    push(david, ServerParty::kCarol, c_to_david);
+    push(david, ServerParty::kServer, ms.to_david);
+    push(server, ServerParty::kCarol, c_to_server);
+    push(server, ServerParty::kDavid, md.to_server);
+  }
+  return false;
+}
+
+}  // namespace
+
+TranscriptGameEstimate play_xor_game_from_server_protocol(
+    const ServerProtocol& protocol, const BitString& x, const BitString& y,
+    bool truth, int trials, Rng& rng) {
+  QDC_EXPECT(trials >= 1, "play_xor_game_from_server_protocol: bad trials");
+  const Trace shape = run_and_trace(protocol, x, y);
+  const int c = static_cast<int>(shape.carol_bits.size());
+  const int d = static_cast<int>(shape.david_bits.size());
+
+  TranscriptGameEstimate est;
+  est.charged_bits = c + d;
+  est.trials = trials;
+  est.predicted = 0.5 + std::pow(0.5, c + d) * (1.0 - 0.5);
+
+  int wins = 0;
+  int no_aborts = 0;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<bool> guess_a(static_cast<std::size_t>(c));
+    std::vector<bool> guess_b(static_cast<std::size_t>(d));
+    for (auto&& g : guess_a) g = coin(rng);
+    for (auto&& g : guess_b) g = coin(rng);
+
+    const SideResult alice =
+        simulate_carol_side(protocol, x, shape, guess_a, guess_b);
+    const bool bob_aborts =
+        simulate_david_side_aborts(protocol, y, shape, guess_a, guess_b);
+
+    const bool alice_out = alice.aborted ? coin(rng) : alice.output;
+    const bool bob_out = bob_aborts ? coin(rng) : false;
+    if (!alice.aborted && !bob_aborts) ++no_aborts;
+    if ((alice_out != bob_out) == truth) ++wins;
+  }
+  est.win_rate = static_cast<double>(wins) / trials;
+  est.no_abort_rate = static_cast<double>(no_aborts) / trials;
+  return est;
+}
+
+}  // namespace qdc::comm

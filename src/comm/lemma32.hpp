@@ -1,0 +1,43 @@
+// Executable Lemma 3.2: turning a cheap server-model protocol into
+// nonlocal-game strategies by transcript guessing.
+//
+// The non-communicating players share random strings (a, b) that they treat
+// as a guess of the bits Carol and David would send. Alice simulates Carol
+// plus a server replica fed with the guess b; she aborts the moment Carol's
+// actual next bit differs from her own guess a. Bob is symmetric. If
+// nobody aborts, the guesses equal the real transcript and Alice holds
+// Carol's output; otherwise the XOR strategy answers a uniform bit (and the
+// AND strategy answers 0).
+//
+// For a deterministic protocol where Carol and David send c and d bits in
+// total, the no-abort probability is exactly 2^{-(c+d)}, so the XOR-game
+// strategy wins with probability 1/2 + 2^{-(c+d)} * (q - 1/2) where q is
+// the protocol's success probability. (The paper's 4^{-2 Q*} accounts for
+// teleporting qubits into two classical bits each; classically the exponent
+// is just the bit count.) `play_xor_game_from_server_protocol` Monte-Carlo
+// estimates the left side so tests and benches can check it against the
+// predicted right side.
+#pragma once
+
+#include "comm/server_model.hpp"
+#include "util/rng.hpp"
+
+namespace qdc::comm {
+
+struct TranscriptGameEstimate {
+  double win_rate = 0.0;    ///< empirical P(a xor b == f(x, y))
+  double predicted = 0.0;   ///< 1/2 + 2^{-(c+d)} (q - 1/2)
+  double no_abort_rate = 0.0;
+  int charged_bits = 0;     ///< c + d of the protocol on this input
+  int trials = 0;
+};
+
+/// Runs `trials` independent XOR-game rounds on the fixed input (x, y),
+/// using the deterministic server protocol as the Lemma 3.2 source.
+/// `truth` is f(x, y); the protocol is assumed to compute it correctly
+/// (q = 1) for the prediction.
+TranscriptGameEstimate play_xor_game_from_server_protocol(
+    const ServerProtocol& protocol, const BitString& x, const BitString& y,
+    bool truth, int trials, Rng& rng);
+
+}  // namespace qdc::comm

@@ -1,0 +1,71 @@
+#include "comm/problems.hpp"
+
+#include <array>
+
+#include "util/expect.hpp"
+
+namespace qdc::comm {
+
+bool equality(const BitString& x, const BitString& y) { return x == y; }
+
+bool disjointness(const BitString& x, const BitString& y) {
+  return x.inner_product(y) == 0;
+}
+
+int inner_product_mod(const BitString& x, const BitString& y, int m) {
+  QDC_EXPECT(m >= 2, "inner_product_mod: modulus must be >= 2");
+  return static_cast<int>(x.inner_product(y) % static_cast<std::size_t>(m));
+}
+
+bool ip_mod3_is_zero(const BitString& x, const BitString& y) {
+  return inner_product_mod(x, y, 3) == 0;
+}
+
+GapEqInstance random_gap_eq(std::size_t n, std::size_t delta, Rng& rng) {
+  QDC_EXPECT(delta < n, "random_gap_eq: delta must be < n");
+  GapEqInstance inst;
+  inst.x = BitString::random(n, rng);
+  inst.equal = coin(rng);
+  if (inst.equal) {
+    inst.y = inst.x;
+  } else {
+    // Flip more than delta positions (a uniformly random subset of size
+    // delta + 1 .. n).
+    inst.y = inst.x;
+    const std::size_t flips = static_cast<std::size_t>(
+        uniform_int(rng, static_cast<std::int64_t>(delta) + 1,
+                    static_cast<std::int64_t>(n)));
+    // Reservoir-style choice of `flips` distinct positions.
+    std::vector<std::size_t> pos(n);
+    for (std::size_t i = 0; i < n; ++i) pos[i] = i;
+    for (std::size_t i = 0; i < flips; ++i) {
+      const std::size_t j = i + static_cast<std::size_t>(uniform_int(
+                                    rng, 0,
+                                    static_cast<std::int64_t>(n - i - 1)));
+      std::swap(pos[i], pos[j]);
+      inst.y.flip(pos[i]);
+    }
+  }
+  return inst;
+}
+
+IpMod3Instance random_ip_mod3_promise(std::size_t blocks, Rng& rng) {
+  static constexpr std::array<const char*, 4> kXBlocks = {"0011", "0101",
+                                                          "1100", "1010"};
+  static constexpr std::array<const char*, 4> kYBlocks = {"0001", "0010",
+                                                          "1000", "0100"};
+  IpMod3Instance inst;
+  inst.x = BitString(4 * blocks);
+  inst.y = BitString(4 * blocks);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const auto* xb = kXBlocks[static_cast<std::size_t>(uniform_int(rng, 0, 3))];
+    const auto* yb = kYBlocks[static_cast<std::size_t>(uniform_int(rng, 0, 3))];
+    for (std::size_t i = 0; i < 4; ++i) {
+      inst.x.set(4 * b + i, xb[i] == '1');
+      inst.y.set(4 * b + i, yb[i] == '1');
+    }
+  }
+  return inst;
+}
+
+}  // namespace qdc::comm

@@ -1,0 +1,42 @@
+// Communication-complexity problems used throughout the paper:
+// Equality, Gap-Equality (Section 6's delta-Eq), Set Disjointness
+// (Example 1.1), Inner Product, and Inner Product mod 3 (Theorem 6.1).
+#pragma once
+
+#include "util/bitstring.hpp"
+
+namespace qdc::comm {
+
+/// EQ: x == y.
+bool equality(const BitString& x, const BitString& y);
+
+/// Disj: <x, y> = 0, i.e. no common 1-position.
+bool disjointness(const BitString& x, const BitString& y);
+
+/// IP mod m of x and y (sum_i x_i y_i mod m).
+int inner_product_mod(const BitString& x, const BitString& y, int m);
+
+/// IPmod3_n as defined in Section 6: output 1 iff sum x_i y_i mod 3 == 0.
+bool ip_mod3_is_zero(const BitString& x, const BitString& y);
+
+/// A delta-Eq instance (promise: x == y, or Hamming distance > delta).
+struct GapEqInstance {
+  BitString x;
+  BitString y;
+  bool equal = false;  ///< which side of the promise holds
+};
+
+/// Draws a valid delta-Eq instance: with probability 1/2 equal strings,
+/// otherwise strings at distance > delta (delta < n required).
+GapEqInstance random_gap_eq(std::size_t n, std::size_t delta, Rng& rng);
+
+/// The promise inputs of Appendix B.3's hard IPmod3 distribution: each
+/// 4-bit block of x is from {0011, 0101, 1100, 1010} and of y from
+/// {0001, 0010, 1000, 0100}, so every block contributes 0 or 1 to <x, y>.
+struct IpMod3Instance {
+  BitString x;
+  BitString y;
+};
+IpMod3Instance random_ip_mod3_promise(std::size_t blocks, Rng& rng);
+
+}  // namespace qdc::comm

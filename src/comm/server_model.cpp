@@ -1,0 +1,227 @@
+#include "comm/server_model.hpp"
+
+#include "util/expect.hpp"
+
+namespace qdc::comm {
+
+namespace {
+
+constexpr int kParties = 3;
+
+int index_of(ServerParty p) { return static_cast<int>(p); }
+
+PartyView make_view(const BitString& input, const BitString& shared) {
+  PartyView v;
+  v.input = input;
+  v.shared_randomness = shared;
+  v.received.resize(kParties);
+  return v;
+}
+
+void deliver(PartyView& to, ServerParty from, const std::vector<bool>& bits) {
+  auto& bucket = to.received[static_cast<std::size_t>(index_of(from))];
+  bucket.insert(bucket.end(), bits.begin(), bits.end());
+}
+
+BitString bits_to_string(const std::vector<bool>& bits) {
+  BitString s(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) s.set(i, bits[i]);
+  return s;
+}
+
+}  // namespace
+
+ServerRunResult run_server_protocol(const ServerProtocol& protocol,
+                                    const BitString& x, const BitString& y,
+                                    const BitString& shared_randomness) {
+  QDC_EXPECT(static_cast<bool>(protocol.next) &&
+                 static_cast<bool>(protocol.output),
+             "run_server_protocol: protocol is incomplete");
+  PartyView carol = make_view(x, shared_randomness);
+  PartyView david = make_view(y, shared_randomness);
+  PartyView server = make_view(BitString{}, shared_randomness);
+
+  ServerRunResult result;
+  for (int round = 0; round < protocol.rounds; ++round) {
+    const RoundMessages mc = protocol.next(ServerParty::kCarol, round, carol);
+    const RoundMessages md = protocol.next(ServerParty::kDavid, round, david);
+    const RoundMessages ms =
+        protocol.next(ServerParty::kServer, round, server);
+    QDC_CHECK(mc.to_carol.empty() && md.to_david.empty() &&
+                  ms.to_server.empty(),
+              "run_server_protocol: party sent a message to itself");
+    result.carol_bits += static_cast<int>(mc.to_david.size()) +
+                         static_cast<int>(mc.to_server.size());
+    result.david_bits += static_cast<int>(md.to_carol.size()) +
+                         static_cast<int>(md.to_server.size());
+    result.server_bits += static_cast<int>(ms.to_carol.size()) +
+                          static_cast<int>(ms.to_david.size());
+    for (bool b : mc.to_david) {
+      result.charged_transcript.emplace_back(ServerParty::kCarol, b);
+    }
+    for (bool b : mc.to_server) {
+      result.charged_transcript.emplace_back(ServerParty::kCarol, b);
+    }
+    for (bool b : md.to_carol) {
+      result.charged_transcript.emplace_back(ServerParty::kDavid, b);
+    }
+    for (bool b : md.to_server) {
+      result.charged_transcript.emplace_back(ServerParty::kDavid, b);
+    }
+    deliver(carol, ServerParty::kDavid, md.to_carol);
+    deliver(carol, ServerParty::kServer, ms.to_carol);
+    deliver(david, ServerParty::kCarol, mc.to_david);
+    deliver(david, ServerParty::kServer, ms.to_david);
+    deliver(server, ServerParty::kCarol, mc.to_server);
+    deliver(server, ServerParty::kDavid, md.to_server);
+  }
+  result.output = protocol.output(carol);
+  return result;
+}
+
+TwoPartyRunResult simulate_server_by_two_party(
+    const ServerProtocol& protocol, const BitString& x, const BitString& y,
+    const BitString& shared_randomness) {
+  // Alice's side: Carol + a server replica. Bob's side: David + a server
+  // replica. The replicas stay in lockstep because each round both sides
+  // feed them the same (exchanged) Carol/David bits.
+  PartyView carol = make_view(x, shared_randomness);
+  PartyView david = make_view(y, shared_randomness);
+  PartyView server_a = make_view(BitString{}, shared_randomness);
+  PartyView server_b = make_view(BitString{}, shared_randomness);
+
+  TwoPartyRunResult result;
+  for (int round = 0; round < protocol.rounds; ++round) {
+    const RoundMessages mc = protocol.next(ServerParty::kCarol, round, carol);
+    const RoundMessages md = protocol.next(ServerParty::kDavid, round, david);
+    const RoundMessages msa =
+        protocol.next(ServerParty::kServer, round, server_a);
+    const RoundMessages msb =
+        protocol.next(ServerParty::kServer, round, server_b);
+    QDC_CHECK(msa.to_carol == msb.to_carol && msa.to_david == msb.to_david,
+              "simulate_server_by_two_party: server replicas diverged");
+    // The only cross-party communication: Carol's outgoing bits go from
+    // Alice to Bob, David's from Bob to Alice.
+    result.alice_bits += static_cast<int>(mc.to_david.size()) +
+                         static_cast<int>(mc.to_server.size());
+    result.bob_bits += static_cast<int>(md.to_carol.size()) +
+                       static_cast<int>(md.to_server.size());
+    deliver(carol, ServerParty::kDavid, md.to_carol);
+    deliver(carol, ServerParty::kServer, msa.to_carol);
+    deliver(david, ServerParty::kCarol, mc.to_david);
+    deliver(david, ServerParty::kServer, msb.to_david);
+    deliver(server_a, ServerParty::kCarol, mc.to_server);
+    deliver(server_a, ServerParty::kDavid, md.to_server);
+    deliver(server_b, ServerParty::kCarol, mc.to_server);
+    deliver(server_b, ServerParty::kDavid, md.to_server);
+  }
+  result.output = protocol.output(carol);
+  return result;
+}
+
+ServerProtocol make_stream_to_server_protocol(
+    std::function<bool(const BitString&, const BitString&)> f,
+    std::size_t input_bits) {
+  ServerProtocol p;
+  const int n = static_cast<int>(input_bits);
+  p.rounds = n + 1;
+  p.next = [f, n](ServerParty party, int round,
+                  const PartyView& view) -> RoundMessages {
+    RoundMessages out;
+    if (round < n) {
+      if (party == ServerParty::kCarol || party == ServerParty::kDavid) {
+        out.to_server.push_back(
+            view.input.get(static_cast<std::size_t>(round)));
+      }
+    } else if (party == ServerParty::kServer) {
+      const BitString x = bits_to_string(
+          view.received[static_cast<std::size_t>(index_of(
+              ServerParty::kCarol))]);
+      const BitString y = bits_to_string(
+          view.received[static_cast<std::size_t>(index_of(
+              ServerParty::kDavid))]);
+      const bool answer = f(x, y);
+      out.to_carol.push_back(answer);
+      out.to_david.push_back(answer);
+    }
+    return out;
+  };
+  p.output = [](const PartyView& carol) {
+    const auto& from_server =
+        carol.received[static_cast<std::size_t>(index_of(
+            ServerParty::kServer))];
+    QDC_CHECK(!from_server.empty(), "stream protocol: no answer received");
+    return from_server.back();
+  };
+  return p;
+}
+
+ServerProtocol make_hashing_equality_protocol(std::size_t input_bits, int k) {
+  QDC_EXPECT(k >= 1, "make_hashing_equality_protocol: k must be >= 1");
+  ServerProtocol p;
+  p.rounds = 4;
+  const auto hash_bit = [input_bits](const BitString& input,
+                                     const BitString& shared, int i) {
+    // <input, r_i> mod 2, where r_i is the i-th slice of the shared tape.
+    bool h = false;
+    for (std::size_t j = 0; j < input_bits; ++j) {
+      h ^= input.get(j) &&
+           shared.get(static_cast<std::size_t>(i) * input_bits + j);
+    }
+    return h;
+  };
+  p.next = [k, hash_bit](ServerParty party, int round,
+                         const PartyView& view) -> RoundMessages {
+    RoundMessages out;
+    switch (round) {
+      case 0:
+        if (party == ServerParty::kCarol) {
+          for (int i = 0; i < k; ++i) {
+            out.to_server.push_back(
+                hash_bit(view.input, view.shared_randomness, i));
+          }
+        }
+        break;
+      case 1:
+        if (party == ServerParty::kServer) {
+          out.to_david = view.received[static_cast<std::size_t>(
+              index_of(ServerParty::kCarol))];
+        }
+        break;
+      case 2:
+        if (party == ServerParty::kDavid) {
+          bool equal = true;
+          const auto& carol_hashes = view.received[static_cast<std::size_t>(
+              index_of(ServerParty::kServer))];
+          for (int i = 0; i < k; ++i) {
+            equal = equal &&
+                    carol_hashes[static_cast<std::size_t>(i)] ==
+                        hash_bit(view.input, view.shared_randomness, i);
+          }
+          out.to_server.push_back(equal);
+        }
+        break;
+      case 3:
+        if (party == ServerParty::kServer) {
+          const bool answer = view.received[static_cast<std::size_t>(
+              index_of(ServerParty::kDavid))][0];
+          out.to_carol.push_back(answer);
+          out.to_david.push_back(answer);
+        }
+        break;
+      default:
+        break;
+    }
+    return out;
+  };
+  p.output = [](const PartyView& carol) {
+    const auto& from_server =
+        carol.received[static_cast<std::size_t>(index_of(
+            ServerParty::kServer))];
+    QDC_CHECK(!from_server.empty(), "hashing protocol: no answer received");
+    return from_server.back();
+  };
+  return p;
+}
+
+}  // namespace qdc::comm

@@ -1,0 +1,105 @@
+// The Server model (Definition 3.1) and the standard two-party model, with
+// exact communication accounting.
+//
+// Three parties: Carol (input x), David (input y) and the Server (no
+// input). Everyone may talk to everyone, but ONLY bits sent by Carol and
+// David count toward the cost; the server talks for free. The classical
+// two-party model embeds trivially (ignore the server), and - the paper's
+// Section 3.1 argument - a classical server protocol can be simulated by
+// two parties at exactly the Carol+David cost: Alice simulates Carol plus a
+// copy of the server, Bob simulates David plus a copy of the server, and
+// the only bits they must exchange are exactly the bits Carol and David
+// would have sent. `simulate_server_by_two_party` implements that argument
+// executably (the paper shows it fails for *quantum* protocols; that gap is
+// the reason the Server model exists).
+//
+// Protocols are deterministic round-based next-message functions over
+// bit-vector views. Randomized protocols take an explicit shared random
+// string (entanglement-as-shared-randomness at the communication level).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/bitstring.hpp"
+
+namespace qdc::comm {
+
+/// Everything one party has seen: its input (empty for the server), the
+/// shared random string, and all bits received so far from each peer.
+struct PartyView {
+  BitString input;
+  BitString shared_randomness;
+  // received[p] = bits received from party p across all rounds (p indexed
+  // by ServerParty).
+  std::vector<std::vector<bool>> received;
+};
+
+enum class ServerParty : int { kCarol = 0, kDavid = 1, kServer = 2 };
+
+/// Messages one party emits in one round: bits destined to each other
+/// party (empty vectors mean silence).
+struct RoundMessages {
+  std::vector<bool> to_carol;
+  std::vector<bool> to_david;
+  std::vector<bool> to_server;
+};
+
+/// A deterministic server-model protocol.
+struct ServerProtocol {
+  int rounds = 0;
+  /// next(party, round, view) -> messages this party sends this round.
+  std::function<RoundMessages(ServerParty, int round, const PartyView&)> next;
+  /// output(view of Carol) -> protocol answer (Carol announces; by
+  /// symmetry any party could).
+  std::function<bool(const PartyView&)> output;
+};
+
+struct ServerRunResult {
+  bool output = false;
+  int carol_bits = 0;   ///< bits sent by Carol (charged)
+  int david_bits = 0;   ///< bits sent by David (charged)
+  int server_bits = 0;  ///< bits sent by the server (free)
+  int cost() const { return carol_bits + david_bits; }
+  /// Chronological record of every charged bit: (party, bit).
+  std::vector<std::pair<ServerParty, bool>> charged_transcript;
+};
+
+/// Executes a server protocol on inputs (x, y) with the given shared
+/// random string (may be empty for deterministic protocols).
+ServerRunResult run_server_protocol(const ServerProtocol& protocol,
+                                    const BitString& x, const BitString& y,
+                                    const BitString& shared_randomness = {});
+
+/// Two-party outcome of the Section 3.1 simulation.
+struct TwoPartyRunResult {
+  bool output = false;
+  int alice_bits = 0;
+  int bob_bits = 0;
+  int cost() const { return alice_bits + bob_bits; }
+};
+
+/// Runs the two-party simulation of `protocol` (Alice = Carol + server
+/// copy, Bob = David + server copy). The returned cost equals the server
+/// model's Carol+David cost exactly, and the output always matches.
+TwoPartyRunResult simulate_server_by_two_party(
+    const ServerProtocol& protocol, const BitString& x, const BitString& y,
+    const BitString& shared_randomness = {});
+
+// --- Ready-made protocols (used by tests, benches and Lemma 3.2) ---------
+
+/// Carol and David stream their inputs to the server bit by bit; the
+/// server evaluates `f` and announces the result for free.
+/// Cost: |x| + |y| (the trivial upper bound).
+ServerProtocol make_stream_to_server_protocol(
+    std::function<bool(const BitString&, const BitString&)> f,
+    std::size_t input_bits);
+
+/// Randomized Equality with shared randomness: Carol sends k inner-product
+/// hash bits (from the shared string) to David through the server; David
+/// compares against his own hashes and the server announces. Cost: k from
+/// Carol + 1 from David; one-sided error 2^-k on unequal inputs.
+ServerProtocol make_hashing_equality_protocol(std::size_t input_bits, int k);
+
+}  // namespace qdc::comm

@@ -1,0 +1,28 @@
+// Messages exchanged in the CONGEST(B) model.
+//
+// The paper's B-model allows B bits per edge per direction per round
+// (Section 2.1). We measure messages in *fields*, where one field is a
+// 64-bit value understood to encode Theta(log n) bits of usable content
+// (a node id, an edge weight, a counter). The network's bandwidth
+// parameter is expressed in fields per edge per direction per round; the
+// conversion to the paper's bit parameter is B_bits ~= fields * ceil(log2 n),
+// which the bound calculators in src/core make explicit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace qdc::congest {
+
+/// One message: a short tuple of fields. The first field is conventionally
+/// a protocol-defined tag.
+using Payload = std::vector<std::int64_t>;
+
+/// A message delivered to a node, annotated with the local port (index into
+/// the node's neighbor list) it arrived on.
+struct Incoming {
+  int port = -1;
+  Payload data;
+};
+
+}  // namespace qdc::congest

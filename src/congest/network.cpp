@@ -1,0 +1,219 @@
+#include "congest/network.hpp"
+
+#include <algorithm>
+
+namespace qdc::congest {
+
+namespace {
+
+/// SplitMix64: deterministic hash used for the shared random tape.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+int NodeContext::node_count() const { return network_->node_count(); }
+int NodeContext::bandwidth() const { return network_->config().bandwidth; }
+int NodeContext::round() const { return network_->round(); }
+
+NodeId NodeContext::neighbor(int port) const {
+  QDC_EXPECT(port >= 0 && port < degree(), "NodeContext::neighbor: bad port");
+  return port_peer_[static_cast<std::size_t>(port)];
+}
+
+int NodeContext::port_to(NodeId v) const {
+  for (int p = 0; p < degree(); ++p) {
+    if (port_peer_[static_cast<std::size_t>(p)] == v) return p;
+  }
+  return -1;
+}
+
+double NodeContext::edge_weight(int port) const {
+  QDC_EXPECT(port >= 0 && port < degree(),
+             "NodeContext::edge_weight: bad port");
+  return network_->edge_weight(ports_[static_cast<std::size_t>(port)]);
+}
+
+bool NodeContext::edge_in_subnetwork(int port) const {
+  QDC_EXPECT(port >= 0 && port < degree(),
+             "NodeContext::edge_in_subnetwork: bad port");
+  if (!network_->has_subnetwork_) return true;
+  return network_->subnetwork_.contains(
+      ports_[static_cast<std::size_t>(port)]);
+}
+
+void NodeContext::send(int port, Payload message) {
+  QDC_EXPECT(port >= 0 && port < degree(), "NodeContext::send: bad port");
+  QDC_EXPECT(!halted_, "NodeContext::send: node already halted");
+  QDC_CHECK(!message.empty(), "NodeContext::send: empty message");
+  auto& used = staged_fields_[static_cast<std::size_t>(port)];
+  QDC_CHECK(used + static_cast<int>(message.size()) <= bandwidth(),
+            "CONGEST bandwidth exceeded: a node tried to push more than B "
+            "fields through one edge in one round");
+  used += static_cast<int>(message.size());
+  staged_[static_cast<std::size_t>(port)].push_back(std::move(message));
+}
+
+void NodeContext::send_all(Payload message) {
+  for (int p = 0; p < degree(); ++p) {
+    send(p, message);
+  }
+}
+
+bool NodeContext::shared_bit(std::int64_t key) const {
+  return (shared_hash(key) & 1u) != 0;
+}
+
+std::uint64_t NodeContext::shared_hash(std::int64_t key) const {
+  return splitmix64(network_->shared_seed() ^
+                    splitmix64(static_cast<std::uint64_t>(key)));
+}
+
+Network::Network(graph::Graph topology, NetworkConfig config)
+    : topology_(std::move(topology)),
+      weights_(static_cast<std::size_t>(topology_.edge_count()), 1.0),
+      config_(config) {
+  QDC_EXPECT(config_.bandwidth >= 1, "Network: bandwidth must be >= 1");
+  contexts_.resize(static_cast<std::size_t>(topology_.node_count()));
+  inboxes_.resize(static_cast<std::size_t>(topology_.node_count()));
+  for (NodeId u = 0; u < topology_.node_count(); ++u) {
+    auto& ctx = contexts_[static_cast<std::size_t>(u)];
+    ctx.network_ = this;
+    ctx.id_ = u;
+    for (const graph::Adjacency& a : topology_.neighbors(u)) {
+      ctx.ports_.push_back(a.edge);
+      ctx.port_peer_.push_back(a.neighbor);
+    }
+    ctx.staged_.resize(ctx.ports_.size());
+    ctx.staged_fields_.resize(ctx.ports_.size(), 0);
+  }
+}
+
+Network::Network(const graph::WeightedGraph& topology, NetworkConfig config)
+    : Network(topology.topology(), config) {
+  weights_ = topology.weights();
+}
+
+void Network::set_subnetwork(const graph::EdgeSubset& m) {
+  QDC_EXPECT(m.universe_size() == topology_.edge_count(),
+             "Network::set_subnetwork: universe mismatch");
+  subnetwork_ = m;
+  has_subnetwork_ = true;
+}
+
+void Network::clear_subnetwork() { has_subnetwork_ = false; }
+
+void Network::set_input(NodeId u, Payload input) {
+  QDC_EXPECT(topology_.valid_node(u), "Network::set_input: bad node");
+  contexts_[static_cast<std::size_t>(u)].input_ = std::move(input);
+}
+
+void Network::install(const ProgramFactory& factory) {
+  QDC_EXPECT(static_cast<bool>(factory), "Network::install: null factory");
+  programs_.clear();
+  trace_.clear();
+  round_ = 0;
+  for (NodeId u = 0; u < topology_.node_count(); ++u) {
+    auto& ctx = contexts_[static_cast<std::size_t>(u)];
+    ctx.output_.reset();
+    ctx.halted_ = false;
+    for (auto& q : ctx.staged_) q.clear();
+    std::fill(ctx.staged_fields_.begin(), ctx.staged_fields_.end(), 0);
+    inboxes_[static_cast<std::size_t>(u)].clear();
+    programs_.push_back(factory(u, ctx));
+    QDC_EXPECT(programs_.back() != nullptr,
+               "Network::install: factory returned null");
+  }
+}
+
+RunStats Network::run(int max_rounds) {
+  QDC_EXPECT(!programs_.empty(), "Network::run: no programs installed");
+  QDC_EXPECT(max_rounds >= 0, "Network::run: negative round budget");
+  RunStats stats;
+  const int n = node_count();
+  for (round_ = 0; round_ < max_rounds; ++round_) {
+    bool all_halted = true;
+    // Compute phase: every live node processes its inbox and stages sends.
+    for (NodeId u = 0; u < n; ++u) {
+      auto& ctx = contexts_[static_cast<std::size_t>(u)];
+      if (ctx.halted_) continue;
+      programs_[static_cast<std::size_t>(u)]->on_round(
+          ctx, inboxes_[static_cast<std::size_t>(u)]);
+      if (!ctx.halted_) all_halted = false;
+    }
+    // Delivery phase: move staged messages into next-round inboxes.
+    for (auto& inbox : inboxes_) inbox.clear();
+    std::vector<TracedMessage> round_trace;
+    for (NodeId u = 0; u < n; ++u) {
+      auto& ctx = contexts_[static_cast<std::size_t>(u)];
+      for (int p = 0; p < ctx.degree(); ++p) {
+        auto& queue = ctx.staged_[static_cast<std::size_t>(p)];
+        if (queue.empty()) continue;
+        const NodeId v = ctx.port_peer_[static_cast<std::size_t>(p)];
+        const auto& peer = contexts_[static_cast<std::size_t>(v)];
+        const int back_port = peer.port_to(u);
+        for (Payload& msg : queue) {
+          ++stats.messages;
+          stats.fields += static_cast<std::int64_t>(msg.size());
+          if (config_.record_trace) {
+            round_trace.push_back(TracedMessage{
+                u, v, ctx.ports_[static_cast<std::size_t>(p)],
+                static_cast<int>(msg.size())});
+          }
+          // Halted nodes drop incoming traffic.
+          if (!peer.halted_) {
+            inboxes_[static_cast<std::size_t>(v)].push_back(
+                Incoming{back_port, std::move(msg)});
+          }
+        }
+        queue.clear();
+        ctx.staged_fields_[static_cast<std::size_t>(p)] = 0;
+      }
+    }
+    if (config_.record_trace) {
+      trace_.push_back(std::move(round_trace));
+    }
+    if (all_halted) {
+      stats.rounds = round_ + 1;
+      stats.completed = true;
+      return stats;
+    }
+  }
+  stats.rounds = max_rounds;
+  stats.completed = false;
+  return stats;
+}
+
+std::optional<std::int64_t> Network::output(NodeId u) const {
+  QDC_EXPECT(topology_.valid_node(u), "Network::output: bad node");
+  return contexts_[static_cast<std::size_t>(u)].output();
+}
+
+NodeProgram* Network::program(NodeId u) {
+  QDC_EXPECT(topology_.valid_node(u), "Network::program: bad node");
+  QDC_EXPECT(!programs_.empty(), "Network::program: nothing installed");
+  return programs_[static_cast<std::size_t>(u)].get();
+}
+
+std::vector<std::int64_t> Network::outputs() const {
+  std::vector<std::int64_t> out;
+  out.reserve(static_cast<std::size_t>(node_count()));
+  for (NodeId u = 0; u < node_count(); ++u) {
+    const auto o = output(u);
+    QDC_CHECK(o.has_value(), "Network::outputs: a node produced no output");
+    out.push_back(*o);
+  }
+  return out;
+}
+
+double Network::edge_weight(EdgeId e) const {
+  QDC_EXPECT(e >= 0 && e < topology_.edge_count(),
+             "Network::edge_weight: bad edge");
+  return weights_[static_cast<std::size_t>(e)];
+}
+
+}  // namespace qdc::congest

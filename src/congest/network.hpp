@@ -1,0 +1,193 @@
+// Synchronous CONGEST(B) network simulator (Section 2.1 / Appendix A.1).
+//
+// A Network wraps an undirected topology. Each node runs a NodeProgram:
+// every round the program sees the messages delivered this round and may
+// send at most `bandwidth` fields through each incident edge (per
+// direction). Programs have unbounded local computation, know their own id,
+// their neighbors' ids (and nothing else about the topology), the total
+// node count n, and any per-node problem input. Nodes halt explicitly; the
+// run ends when every node has halted.
+//
+// Entanglement / shared randomness: the model grants all nodes access to a
+// common random tape that is independent of the input (footnote 2 of the
+// paper: shared entanglement subsumes shared randomness). Programs read it
+// through NodeContext::shared_bit / shared_hash without communicating.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "congest/message.hpp"
+#include "graph/graph.hpp"
+
+namespace qdc::congest {
+
+using graph::EdgeId;
+using graph::NodeId;
+
+class Network;
+class NodeProgram;
+
+/// Immutable per-node view of the network plus the node's mutable
+/// input/output slots. Owned by the Network; handed to programs each round.
+class NodeContext {
+ public:
+  NodeId id() const { return id_; }
+  int node_count() const;       ///< n is global knowledge (standard).
+  int degree() const { return static_cast<int>(ports_.size()); }
+  int bandwidth() const;        ///< fields per edge per direction per round.
+  int round() const;            ///< current round number (0-based).
+
+  /// Unique id of the neighbor behind `port`.
+  NodeId neighbor(int port) const;
+
+  /// Port leading to neighbor with id `v`; -1 if not adjacent.
+  int port_to(NodeId v) const;
+
+  /// Weight of the edge behind `port` (1.0 for unweighted networks).
+  double edge_weight(int port) const;
+
+  /// Whether the edge behind `port` belongs to the input subnetwork M
+  /// (always true when no subnetwork input was set).
+  bool edge_in_subnetwork(int port) const;
+
+  /// Problem-specific per-node input (empty if unset).
+  const Payload& input() const { return input_; }
+
+  /// Queue a message through `port`; throws ModelError if the per-edge
+  /// budget for this round is exceeded.
+  void send(int port, Payload message);
+
+  /// Send the same message through every port (costs bandwidth on each).
+  void send_all(Payload message);
+
+  /// Record this node's output value.
+  void set_output(std::int64_t value) { output_ = value; }
+  std::optional<std::int64_t> output() const { return output_; }
+
+  /// Stop participating. A halted node sends and receives nothing further.
+  void halt() { halted_ = true; }
+  bool halted() const { return halted_; }
+
+  /// Shared random bit / 64-bit hash addressed by a key. Every node gets
+  /// the same answer for the same key without any communication.
+  bool shared_bit(std::int64_t key) const;
+  std::uint64_t shared_hash(std::int64_t key) const;
+
+  /// Contexts are created and wired up by the Network only; treat instances
+  /// obtained elsewhere as unusable.
+  NodeContext() = default;
+
+ private:
+  friend class Network;
+
+  const Network* network_ = nullptr;
+  NodeId id_ = -1;
+  std::vector<EdgeId> ports_;        // port -> global edge id
+  std::vector<NodeId> port_peer_;    // port -> neighbor node id
+  Payload input_;
+  std::optional<std::int64_t> output_;
+  bool halted_ = false;
+
+  // Per-round send staging: messages_[port] queued this round.
+  std::vector<std::vector<Payload>> staged_;
+  std::vector<int> staged_fields_;   // fields used per port this round
+};
+
+/// A distributed algorithm, instantiated once per node. `on_round` runs
+/// every round until the node halts; the inbox holds messages sent to this
+/// node in the previous round.
+class NodeProgram {
+ public:
+  virtual ~NodeProgram() = default;
+  virtual void on_round(NodeContext& ctx, const std::vector<Incoming>& inbox) = 0;
+};
+
+using ProgramFactory =
+    std::function<std::unique_ptr<NodeProgram>(NodeId, const NodeContext&)>;
+
+/// One directed message observed by the tracer.
+struct TracedMessage {
+  NodeId from = -1;
+  NodeId to = -1;
+  EdgeId edge = -1;
+  int fields = 0;
+};
+
+/// Execution statistics for one run.
+struct RunStats {
+  int rounds = 0;                 ///< rounds executed until all halted
+  std::int64_t messages = 0;      ///< total messages delivered
+  std::int64_t fields = 0;        ///< total fields delivered
+  bool completed = false;         ///< all nodes halted within the budget
+};
+
+struct NetworkConfig {
+  int bandwidth = 8;              ///< fields per edge per direction per round
+  std::uint64_t shared_seed = 0x9e3779b97f4a7c15ULL;
+  bool record_trace = false;      ///< keep per-round message traces
+};
+
+/// The synchronous network. Construction freezes the topology; inputs and
+/// programs may be (re)installed between runs.
+class Network {
+ public:
+  Network(graph::Graph topology, NetworkConfig config);
+  Network(const graph::WeightedGraph& topology, NetworkConfig config);
+
+  int node_count() const { return topology_.node_count(); }
+  const graph::Graph& topology() const { return topology_; }
+  const NetworkConfig& config() const { return config_; }
+  int round() const { return round_; }
+
+  /// Declares the input subnetwork M (Section 2.2). Must match the
+  /// topology's edge universe.
+  void set_subnetwork(const graph::EdgeSubset& m);
+  void clear_subnetwork();
+
+  void set_input(NodeId u, Payload input);
+
+  /// Instantiates one program per node. Clears previous programs, outputs
+  /// and statistics.
+  void install(const ProgramFactory& factory);
+
+  /// Runs until every node halts or `max_rounds` elapse.
+  RunStats run(int max_rounds);
+
+  std::optional<std::int64_t> output(NodeId u) const;
+
+  /// The program instance running at node u (null before install). Drivers
+  /// may downcast to read richer per-node results after a run.
+  NodeProgram* program(NodeId u);
+
+  /// All node outputs; throws ModelError if some node never set one.
+  std::vector<std::int64_t> outputs() const;
+
+  /// Per-round message traces (only if config.record_trace).
+  const std::vector<std::vector<TracedMessage>>& trace() const {
+    return trace_;
+  }
+
+  double edge_weight(EdgeId e) const;
+  std::uint64_t shared_seed() const { return config_.shared_seed; }
+
+ private:
+  friend class NodeContext;
+
+  graph::Graph topology_;
+  std::vector<double> weights_;
+  NetworkConfig config_;
+  graph::EdgeSubset subnetwork_;
+  bool has_subnetwork_ = false;
+
+  std::vector<NodeContext> contexts_;
+  std::vector<std::unique_ptr<NodeProgram>> programs_;
+  std::vector<std::vector<Incoming>> inboxes_;
+  std::vector<std::vector<TracedMessage>> trace_;
+  int round_ = 0;
+};
+
+}  // namespace qdc::congest

@@ -1,0 +1,189 @@
+#include "core/lb_network.hpp"
+
+#include <cmath>
+
+namespace qdc::core {
+
+namespace {
+
+/// Smallest 2^k + 1 that is >= length, with k >= 1.
+int round_up_length(int length) {
+  int k = 1;
+  while ((1 << k) + 1 < length) ++k;
+  return (1 << k) + 1;
+}
+
+}  // namespace
+
+LbNetwork::LbNetwork(int gamma, int length) : gamma_(gamma) {
+  QDC_EXPECT(gamma >= 1, "LbNetwork: need at least one path");
+  QDC_EXPECT(length >= 3, "LbNetwork: length must be >= 3");
+  length_ = round_up_length(length);
+  highways_ = 0;
+  while ((1 << (highways_ + 1)) <= length_ - 1) ++highways_;
+  // length_ = 2^k + 1 exactly, so highways_ == k.
+
+  // Count nodes: paths gamma * L; highway level i has (L-1)/2^i + 1 nodes.
+  int total = gamma_ * length_;
+  std::vector<int> level_base(static_cast<std::size_t>(highways_) + 1, 0);
+  for (int lvl = 1; lvl <= highways_; ++lvl) {
+    level_base[static_cast<std::size_t>(lvl)] = total;
+    total += (length_ - 1) / (1 << lvl) + 1;
+  }
+  topology_ = graph::Graph(total);
+  position_.assign(static_cast<std::size_t>(total), 0);
+  highway_level_.assign(static_cast<std::size_t>(total), 0);
+
+  // Path nodes: id = i * L + (j - 1).
+  for (int i = 0; i < gamma_; ++i) {
+    for (int j = 1; j <= length_; ++j) {
+      position_[static_cast<std::size_t>(i * length_ + j - 1)] = j;
+    }
+    for (int j = 1; j < length_; ++j) {
+      topology_.add_edge(path_node(i, j), path_node(i, j + 1));
+    }
+  }
+  // Highway nodes and intra-highway edges.
+  highway_ids_.resize(static_cast<std::size_t>(highways_));
+  for (int lvl = 1; lvl <= highways_; ++lvl) {
+    auto& ids = highway_ids_[static_cast<std::size_t>(lvl - 1)];
+    const int step = 1 << lvl;
+    for (int j = 1, m = 0; j <= length_; j += step, ++m) {
+      const graph::NodeId id = level_base[static_cast<std::size_t>(lvl)] + m;
+      ids.push_back(id);
+      position_[static_cast<std::size_t>(id)] = j;
+      highway_level_[static_cast<std::size_t>(id)] = lvl;
+      if (m > 0) {
+        topology_.add_edge(ids[static_cast<std::size_t>(m - 1)], id);
+      }
+    }
+  }
+  // Level-1 highway connects to every path in its column; level i connects
+  // to level i-1 in its column.
+  for (int lvl = 1; lvl <= highways_; ++lvl) {
+    for (graph::NodeId h : highway_ids_[static_cast<std::size_t>(lvl - 1)]) {
+      const int j = position_[static_cast<std::size_t>(h)];
+      if (lvl == 1) {
+        for (int i = 0; i < gamma_; ++i) {
+          topology_.add_edge(h, path_node(i, j));
+        }
+      } else {
+        topology_.add_edge(h, highway_node(lvl - 1, j));
+      }
+    }
+  }
+  // End-column cliques over all line endpoints.
+  for (const bool right : {false, true}) {
+    std::vector<graph::NodeId> column;
+    for (int l = 0; l < line_count(); ++l) {
+      column.push_back(right ? line_end(l) : line_start(l));
+    }
+    for (std::size_t a = 0; a < column.size(); ++a) {
+      for (std::size_t b = a + 1; b < column.size(); ++b) {
+        topology_.add_edge(column[a], column[b]);
+      }
+    }
+  }
+}
+
+graph::NodeId LbNetwork::path_node(int i, int j) const {
+  QDC_EXPECT(i >= 0 && i < gamma_ && j >= 1 && j <= length_,
+             "LbNetwork::path_node: out of range");
+  return i * length_ + j - 1;
+}
+
+graph::NodeId LbNetwork::highway_node(int level, int j) const {
+  QDC_EXPECT(level >= 1 && level <= highways_,
+             "LbNetwork::highway_node: bad level");
+  const int step = 1 << level;
+  QDC_EXPECT(j >= 1 && j <= length_ && (j - 1) % step == 0,
+             "LbNetwork::highway_node: bad position");
+  return highway_ids_[static_cast<std::size_t>(level - 1)]
+                     [static_cast<std::size_t>((j - 1) / step)];
+}
+
+bool LbNetwork::is_highway(graph::NodeId v) const {
+  QDC_EXPECT(topology_.valid_node(v), "LbNetwork::is_highway: bad node");
+  return highway_level_[static_cast<std::size_t>(v)] > 0;
+}
+
+int LbNetwork::position(graph::NodeId v) const {
+  QDC_EXPECT(topology_.valid_node(v), "LbNetwork::position: bad node");
+  return position_[static_cast<std::size_t>(v)];
+}
+
+graph::NodeId LbNetwork::line_start(int l) const {
+  QDC_EXPECT(l >= 0 && l < line_count(), "LbNetwork::line_start: bad line");
+  return l < gamma_ ? path_node(l, 1) : highway_node(l - gamma_ + 1, 1);
+}
+
+graph::NodeId LbNetwork::line_end(int l) const {
+  QDC_EXPECT(l >= 0 && l < line_count(), "LbNetwork::line_end: bad line");
+  return l < gamma_ ? path_node(l, length_)
+                    : highway_node(l - gamma_ + 1, length_);
+}
+
+Owner LbNetwork::owner(graph::NodeId v, int t) const {
+  QDC_EXPECT(t >= 0 && t <= max_simulated_rounds() + 1,
+             "LbNetwork::owner: time outside the simulation schedule");
+  const int j = position(v);
+  if (j <= t + 1) return Owner::kCarol;
+  if (j >= length_ - t) return Owner::kDavid;
+  return Owner::kServer;
+}
+
+graph::EdgeSubset LbNetwork::embed_matchings(
+    const std::vector<graph::Edge>& carol_matching,
+    const std::vector<graph::Edge>& david_matching) const {
+  const int lines = line_count();
+  const auto check_matching = [lines](const std::vector<graph::Edge>& m) {
+    std::vector<int> covered(static_cast<std::size_t>(lines), 0);
+    for (const graph::Edge& e : m) {
+      QDC_CHECK(e.u >= 0 && e.u < lines && e.v >= 0 && e.v < lines &&
+                    e.u != e.v,
+                "embed_matchings: matching edge out of range");
+      ++covered[static_cast<std::size_t>(e.u)];
+      ++covered[static_cast<std::size_t>(e.v)];
+    }
+    for (int c : covered) {
+      QDC_CHECK(c == 1, "embed_matchings: not a perfect matching");
+    }
+  };
+  check_matching(carol_matching);
+  check_matching(david_matching);
+
+  graph::EdgeSubset m(topology_.edge_count());
+  // All path and highway edges participate (and column links between
+  // highway levels / paths do NOT; Figure 10 keeps only horizontal edges).
+  for (graph::EdgeId e = 0; e < topology_.edge_count(); ++e) {
+    const auto& edge = topology_.edge(e);
+    const int pu = position(edge.u);
+    const int pv = position(edge.v);
+    if (pu == pv) continue;  // vertical column link or end-column clique
+    // Horizontal edges join consecutive positions within one line; both
+    // endpoints share their line by construction.
+    m.insert(e);
+  }
+  // Matching edges live on the end-column cliques.
+  const auto add_matching = [&](const std::vector<graph::Edge>& matching,
+                                bool right) {
+    for (const graph::Edge& e : matching) {
+      const graph::NodeId a = right ? line_end(e.u) : line_start(e.u);
+      const graph::NodeId b = right ? line_end(e.v) : line_start(e.v);
+      bool found = false;
+      for (const graph::Adjacency& adj : topology_.neighbors(a)) {
+        if (adj.neighbor == b) {
+          m.insert(adj.edge);
+          found = true;
+          break;
+        }
+      }
+      QDC_CHECK(found, "embed_matchings: clique edge missing");
+    }
+  };
+  add_matching(carol_matching, /*right=*/false);
+  add_matching(david_matching, /*right=*/true);
+  return m;
+}
+
+}  // namespace qdc::core

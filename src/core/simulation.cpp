@@ -1,0 +1,51 @@
+#include "core/simulation.hpp"
+
+#include <algorithm>
+
+namespace qdc::core {
+
+SimulationAccounting account_three_party_cost(const LbNetwork& lbn,
+                                              const congest::Network& net) {
+  QDC_EXPECT(net.topology().node_count() == lbn.topology().node_count() &&
+                 net.topology().edge_count() == lbn.topology().edge_count(),
+             "account_three_party_cost: network does not match N(Gamma, L)");
+  QDC_EXPECT(net.config().record_trace,
+             "account_three_party_cost: run the network with record_trace");
+  const auto& trace = net.trace();
+  QDC_CHECK(static_cast<int>(trace.size()) <= lbn.max_simulated_rounds(),
+            "account_three_party_cost: the algorithm ran longer than "
+            "L/2 - 2 rounds; enlarge L (Theorem 3.5's precondition)");
+
+  SimulationAccounting acc;
+  acc.rounds = static_cast<int>(trace.size());
+  acc.per_round_bound = std::int64_t{6} * lbn.highway_count() *
+                        net.config().bandwidth;
+  for (int t = 0; t < acc.rounds; ++t) {
+    std::int64_t charged_this_round = 0;
+    for (const congest::TracedMessage& msg :
+         trace[static_cast<std::size_t>(t)]) {
+      const Owner sender = lbn.owner(msg.from, t);
+      const Owner receiver_next = lbn.owner(msg.to, t + 1);
+      if (sender == receiver_next) continue;  // owner already knows it
+      if (sender == Owner::kServer) {
+        acc.server_fields += msg.fields;  // free hand-over
+        continue;
+      }
+      // Carol or David must transmit this message content.
+      if (sender == Owner::kCarol) {
+        acc.carol_fields += msg.fields;
+      } else {
+        acc.david_fields += msg.fields;
+      }
+      charged_this_round += msg.fields;
+      if (!lbn.is_highway(msg.from) || !lbn.is_highway(msg.to)) {
+        acc.only_highway_edges_charged = false;
+      }
+    }
+    acc.max_charged_per_round =
+        std::max(acc.max_charged_per_round, charged_this_round);
+  }
+  return acc;
+}
+
+}  // namespace qdc::core

@@ -1,0 +1,35 @@
+// Leader election and node counting - the "global problems" the paper's
+// introduction lists as requiring Omega(D) rounds.
+//
+// Flood-max election: every node floods the maximum id it has seen; after
+// the flood quiesces the maximum-id node is the unique leader. Termination
+// uses the standard synchronous argument: ids propagate one hop per round,
+// so after n rounds every node holds the global maximum (nodes know n).
+// The follow-up count runs one BFS + aggregation from the leader (O(D)).
+#pragma once
+
+#include "dist/tree.hpp"
+
+namespace qdc::dist {
+
+struct LeaderResult {
+  NodeId leader = -1;
+  congest::RunStats stats;
+};
+
+/// Elects the maximum-id node. O(n) rounds (flood-max with the classical
+/// synchronous termination bound).
+LeaderResult elect_leader(Network& net);
+
+struct CensusResult {
+  NodeId leader = -1;
+  std::int64_t node_count = 0;
+  std::int64_t edge_count = 0;
+  int rounds = 0;  ///< total across election, tree building and counting
+};
+
+/// Leader election followed by a BFS-tree census: every node learns n and
+/// |E| (each edge counted once).
+CensusResult run_census(Network& net);
+
+}  // namespace qdc::dist

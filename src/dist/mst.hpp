@@ -1,0 +1,91 @@
+// Distributed minimum-spanning-forest computation in the CONGEST model.
+//
+// The algorithm follows the structure of Kutten-Peleg / Garay-Kutten-Peleg
+// (the O~(sqrt(n) + D) MST the paper's Figure 3 upper bound refers to):
+//
+//   Phase 1 (controlled Boruvka): fragments grow by merging along minimum
+//   weight outgoing edges (MWOEs), but only fragments of size < s
+//   participate as proposers, and merges are star-shaped (coin-flip
+//   matching: TAILS fragments propose, HEADS fragments accept), which keeps
+//   every fragment tree depth O(s + #iterations * s). With s = sqrt(n) the
+//   phase takes O~(sqrt(n)) rounds and leaves <= n/s + o(..) fragments.
+//
+//   Phase 2 (pipelined Boruvka through the BFS-tree root): each remaining
+//   Boruvka iteration ships one MWOE candidate per fragment up the global
+//   BFS tree (min-combining at intermediate nodes), the root merges
+//   fragments centrally and streams the selected edges and fragment-label
+//   remaps back down. Each iteration costs O(D + #fragments) rounds and
+//   the number of iterations is O(log n).
+//
+// The same machinery doubles as:
+//   * connected components of the input subnetwork M (unit weights +
+//     restriction to M edges) - the engine behind all the verification
+//     algorithms of Corollary 3.7;
+//   * alpha-approximate MST via weight bucketing (Elkin-style rounding):
+//     weights are mapped to bucket indices of width `bucket_width`, so the
+//     computed tree is optimal for the rounded weights and at most
+//     (1 + bucket_width)-approximate for the true ones; the paper's
+//     Figure 3 sweep uses this.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/tree.hpp"
+#include "graph/graph.hpp"
+
+namespace qdc::dist {
+
+struct MstOptions {
+  /// Consider only edges of the input subnetwork M as graph edges (the
+  /// global BFS tree still uses the full topology, as the model allows).
+  bool restrict_to_subnetwork = false;
+
+  /// Ignore true weights; every edge weighs 1. With this option the result
+  /// is a spanning forest of (the eligible part of) the network and the
+  /// final fragment labels are exactly the connected components.
+  bool unit_weights = false;
+
+  /// When > 0, replace each weight w by the bucket index
+  /// floor((w - min_weight) / bucket_width); ties are broken by edge
+  /// endpoints, so the result is a Kruskal-by-bucket forest.
+  double bucket_width = 0.0;
+  double min_weight = 1.0;
+
+  /// Phase-1 target fragment size s. -1 selects ceil(sqrt(n)); values <= 1
+  /// skip phase 1 entirely (pure pipelined Boruvka).
+  int phase1_target = -1;
+
+  /// Round budget; <= 0 selects a generous default.
+  int max_rounds = 0;
+
+  /// Warm start: per-node initial fragment labels (empty = every node its
+  /// own fragment). Used by class-sequential algorithms (Elkin-style
+  /// approximate MST) that grow one forest across several runs. Only
+  /// supported with phase1_target <= 1 (fragment trees are not carried
+  /// over).
+  std::vector<std::int64_t> initial_component;
+};
+
+struct MstRunResult {
+  /// Selected forest edges (global edge ids, sorted, deduplicated).
+  std::vector<graph::EdgeId> tree_edges;
+  /// Final fragment label of every node (equal labels <=> same component).
+  std::vector<std::int64_t> component;
+  /// Total true weight of tree_edges.
+  double weight = 0.0;
+  congest::RunStats stats;
+};
+
+/// Runs the MST/forest algorithm on `net`, coordinated through `tree`
+/// (a global BFS tree previously built on the same network). Requires
+/// bandwidth >= 6 fields.
+MstRunResult run_mst(Network& net, const BfsTreeResult& tree,
+                     const MstOptions& options);
+
+/// Convenience: connected components of the subnetwork M (or of the whole
+/// topology when restrict_to_subnetwork is false).
+MstRunResult run_components(Network& net, const BfsTreeResult& tree,
+                            bool restrict_to_subnetwork = true);
+
+}  // namespace qdc::dist

@@ -1,0 +1,97 @@
+// Global BFS-tree construction and tree-based aggregation primitives.
+//
+// Nearly every O~(sqrt(n)+D)-style CONGEST algorithm (Kutten-Peleg MST, the
+// DHK+12 verification algorithms the paper builds on) is coordinated through
+// a global BFS tree: broadcasts flow down it, convergecasts flow up it, and
+// pipelined upcasts/downcasts move item streams through the root. This file
+// provides:
+//
+//  * BfsTreeProgram  - builds the tree with full termination detection
+//                      (wave + parent replies + subtree-done convergecast),
+//                      measured time O(D);
+//  * AggregateProgram - one broadcast + convergecast pass computing a fixed
+//                      vector of combined values (sum/min/max/and/or) over
+//                      all nodes, measured time O(D).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "congest/network.hpp"
+
+namespace qdc::dist {
+
+using congest::Incoming;
+using congest::Network;
+using congest::NodeContext;
+using congest::NodeId;
+using congest::Payload;
+
+/// Node-local view of a rooted spanning tree: everything a node may
+/// legitimately remember about a tree built in an earlier run.
+struct LocalTree {
+  bool is_root = false;
+  int parent_port = -1;            ///< port towards the root (-1 at root)
+  std::vector<int> children_ports; ///< ports of children in the tree
+  int depth = 0;                   ///< hop distance to the root
+  int height = 0;                  ///< height of the whole tree (global
+                                   ///< knowledge after the finish broadcast)
+};
+
+/// Result of a BFS-tree construction run.
+struct BfsTreeResult {
+  NodeId root = -1;
+  std::vector<LocalTree> local;    ///< indexed by node id
+  int height = 0;
+  congest::RunStats stats;
+};
+
+/// Builds a BFS tree rooted at `root` over the (connected) topology.
+/// Throws ModelError if some node is unreachable within the round budget.
+BfsTreeResult build_bfs_tree(Network& net, NodeId root);
+
+enum class Combiner : std::int64_t {
+  kSum = 0,
+  kMin = 1,
+  kMax = 2,
+  kAnd = 3,  ///< logical AND of {0,1} values
+  kOr = 4,   ///< logical OR of {0,1} values
+};
+
+/// One aggregation pass: every node contributes a vector of values (one per
+/// combiner); after the run every node knows the combined vector.
+struct AggregateResult {
+  std::vector<std::int64_t> values;
+  congest::RunStats stats;
+};
+
+/// `contributions[u]` is node u's value vector; all vectors must have the
+/// same length as `combiners`, and length + 1 must fit in the bandwidth.
+AggregateResult run_aggregate(Network& net, const BfsTreeResult& tree,
+                              const std::vector<Combiner>& combiners,
+                              const std::vector<Payload>& contributions);
+
+/// Broadcast `value` (a short payload) from the tree root to every node;
+/// returns per-node received copies (for testing) and stats.
+struct BroadcastResult {
+  std::vector<Payload> received;
+  congest::RunStats stats;
+};
+BroadcastResult run_broadcast(Network& net, const BfsTreeResult& tree,
+                              Payload value);
+
+/// Pipelined gather (upcast): every node contributes zero or more
+/// fixed-size items; all items are streamed up the tree (store-and-forward,
+/// as many per round as the bandwidth allows) and collected at the root.
+/// Completes in O(height + total_items / rate) rounds. The items arrive at
+/// the root in no particular order.
+struct GatherResult {
+  std::vector<Payload> items;  ///< all items, as collected at the root
+  congest::RunStats stats;
+};
+GatherResult run_gather(Network& net, const BfsTreeResult& tree,
+                        int item_size,
+                        const std::vector<std::vector<Payload>>& items);
+
+}  // namespace qdc::dist

@@ -1,0 +1,87 @@
+// Distributed verification of subnetwork properties (Section 2.2 and
+// Appendix A.2 of the paper; the problems of Corollary 3.7).
+//
+// Every verifier is a composition of the connected-components engine
+// (src/dist/mst.hpp, run restricted to the input subnetwork M) and O(D)
+// tree aggregations - exactly the reduction structure the paper uses in
+// Section 9 (e.g. Hamiltonian cycle verification = "all degrees two" +
+// connectivity; spanning tree = connectivity + edge count).
+//
+// The input subnetwork M must be installed on the network with
+// Network::set_subnetwork before calling a verifier. Verifiers that modify
+// M (e.g. e-cycle containment works on M - e) restore it before returning.
+#pragma once
+
+#include "dist/mst.hpp"
+#include "dist/tree.hpp"
+
+namespace qdc::dist {
+
+struct VerifyResult {
+  bool accepted = false;
+  /// Rounds/messages summed over all sub-runs of the verifier (the BFS
+  /// tree passed in is amortized across verifications and not included).
+  int rounds = 0;
+  std::int64_t messages = 0;
+};
+
+/// M is connected (every node in one M-component; isolated nodes count as
+/// their own components).
+VerifyResult verify_connectivity(Network& net, const BfsTreeResult& tree,
+                                 const graph::EdgeSubset& m);
+
+/// M is connected and touches every node ("connected spanning subgraph").
+VerifyResult verify_spanning_connected_subgraph(Network& net,
+                                                const BfsTreeResult& tree,
+                                                const graph::EdgeSubset& m);
+
+/// M is a spanning tree of N.
+VerifyResult verify_spanning_tree(Network& net, const BfsTreeResult& tree,
+                                  const graph::EdgeSubset& m);
+
+/// M is a Hamiltonian cycle of N (Section 9.1's reduction: all degrees
+/// two, then connectivity).
+VerifyResult verify_hamiltonian_cycle(Network& net, const BfsTreeResult& tree,
+                                      const graph::EdgeSubset& m);
+
+/// M is a simple path (all degrees <= 2, exactly two endpoints, acyclic,
+/// one nontrivial component).
+VerifyResult verify_simple_path(Network& net, const BfsTreeResult& tree,
+                                const graph::EdgeSubset& m);
+
+/// M contains at least one cycle.
+VerifyResult verify_cycle_containment(Network& net, const BfsTreeResult& tree,
+                                      const graph::EdgeSubset& m);
+
+/// M contains a cycle through edge e (e must be in M).
+VerifyResult verify_e_cycle_containment(Network& net,
+                                        const BfsTreeResult& tree,
+                                        const graph::EdgeSubset& m,
+                                        graph::EdgeId e);
+
+/// s and t lie in the same M-component.
+VerifyResult verify_st_connectivity(Network& net, const BfsTreeResult& tree,
+                                    const graph::EdgeSubset& m, NodeId s,
+                                    NodeId t);
+
+/// Removing M's edges disconnects N.
+VerifyResult verify_cut(Network& net, const BfsTreeResult& tree,
+                        const graph::EdgeSubset& m);
+
+/// Removing M's edges separates s from t.
+VerifyResult verify_st_cut(Network& net, const BfsTreeResult& tree,
+                           const graph::EdgeSubset& m, NodeId s, NodeId t);
+
+/// Edge e lies on every u-v path in M, i.e. e is a u-v cut of M.
+VerifyResult verify_edge_on_all_paths(Network& net, const BfsTreeResult& tree,
+                                      const graph::EdgeSubset& m, NodeId u,
+                                      NodeId v, graph::EdgeId e);
+
+/// M is bipartite, decided through connected components of the bipartite
+/// double cover (the cover is simulated by an explicit 2n-node network;
+/// each original node hosts its two copies, so the simulation preserves
+/// round complexity up to a constant bandwidth factor).
+VerifyResult verify_bipartiteness(Network& net, const BfsTreeResult& tree,
+                                  const graph::EdgeSubset& m);
+
+}  // namespace qdc::dist

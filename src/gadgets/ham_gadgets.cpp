@@ -1,0 +1,141 @@
+#include "gadgets/ham_gadgets.hpp"
+
+#include <array>
+
+#include "graph/algorithms.hpp"
+#include "util/expect.hpp"
+
+namespace qdc::gadgets {
+
+namespace {
+
+/// h = (0 2) and g = (0 1) as index maps; h^0 = g^0 = identity.
+int perm_h(int j, bool apply) {
+  if (!apply) return j;
+  return j == 0 ? 2 : (j == 2 ? 0 : 1);
+}
+int perm_g(int j, bool apply) {
+  if (!apply) return j;
+  return j == 0 ? 1 : (j == 1 ? 0 : 2);
+}
+
+}  // namespace
+
+OwnedGraph build_ip_mod3_ham_graph(const BitString& x, const BitString& y) {
+  QDC_EXPECT(x.size() == y.size() && !x.empty(),
+             "build_ip_mod3_ham_graph: inputs must be same nonzero length");
+  const int n = static_cast<int>(x.size());
+  // Per position i: boundary column (3 nodes) + three internal columns
+  // M1, M2, M3 (3 nodes each). Boundary column i is the left boundary of
+  // gadget i and the right boundary of gadget i-1 (cyclically).
+  const auto boundary = [n](int col, int j) {
+    return 12 * ((col % n + n) % n) + j;
+  };
+  const auto internal = [](int i, int layer, int j) {
+    return 12 * i + 3 + 3 * layer + j;  // layer in {0,1,2} = M1, M2, M3
+  };
+
+  OwnedGraph out;
+  out.g = graph::Graph(12 * n);
+  std::vector<graph::EdgeId> carol, david;
+  for (int i = 0; i < n; ++i) {
+    const bool xi = x.get(static_cast<std::size_t>(i));
+    const bool yi = y.get(static_cast<std::size_t>(i));
+    for (int j = 0; j < 3; ++j) {
+      // Carol: L_j -- M1_{h^x(j)}  and  M2_j -- M3_{h^x(j)}.
+      carol.push_back(
+          out.g.add_edge(boundary(i, j), internal(i, 0, perm_h(j, xi))));
+      carol.push_back(
+          out.g.add_edge(internal(i, 1, j), internal(i, 2, perm_h(j, xi))));
+      // David: M1_j -- M2_{g^y(j)}  and  M3_j -- R_{g^y(j)}.
+      david.push_back(
+          out.g.add_edge(internal(i, 0, j), internal(i, 1, perm_g(j, yi))));
+      david.push_back(
+          out.g.add_edge(internal(i, 2, j), boundary(i + 1, perm_g(j, yi))));
+    }
+  }
+  out.carol_edges = graph::EdgeSubset::of(out.g.edge_count(), carol);
+  out.david_edges = graph::EdgeSubset::of(out.g.edge_count(), david);
+  return out;
+}
+
+OwnedGraph build_eq_ham_graph(const BitString& x, const BitString& y) {
+  QDC_EXPECT(x.size() == y.size() && !x.empty(),
+             "build_eq_ham_graph: inputs must be same nonzero length");
+  const int n = static_cast<int>(x.size());
+  // Node layout: s = 0, t = 1; boundary columns 1..n-1 hold 2 nodes each;
+  // gadget i (0-based) has 6 internal nodes a0 a1 b0 b1 c0 c1.
+  // Total: 2 + 2 (n - 1) + 6 n = 8 n.
+  const int node_count = 8 * n;
+  const auto left = [](int i, int j) {
+    // Left boundary of gadget i: s when i == 0.
+    return i == 0 ? 0 : 2 + 2 * (i - 1) + j;
+  };
+  const auto right = [n](int i, int j) {
+    // Right boundary of gadget i: t when i == n-1.
+    return i == n - 1 ? 1 : 2 + 2 * i + j;
+  };
+  const auto internal = [n](int i, int k) {
+    return 2 + 2 * (n - 1) + 6 * i + k;  // k in 0..5 = a0 a1 b0 b1 c0 c1
+  };
+
+  OwnedGraph out;
+  out.g = graph::Graph(node_count);
+  std::vector<graph::EdgeId> carol, david;
+  for (int i = 0; i < n; ++i) {
+    const bool xi = x.get(static_cast<std::size_t>(i));
+    const bool yi = y.get(static_cast<std::size_t>(i));
+    const int a0 = internal(i, 0), a1 = internal(i, 1);
+    const int b0 = internal(i, 2), b1 = internal(i, 3);
+    const int c0 = internal(i, 4), c1 = internal(i, 5);
+    // Carol (found by exhaustive search; see header):
+    //   x = 0: (L0,a0) (L1,a1) (b0,b1) (c0,c1)
+    //   x = 1: (L0,a0) (L1,a1) (b0,c0) (b1,c1)
+    carol.push_back(out.g.add_edge(left(i, 0), a0));
+    carol.push_back(out.g.add_edge(left(i, 1), a1));
+    if (!xi) {
+      carol.push_back(out.g.add_edge(b0, b1));
+      carol.push_back(out.g.add_edge(c0, c1));
+    } else {
+      carol.push_back(out.g.add_edge(b0, c0));
+      carol.push_back(out.g.add_edge(b1, c1));
+    }
+    // David:
+    //   y = 0: (a0,b0) (a1,c0) (b1,R0) (c1,R1)
+    //   y = 1: (a0,b0) (a1,b1) (c0,R0) (c1,R1)
+    david.push_back(out.g.add_edge(a0, b0));
+    if (!yi) {
+      david.push_back(out.g.add_edge(a1, c0));
+      david.push_back(out.g.add_edge(b1, right(i, 0)));
+      david.push_back(out.g.add_edge(c1, right(i, 1)));
+    } else {
+      david.push_back(out.g.add_edge(a1, b1));
+      david.push_back(out.g.add_edge(c0, right(i, 0)));
+      david.push_back(out.g.add_edge(c1, right(i, 1)));
+    }
+  }
+  out.carol_edges = graph::EdgeSubset::of(out.g.edge_count(), carol);
+  out.david_edges = graph::EdgeSubset::of(out.g.edge_count(), david);
+  return out;
+}
+
+bool ip_mod3_nonzero_via_ham(const BitString& x, const BitString& y) {
+  const OwnedGraph g = build_ip_mod3_ham_graph(x, y);
+  return graph::is_hamiltonian_cycle(g.g);
+}
+
+bool equality_via_ham(const BitString& x, const BitString& y) {
+  const OwnedGraph g = build_eq_ham_graph(x, y);
+  return graph::is_hamiltonian_cycle(g.g);
+}
+
+graph::Graph spanning_tree_instance_from_ham(const graph::Graph& g,
+                                             graph::EdgeId removed) {
+  QDC_EXPECT(removed >= 0 && removed < g.edge_count(),
+             "spanning_tree_instance_from_ham: bad edge");
+  graph::EdgeSubset keep = graph::EdgeSubset::all(g.edge_count());
+  keep.erase(removed);
+  return graph::subgraph(g, keep);
+}
+
+}  // namespace qdc::gadgets

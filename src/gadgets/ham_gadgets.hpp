@@ -1,0 +1,71 @@
+// The gadget reductions of Section 7 / Appendix C.
+//
+// IPmod3 -> Hamiltonian cycle (Figures 4, 5, 6, 12; Lemma 7.2 / C.3):
+// the input strings x, y are compiled into a graph G made of n chained
+// gadgets over three "tracks". Carol's edges depend only on x, David's
+// only on y, each forming a perfect matching of G (Lemma C.3), and gadget
+// i advances a track permutation by sigma^{x_i y_i} for the 3-cycle
+// sigma = (0 1 2). Our concrete gadget realizes this as a width-3
+// Barrington-style group program: with the transpositions h = (0 2)
+// (Carol's, applied as h^{x_i} twice) and g = (0 1) (David's, applied as
+// g^{y_i} twice), the through-permutation is
+//     g^{y} . h^{x} . g^{y} . h^{x}  =  sigma^{x y}
+// (the commutator trick: it is sigma iff x = y = 1, identity otherwise).
+// Closing the tracks around (v_0 = v_n) makes G a single Hamiltonian cycle
+// iff sum_i x_i y_i != 0 (mod 3), and exactly 3 disjoint cycles otherwise.
+//
+// Gap-Equality -> Gap-Ham (Figure 7): two tracks, chained gadgets with the
+// end columns contracted to single nodes s and t. A matched position
+// passes both tracks through; a mismatched position closes both sides
+// (the left tracks turn back, the right tracks start fresh), so x = y
+// yields one Hamiltonian cycle while delta mismatches yield delta + 1
+// disjoint cycles. The per-position matchings were found by exhaustive
+// search over all gadget matchings satisfying Observation 7.1's locality
+// constraints (Carol's matching covers everything but the right boundary
+// and depends only on x_i; David's covers everything but the left boundary
+// and depends only on y_i).
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/bitstring.hpp"
+
+namespace qdc::gadgets {
+
+/// A gadget graph together with the edge ownership split of
+/// Definition 3.3: Carol holds E_C(G), David holds E_D(G).
+struct OwnedGraph {
+  graph::Graph g;
+  graph::EdgeSubset carol_edges;
+  graph::EdgeSubset david_edges;
+};
+
+/// Builds the IPmod3 -> Ham graph for inputs x, y (|x| = |y| = n >= 1).
+/// The graph has 12 n nodes; every node has degree exactly 2.
+OwnedGraph build_ip_mod3_ham_graph(const BitString& x, const BitString& y);
+
+/// Number of track-columns per input position (the paper's constant c
+/// with |V(G)| = c n).
+inline constexpr int kIpMod3NodesPerPosition = 12;
+
+/// Builds the Gap-Eq -> Ham graph for x, y (|x| = |y| = n >= 1). The graph
+/// has 8 n nodes (6 internals per position plus the boundary columns, with
+/// the two end columns contracted to single nodes s, t); all degrees are 2.
+OwnedGraph build_eq_ham_graph(const BitString& x, const BitString& y);
+
+/// End-to-end check of the Section 7 reduction: decides
+/// "sum x_i y_i mod 3 != 0" by building the gadget graph and testing
+/// Hamiltonicity (must agree with the arithmetic truth; property-tested).
+bool ip_mod3_nonzero_via_ham(const BitString& x, const BitString& y);
+
+/// End-to-end check of the Figure 7 reduction: decides x == y by testing
+/// Hamiltonicity of the Eq gadget graph.
+bool equality_via_ham(const BitString& x, const BitString& y);
+
+/// Section 9.1's Ham -> spanning-tree reduction: removing any single edge
+/// from a degree-2 graph leaves a spanning tree iff the graph was a
+/// Hamiltonian cycle. Returns the reduced instance (same nodes, one edge
+/// dropped).
+graph::Graph spanning_tree_instance_from_ham(const graph::Graph& g,
+                                             graph::EdgeId removed);
+
+}  // namespace qdc::gadgets

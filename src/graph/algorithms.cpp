@@ -1,0 +1,229 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "graph/dsu.hpp"
+
+namespace qdc::graph {
+
+std::vector<int> bfs_distances(const Graph& g, NodeId source) {
+  QDC_EXPECT(g.valid_node(source), "bfs_distances: bad source");
+  std::vector<int> dist(static_cast<std::size_t>(g.node_count()), -1);
+  std::queue<NodeId> queue;
+  dist[static_cast<std::size_t>(source)] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop();
+    for (const Adjacency& a : g.neighbors(u)) {
+      auto& d = dist[static_cast<std::size_t>(a.neighbor)];
+      if (d == -1) {
+        d = dist[static_cast<std::size_t>(u)] + 1;
+        queue.push(a.neighbor);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<int> connected_components(const Graph& g) {
+  std::vector<int> label(static_cast<std::size_t>(g.node_count()), -1);
+  int next = 0;
+  for (NodeId start = 0; start < g.node_count(); ++start) {
+    if (label[static_cast<std::size_t>(start)] != -1) continue;
+    label[static_cast<std::size_t>(start)] = next;
+    std::queue<NodeId> queue;
+    queue.push(start);
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop();
+      for (const Adjacency& a : g.neighbors(u)) {
+        auto& l = label[static_cast<std::size_t>(a.neighbor)];
+        if (l == -1) {
+          l = next;
+          queue.push(a.neighbor);
+        }
+      }
+    }
+    ++next;
+  }
+  return label;
+}
+
+int component_count(const Graph& g) {
+  const auto labels = connected_components(g);
+  return labels.empty() ? 0 : 1 + *std::max_element(labels.begin(),
+                                                    labels.end());
+}
+
+bool is_connected(const Graph& g) {
+  return g.node_count() <= 1 || component_count(g) == 1;
+}
+
+bool st_connected(const Graph& g, NodeId u, NodeId v) {
+  const auto labels = connected_components(g);
+  return labels[static_cast<std::size_t>(u)] ==
+         labels[static_cast<std::size_t>(v)];
+}
+
+int diameter(const Graph& g) {
+  QDC_EXPECT(g.node_count() > 0, "diameter: empty graph");
+  QDC_CHECK(is_connected(g), "diameter: graph must be connected");
+  int best = 0;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    const auto dist = bfs_distances(g, u);
+    best = std::max(best, *std::max_element(dist.begin(), dist.end()));
+  }
+  return best;
+}
+
+bool is_bipartite(const Graph& g) {
+  std::vector<int> color(static_cast<std::size_t>(g.node_count()), -1);
+  for (NodeId start = 0; start < g.node_count(); ++start) {
+    if (color[static_cast<std::size_t>(start)] != -1) continue;
+    color[static_cast<std::size_t>(start)] = 0;
+    std::queue<NodeId> queue;
+    queue.push(start);
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop();
+      for (const Adjacency& a : g.neighbors(u)) {
+        auto& c = color[static_cast<std::size_t>(a.neighbor)];
+        if (c == -1) {
+          c = 1 - color[static_cast<std::size_t>(u)];
+          queue.push(a.neighbor);
+        } else if (c == color[static_cast<std::size_t>(u)]) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool has_cycle(const Graph& g) {
+  DisjointSetUnion dsu(g.node_count());
+  for (const Edge& e : g.edges()) {
+    if (!dsu.unite(e.u, e.v)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool edge_on_cycle(const Graph& g, EdgeId e) {
+  QDC_EXPECT(e >= 0 && e < g.edge_count(), "edge_on_cycle: bad edge id");
+  DisjointSetUnion dsu(g.node_count());
+  for (EdgeId other = 0; other < g.edge_count(); ++other) {
+    if (other == e) continue;
+    dsu.unite(g.edge(other).u, g.edge(other).v);
+  }
+  return dsu.same(g.edge(e).u, g.edge(e).v);
+}
+
+int cycle_count_degree_two(const Graph& g) {
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    QDC_CHECK(g.degree(u) <= 2,
+              "cycle_count_degree_two: node of degree > 2");
+  }
+  // In a graph of max degree 2, each component is a path or a cycle; a
+  // component is a cycle iff #edges == #nodes within it.
+  const auto labels = connected_components(g);
+  const int k = component_count(g);
+  std::vector<int> nodes(static_cast<std::size_t>(k), 0);
+  std::vector<int> edges(static_cast<std::size_t>(k), 0);
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    ++nodes[static_cast<std::size_t>(labels[static_cast<std::size_t>(u)])];
+  }
+  for (const Edge& e : g.edges()) {
+    ++edges[static_cast<std::size_t>(labels[static_cast<std::size_t>(e.u)])];
+  }
+  int cycles = 0;
+  for (int c = 0; c < k; ++c) {
+    if (edges[static_cast<std::size_t>(c)] ==
+        nodes[static_cast<std::size_t>(c)]) {
+      ++cycles;
+    }
+  }
+  return cycles;
+}
+
+bool is_hamiltonian_cycle(const Graph& g) {
+  if (g.node_count() < 3) return false;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    if (g.degree(u) != 2) return false;
+  }
+  return is_connected(g);
+}
+
+bool is_spanning_tree(const Graph& g) {
+  return g.edge_count() == g.node_count() - 1 && is_connected(g);
+}
+
+bool is_simple_path(const Graph& g) {
+  int degree_one = 0;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    const int d = g.degree(u);
+    if (d > 2) return false;
+    if (d == 1) ++degree_one;
+  }
+  if (degree_one != 2) return false;
+  if (has_cycle(g)) return false;
+  // All non-isolated nodes must form a single component.
+  DisjointSetUnion dsu(g.node_count());
+  for (const Edge& e : g.edges()) {
+    dsu.unite(e.u, e.v);
+  }
+  int touched_components = 0;
+  std::vector<bool> seen(static_cast<std::size_t>(g.node_count()), false);
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    if (g.degree(u) == 0) continue;
+    const int root = dsu.find(u);
+    if (!seen[static_cast<std::size_t>(root)]) {
+      seen[static_cast<std::size_t>(root)] = true;
+      ++touched_components;
+    }
+  }
+  return touched_components == 1;
+}
+
+int connectivity_distance(const Graph& g) {
+  return component_count(g) - 1;
+}
+
+bool is_spanning_connected_subgraph(const Graph& n, const EdgeSubset& m) {
+  const Graph sub = subgraph(n, m);
+  if (!is_connected(sub)) return false;
+  for (NodeId u = 0; u < sub.node_count(); ++u) {
+    if (sub.degree(u) == 0 && sub.node_count() > 1) return false;
+  }
+  return true;
+}
+
+bool subset_is_hamiltonian_cycle(const Graph& n, const EdgeSubset& m) {
+  return is_hamiltonian_cycle(subgraph(n, m));
+}
+
+bool subset_is_spanning_tree(const Graph& n, const EdgeSubset& m) {
+  return is_spanning_tree(subgraph(n, m));
+}
+
+bool subset_is_cut(const Graph& n, const EdgeSubset& m) {
+  EdgeSubset complement = EdgeSubset::all(n.edge_count());
+  for (EdgeId e : m.to_vector()) {
+    complement.erase(e);
+  }
+  return !is_connected(subgraph(n, complement));
+}
+
+bool subset_is_st_cut(const Graph& n, const EdgeSubset& m, NodeId s,
+                      NodeId t) {
+  EdgeSubset complement = EdgeSubset::all(n.edge_count());
+  for (EdgeId e : m.to_vector()) {
+    complement.erase(e);
+  }
+  return !st_connected(subgraph(n, complement), s, t);
+}
+
+}  // namespace qdc::graph

@@ -1,0 +1,74 @@
+// Sequential graph algorithms: traversal, connectivity, structure predicates.
+// These provide ground truth for the distributed verification algorithms
+// (Section 2.2 / Appendix A.2 of the paper).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace qdc::graph {
+
+/// BFS distances (in hops) from `source`; unreachable nodes get -1.
+std::vector<int> bfs_distances(const Graph& g, NodeId source);
+
+/// Connected-component labels in [0, #components); label of node i at [i].
+std::vector<int> connected_components(const Graph& g);
+
+int component_count(const Graph& g);
+
+bool is_connected(const Graph& g);
+
+/// True if u and v are in the same component.
+bool st_connected(const Graph& g, NodeId u, NodeId v);
+
+/// Exact hop diameter via all-pairs BFS. Requires a connected graph.
+int diameter(const Graph& g);
+
+/// True if the graph is bipartite (every component 2-colorable).
+bool is_bipartite(const Graph& g);
+
+/// True if the graph contains at least one cycle (parallel edges count).
+bool has_cycle(const Graph& g);
+
+/// True if edge e lies on some cycle, i.e. its endpoints remain connected
+/// after removing e.
+bool edge_on_cycle(const Graph& g, EdgeId e);
+
+/// Number of simple cycles in a graph whose maximum degree is at most 2
+/// (such graphs are disjoint unions of paths and cycles). Throws ModelError
+/// if some node has degree > 2. This is the cycle-count of the paper's
+/// gadget graphs (Observation 8.1, Figure 12).
+int cycle_count_degree_two(const Graph& g);
+
+/// True if the graph (on >= 3 nodes) is a single Hamiltonian cycle:
+/// connected, and every node has degree exactly 2.
+bool is_hamiltonian_cycle(const Graph& g);
+
+/// True if the graph is a spanning tree: connected with n-1 edges.
+bool is_spanning_tree(const Graph& g);
+
+/// True if the graph is a simple path covering all its non-isolated
+/// structure: no cycle, connected over the nodes it touches, max degree 2,
+/// exactly two degree-1 endpoints (Appendix A.2 "simple path verification":
+/// all nodes have degree 0 or 2 except two of degree 1, and no cycle).
+bool is_simple_path(const Graph& g);
+
+/// delta-far measure for connectivity (Section 2.2): the minimum number of
+/// edges that must be added to make the graph connected, i.e.
+/// #components - 1.
+int connectivity_distance(const Graph& g);
+
+/// Predicates on a subnetwork M of N given as an EdgeSubset of N's edges.
+bool is_spanning_connected_subgraph(const Graph& n, const EdgeSubset& m);
+bool subset_is_hamiltonian_cycle(const Graph& n, const EdgeSubset& m);
+bool subset_is_spanning_tree(const Graph& n, const EdgeSubset& m);
+
+/// True if removing M's edges disconnects N ("cut verification").
+bool subset_is_cut(const Graph& n, const EdgeSubset& m);
+
+/// True if removing M's edges separates s from t ("s-t cut verification").
+bool subset_is_st_cut(const Graph& n, const EdgeSubset& m, NodeId s, NodeId t);
+
+}  // namespace qdc::graph

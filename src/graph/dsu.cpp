@@ -1,0 +1,45 @@
+#include "graph/dsu.hpp"
+
+#include <numeric>
+#include <utility>
+
+namespace qdc::graph {
+
+DisjointSetUnion::DisjointSetUnion(int n)
+    : parent_(static_cast<std::size_t>(n)),
+      size_(static_cast<std::size_t>(n), 1),
+      set_count_(n) {
+  QDC_EXPECT(n >= 0, "DisjointSetUnion: negative size");
+  std::iota(parent_.begin(), parent_.end(), 0);
+}
+
+int DisjointSetUnion::find(int x) {
+  QDC_EXPECT(x >= 0 && x < element_count(), "DisjointSetUnion::find: bad id");
+  int root = x;
+  while (parent_[static_cast<std::size_t>(root)] != root) {
+    root = parent_[static_cast<std::size_t>(root)];
+  }
+  while (parent_[static_cast<std::size_t>(x)] != root) {
+    x = std::exchange(parent_[static_cast<std::size_t>(x)], root);
+  }
+  return root;
+}
+
+bool DisjointSetUnion::unite(int a, int b) {
+  a = find(a);
+  b = find(b);
+  if (a == b) return false;
+  if (size_[static_cast<std::size_t>(a)] < size_[static_cast<std::size_t>(b)]) {
+    std::swap(a, b);
+  }
+  parent_[static_cast<std::size_t>(b)] = a;
+  size_[static_cast<std::size_t>(a)] += size_[static_cast<std::size_t>(b)];
+  --set_count_;
+  return true;
+}
+
+int DisjointSetUnion::set_size(int x) {
+  return size_[static_cast<std::size_t>(find(x))];
+}
+
+}  // namespace qdc::graph

@@ -1,0 +1,36 @@
+// Disjoint-set union (union-find) with path compression and union by size.
+#pragma once
+
+#include <vector>
+
+#include "util/expect.hpp"
+
+namespace qdc::graph {
+
+class DisjointSetUnion {
+ public:
+  explicit DisjointSetUnion(int n);
+
+  /// Representative of x's set.
+  int find(int x);
+
+  /// Merges the sets of a and b; returns false if already merged.
+  bool unite(int a, int b);
+
+  bool same(int a, int b) { return find(a) == find(b); }
+
+  /// Number of elements in x's set.
+  int set_size(int x);
+
+  /// Number of disjoint sets remaining.
+  int set_count() const { return set_count_; }
+
+  int element_count() const { return static_cast<int>(parent_.size()); }
+
+ private:
+  std::vector<int> parent_;
+  std::vector<int> size_;
+  int set_count_ = 0;
+};
+
+}  // namespace qdc::graph

@@ -1,0 +1,175 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace qdc::graph {
+
+Graph path_graph(int n) {
+  Graph g(n);
+  for (NodeId v = 0; v + 1 < n; ++v) {
+    g.add_edge(v, v + 1);
+  }
+  return g;
+}
+
+Graph cycle_graph(int n) {
+  QDC_EXPECT(n >= 3, "cycle_graph: need >= 3 nodes");
+  Graph g = path_graph(n);
+  g.add_edge(n - 1, 0);
+  return g;
+}
+
+Graph complete_graph(int n) {
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph star_graph(int n) {
+  QDC_EXPECT(n >= 1, "star_graph: need >= 1 node");
+  Graph g(n);
+  for (NodeId v = 1; v < n; ++v) {
+    g.add_edge(0, v);
+  }
+  return g;
+}
+
+Graph grid_graph(int rows, int cols) {
+  QDC_EXPECT(rows >= 1 && cols >= 1, "grid_graph: bad dimensions");
+  Graph g(rows * cols);
+  const auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+Graph random_tree(int n, Rng& rng) {
+  QDC_EXPECT(n >= 1, "random_tree: need >= 1 node");
+  Graph g(n);
+  if (n == 1) return g;
+  if (n == 2) {
+    g.add_edge(0, 1);
+    return g;
+  }
+  // Prufer decoding (sequence entries are drawn from 0..n-1; the decode
+  // pairs each entry with the current minimum-index leaf).
+  std::vector<int> prufer(static_cast<std::size_t>(n - 2));
+  for (auto& x : prufer) {
+    x = static_cast<int>(uniform_int(rng, 0, n - 1));
+  }
+  std::vector<int> degree(static_cast<std::size_t>(n), 1);
+  for (int x : prufer) ++degree[static_cast<std::size_t>(x)];
+  int ptr = 0;
+  while (degree[static_cast<std::size_t>(ptr)] != 1) ++ptr;
+  int leaf = ptr;
+  for (int x : prufer) {
+    g.add_edge(leaf, x);
+    if (--degree[static_cast<std::size_t>(x)] == 1 && x < ptr) {
+      leaf = x;
+    } else {
+      ++ptr;
+      while (degree[static_cast<std::size_t>(ptr)] != 1) ++ptr;
+      leaf = ptr;
+    }
+  }
+  g.add_edge(leaf, n - 1);
+  return g;
+}
+
+Graph random_gnp(int n, double p, Rng& rng) {
+  QDC_EXPECT(p >= 0.0 && p <= 1.0, "random_gnp: p out of range");
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (coin(rng, p)) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph random_connected(int n, double p, Rng& rng) {
+  Graph tree = random_tree(n, rng);
+  Graph g(n);
+  // Copy tree edges first, then sprinkle extras avoiding duplicates.
+  for (const Edge& e : tree.edges()) {
+    g.add_edge(e.u, e.v);
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (!g.has_edge(u, v) && coin(rng, p)) {
+        g.add_edge(u, v);
+      }
+    }
+  }
+  return g;
+}
+
+WeightedGraph randomly_weighted(const Graph& g, double min_w, double max_w,
+                                Rng& rng) {
+  QDC_EXPECT(0.0 < min_w && min_w <= max_w, "randomly_weighted: bad range");
+  WeightedGraph w(g.node_count());
+  std::uniform_real_distribution<double> dist(min_w, max_w);
+  for (const Edge& e : g.edges()) {
+    w.add_edge(e.u, e.v, dist(rng));
+  }
+  return w;
+}
+
+WeightedGraph random_weighted_aspect(int n, double p, double aspect,
+                                     Rng& rng) {
+  QDC_EXPECT(aspect >= 1.0, "random_weighted_aspect: aspect < 1");
+  const Graph topo = random_connected(n, p, rng);
+  WeightedGraph w = randomly_weighted(topo, 1.0, aspect, rng);
+  if (w.edge_count() >= 2) {
+    w.set_weight(0, 1.0);
+    w.set_weight(1, aspect);
+  } else if (w.edge_count() == 1) {
+    w.set_weight(0, 1.0);
+  }
+  return w;
+}
+
+EdgeSubset random_edge_subset(const Graph& g, double p, Rng& rng) {
+  EdgeSubset s(g.edge_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (coin(rng, p)) s.insert(e);
+  }
+  return s;
+}
+
+Graph random_hamiltonian_cycle(int n, Rng& rng) {
+  QDC_EXPECT(n >= 3, "random_hamiltonian_cycle: need >= 3 nodes");
+  std::vector<NodeId> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng);
+  Graph g(n);
+  for (int i = 0; i < n; ++i) {
+    g.add_edge(order[static_cast<std::size_t>(i)],
+               order[static_cast<std::size_t>((i + 1) % n)]);
+  }
+  return g;
+}
+
+std::vector<Edge> random_perfect_matching(int n, Rng& rng) {
+  QDC_EXPECT(n % 2 == 0, "random_perfect_matching: n must be even");
+  std::vector<NodeId> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng);
+  std::vector<Edge> matching;
+  for (int i = 0; i < n; i += 2) {
+    matching.push_back(Edge{order[static_cast<std::size_t>(i)],
+                            order[static_cast<std::size_t>(i + 1)]});
+  }
+  return matching;
+}
+
+}  // namespace qdc::graph

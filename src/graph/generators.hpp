@@ -1,0 +1,46 @@
+// Graph generators used by tests, examples and benchmark workloads.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace qdc::graph {
+
+Graph path_graph(int n);
+Graph cycle_graph(int n);
+Graph complete_graph(int n);
+Graph star_graph(int n);
+Graph grid_graph(int rows, int cols);
+
+/// Uniform random labelled tree (random Prufer sequence). n >= 1.
+Graph random_tree(int n, Rng& rng);
+
+/// Erdos-Renyi G(n, p) without parallel edges.
+Graph random_gnp(int n, double p, Rng& rng);
+
+/// Connected random graph: random tree plus each non-tree pair independently
+/// with probability p.
+Graph random_connected(int n, double p, Rng& rng);
+
+/// Random weights in [min_w, max_w] on an existing topology.
+WeightedGraph randomly_weighted(const Graph& g, double min_w, double max_w,
+                                Rng& rng);
+
+/// Random connected weighted graph whose weight aspect ratio is exactly W:
+/// one edge gets weight W, one gets weight 1, the rest are uniform in
+/// [1, W].
+WeightedGraph random_weighted_aspect(int n, double p, double aspect,
+                                     Rng& rng);
+
+/// Random subset of g's edges, each kept independently with probability p.
+EdgeSubset random_edge_subset(const Graph& g, double p, Rng& rng);
+
+/// Random Hamiltonian cycle through all n nodes of the complete graph; the
+/// returned graph contains exactly those n edges.
+Graph random_hamiltonian_cycle(int n, Rng& rng);
+
+/// A uniformly random perfect matching on nodes 0..n-1 (n even), returned
+/// as the list of matched pairs.
+std::vector<Edge> random_perfect_matching(int n, Rng& rng);
+
+}  // namespace qdc::graph

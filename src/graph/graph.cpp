@@ -1,0 +1,143 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace qdc::graph {
+
+Graph::Graph(int node_count) {
+  QDC_EXPECT(node_count >= 0, "Graph: negative node count");
+  adjacency_.resize(static_cast<std::size_t>(node_count));
+}
+
+EdgeId Graph::add_edge(NodeId u, NodeId v) {
+  QDC_EXPECT(valid_node(u) && valid_node(v), "Graph::add_edge: bad endpoint");
+  QDC_EXPECT(u != v, "Graph::add_edge: self-loops are not allowed");
+  const EdgeId id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{u, v});
+  adjacency_[static_cast<std::size_t>(u)].push_back(Adjacency{v, id});
+  adjacency_[static_cast<std::size_t>(v)].push_back(Adjacency{u, id});
+  return id;
+}
+
+const Edge& Graph::edge(EdgeId e) const {
+  QDC_EXPECT(e >= 0 && e < edge_count(), "Graph::edge: bad edge id");
+  return edges_[static_cast<std::size_t>(e)];
+}
+
+const std::vector<Adjacency>& Graph::neighbors(NodeId u) const {
+  QDC_EXPECT(valid_node(u), "Graph::neighbors: bad node id");
+  return adjacency_[static_cast<std::size_t>(u)];
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  QDC_EXPECT(valid_node(u) && valid_node(v), "Graph::has_edge: bad endpoint");
+  const auto& adj = neighbors(u);
+  return std::any_of(adj.begin(), adj.end(),
+                     [v](const Adjacency& a) { return a.neighbor == v; });
+}
+
+WeightedGraph WeightedGraph::with_unit_weights(const Graph& g) {
+  WeightedGraph w(g.node_count());
+  for (const Edge& e : g.edges()) {
+    w.add_edge(e.u, e.v, 1.0);
+  }
+  return w;
+}
+
+EdgeId WeightedGraph::add_edge(NodeId u, NodeId v, double weight) {
+  QDC_EXPECT(weight > 0.0, "WeightedGraph::add_edge: weight must be positive");
+  const EdgeId id = graph_.add_edge(u, v);
+  weights_.push_back(weight);
+  return id;
+}
+
+double WeightedGraph::weight(EdgeId e) const {
+  QDC_EXPECT(e >= 0 && e < edge_count(), "WeightedGraph::weight: bad edge id");
+  return weights_[static_cast<std::size_t>(e)];
+}
+
+void WeightedGraph::set_weight(EdgeId e, double w) {
+  QDC_EXPECT(e >= 0 && e < edge_count(),
+             "WeightedGraph::set_weight: bad edge id");
+  QDC_EXPECT(w > 0.0, "WeightedGraph::set_weight: weight must be positive");
+  weights_[static_cast<std::size_t>(e)] = w;
+}
+
+double WeightedGraph::total_weight(const std::vector<EdgeId>& edge_set) const {
+  double total = 0.0;
+  for (EdgeId e : edge_set) {
+    total += weight(e);
+  }
+  return total;
+}
+
+double WeightedGraph::aspect_ratio() const {
+  QDC_EXPECT(edge_count() > 0, "WeightedGraph::aspect_ratio: no edges");
+  const auto [lo, hi] = std::minmax_element(weights_.begin(), weights_.end());
+  return *hi / *lo;
+}
+
+EdgeSubset EdgeSubset::all(int edge_count) {
+  EdgeSubset s(edge_count);
+  std::fill(s.member_.begin(), s.member_.end(), std::uint8_t{1});
+  return s;
+}
+
+EdgeSubset EdgeSubset::of(int edge_count, const std::vector<EdgeId>& edges) {
+  EdgeSubset s(edge_count);
+  for (EdgeId e : edges) {
+    s.insert(e);
+  }
+  return s;
+}
+
+bool EdgeSubset::contains(EdgeId e) const {
+  QDC_EXPECT(e >= 0 && e < universe_size(), "EdgeSubset::contains: bad id");
+  return member_[static_cast<std::size_t>(e)] != 0;
+}
+
+void EdgeSubset::insert(EdgeId e) {
+  QDC_EXPECT(e >= 0 && e < universe_size(), "EdgeSubset::insert: bad id");
+  member_[static_cast<std::size_t>(e)] = 1;
+}
+
+void EdgeSubset::erase(EdgeId e) {
+  QDC_EXPECT(e >= 0 && e < universe_size(), "EdgeSubset::erase: bad id");
+  member_[static_cast<std::size_t>(e)] = 0;
+}
+
+int EdgeSubset::size() const {
+  return static_cast<int>(
+      std::count(member_.begin(), member_.end(), std::uint8_t{1}));
+}
+
+std::vector<EdgeId> EdgeSubset::to_vector() const {
+  std::vector<EdgeId> out;
+  for (int e = 0; e < universe_size(); ++e) {
+    if (member_[static_cast<std::size_t>(e)]) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+Graph subgraph(const Graph& g, const EdgeSubset& m,
+               std::vector<EdgeId>* old_edge_ids) {
+  QDC_EXPECT(m.universe_size() == g.edge_count(),
+             "subgraph: subset universe does not match graph");
+  Graph out(g.node_count());
+  if (old_edge_ids != nullptr) {
+    old_edge_ids->clear();
+  }
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (!m.contains(e)) continue;
+    out.add_edge(g.edge(e).u, g.edge(e).v);
+    if (old_edge_ids != nullptr) {
+      old_edge_ids->push_back(e);
+    }
+  }
+  return out;
+}
+
+}  // namespace qdc::graph

@@ -1,0 +1,145 @@
+// Undirected multigraph with stable edge identifiers.
+//
+// This is the sequential substrate of the repository: the CONGEST simulator
+// models its network topology as a Graph, the gadget reductions build Graphs,
+// and every distributed algorithm is validated against sequential algorithms
+// operating on Graphs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/expect.hpp"
+
+namespace qdc::graph {
+
+using NodeId = int;
+using EdgeId = int;
+
+/// An undirected edge between nodes u and v (u and v may appear in either
+/// order; self-loops are disallowed).
+struct Edge {
+  NodeId u = -1;
+  NodeId v = -1;
+
+  /// The endpoint that is not `x`. Requires x in {u, v}.
+  NodeId other(NodeId x) const {
+    QDC_EXPECT(x == u || x == v, "Edge::other: x is not an endpoint");
+    return x == u ? v : u;
+  }
+
+  bool operator==(const Edge&) const = default;
+};
+
+/// Entry of an adjacency list: the neighbour reached and the edge used.
+struct Adjacency {
+  NodeId neighbor = -1;
+  EdgeId edge = -1;
+};
+
+/// Undirected multigraph. Nodes are 0..node_count()-1; edges get dense ids
+/// 0..edge_count()-1 in insertion order.
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(int node_count);
+
+  int node_count() const { return static_cast<int>(adjacency_.size()); }
+  int edge_count() const { return static_cast<int>(edges_.size()); }
+
+  /// Adds an undirected edge and returns its id. Self-loops are rejected.
+  EdgeId add_edge(NodeId u, NodeId v);
+
+  const Edge& edge(EdgeId e) const;
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Neighbours of u, one entry per incident edge (parallel edges appear
+  /// multiple times).
+  const std::vector<Adjacency>& neighbors(NodeId u) const;
+
+  int degree(NodeId u) const {
+    return static_cast<int>(neighbors(u).size());
+  }
+
+  /// True if some edge connects u and v.
+  bool has_edge(NodeId u, NodeId v) const;
+
+  bool valid_node(NodeId u) const { return u >= 0 && u < node_count(); }
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<Adjacency>> adjacency_;
+};
+
+/// An undirected graph with positive edge weights, used by the optimization
+/// problems (MST, shortest paths, min cut). Weights are indexed by EdgeId.
+class WeightedGraph {
+ public:
+  WeightedGraph() = default;
+  explicit WeightedGraph(int node_count) : graph_(node_count) {}
+
+  /// Builds from an existing topology with unit weights.
+  static WeightedGraph with_unit_weights(const Graph& g);
+
+  int node_count() const { return graph_.node_count(); }
+  int edge_count() const { return graph_.edge_count(); }
+
+  EdgeId add_edge(NodeId u, NodeId v, double weight);
+
+  const Graph& topology() const { return graph_; }
+  const Edge& edge(EdgeId e) const { return graph_.edge(e); }
+  const std::vector<Adjacency>& neighbors(NodeId u) const {
+    return graph_.neighbors(u);
+  }
+
+  double weight(EdgeId e) const;
+  void set_weight(EdgeId e, double w);
+  const std::vector<double>& weights() const { return weights_; }
+
+  /// Total weight of an edge subset.
+  double total_weight(const std::vector<EdgeId>& edge_set) const;
+
+  /// max weight / min weight over all edges (the paper's aspect ratio W).
+  /// Requires at least one edge.
+  double aspect_ratio() const;
+
+ private:
+  Graph graph_;
+  std::vector<double> weights_;
+};
+
+/// A subset of a graph's edges, as an indicator over EdgeIds. This is the
+/// "subnetwork M" of the verification problems (Section 2.2).
+class EdgeSubset {
+ public:
+  EdgeSubset() = default;
+  explicit EdgeSubset(int edge_count) : member_(edge_count, 0) {}
+
+  static EdgeSubset all(int edge_count);
+  static EdgeSubset of(int edge_count, const std::vector<EdgeId>& edges);
+
+  int universe_size() const { return static_cast<int>(member_.size()); }
+
+  bool contains(EdgeId e) const;
+  void insert(EdgeId e);
+  void erase(EdgeId e);
+
+  /// Number of member edges.
+  int size() const;
+
+  /// Member edges in increasing EdgeId order.
+  std::vector<EdgeId> to_vector() const;
+
+  bool operator==(const EdgeSubset&) const = default;
+
+ private:
+  std::vector<std::uint8_t> member_;
+};
+
+/// The subgraph of `g` induced by keeping exactly the edges in `m`
+/// (all nodes are kept). Edge ids are renumbered densely; the mapping from
+/// new to old ids is returned through `old_edge_ids` when non-null.
+Graph subgraph(const Graph& g, const EdgeSubset& m,
+               std::vector<EdgeId>* old_edge_ids = nullptr);
+
+}  // namespace qdc::graph

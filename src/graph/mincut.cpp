@@ -1,0 +1,157 @@
+#include "graph/mincut.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "graph/algorithms.hpp"
+
+namespace qdc::graph {
+
+MinCutResult min_cut_stoer_wagner(const WeightedGraph& g) {
+  const int n = g.node_count();
+  QDC_EXPECT(n >= 2, "min_cut_stoer_wagner: need >= 2 nodes");
+  QDC_CHECK(is_connected(g.topology()),
+            "min_cut_stoer_wagner: graph must be connected");
+
+  // Dense weight matrix; parallel edges merge additively.
+  std::vector<std::vector<double>> w(
+      static_cast<std::size_t>(n),
+      std::vector<double>(static_cast<std::size_t>(n), 0.0));
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& edge = g.edge(e);
+    w[static_cast<std::size_t>(edge.u)][static_cast<std::size_t>(edge.v)] +=
+        g.weight(e);
+    w[static_cast<std::size_t>(edge.v)][static_cast<std::size_t>(edge.u)] +=
+        g.weight(e);
+  }
+
+  // merged[v] = original nodes currently contracted into v.
+  std::vector<std::vector<NodeId>> merged(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) merged[static_cast<std::size_t>(v)] = {v};
+  std::vector<bool> gone(static_cast<std::size_t>(n), false);
+
+  MinCutResult best;
+  best.weight = std::numeric_limits<double>::infinity();
+
+  for (int phase = 0; phase + 1 < n; ++phase) {
+    // Maximum-adjacency ordering.
+    std::vector<double> attach(static_cast<std::size_t>(n), 0.0);
+    std::vector<bool> added(static_cast<std::size_t>(n), false);
+    NodeId prev = -1, last = -1;
+    const int active = n - phase;
+    for (int step = 0; step < active; ++step) {
+      NodeId pick = -1;
+      for (NodeId v = 0; v < n; ++v) {
+        if (gone[static_cast<std::size_t>(v)] ||
+            added[static_cast<std::size_t>(v)]) {
+          continue;
+        }
+        if (pick == -1 || attach[static_cast<std::size_t>(v)] >
+                              attach[static_cast<std::size_t>(pick)]) {
+          pick = v;
+        }
+      }
+      added[static_cast<std::size_t>(pick)] = true;
+      prev = last;
+      last = pick;
+      for (NodeId v = 0; v < n; ++v) {
+        if (!gone[static_cast<std::size_t>(v)] &&
+            !added[static_cast<std::size_t>(v)]) {
+          attach[static_cast<std::size_t>(v)] +=
+              w[static_cast<std::size_t>(pick)][static_cast<std::size_t>(v)];
+        }
+      }
+    }
+    // Cut-of-the-phase: `last` alone vs the rest.
+    if (attach[static_cast<std::size_t>(last)] < best.weight) {
+      best.weight = attach[static_cast<std::size_t>(last)];
+      best.partition = merged[static_cast<std::size_t>(last)];
+    }
+    // Contract last into prev.
+    if (prev != -1) {
+      for (NodeId v = 0; v < n; ++v) {
+        w[static_cast<std::size_t>(prev)][static_cast<std::size_t>(v)] +=
+            w[static_cast<std::size_t>(last)][static_cast<std::size_t>(v)];
+        w[static_cast<std::size_t>(v)][static_cast<std::size_t>(prev)] =
+            w[static_cast<std::size_t>(prev)][static_cast<std::size_t>(v)];
+      }
+      auto& into = merged[static_cast<std::size_t>(prev)];
+      auto& from = merged[static_cast<std::size_t>(last)];
+      into.insert(into.end(), from.begin(), from.end());
+      gone[static_cast<std::size_t>(last)] = true;
+    }
+  }
+  std::sort(best.partition.begin(), best.partition.end());
+  return best;
+}
+
+int edge_connectivity(const Graph& g) {
+  if (!is_connected(g)) return 0;
+  const WeightedGraph w = WeightedGraph::with_unit_weights(g);
+  return static_cast<int>(min_cut_stoer_wagner(w).weight + 0.5);
+}
+
+namespace {
+
+/// Edmonds-Karp max flow on an adjacency-matrix capacity graph.
+double max_flow(std::vector<std::vector<double>> cap, NodeId s, NodeId t) {
+  const int n = static_cast<int>(cap.size());
+  double flow = 0.0;
+  while (true) {
+    std::vector<NodeId> parent(static_cast<std::size_t>(n), -1);
+    parent[static_cast<std::size_t>(s)] = s;
+    std::queue<NodeId> queue;
+    queue.push(s);
+    while (!queue.empty() && parent[static_cast<std::size_t>(t)] == -1) {
+      const NodeId u = queue.front();
+      queue.pop();
+      for (NodeId v = 0; v < n; ++v) {
+        if (parent[static_cast<std::size_t>(v)] == -1 &&
+            cap[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)] >
+                1e-12) {
+          parent[static_cast<std::size_t>(v)] = u;
+          queue.push(v);
+        }
+      }
+    }
+    if (parent[static_cast<std::size_t>(t)] == -1) break;
+    double push = std::numeric_limits<double>::infinity();
+    for (NodeId v = t; v != s;
+         v = parent[static_cast<std::size_t>(v)]) {
+      const NodeId u = parent[static_cast<std::size_t>(v)];
+      push = std::min(
+          push, cap[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)]);
+    }
+    for (NodeId v = t; v != s;
+         v = parent[static_cast<std::size_t>(v)]) {
+      const NodeId u = parent[static_cast<std::size_t>(v)];
+      cap[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)] -= push;
+      cap[static_cast<std::size_t>(v)][static_cast<std::size_t>(u)] += push;
+    }
+    flow += push;
+  }
+  return flow;
+}
+
+}  // namespace
+
+double min_st_cut_weight(const WeightedGraph& g, NodeId s, NodeId t) {
+  QDC_EXPECT(g.topology().valid_node(s) && g.topology().valid_node(t),
+             "min_st_cut_weight: bad endpoint");
+  QDC_EXPECT(s != t, "min_st_cut_weight: s == t");
+  const int n = g.node_count();
+  std::vector<std::vector<double>> cap(
+      static_cast<std::size_t>(n),
+      std::vector<double>(static_cast<std::size_t>(n), 0.0));
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& edge = g.edge(e);
+    cap[static_cast<std::size_t>(edge.u)][static_cast<std::size_t>(edge.v)] +=
+        g.weight(e);
+    cap[static_cast<std::size_t>(edge.v)][static_cast<std::size_t>(edge.u)] +=
+        g.weight(e);
+  }
+  return max_flow(std::move(cap), s, t);
+}
+
+}  // namespace qdc::graph

@@ -1,0 +1,29 @@
+// Sequential minimum cut (Stoer-Wagner): ground truth for the distributed
+// min-cut approximation (Corollary 3.9 context).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace qdc::graph {
+
+struct MinCutResult {
+  double weight = 0.0;
+  /// Nodes on one side of the cut.
+  std::vector<NodeId> partition;
+};
+
+/// Stoer-Wagner global minimum cut. Requires a connected graph on >= 2
+/// nodes.
+MinCutResult min_cut_stoer_wagner(const WeightedGraph& g);
+
+/// Unweighted edge connectivity (min number of edges whose removal
+/// disconnects g).
+int edge_connectivity(const Graph& g);
+
+/// Minimum s-t cut weight via max-flow (successive BFS augmentation on a
+/// capacity graph built from the weighted graph).
+double min_st_cut_weight(const WeightedGraph& g, NodeId s, NodeId t);
+
+}  // namespace qdc::graph

@@ -1,0 +1,137 @@
+#include "graph/mst.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <queue>
+
+#include "graph/algorithms.hpp"
+#include "graph/dsu.hpp"
+
+namespace qdc::graph {
+
+namespace {
+
+/// Kruskal on arbitrary keys: sorts edges by (key, id) and adds acyclically.
+MstResult kruskal_by_key(const WeightedGraph& g,
+                         const std::vector<double>& key) {
+  std::vector<EdgeId> order(static_cast<std::size_t>(g.edge_count()));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+    const double ka = key[static_cast<std::size_t>(a)];
+    const double kb = key[static_cast<std::size_t>(b)];
+    return ka != kb ? ka < kb : a < b;
+  });
+  DisjointSetUnion dsu(g.node_count());
+  MstResult result;
+  for (EdgeId e : order) {
+    if (dsu.unite(g.edge(e).u, g.edge(e).v)) {
+      result.edges.push_back(e);
+      result.weight += g.weight(e);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+MstResult mst_kruskal(const WeightedGraph& g) {
+  return kruskal_by_key(g, g.weights());
+}
+
+MstResult mst_prim(const WeightedGraph& g) {
+  QDC_EXPECT(g.node_count() > 0, "mst_prim: empty graph");
+  QDC_CHECK(is_connected(g.topology()), "mst_prim: graph must be connected");
+  const auto cmp_edge = [&](EdgeId a, EdgeId b) {
+    return g.weight(a) != g.weight(b) ? g.weight(a) > g.weight(b) : a > b;
+  };
+  std::priority_queue<EdgeId, std::vector<EdgeId>, decltype(cmp_edge)>
+      frontier(cmp_edge);
+  std::vector<bool> in_tree(static_cast<std::size_t>(g.node_count()), false);
+  MstResult result;
+
+  const auto absorb = [&](NodeId u) {
+    in_tree[static_cast<std::size_t>(u)] = true;
+    for (const Adjacency& a : g.neighbors(u)) {
+      if (!in_tree[static_cast<std::size_t>(a.neighbor)]) {
+        frontier.push(a.edge);
+      }
+    }
+  };
+
+  absorb(0);
+  while (!frontier.empty()) {
+    const EdgeId e = frontier.top();
+    frontier.pop();
+    const Edge& edge = g.edge(e);
+    const bool u_in = in_tree[static_cast<std::size_t>(edge.u)];
+    const bool v_in = in_tree[static_cast<std::size_t>(edge.v)];
+    if (u_in && v_in) continue;
+    result.edges.push_back(e);
+    result.weight += g.weight(e);
+    absorb(u_in ? edge.v : edge.u);
+  }
+  return result;
+}
+
+MstResult mst_boruvka(const WeightedGraph& g) {
+  DisjointSetUnion dsu(g.node_count());
+  MstResult result;
+  bool merged = true;
+  while (merged && dsu.set_count() > 1) {
+    merged = false;
+    // Minimum-weight outgoing edge (MWOE) per fragment; ties by EdgeId make
+    // the choice consistent on both sides, so the union of MWOEs is acyclic.
+    std::vector<EdgeId> best(static_cast<std::size_t>(g.node_count()), -1);
+    const auto better = [&](EdgeId a, EdgeId b) {
+      if (b == -1) return true;
+      if (g.weight(a) != g.weight(b)) return g.weight(a) < g.weight(b);
+      return a < b;
+    };
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      const int ru = dsu.find(g.edge(e).u);
+      const int rv = dsu.find(g.edge(e).v);
+      if (ru == rv) continue;
+      if (better(e, best[static_cast<std::size_t>(ru)])) {
+        best[static_cast<std::size_t>(ru)] = e;
+      }
+      if (better(e, best[static_cast<std::size_t>(rv)])) {
+        best[static_cast<std::size_t>(rv)] = e;
+      }
+    }
+    for (EdgeId e : best) {
+      if (e == -1) continue;
+      if (dsu.unite(g.edge(e).u, g.edge(e).v)) {
+        result.edges.push_back(e);
+        result.weight += g.weight(e);
+        merged = true;
+      }
+    }
+  }
+  std::sort(result.edges.begin(), result.edges.end());
+  return result;
+}
+
+double mst_weight(const WeightedGraph& g) { return mst_kruskal(g).weight; }
+
+MstResult mst_rounded_approx(const WeightedGraph& g, double alpha) {
+  QDC_EXPECT(alpha >= 1.0, "mst_rounded_approx: alpha must be >= 1");
+  if (g.edge_count() == 0) return {};
+  const double min_w =
+      *std::min_element(g.weights().begin(), g.weights().end());
+  std::vector<double> bucket(static_cast<std::size_t>(g.edge_count()));
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    // Bucket index: floor(log_alpha(w / min_w)); alpha == 1 keeps exact
+    // weights (zero-width buckets degenerate to the identity).
+    bucket[static_cast<std::size_t>(e)] =
+        alpha == 1.0 ? g.weight(e)
+                     : std::floor(std::log(g.weight(e) / min_w) /
+                                  std::log(alpha));
+  }
+  MstResult rounded = kruskal_by_key(g, bucket);
+  // Recompute true weight (kruskal_by_key already sums true weights).
+  return rounded;
+}
+
+}  // namespace qdc::graph

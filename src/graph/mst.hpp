@@ -1,0 +1,40 @@
+// Sequential minimum-spanning-tree algorithms: Kruskal, Prim and Boruvka.
+// These are the ground truth for the distributed MST algorithms of
+// Section 3.2 (exact and alpha-approximate).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace qdc::graph {
+
+struct MstResult {
+  std::vector<EdgeId> edges;  ///< edges of the spanning forest
+  double weight = 0.0;        ///< total weight
+};
+
+/// Kruskal's algorithm. Works on disconnected graphs (returns a minimum
+/// spanning forest). Ties are broken by EdgeId so the result is
+/// deterministic.
+MstResult mst_kruskal(const WeightedGraph& g);
+
+/// Prim's algorithm from node 0. Requires a connected graph.
+MstResult mst_prim(const WeightedGraph& g);
+
+/// Boruvka's algorithm (the sequential skeleton of GHS). Works on
+/// disconnected graphs. Ties are broken by EdgeId, which also guarantees
+/// no cycles among simultaneously chosen edges.
+MstResult mst_boruvka(const WeightedGraph& g);
+
+/// Weight of the minimum spanning forest (Kruskal).
+double mst_weight(const WeightedGraph& g);
+
+/// An alpha-approximate MST obtained by bucketing weights into powers of
+/// alpha and running Kruskal on bucket indices (the classic rounding that
+/// underlies Elkin's O(W/alpha)-time distributed algorithm). Requires
+/// alpha >= 1; returns a spanning forest whose weight is at most
+/// alpha * mst_weight(g).
+MstResult mst_rounded_approx(const WeightedGraph& g, double alpha);
+
+}  // namespace qdc::graph

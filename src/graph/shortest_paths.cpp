@@ -1,0 +1,116 @@
+#include "graph/shortest_paths.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "graph/algorithms.hpp"
+
+namespace qdc::graph {
+
+ShortestPathTree dijkstra(const WeightedGraph& g, NodeId source) {
+  QDC_EXPECT(g.topology().valid_node(source), "dijkstra: bad source");
+  const auto n = static_cast<std::size_t>(g.node_count());
+  ShortestPathTree out{std::vector<double>(n, kInfiniteDistance),
+                       std::vector<EdgeId>(n, -1)};
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  out.distance[static_cast<std::size_t>(source)] = 0.0;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > out.distance[static_cast<std::size_t>(u)]) continue;
+    for (const Adjacency& a : g.neighbors(u)) {
+      const double nd = d + g.weight(a.edge);
+      auto& cur = out.distance[static_cast<std::size_t>(a.neighbor)];
+      if (nd < cur) {
+        cur = nd;
+        out.parent_edge[static_cast<std::size_t>(a.neighbor)] = a.edge;
+        heap.emplace(nd, a.neighbor);
+      }
+    }
+  }
+  return out;
+}
+
+ShortestPathTree bellman_ford(const WeightedGraph& g, NodeId source) {
+  QDC_EXPECT(g.topology().valid_node(source), "bellman_ford: bad source");
+  const auto n = static_cast<std::size_t>(g.node_count());
+  ShortestPathTree out{std::vector<double>(n, kInfiniteDistance),
+                       std::vector<EdgeId>(n, -1)};
+  out.distance[static_cast<std::size_t>(source)] = 0.0;
+  for (int iter = 0; iter + 1 < g.node_count(); ++iter) {
+    bool changed = false;
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      const Edge& edge = g.edge(e);
+      const double w = g.weight(e);
+      for (const auto [from, to] :
+           {std::pair{edge.u, edge.v}, std::pair{edge.v, edge.u}}) {
+        const double nd = out.distance[static_cast<std::size_t>(from)] + w;
+        auto& cur = out.distance[static_cast<std::size_t>(to)];
+        if (nd < cur) {
+          cur = nd;
+          out.parent_edge[static_cast<std::size_t>(to)] = e;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  return out;
+}
+
+double st_distance(const WeightedGraph& g, NodeId s, NodeId t) {
+  return dijkstra(g, s).distance[static_cast<std::size_t>(t)];
+}
+
+bool is_shortest_path_tree(const WeightedGraph& g, const EdgeSubset& tree,
+                           NodeId source) {
+  const Graph sub = subgraph(g.topology(), tree);
+  if (!is_spanning_tree(sub)) return false;
+  // Distances inside the tree must match the true distances.
+  WeightedGraph tree_weighted(g.node_count());
+  for (EdgeId e : tree.to_vector()) {
+    tree_weighted.add_edge(g.edge(e).u, g.edge(e).v, g.weight(e));
+  }
+  const auto true_dist = dijkstra(g, source).distance;
+  const auto tree_dist = dijkstra(tree_weighted, source).distance;
+  for (std::size_t i = 0; i < true_dist.size(); ++i) {
+    if (std::abs(true_dist[i] - tree_dist[i]) > 1e-9) return false;
+  }
+  return true;
+}
+
+std::vector<LeListEntry> least_element_list(const WeightedGraph& g, NodeId u,
+                                            const std::vector<int>& rank) {
+  QDC_EXPECT(rank.size() == static_cast<std::size_t>(g.node_count()),
+             "least_element_list: rank size mismatch");
+  const auto dist = dijkstra(g, u).distance;
+  // Sort nodes by distance from u (ties by rank: a closer-or-equal node of
+  // smaller rank dominates). v enters the LE-list iff it has strictly the
+  // minimum rank among all nodes w with d(u,w) <= d(u,v).
+  std::vector<NodeId> order;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (dist[static_cast<std::size_t>(v)] < kInfiniteDistance) {
+      order.push_back(v);
+    }
+  }
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    const double da = dist[static_cast<std::size_t>(a)];
+    const double db = dist[static_cast<std::size_t>(b)];
+    if (da != db) return da < db;
+    return rank[static_cast<std::size_t>(a)] <
+           rank[static_cast<std::size_t>(b)];
+  });
+  std::vector<LeListEntry> list;
+  int best_rank = std::numeric_limits<int>::max();
+  for (NodeId v : order) {
+    if (rank[static_cast<std::size_t>(v)] < best_rank) {
+      best_rank = rank[static_cast<std::size_t>(v)];
+      list.push_back(LeListEntry{v, dist[static_cast<std::size_t>(v)]});
+    }
+  }
+  return list;
+}
+
+}  // namespace qdc::graph

@@ -1,0 +1,51 @@
+// Sequential shortest-path algorithms: ground truth for the distributed
+// s-source distance / shortest-path-tree / shortest s-t path problems
+// (Appendix A.3).
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace qdc::graph {
+
+inline constexpr double kInfiniteDistance =
+    std::numeric_limits<double>::infinity();
+
+struct ShortestPathTree {
+  std::vector<double> distance;    ///< weighted distance from the source
+  std::vector<EdgeId> parent_edge; ///< tree edge towards the source; -1 at
+                                   ///< the source / unreachable nodes
+};
+
+/// Dijkstra from `source`. Requires positive weights (enforced by
+/// WeightedGraph).
+ShortestPathTree dijkstra(const WeightedGraph& g, NodeId source);
+
+/// Bellman-Ford from `source` (the algorithm the distributed version
+/// mirrors round for round).
+ShortestPathTree bellman_ford(const WeightedGraph& g, NodeId source);
+
+/// Weighted distance between s and t; +infinity if disconnected.
+double st_distance(const WeightedGraph& g, NodeId s, NodeId t);
+
+/// True if `tree` (an edge subset of g) is a valid shortest-path tree
+/// rooted at `source`: it must be a spanning tree in which the unique
+/// root-to-node path has weight equal to the true distance.
+bool is_shortest_path_tree(const WeightedGraph& g, const EdgeSubset& tree,
+                           NodeId source);
+
+/// Least-element lists (Cohen; Appendix A.2). Given distinct integer ranks,
+/// the LE-list of u is { (v, d(u,v)) : v has the minimum rank among nodes
+/// within distance d(u,v) of u }.
+struct LeListEntry {
+  NodeId node = -1;
+  double distance = 0.0;
+  bool operator==(const LeListEntry&) const = default;
+};
+
+std::vector<LeListEntry> least_element_list(const WeightedGraph& g, NodeId u,
+                                            const std::vector<int>& rank);
+
+}  // namespace qdc::graph

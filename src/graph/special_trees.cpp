@@ -1,0 +1,152 @@
+#include "graph/special_trees.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/algorithms.hpp"
+#include "graph/mst.hpp"
+#include "graph/shortest_paths.hpp"
+
+namespace qdc::graph {
+
+namespace {
+
+/// DFS over the MST relaxing distances; grafts the SPT edge whenever the
+/// walk distance exceeds alpha times the true distance (the KRY "LAST"
+/// traversal).
+struct LastBuilder {
+  const WeightedGraph& g;
+  const std::vector<std::vector<Adjacency>>& mst_adj;
+  const ShortestPathTree& spt;
+  double alpha;
+  std::vector<double> dist;
+  std::vector<EdgeId> parent_edge;
+  std::vector<bool> visited;
+
+  /// Relaxes `to` through `edge` from `from`. Refuses to assign an edge
+  /// that already serves as the other endpoint's parent (a graft can set
+  /// d[v] below d[u] - w while v's parent is the very edge (u, v); letting
+  /// u adopt it back would create a two-cycle in the parent pointers).
+  void relax(NodeId from, NodeId to, EdgeId edge) {
+    const double through =
+        dist[static_cast<std::size_t>(from)] + g.weight(edge);
+    if (through < dist[static_cast<std::size_t>(to)] &&
+        parent_edge[static_cast<std::size_t>(from)] != edge) {
+      dist[static_cast<std::size_t>(to)] = through;
+      parent_edge[static_cast<std::size_t>(to)] = edge;
+    }
+  }
+
+  void dfs(NodeId u) {
+    visited[static_cast<std::size_t>(u)] = true;
+    if (dist[static_cast<std::size_t>(u)] >
+        alpha * spt.distance[static_cast<std::size_t>(u)] + 1e-12) {
+      // Too deep: graft the shortest-path edge towards the root.
+      dist[static_cast<std::size_t>(u)] =
+          spt.distance[static_cast<std::size_t>(u)];
+      parent_edge[static_cast<std::size_t>(u)] =
+          spt.parent_edge[static_cast<std::size_t>(u)];
+    }
+    for (const Adjacency& a : mst_adj[static_cast<std::size_t>(u)]) {
+      relax(u, a.neighbor, a.edge);
+      if (!visited[static_cast<std::size_t>(a.neighbor)]) {
+        dfs(a.neighbor);
+        // Relax back along the return of the walk.
+        relax(a.neighbor, u, a.edge);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+SpanningTreeResult shallow_light_tree(const WeightedGraph& g, NodeId root,
+                                      double alpha) {
+  QDC_EXPECT(alpha > 1.0, "shallow_light_tree: alpha must exceed 1");
+  QDC_EXPECT(g.topology().valid_node(root), "shallow_light_tree: bad root");
+  QDC_CHECK(is_connected(g.topology()),
+            "shallow_light_tree: graph must be connected");
+  const auto mst = mst_kruskal(g);
+  std::vector<std::vector<Adjacency>> mst_adj(
+      static_cast<std::size_t>(g.node_count()));
+  for (EdgeId e : mst.edges) {
+    mst_adj[static_cast<std::size_t>(g.edge(e).u)].push_back(
+        Adjacency{g.edge(e).v, e});
+    mst_adj[static_cast<std::size_t>(g.edge(e).v)].push_back(
+        Adjacency{g.edge(e).u, e});
+  }
+  const auto spt = dijkstra(g, root);
+
+  LastBuilder builder{
+      g,
+      mst_adj,
+      spt,
+      alpha,
+      std::vector<double>(static_cast<std::size_t>(g.node_count()),
+                          std::numeric_limits<double>::infinity()),
+      std::vector<EdgeId>(static_cast<std::size_t>(g.node_count()), -1),
+      std::vector<bool>(static_cast<std::size_t>(g.node_count()), false)};
+  builder.dist[static_cast<std::size_t>(root)] = 0.0;
+  builder.dfs(root);
+
+  SpanningTreeResult result;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (v == root) continue;
+    const EdgeId e = builder.parent_edge[static_cast<std::size_t>(v)];
+    QDC_CHECK(e >= 0, "shallow_light_tree: node left unattached");
+    result.edges.push_back(e);
+  }
+  // Parent edges may repeat if a node's edge also parents another; they
+  // cannot (each node owns one), but duplicates across u/v orientations
+  // are possible only for the same edge id - dedupe defensively.
+  std::sort(result.edges.begin(), result.edges.end());
+  result.edges.erase(
+      std::unique(result.edges.begin(), result.edges.end()),
+      result.edges.end());
+  result.weight = g.total_weight(result.edges);
+  return result;
+}
+
+double routing_cost(const WeightedGraph& g,
+                    const std::vector<EdgeId>& tree) {
+  WeightedGraph t(g.node_count());
+  for (EdgeId e : tree) {
+    t.add_edge(g.edge(e).u, g.edge(e).v, g.weight(e));
+  }
+  double total = 0.0;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    const auto d = dijkstra(t, u).distance;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (v != u) total += d[static_cast<std::size_t>(v)];
+    }
+  }
+  return total;
+}
+
+SpanningTreeResult mrct_best_spt(const WeightedGraph& g) {
+  QDC_EXPECT(g.node_count() >= 1, "mrct_best_spt: empty graph");
+  QDC_CHECK(is_connected(g.topology()),
+            "mrct_best_spt: graph must be connected");
+  SpanningTreeResult best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (NodeId root = 0; root < g.node_count(); ++root) {
+    const auto spt = dijkstra(g, root);
+    std::vector<EdgeId> edges;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (v != root) {
+        edges.push_back(spt.parent_edge[static_cast<std::size_t>(v)]);
+      }
+    }
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    const double cost = routing_cost(g, edges);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best.edges = edges;
+      best.weight = g.total_weight(edges);
+    }
+  }
+  return best;
+}
+
+}  // namespace qdc::graph

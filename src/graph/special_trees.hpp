@@ -1,0 +1,36 @@
+// Special spanning trees from the paper's optimization catalogue
+// (Appendix A.3 / Corollary 3.9):
+//
+//  * shallow-light trees: the Khuller-Raghavachari-Young LAST balances the
+//    shortest-path tree (radius) against the MST (weight): for alpha > 1
+//    every node's tree distance from the root is at most alpha times its
+//    true distance while the total weight is at most (1 + 2/(alpha-1))
+//    times the MST's;
+//  * minimum routing-cost spanning trees: routing cost of T is
+//    sum over ordered pairs of d_T(u, v); the best shortest-path tree over
+//    all roots is the classical 2-approximation.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace qdc::graph {
+
+struct SpanningTreeResult {
+  std::vector<EdgeId> edges;
+  double weight = 0.0;
+};
+
+/// Khuller-Raghavachari-Young (alpha, 1 + 2/(alpha-1))-LAST rooted at
+/// `root`. Requires alpha > 1 and a connected graph.
+SpanningTreeResult shallow_light_tree(const WeightedGraph& g, NodeId root,
+                                      double alpha);
+
+/// Routing cost of a spanning tree given as an edge subset: the sum of
+/// tree distances over all ordered node pairs.
+double routing_cost(const WeightedGraph& g, const std::vector<EdgeId>& tree);
+
+/// 2-approximate minimum routing-cost spanning tree: the best
+/// shortest-path tree over all roots.
+SpanningTreeResult mrct_best_spt(const WeightedGraph& g);
+
+}  // namespace qdc::graph

@@ -1,0 +1,157 @@
+#include "nonlocal/xor_game.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace qdc::nonlocal {
+
+double XorGame::signed_weight(int x, int y) const {
+  return pi[static_cast<std::size_t>(x)][static_cast<std::size_t>(y)] *
+         (f[static_cast<std::size_t>(x)][static_cast<std::size_t>(y)] ? -1.0
+                                                                      : 1.0);
+}
+
+void XorGame::validate() const {
+  QDC_EXPECT(!pi.empty() && !pi[0].empty(), "XorGame: empty input sets");
+  QDC_EXPECT(f.size() == pi.size(), "XorGame: f/pi row mismatch");
+  double total = 0.0;
+  for (std::size_t x = 0; x < pi.size(); ++x) {
+    QDC_EXPECT(pi[x].size() == pi[0].size() && f[x].size() == pi[x].size(),
+               "XorGame: ragged matrices");
+    for (std::size_t y = 0; y < pi[x].size(); ++y) {
+      QDC_EXPECT(pi[x][y] >= 0.0, "XorGame: negative probability");
+      QDC_EXPECT(f[x][y] == 0 || f[x][y] == 1, "XorGame: f not boolean");
+      total += pi[x][y];
+    }
+  }
+  QDC_EXPECT(std::abs(total - 1.0) < 1e-9, "XorGame: pi does not sum to 1");
+}
+
+XorGame XorGame::chsh() {
+  XorGame g;
+  g.pi = {{0.25, 0.25}, {0.25, 0.25}};
+  g.f = {{0, 0}, {0, 1}};
+  return g;
+}
+
+XorGame XorGame::uniform(const std::vector<std::vector<int>>& f) {
+  XorGame g;
+  g.f = f;
+  const double p = 1.0 / (static_cast<double>(f.size()) *
+                          static_cast<double>(f.at(0).size()));
+  g.pi.assign(f.size(), std::vector<double>(f[0].size(), p));
+  return g;
+}
+
+double classical_bias_exact(const XorGame& game) {
+  game.validate();
+  const int nx = game.x_size();
+  const int ny = game.y_size();
+  QDC_EXPECT(nx <= 20, "classical_bias_exact: |X| too large to enumerate");
+  double best = -1.0;
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << nx); ++mask) {
+    // Given Alice's signs a_x = +-1, Bob's optimal reply per column is the
+    // sign of the column sum.
+    double bias = 0.0;
+    for (int y = 0; y < ny; ++y) {
+      double column = 0.0;
+      for (int x = 0; x < nx; ++x) {
+        const double a = (mask >> x) & 1 ? -1.0 : 1.0;
+        column += a * game.signed_weight(x, y);
+      }
+      bias += std::abs(column);
+    }
+    best = std::max(best, bias);
+  }
+  return best;
+}
+
+namespace {
+
+using Vec = std::vector<double>;
+
+void normalize(Vec& v) {
+  double n = 0.0;
+  for (double c : v) n += c * c;
+  n = std::sqrt(n);
+  if (n < 1e-15) {
+    v.assign(v.size(), 0.0);
+    v[0] = 1.0;
+    return;
+  }
+  for (double& c : v) c /= n;
+}
+
+}  // namespace
+
+double quantum_bias_tsirelson(const XorGame& game, Rng& rng, int restarts,
+                              int iterations) {
+  game.validate();
+  QDC_EXPECT(restarts >= 1 && iterations >= 1,
+             "quantum_bias_tsirelson: bad parameters");
+  const int nx = game.x_size();
+  const int ny = game.y_size();
+  const int dim = nx + ny;  // Tsirelson: dimension |X|+|Y| suffices
+  std::normal_distribution<double> gauss(0.0, 1.0);
+
+  double best = 0.0;
+  for (int attempt = 0; attempt < restarts; ++attempt) {
+    std::vector<Vec> u(static_cast<std::size_t>(nx),
+                       Vec(static_cast<std::size_t>(dim)));
+    std::vector<Vec> v(static_cast<std::size_t>(ny),
+                       Vec(static_cast<std::size_t>(dim)));
+    for (auto& vec : u) {
+      for (double& c : vec) c = gauss(rng);
+      normalize(vec);
+    }
+    for (auto& vec : v) {
+      for (double& c : vec) c = gauss(rng);
+      normalize(vec);
+    }
+    for (int it = 0; it < iterations; ++it) {
+      // u_x <- normalize(sum_y M[x][y] v_y)
+      for (int x = 0; x < nx; ++x) {
+        Vec acc(static_cast<std::size_t>(dim), 0.0);
+        for (int y = 0; y < ny; ++y) {
+          const double m = game.signed_weight(x, y);
+          for (int d = 0; d < dim; ++d) {
+            acc[static_cast<std::size_t>(d)] +=
+                m * v[static_cast<std::size_t>(y)][static_cast<std::size_t>(d)];
+          }
+        }
+        normalize(acc);
+        u[static_cast<std::size_t>(x)] = std::move(acc);
+      }
+      // v_y <- normalize(sum_x M[x][y] u_x)
+      for (int y = 0; y < ny; ++y) {
+        Vec acc(static_cast<std::size_t>(dim), 0.0);
+        for (int x = 0; x < nx; ++x) {
+          const double m = game.signed_weight(x, y);
+          for (int d = 0; d < dim; ++d) {
+            acc[static_cast<std::size_t>(d)] +=
+                m * u[static_cast<std::size_t>(x)][static_cast<std::size_t>(d)];
+          }
+        }
+        normalize(acc);
+        v[static_cast<std::size_t>(y)] = std::move(acc);
+      }
+    }
+    double bias = 0.0;
+    for (int x = 0; x < nx; ++x) {
+      for (int y = 0; y < ny; ++y) {
+        double dot = 0.0;
+        for (int d = 0; d < dim; ++d) {
+          dot += u[static_cast<std::size_t>(x)][static_cast<std::size_t>(d)] *
+                 v[static_cast<std::size_t>(y)][static_cast<std::size_t>(d)];
+        }
+        bias += game.signed_weight(x, y) * dot;
+      }
+    }
+    best = std::max(best, bias);
+  }
+  return best;
+}
+
+}  // namespace qdc::nonlocal

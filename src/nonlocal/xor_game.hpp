@@ -1,0 +1,59 @@
+// Two-player nonlocal XOR games (Section 6 / Appendix B.1).
+//
+// An XOR game is (pi, f): the referee draws (x, y) ~ pi, the players answer
+// bits a, b without communicating, and they win iff a xor b = f(x, y). The
+// *bias* is P(win) - P(lose).
+//
+//  * classical_bias_exact enumerates deterministic strategies (optimal by
+//    convexity) - exponential in |X|, fine for the small games studied;
+//  * quantum_bias_tsirelson uses Tsirelson's characterization: the
+//    entangled bias equals  max  sum_{x,y} pi(x,y) (-1)^{f(x,y)} <u_x, v_y>
+//    over unit vectors u_x, v_y, computed by alternating maximization with
+//    restarts (each half-step is a closed-form normalization, so the value
+//    increases monotonically; restarts guard against flat starts).
+#pragma once
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace qdc::nonlocal {
+
+struct XorGame {
+  /// pi[x][y]: input distribution (must sum to 1).
+  std::vector<std::vector<double>> pi;
+  /// f[x][y] in {0,1}: target of a xor b.
+  std::vector<std::vector<int>> f;
+
+  int x_size() const { return static_cast<int>(pi.size()); }
+  int y_size() const {
+    return pi.empty() ? 0 : static_cast<int>(pi[0].size());
+  }
+
+  /// Signed, weighted game matrix M[x][y] = pi[x][y] * (-1)^f[x][y].
+  double signed_weight(int x, int y) const;
+
+  /// Validates shape and distribution; throws ContractError when malformed.
+  void validate() const;
+
+  /// The CHSH game: uniform inputs, f(x,y) = x AND y.
+  static XorGame chsh();
+
+  /// XOR game for an arbitrary boolean function under the uniform
+  /// distribution.
+  static XorGame uniform(const std::vector<std::vector<int>>& f);
+};
+
+/// Exact optimal classical (deterministic/shared-randomness) bias.
+/// Requires |X| <= 20.
+double classical_bias_exact(const XorGame& game);
+
+/// Entangled bias via Tsirelson vectors (alternating maximization).
+double quantum_bias_tsirelson(const XorGame& game, Rng& rng,
+                              int restarts = 8, int iterations = 200);
+
+inline double bias_to_win_probability(double bias) {
+  return (1.0 + bias) / 2.0;
+}
+
+}  // namespace qdc::nonlocal

@@ -1,0 +1,42 @@
+// Standard single-qubit gates.
+#pragma once
+
+#include <cmath>
+#include <numbers>
+
+#include "quantum/state.hpp"
+
+namespace qdc::quantum {
+
+inline Gate1 hadamard() {
+  const double s = 1.0 / std::numbers::sqrt2;
+  return Gate1{{s, 0}, {s, 0}, {s, 0}, {-s, 0}};
+}
+
+inline Gate1 pauli_x() { return Gate1{{0, 0}, {1, 0}, {1, 0}, {0, 0}}; }
+inline Gate1 pauli_y() { return Gate1{{0, 0}, {0, -1}, {0, 1}, {0, 0}}; }
+inline Gate1 pauli_z() { return Gate1{{1, 0}, {0, 0}, {0, 0}, {-1, 0}}; }
+
+inline Gate1 phase_s() { return Gate1{{1, 0}, {0, 0}, {0, 0}, {0, 1}}; }
+
+inline Gate1 phase_t() {
+  const double s = 1.0 / std::numbers::sqrt2;
+  return Gate1{{1, 0}, {0, 0}, {0, 0}, {s, s}};
+}
+
+/// Rotation about Y by theta: cos(t/2) |0><0| - sin(t/2)|0><1| + ...
+inline Gate1 ry(double theta) {
+  const double c = std::cos(theta / 2.0);
+  const double s = std::sin(theta / 2.0);
+  return Gate1{{c, 0}, {-s, 0}, {s, 0}, {c, 0}};
+}
+
+/// Rotation about Z by theta (up to global phase).
+inline Gate1 rz(double theta) {
+  return Gate1{{std::cos(-theta / 2.0), std::sin(-theta / 2.0)},
+               {0, 0},
+               {0, 0},
+               {std::cos(theta / 2.0), std::sin(theta / 2.0)}};
+}
+
+}  // namespace qdc::quantum

@@ -1,0 +1,59 @@
+#include "quantum/grover.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "quantum/gates.hpp"
+#include "util/expect.hpp"
+
+namespace qdc::quantum {
+
+int grover_optimal_iterations(std::size_t n_items, std::size_t n_marked) {
+  QDC_EXPECT(n_marked >= 1 && n_marked <= n_items,
+             "grover_optimal_iterations: bad marked count");
+  const double theta =
+      std::asin(std::sqrt(static_cast<double>(n_marked) /
+                          static_cast<double>(n_items)));
+  // (2k+1) * theta ~= pi/2  =>  k ~= pi/(4 theta) - 1/2.
+  const int k = static_cast<int>(std::floor(
+      std::numbers::pi / (4.0 * theta)));
+  return std::max(0, k);
+}
+
+GroverResult grover_search(int num_qubits,
+                           const std::function<bool(std::size_t)>& marked,
+                           Rng& rng, int iterations) {
+  QDC_EXPECT(num_qubits >= 1 && num_qubits <= 20,
+             "grover_search: qubit count out of range");
+  const std::size_t n = std::size_t{1} << num_qubits;
+  std::size_t m = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (marked(i)) ++m;
+  }
+  if (iterations < 0) {
+    iterations = grover_optimal_iterations(n, std::max<std::size_t>(1, m));
+  }
+
+  StateVector state(num_qubits);
+  for (int q = 0; q < num_qubits; ++q) state.apply(hadamard(), q);
+  for (int it = 0; it < iterations; ++it) {
+    // Oracle: phase-flip marked items.
+    state.oracle_phase(marked);
+    // Diffusion: reflect about the uniform superposition.
+    for (int q = 0; q < num_qubits; ++q) state.apply(hadamard(), q);
+    state.oracle_phase([](std::size_t i) { return i != 0; });
+    for (int q = 0; q < num_qubits; ++q) state.apply(hadamard(), q);
+  }
+
+  GroverResult result;
+  result.iterations = iterations;
+  result.oracle_queries = iterations;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (marked(i)) result.success_probability += state.probability_of(i);
+  }
+  result.found = state.measure_all(rng);
+  result.is_marked = marked(result.found);
+  return result;
+}
+
+}  // namespace qdc::quantum

@@ -1,0 +1,127 @@
+#include "quantum/state.hpp"
+
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace qdc::quantum {
+
+StateVector::StateVector(int qubit_count) : qubit_count_(qubit_count) {
+  QDC_EXPECT(qubit_count >= 1 && qubit_count <= 24,
+             "StateVector: qubit count must be in [1, 24]");
+  amplitudes_.assign(std::size_t{1} << qubit_count, Amplitude{0.0, 0.0});
+  amplitudes_[0] = Amplitude{1.0, 0.0};
+}
+
+Amplitude StateVector::amplitude(std::size_t basis) const {
+  QDC_EXPECT(basis < amplitudes_.size(), "StateVector::amplitude: bad basis");
+  return amplitudes_[basis];
+}
+
+void StateVector::apply(const Gate1& g, int qubit) {
+  QDC_EXPECT(qubit >= 0 && qubit < qubit_count_, "StateVector::apply: bad qubit");
+  const std::size_t bit = std::size_t{1} << qubit;
+  for (std::size_t i = 0; i < amplitudes_.size(); ++i) {
+    if (i & bit) continue;
+    const Amplitude a0 = amplitudes_[i];
+    const Amplitude a1 = amplitudes_[i | bit];
+    amplitudes_[i] = g.u00 * a0 + g.u01 * a1;
+    amplitudes_[i | bit] = g.u10 * a0 + g.u11 * a1;
+  }
+}
+
+void StateVector::apply_controlled(const Gate1& g, int control, int target) {
+  QDC_EXPECT(control >= 0 && control < qubit_count_ && target >= 0 &&
+                 target < qubit_count_ && control != target,
+             "StateVector::apply_controlled: bad qubits");
+  const std::size_t cbit = std::size_t{1} << control;
+  const std::size_t tbit = std::size_t{1} << target;
+  for (std::size_t i = 0; i < amplitudes_.size(); ++i) {
+    if (!(i & cbit) || (i & tbit)) continue;
+    const Amplitude a0 = amplitudes_[i];
+    const Amplitude a1 = amplitudes_[i | tbit];
+    amplitudes_[i] = g.u00 * a0 + g.u01 * a1;
+    amplitudes_[i | tbit] = g.u10 * a0 + g.u11 * a1;
+  }
+}
+
+void StateVector::cnot(int control, int target) {
+  apply_controlled(Gate1{{0, 0}, {1, 0}, {1, 0}, {0, 0}}, control, target);
+}
+
+void StateVector::cz(int control, int target) {
+  apply_controlled(Gate1{{1, 0}, {0, 0}, {0, 0}, {-1, 0}}, control, target);
+}
+
+void StateVector::swap(int a, int b) {
+  cnot(a, b);
+  cnot(b, a);
+  cnot(a, b);
+}
+
+double StateVector::probability_one(int qubit) const {
+  QDC_EXPECT(qubit >= 0 && qubit < qubit_count_,
+             "StateVector::probability_one: bad qubit");
+  const std::size_t bit = std::size_t{1} << qubit;
+  double p = 0.0;
+  for (std::size_t i = 0; i < amplitudes_.size(); ++i) {
+    if (i & bit) p += std::norm(amplitudes_[i]);
+  }
+  return p;
+}
+
+bool StateVector::measure(int qubit, Rng& rng) {
+  const double p1 = probability_one(qubit);
+  const bool outcome = uniform_real(rng) < p1;
+  const std::size_t bit = std::size_t{1} << qubit;
+  const double keep_norm = std::sqrt(outcome ? p1 : 1.0 - p1);
+  QDC_CHECK(keep_norm > 0.0, "StateVector::measure: zero-probability branch");
+  for (std::size_t i = 0; i < amplitudes_.size(); ++i) {
+    const bool is_one = (i & bit) != 0;
+    if (is_one == outcome) {
+      amplitudes_[i] /= keep_norm;
+    } else {
+      amplitudes_[i] = Amplitude{0.0, 0.0};
+    }
+  }
+  return outcome;
+}
+
+std::size_t StateVector::measure_all(Rng& rng) {
+  double r = uniform_real(rng);
+  std::size_t outcome = amplitudes_.size() - 1;
+  for (std::size_t i = 0; i < amplitudes_.size(); ++i) {
+    r -= std::norm(amplitudes_[i]);
+    if (r <= 0.0) {
+      outcome = i;
+      break;
+    }
+  }
+  amplitudes_.assign(amplitudes_.size(), Amplitude{0.0, 0.0});
+  amplitudes_[outcome] = Amplitude{1.0, 0.0};
+  return outcome;
+}
+
+double StateVector::probability_of(std::size_t basis) const {
+  QDC_EXPECT(basis < amplitudes_.size(),
+             "StateVector::probability_of: bad basis");
+  return std::norm(amplitudes_[basis]);
+}
+
+double StateVector::norm_squared() const {
+  double s = 0.0;
+  for (const Amplitude& a : amplitudes_) s += std::norm(a);
+  return s;
+}
+
+double StateVector::fidelity(const StateVector& other) const {
+  QDC_EXPECT(dimension() == other.dimension(),
+             "StateVector::fidelity: dimension mismatch");
+  Amplitude inner{0.0, 0.0};
+  for (std::size_t i = 0; i < amplitudes_.size(); ++i) {
+    inner += std::conj(amplitudes_[i]) * other.amplitudes_[i];
+  }
+  return std::norm(inner);
+}
+
+}  // namespace qdc::quantum

@@ -1,0 +1,88 @@
+// Dense statevector simulator.
+//
+// This is the quantum substrate of the reproduction: the paper's model
+// (Appendix A.1) gives nodes quantum workspaces, quantum channels and
+// arbitrary prior entanglement. Full networks cannot be simulated
+// classically at scale, but every place where quantumness actually changes
+// an outcome in this paper is small: EPR pairs and teleportation
+// (Section 6's reduction from qubits to classical bits), nonlocal-game
+// strategies (CHSH), and Grover search inside the distributed Disjointness
+// protocol of Example 1.1. Those all fit comfortably in a <= 24-qubit
+// statevector.
+//
+// Conventions: qubit 0 is the least significant bit of the basis index;
+// basis state |b_{n-1} ... b_1 b_0>.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace qdc::quantum {
+
+using Amplitude = std::complex<double>;
+
+/// A 2x2 unitary gate in row-major order: {u00, u01, u10, u11}.
+struct Gate1 {
+  Amplitude u00, u01, u10, u11;
+};
+
+class StateVector {
+ public:
+  /// |0...0> on `qubit_count` qubits. Limited to 24 qubits.
+  explicit StateVector(int qubit_count);
+
+  int qubit_count() const { return qubit_count_; }
+  std::size_t dimension() const { return amplitudes_.size(); }
+
+  const std::vector<Amplitude>& amplitudes() const { return amplitudes_; }
+  Amplitude amplitude(std::size_t basis) const;
+
+  /// Applies a single-qubit gate.
+  void apply(const Gate1& g, int qubit);
+
+  /// Applies a single-qubit gate controlled on `control` being 1.
+  void apply_controlled(const Gate1& g, int control, int target);
+
+  /// CNOT / CZ / SWAP conveniences.
+  void cnot(int control, int target);
+  void cz(int control, int target);
+  void swap(int a, int b);
+
+  /// Phase-flips every basis state whose index satisfies the predicate
+  /// (a classical oracle: |x> -> (-1)^{f(x)} |x>). The predicate sees the
+  /// full basis index.
+  template <typename Pred>
+  void oracle_phase(Pred&& marked) {
+    for (std::size_t i = 0; i < amplitudes_.size(); ++i) {
+      if (marked(i)) amplitudes_[i] = -amplitudes_[i];
+    }
+  }
+
+  /// Probability of measuring `qubit` as 1.
+  double probability_one(int qubit) const;
+
+  /// Measures one qubit in the computational basis, collapsing the state.
+  bool measure(int qubit, Rng& rng);
+
+  /// Measures all qubits; returns the observed basis index.
+  std::size_t measure_all(Rng& rng);
+
+  /// Probability of observing `basis` when measuring everything.
+  double probability_of(std::size_t basis) const;
+
+  /// Squared norm (should always be ~1; exposed for testing).
+  double norm_squared() const;
+
+  /// Inner product <this|other|... fidelity |<a|b>|^2 with another state of
+  /// the same dimension.
+  double fidelity(const StateVector& other) const;
+
+ private:
+  int qubit_count_;
+  std::vector<Amplitude> amplitudes_;
+};
+
+}  // namespace qdc::quantum

@@ -1,0 +1,52 @@
+// Fixed-length bit strings used as communication-complexity inputs
+// (Equality, Disjointness, Inner Product, IPmod3, ...).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace qdc {
+
+/// An n-bit string with value semantics. Bits are indexed 0..size()-1.
+class BitString {
+ public:
+  BitString() = default;
+  explicit BitString(std::size_t n) : bits_(n, 0) {}
+
+  /// Parses a string of '0'/'1' characters; throws ContractError otherwise.
+  static BitString parse(const std::string& s);
+
+  /// Uniformly random n-bit string.
+  static BitString random(std::size_t n, Rng& rng);
+
+  std::size_t size() const { return bits_.size(); }
+  bool empty() const { return bits_.empty(); }
+
+  bool get(std::size_t i) const;
+  void set(std::size_t i, bool v);
+
+  /// Number of ones.
+  std::size_t weight() const;
+
+  /// Hamming distance to another string of the same length.
+  std::size_t hamming_distance(const BitString& other) const;
+
+  /// Inner product sum_i x_i * y_i (over the integers, not mod 2).
+  std::size_t inner_product(const BitString& other) const;
+
+  /// Flips bit i.
+  void flip(std::size_t i);
+
+  bool operator==(const BitString&) const = default;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<std::uint8_t> bits_;
+};
+
+}  // namespace qdc

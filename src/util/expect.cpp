@@ -1,0 +1,27 @@
+#include "util/expect.hpp"
+
+#include <sstream>
+
+namespace qdc::detail {
+
+namespace {
+std::string format(const char* kind, const char* expr, const char* file,
+                   int line, const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line << ": "
+     << msg;
+  return os.str();
+}
+}  // namespace
+
+void throw_contract_error(const char* expr, const char* file, int line,
+                          const std::string& msg) {
+  throw ContractError(format("QDC_EXPECT", expr, file, line, msg));
+}
+
+void throw_model_error(const char* expr, const char* file, int line,
+                       const std::string& msg) {
+  throw ModelError(format("QDC_CHECK", expr, file, line, msg));
+}
+
+}  // namespace qdc::detail

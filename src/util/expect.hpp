@@ -1,0 +1,52 @@
+// Precondition / invariant checking for the qdc library.
+//
+// QDC_EXPECT  - programmer contract (API misuse). Throws qdc::ContractError.
+// QDC_CHECK   - runtime condition on data (bad input, model violation).
+//               Throws qdc::ModelError.
+//
+// Both always fire (they are not compiled out in release builds): this
+// library's purpose is to *demonstrate* model constraints such as the
+// CONGEST bandwidth limit, so violations must never pass silently.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace qdc {
+
+/// Thrown when a caller violates a documented precondition.
+class ContractError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when data violates a model constraint at runtime (e.g. a node
+/// program exceeds the CONGEST bandwidth, or a server-model instance is
+/// not a pair of perfect matchings).
+class ModelError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] void throw_contract_error(const char* expr, const char* file,
+                                       int line, const std::string& msg);
+[[noreturn]] void throw_model_error(const char* expr, const char* file,
+                                    int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace qdc
+
+#define QDC_EXPECT(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::qdc::detail::throw_contract_error(#cond, __FILE__, __LINE__, msg); \
+    }                                                                      \
+  } while (false)
+
+#define QDC_CHECK(cond, msg)                                            \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::qdc::detail::throw_model_error(#cond, __FILE__, __LINE__, msg); \
+    }                                                                   \
+  } while (false)

@@ -1,0 +1,27 @@
+// Randomness helpers. All randomized components take an explicit Rng&
+// so that every experiment in the repository is reproducible from a seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace qdc {
+
+using Rng = std::mt19937_64;
+
+/// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+inline std::int64_t uniform_int(Rng& rng, std::int64_t lo, std::int64_t hi) {
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(rng);
+}
+
+/// Uniform real in [0, 1).
+inline double uniform_real(Rng& rng) {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(rng);
+}
+
+/// Bernoulli trial with success probability p.
+inline bool coin(Rng& rng, double p = 0.5) {
+  return std::bernoulli_distribution(p)(rng);
+}
+
+}  // namespace qdc

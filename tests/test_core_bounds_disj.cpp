@@ -1,0 +1,117 @@
+// Tests for the bound calculators and the Example 1.1 Disjointness
+// comparison (classical measured vs quantum accounted).
+#include <gtest/gtest.h>
+
+#include "comm/problems.hpp"
+#include "core/bounds.hpp"
+#include "core/disjointness.hpp"
+
+namespace qdc::core {
+namespace {
+
+TEST(Bounds, MonotonicityAndShapes) {
+  // Verification bound grows with n, shrinks with B.
+  EXPECT_LT(verification_lower_bound(1 << 10, 16),
+            verification_lower_bound(1 << 16, 16));
+  EXPECT_GT(verification_lower_bound(1 << 12, 4),
+            verification_lower_bound(1 << 12, 64));
+  // Optimization bound: W/alpha branch vs sqrt(n) branch.
+  const int n = 10000;
+  EXPECT_LT(optimization_lower_bound(n, 16, 10.0, 1.0),
+            optimization_lower_bound(n, 16, 1e9, 1.0));
+  // Beyond the crossover the bound saturates at sqrt(n)/sqrt(B log n).
+  const double cross = figure3_crossover_aspect(n, 2.0);
+  EXPECT_NEAR(optimization_lower_bound(n, 16, cross, 2.0),
+              optimization_lower_bound(n, 16, 100 * cross, 2.0), 1e-9);
+  EXPECT_NEAR(cross, 200.0, 1e-9);
+}
+
+TEST(Bounds, Theorem35ParametersMultiplyToN) {
+  for (const int n : {1 << 10, 1 << 14, 1 << 18}) {
+    const auto p = theorem35_parameters(n, 16.0);
+    const double product = double(p.length) * double(p.gamma);
+    EXPECT_GT(product, 0.2 * n);
+    EXPECT_LT(product, 5.0 * n);
+  }
+}
+
+TEST(Bounds, DisjointnessCrossover) {
+  // Quantum wins for b above (pi/2 B D)^2.
+  const double cross = disjointness_crossover_bits(4.0, 4);
+  EXPECT_GT(disjointness_classical_rounds(static_cast<int>(4 * cross), 4.0, 4),
+            disjointness_quantum_rounds(static_cast<int>(4 * cross), 4));
+  EXPECT_LT(disjointness_classical_rounds(static_cast<int>(cross / 16), 4.0, 4),
+            disjointness_quantum_rounds(static_cast<int>(cross / 16), 4));
+}
+
+TEST(Bounds, FieldsToBits) {
+  EXPECT_DOUBLE_EQ(fields_to_bits(8, 1024), 80.0);
+  EXPECT_THROW(fields_to_bits(0, 4), ContractError);
+}
+
+TEST(Disjointness, BothProtocolsDecideCorrectly) {
+  Rng rng(5);
+  int quantum_errors = 0;
+  for (int t = 0; t < 12; ++t) {
+    const std::size_t b = 64;
+    auto x = BitString::random(b, rng);
+    auto y = BitString::random(b, rng);
+    if (t % 2 == 0) {
+      // Force disjoint: clear y where x is set.
+      for (std::size_t i = 0; i < b; ++i) {
+        if (x.get(i)) y.set(i, false);
+      }
+    }
+    const auto cmp = compare_disjointness(x, y, /*diameter=*/6,
+                                          /*b_bits=*/4, /*trials=*/3, rng);
+    EXPECT_EQ(cmp.truth, comm::disjointness(x, y));
+    EXPECT_EQ(cmp.classical_answer, cmp.truth);
+    // Quantum is one-sided: "intersecting" verdicts are always right;
+    // "disjoint" verdicts can err with small probability.
+    if (!cmp.quantum_answer) {
+      EXPECT_FALSE(cmp.truth);
+    } else if (!cmp.truth) {
+      ++quantum_errors;
+    }
+  }
+  EXPECT_LE(quantum_errors, 2);
+}
+
+TEST(Disjointness, MeasuredClassicalRoundsMatchFormula) {
+  Rng rng(7);
+  const std::size_t b = 256;
+  const int diameter = 8;
+  const int b_bits = 4;
+  const auto x = BitString::random(b, rng);
+  const auto y = BitString::random(b, rng);
+  const auto cmp = compare_disjointness(x, y, diameter, b_bits, 1, rng);
+  const double predicted =
+      disjointness_classical_rounds(static_cast<int>(b), b_bits, diameter);
+  // Streaming + answer flood: within a 2D + O(1) additive window.
+  EXPECT_GE(cmp.classical_rounds, predicted - 2);
+  EXPECT_LE(cmp.classical_rounds, predicted + diameter + 8);
+}
+
+TEST(Disjointness, QuantumWinsOnLargeInputsSmallDiameter) {
+  Rng rng(9);
+  const std::size_t b = 4096;
+  BitString x(b), y(b);
+  x.set(1234, true);
+  y.set(1234, true);  // single witness: hardest Grover case
+  const auto cmp =
+      compare_disjointness(x, y, /*diameter=*/2, /*b_bits=*/1, 3, rng);
+  EXPECT_FALSE(cmp.truth);
+  EXPECT_FALSE(cmp.quantum_answer);  // witness found
+  EXPECT_LT(cmp.quantum_rounds, cmp.classical_rounds)
+      << "quantum " << cmp.quantum_rounds << " vs classical "
+      << cmp.classical_rounds;
+}
+
+TEST(Disjointness, RejectsBadParameters) {
+  Rng rng(1);
+  const auto x = BitString::random(100, rng);  // not a power of two
+  EXPECT_THROW(compare_disjointness(x, x, 4, 4, 1, rng), ContractError);
+}
+
+}  // namespace
+}  // namespace qdc::core

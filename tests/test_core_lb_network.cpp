@@ -1,0 +1,123 @@
+// Tests for the lower-bound network N(Gamma, L): structure (Observation
+// D.2), ownership schedule (Equations 36-38) and the server-instance
+// embedding (Observation 8.1 / D.3).
+#include <gtest/gtest.h>
+
+#include "core/lb_network.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace qdc::core {
+namespace {
+
+TEST(LbNetwork, RoundsLengthUpToPowerOfTwoPlusOne) {
+  EXPECT_EQ(LbNetwork(2, 3).length(), 3);
+  EXPECT_EQ(LbNetwork(2, 4).length(), 5);
+  EXPECT_EQ(LbNetwork(2, 9).length(), 9);
+  EXPECT_EQ(LbNetwork(2, 10).length(), 17);
+}
+
+TEST(LbNetwork, NodeCountIsThetaGammaL) {
+  for (const auto& [gamma, len] : std::vector<std::pair<int, int>>{
+           {2, 9}, {4, 17}, {8, 33}, {3, 65}}) {
+    const LbNetwork lbn(gamma, len);
+    const int n = lbn.topology().node_count();
+    EXPECT_GE(n, gamma * lbn.length());
+    // Highways add at most one extra path's worth of nodes (geometric sum).
+    EXPECT_LE(n, (gamma + 2) * lbn.length());
+  }
+}
+
+TEST(LbNetwork, DiameterIsLogarithmic) {
+  for (const int len : {9, 17, 33, 65, 129}) {
+    const LbNetwork lbn(3, len);
+    const int d = graph::diameter(lbn.topology());
+    const int k = lbn.highway_count();
+    EXPECT_LE(d, 4 * k + 6) << "L=" << len;
+    EXPECT_GE(d, k / 2) << "L=" << len;
+  }
+  // And it grows far slower than L.
+  EXPECT_LT(graph::diameter(LbNetwork(3, 129).topology()), 129 / 4);
+}
+
+TEST(LbNetwork, HighwayPositionsAndLevels) {
+  const LbNetwork lbn(2, 9);  // L = 9, k = 3
+  EXPECT_EQ(lbn.highway_count(), 3);
+  // H^1 sits at odd positions.
+  EXPECT_EQ(lbn.position(lbn.highway_node(1, 1)), 1);
+  EXPECT_EQ(lbn.position(lbn.highway_node(1, 3)), 3);
+  EXPECT_EQ(lbn.position(lbn.highway_node(3, 9)), 9);
+  EXPECT_THROW(lbn.highway_node(2, 2), ContractError);
+  EXPECT_TRUE(lbn.is_highway(lbn.highway_node(1, 5)));
+  EXPECT_FALSE(lbn.is_highway(lbn.path_node(0, 5)));
+}
+
+TEST(LbNetwork, OwnershipSchedule) {
+  const LbNetwork lbn(2, 17);
+  // t = 0: Carol owns column 1, David column L, server the rest (Eq. 3).
+  EXPECT_EQ(lbn.owner(lbn.path_node(0, 1), 0), Owner::kCarol);
+  EXPECT_EQ(lbn.owner(lbn.path_node(0, 2), 0), Owner::kServer);
+  EXPECT_EQ(lbn.owner(lbn.path_node(1, 17), 0), Owner::kDavid);
+  EXPECT_EQ(lbn.owner(lbn.path_node(1, 16), 0), Owner::kServer);
+  // t = 2: Carol's frontier moved to column 3 (Eq. 4 analogue).
+  EXPECT_EQ(lbn.owner(lbn.path_node(0, 3), 2), Owner::kCarol);
+  EXPECT_EQ(lbn.owner(lbn.path_node(0, 4), 2), Owner::kServer);
+  EXPECT_EQ(lbn.owner(lbn.path_node(0, 15), 2), Owner::kDavid);
+  // Highways obey the same column rule.
+  EXPECT_EQ(lbn.owner(lbn.highway_node(4, 1), 0), Owner::kCarol);
+  EXPECT_EQ(lbn.owner(lbn.highway_node(4, 17), 0), Owner::kDavid);
+  EXPECT_EQ(lbn.owner(lbn.highway_node(1, 9), 2), Owner::kServer);
+}
+
+TEST(LbNetwork, OwnershipSetsStayDisjointUntilTheDeadline) {
+  const LbNetwork lbn(2, 17);
+  const int t_max = lbn.max_simulated_rounds();
+  EXPECT_EQ(t_max, 17 / 2 - 2);
+  // At t_max, Carol's and David's frontiers must not have met.
+  for (graph::NodeId v = 0; v < lbn.topology().node_count(); ++v) {
+    const Owner o = lbn.owner(v, t_max);
+    if (lbn.position(v) <= t_max + 1) {
+      EXPECT_EQ(o, Owner::kCarol);
+    } else if (lbn.position(v) >= 17 - t_max) {
+      EXPECT_EQ(o, Owner::kDavid);
+    }
+  }
+}
+
+class EmbeddingProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(EmbeddingProperty, CycleCountsMatchObservation81) {
+  Rng rng(static_cast<unsigned>(GetParam()));
+  const int gamma = 2 + GetParam() % 5;
+  const LbNetwork lbn(gamma, 9 + 8 * (GetParam() % 3));
+  const int lines = lbn.line_count();
+  if (lines % 2 != 0) return;  // matchings need an even line count
+  const auto ec = graph::random_perfect_matching(lines, rng);
+  const auto ed = graph::random_perfect_matching(lines, rng);
+  const auto m = lbn.embed_matchings(ec, ed);
+
+  // G = union of the two matchings on the line set.
+  graph::Graph g(lines);
+  for (const auto& e : ec) g.add_edge(e.u, e.v);
+  for (const auto& e : ed) g.add_edge(e.u, e.v);
+
+  const graph::Graph m_graph = graph::subgraph(lbn.topology(), m);
+  EXPECT_EQ(graph::cycle_count_degree_two(m_graph),
+            graph::cycle_count_degree_two(g));
+  // And the Hamiltonicity correspondence of Observation D.3.
+  EXPECT_EQ(graph::is_hamiltonian_cycle(m_graph),
+            graph::is_hamiltonian_cycle(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EmbeddingProperty, ::testing::Range(0, 20));
+
+TEST(LbNetwork, EmbedRejectsNonMatchings) {
+  const LbNetwork lbn(3, 9);  // lines = 3 + 3 = 6
+  std::vector<graph::Edge> bad{{0, 1}, {1, 2}};  // node 1 twice, others missing
+  std::vector<graph::Edge> ok{{0, 1}, {2, 3}, {4, 5}};
+  EXPECT_THROW(lbn.embed_matchings(bad, ok), ModelError);
+  EXPECT_THROW(lbn.embed_matchings(ok, bad), ModelError);
+}
+
+}  // namespace
+}  // namespace qdc::core

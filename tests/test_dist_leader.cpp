@@ -1,0 +1,41 @@
+// Tests for leader election and the census.
+#include <gtest/gtest.h>
+
+#include "dist/leader.hpp"
+#include "graph/generators.hpp"
+
+namespace qdc::dist {
+namespace {
+
+TEST(Leader, ElectsMaximumId) {
+  Rng rng(3);
+  for (const int n : {2, 7, 33}) {
+    const auto topo = graph::random_connected(n, 0.2, rng);
+    congest::Network net(topo, congest::NetworkConfig{.bandwidth = 8});
+    const auto r = elect_leader(net);
+    EXPECT_EQ(r.leader, n - 1);
+  }
+}
+
+TEST(Leader, SingleNode) {
+  congest::Network net(graph::Graph(1), congest::NetworkConfig{});
+  EXPECT_EQ(elect_leader(net).leader, 0);
+}
+
+class CensusProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CensusProperty, CountsNodesAndEdges) {
+  Rng rng(static_cast<unsigned>(GetParam()));
+  const int n = 2 + GetParam() % 40;
+  const auto topo = graph::random_connected(n, 0.15, rng);
+  congest::Network net(topo, congest::NetworkConfig{.bandwidth = 8});
+  const auto census = run_census(net);
+  EXPECT_EQ(census.leader, n - 1);
+  EXPECT_EQ(census.node_count, n);
+  EXPECT_EQ(census.edge_count, topo.edge_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CensusProperty, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace qdc::dist

@@ -1,0 +1,104 @@
+// Tests for warm-started MST runs (the engine behind the class-sequential
+// Elkin-style approximation of bench E3): growing one forest across
+// several restricted runs must reproduce Kruskal-by-class exactly.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dist/mst.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/mst.hpp"
+
+namespace qdc::dist {
+namespace {
+
+class WarmStartProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(WarmStartProperty, ClassSequentialEqualsBucketedMst) {
+  Rng rng(static_cast<unsigned>(GetParam()));
+  const int n = 6 + GetParam() % 24;
+  const double aspect = 16.0;
+  const auto g = graph::random_weighted_aspect(n, 0.25, aspect, rng);
+  congest::Network net(g, congest::NetworkConfig{.bandwidth = 8});
+  const auto tree = build_bfs_tree(net, 0);
+
+  const double width = 3.0;
+  // One-shot bucketed run.
+  MstOptions oneshot;
+  oneshot.bucket_width = width;
+  oneshot.min_weight = 1.0;
+  oneshot.phase1_target = 1;
+  const auto direct = run_mst(net, tree, oneshot);
+
+  // Class-sequential warm-started runs.
+  std::vector<std::int64_t> labels;
+  std::set<graph::EdgeId> forest;
+  const int classes =
+      static_cast<int>(std::ceil((aspect - 1.0) / width)) + 1;
+  for (int c = 0; c < classes; ++c) {
+    graph::EdgeSubset enabled(g.edge_count());
+    for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
+      if (g.weight(e) <= 1.0 + width * (c + 1)) enabled.insert(e);
+    }
+    net.set_subnetwork(enabled);
+    MstOptions opt;
+    opt.restrict_to_subnetwork = true;
+    opt.bucket_width = width;
+    opt.min_weight = 1.0;
+    opt.phase1_target = 1;
+    opt.initial_component = labels;
+    const auto pass = run_mst(net, tree, opt);
+    labels = pass.component;
+    forest.insert(pass.tree_edges.begin(), pass.tree_edges.end());
+  }
+  net.clear_subnetwork();
+
+  // Same total weight as the one-shot bucketed MST, and a spanning tree.
+  double weight = 0.0;
+  for (graph::EdgeId e : forest) weight += g.weight(e);
+  EXPECT_NEAR(weight, direct.weight, 1e-9);
+  EXPECT_TRUE(graph::subset_is_spanning_tree(
+      g.topology(),
+      graph::EdgeSubset::of(g.edge_count(),
+                            {forest.begin(), forest.end()})));
+  // Within the (1 + width) guarantee of the exact optimum.
+  EXPECT_LE(weight, (1.0 + width) * graph::mst_weight(g) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WarmStartProperty, ::testing::Range(0, 10));
+
+TEST(WarmStart, LabelsActAsMergedFragments) {
+  // Pre-merging nodes {0,1} and {2,3} must leave only the cross edges as
+  // candidates.
+  graph::WeightedGraph g(4);
+  g.add_edge(0, 1, 1.0);   // internal to fragment A
+  g.add_edge(2, 3, 1.0);   // internal to fragment B
+  const auto cross = g.add_edge(1, 2, 5.0);
+  congest::Network net(g, congest::NetworkConfig{.bandwidth = 8});
+  const auto tree = build_bfs_tree(net, 0);
+  MstOptions opt;
+  opt.phase1_target = 1;
+  opt.initial_component = {0, 0, 2, 2};
+  const auto r = run_mst(net, tree, opt);
+  EXPECT_EQ(r.tree_edges, std::vector<graph::EdgeId>{cross});
+  for (const auto label : r.component) EXPECT_EQ(label, 0);
+}
+
+TEST(WarmStart, RejectsBadConfiguration) {
+  graph::WeightedGraph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  congest::Network net(g, congest::NetworkConfig{.bandwidth = 8});
+  const auto tree = build_bfs_tree(net, 0);
+  MstOptions short_labels;
+  short_labels.phase1_target = 1;
+  short_labels.initial_component = {0, 1};  // wrong size
+  EXPECT_THROW(run_mst(net, tree, short_labels), ContractError);
+  MstOptions with_phase1;
+  with_phase1.initial_component = {0, 1, 2};  // phase 1 not supported
+  EXPECT_THROW(run_mst(net, tree, with_phase1), ContractError);
+}
+
+}  // namespace
+}  // namespace qdc::dist

@@ -1,0 +1,111 @@
+// Tests for distributed Bellman-Ford, least-element-list verification and
+// the sampling min-cut estimator.
+#include <gtest/gtest.h>
+
+#include "dist/sssp.hpp"
+#include "graph/generators.hpp"
+#include "graph/mincut.hpp"
+
+namespace qdc::dist {
+namespace {
+
+congest::Network weighted_net(const graph::WeightedGraph& g) {
+  return congest::Network(g, congest::NetworkConfig{.bandwidth = 8});
+}
+
+TEST(BellmanFord, MatchesDijkstraOnKnownGraph) {
+  graph::WeightedGraph g(5);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(0, 2, 5.0);
+  g.add_edge(1, 3, 3.0);
+  g.add_edge(2, 4, 7.0);
+  g.add_edge(3, 4, 4.0);
+  auto net = weighted_net(g);
+  const auto r = run_bellman_ford(net, 0);
+  EXPECT_DOUBLE_EQ(r.distance[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.distance[2], 3.0);
+  EXPECT_DOUBLE_EQ(r.distance[4], 8.0);
+  EXPECT_LE(r.stats.rounds, 7);  // ~n rounds by construction
+  EXPECT_GE(r.stats.rounds, 5);
+}
+
+class SsspProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SsspProperty, MatchesSequentialOnRandomGraphs) {
+  Rng rng(static_cast<unsigned>(GetParam()));
+  const int n = 3 + GetParam() % 30;
+  const auto topo = graph::random_connected(n, 0.2, rng);
+  const auto g = graph::randomly_weighted(topo, 1.0, 12.0, rng);
+  auto net = weighted_net(g);
+  const auto dist_result = run_bellman_ford(net, 0);
+  const auto truth = graph::dijkstra(g, 0);
+  for (std::size_t i = 0; i < truth.distance.size(); ++i) {
+    EXPECT_NEAR(dist_result.distance[i], truth.distance[i], 1e-9);
+  }
+  // The collected parent edges must form a shortest-path tree.
+  graph::EdgeSubset tree(g.edge_count());
+  for (graph::EdgeId e : dist_result.tree_edges) tree.insert(e);
+  EXPECT_TRUE(graph::is_shortest_path_tree(g, tree, 0));
+}
+
+TEST_P(SsspProperty, LeListVerificationAcceptsTruthRejectsCorruption) {
+  Rng rng(static_cast<unsigned>(50 + GetParam()));
+  const int n = 4 + GetParam() % 20;
+  const auto topo = graph::random_connected(n, 0.25, rng);
+  const auto g = graph::randomly_weighted(topo, 1.0, 9.0, rng);
+  std::vector<int> rank(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    rank[static_cast<std::size_t>(i)] = (i * 13 + 5) % n;
+  }
+  const NodeId u = static_cast<NodeId>(GetParam() % n);
+  const auto truth = graph::least_element_list(g, u, rank);
+
+  auto net = weighted_net(g);
+  EXPECT_TRUE(verify_least_element_list(net, u, rank, truth).accepted);
+
+  // Corrupt: drop the last entry (the global rank minimum).
+  auto corrupted = truth;
+  corrupted.pop_back();
+  EXPECT_FALSE(verify_least_element_list(net, u, rank, corrupted).accepted);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SsspProperty, ::testing::Range(0, 12));
+
+TEST(StDistance, ReadsOffTerminal) {
+  graph::WeightedGraph g(4);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(2, 3, 2.0);
+  g.add_edge(0, 3, 10.0);
+  auto net = weighted_net(g);
+  EXPECT_DOUBLE_EQ(run_st_distance(net, 0, 3), 6.0);
+}
+
+TEST(MinCutEstimate, OrdersCutSizesCorrectly) {
+  // The estimator is only O(log n)-accurate; test that it clearly
+  // separates a graph with a bridge from a well-connected graph.
+  Rng rng(9);
+  graph::Graph barbell(20);
+  for (int u = 0; u < 10; ++u) {
+    for (int v = u + 1; v < 10; ++v) {
+      barbell.add_edge(u, v);
+      barbell.add_edge(10 + u, 10 + v);
+    }
+  }
+  barbell.add_edge(0, 10);  // the bridge
+  congest::Network net1(barbell, congest::NetworkConfig{.bandwidth = 8});
+  const auto tree1 = build_bfs_tree(net1, 0);
+  const auto est1 = estimate_min_cut(net1, tree1, 5);
+
+  const graph::Graph dense = graph::complete_graph(20);
+  congest::Network net2(dense, congest::NetworkConfig{.bandwidth = 8});
+  const auto tree2 = build_bfs_tree(net2, 0);
+  const auto est2 = estimate_min_cut(net2, tree2, 5);
+
+  EXPECT_LT(est1.estimate * 2, est2.estimate)
+      << "bridge graph (cut 1) vs K20 (cut 19)";
+}
+
+}  // namespace
+}  // namespace qdc::dist

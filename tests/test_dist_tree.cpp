@@ -1,0 +1,151 @@
+// Tests for distributed BFS-tree construction, aggregation and broadcast.
+#include <gtest/gtest.h>
+
+#include "dist/tree.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace qdc::dist {
+namespace {
+
+congest::Network make_net(const graph::Graph& g, int bandwidth = 8) {
+  return congest::Network(g, congest::NetworkConfig{.bandwidth = bandwidth});
+}
+
+TEST(BfsTree, DepthsMatchSequentialBfs) {
+  Rng rng(5);
+  const auto g = graph::random_connected(30, 0.1, rng);
+  auto net = make_net(g);
+  const auto tree = build_bfs_tree(net, 0);
+  const auto truth = graph::bfs_distances(g, 0);
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    EXPECT_EQ(tree.local[static_cast<std::size_t>(u)].depth,
+              truth[static_cast<std::size_t>(u)])
+        << "node " << u;
+  }
+}
+
+TEST(BfsTree, HeightIsEccentricityOfRoot) {
+  const auto g = graph::path_graph(9);
+  auto net = make_net(g);
+  const auto tree = build_bfs_tree(net, 4);
+  EXPECT_EQ(tree.height, 4);
+  const auto tree2 = build_bfs_tree(net, 0);
+  EXPECT_EQ(tree2.height, 8);
+}
+
+TEST(BfsTree, RunsInLinearInDiameterTime) {
+  // On a star (D = 2), construction must finish in O(1) rounds, far below
+  // n; on a path it must be ~3 * D.
+  auto star_net = make_net(graph::star_graph(200));
+  const auto star_tree = build_bfs_tree(star_net, 0);
+  EXPECT_LE(star_tree.stats.rounds, 12);
+
+  auto path_net = make_net(graph::path_graph(64));
+  const auto path_tree = build_bfs_tree(path_net, 0);
+  EXPECT_GE(path_tree.stats.rounds, 63);
+  EXPECT_LE(path_tree.stats.rounds, 4 * 64);
+}
+
+TEST(BfsTree, ParentChildPointersAreConsistent) {
+  Rng rng(9);
+  const auto g = graph::random_connected(25, 0.15, rng);
+  auto net = make_net(g);
+  const auto tree = build_bfs_tree(net, 3);
+  int child_link_count = 0;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    const auto& lt = tree.local[static_cast<std::size_t>(u)];
+    if (u == 3) {
+      EXPECT_TRUE(lt.is_root);
+      EXPECT_EQ(lt.parent_port, -1);
+    } else {
+      ASSERT_GE(lt.parent_port, 0);
+      // My parent must list me as a child.
+      const NodeId parent = g.neighbors(u)[static_cast<std::size_t>(
+                                               lt.parent_port)]
+                                .neighbor;
+      const auto& pt = tree.local[static_cast<std::size_t>(parent)];
+      bool found = false;
+      for (int cp : pt.children_ports) {
+        if (g.neighbors(parent)[static_cast<std::size_t>(cp)].neighbor == u) {
+          found = true;
+        }
+      }
+      EXPECT_TRUE(found) << "node " << u << " missing from parent's children";
+      EXPECT_EQ(lt.depth, pt.depth + 1);
+    }
+    child_link_count += static_cast<int>(lt.children_ports.size());
+  }
+  EXPECT_EQ(child_link_count, g.node_count() - 1);  // tree edges
+}
+
+TEST(BfsTree, ThrowsOnDisconnectedTopology) {
+  graph::Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  auto net = make_net(g);
+  EXPECT_THROW(build_bfs_tree(net, 0), ModelError);
+}
+
+TEST(Aggregate, SumMinMaxAndOr) {
+  const auto g = graph::path_graph(6);
+  auto net = make_net(g);
+  const auto tree = build_bfs_tree(net, 0);
+  std::vector<Payload> contrib;
+  for (int u = 0; u < 6; ++u) {
+    contrib.push_back({u, u, u, u % 2, u % 2});
+  }
+  const auto agg = run_aggregate(
+      net, tree,
+      {Combiner::kSum, Combiner::kMin, Combiner::kMax, Combiner::kAnd,
+       Combiner::kOr},
+      contrib);
+  EXPECT_EQ(agg.values, (Payload{15, 0, 5, 0, 1}));
+}
+
+TEST(Aggregate, AllNodesLearnTheResult) {
+  const auto g = graph::star_graph(7);
+  auto net = make_net(g);
+  const auto tree = build_bfs_tree(net, 2);
+  std::vector<Payload> contrib(7, Payload{1});
+  run_aggregate(net, tree, {Combiner::kSum}, contrib);
+  for (NodeId u = 0; u < 7; ++u) {
+    EXPECT_EQ(net.output(u).value(), 7);  // node count via sum
+  }
+}
+
+TEST(Aggregate, CompletesInTreeHeightTime) {
+  const auto g = graph::path_graph(50);
+  auto net = make_net(g);
+  const auto tree = build_bfs_tree(net, 25);
+  std::vector<Payload> contrib(50, Payload{1});
+  const auto agg = run_aggregate(net, tree, {Combiner::kSum}, contrib);
+  EXPECT_EQ(agg.values[0], 50);
+  EXPECT_LE(agg.stats.rounds, 2 * tree.height + 6);
+}
+
+TEST(Aggregate, RejectsOversizedVector) {
+  const auto g = graph::path_graph(3);
+  auto net = make_net(g, /*bandwidth=*/3);
+  const auto tree = build_bfs_tree(net, 0);
+  std::vector<Payload> contrib(3, Payload{1, 1, 1});
+  EXPECT_THROW(run_aggregate(net, tree,
+                             {Combiner::kSum, Combiner::kSum, Combiner::kSum},
+                             contrib),
+               ContractError);
+}
+
+TEST(Broadcast, EveryNodeReceivesValue) {
+  Rng rng(2);
+  const auto g = graph::random_connected(40, 0.08, rng);
+  auto net = make_net(g);
+  const auto tree = build_bfs_tree(net, 7);
+  const auto bc = run_broadcast(net, tree, {123, 456});
+  for (const auto& r : bc.received) {
+    EXPECT_EQ(r, (Payload{123, 456}));
+  }
+  EXPECT_LE(bc.stats.rounds, tree.height + 4);
+}
+
+}  // namespace
+}  // namespace qdc::dist

@@ -1,0 +1,156 @@
+// Tests for the distributed verification algorithms, cross-checked against
+// the sequential predicates on random instances (the core soundness claim:
+// the distributed verifiers decide exactly the properties of Section 2.2).
+#include <gtest/gtest.h>
+
+#include "dist/verify.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/mst.hpp"
+
+namespace qdc::dist {
+namespace {
+
+struct Fixture {
+  graph::Graph topo;
+  congest::Network net;
+  BfsTreeResult tree;
+
+  explicit Fixture(graph::Graph g)
+      : topo(g), net(topo, congest::NetworkConfig{.bandwidth = 8}),
+        tree(build_bfs_tree(net, 0)) {}
+};
+
+TEST(Verify, HamiltonianCyclePositive) {
+  Rng rng(3);
+  // Topology = cycle plus chords; M = the cycle.
+  graph::Graph g = graph::cycle_graph(10);
+  const int cycle_edges = g.edge_count();
+  g.add_edge(0, 5);
+  g.add_edge(2, 7);
+  Fixture f(g);
+  graph::EdgeSubset m(g.edge_count());
+  for (graph::EdgeId e = 0; e < cycle_edges; ++e) m.insert(e);
+  EXPECT_TRUE(verify_hamiltonian_cycle(f.net, f.tree, m).accepted);
+  // Drop one cycle edge: no longer Hamiltonian.
+  m.erase(3);
+  EXPECT_FALSE(verify_hamiltonian_cycle(f.net, f.tree, m).accepted);
+}
+
+TEST(Verify, TwoDisjointCyclesRejected) {
+  // Degree test alone would pass; connectivity must reject.
+  graph::Graph g(6);
+  for (const auto& [a, b] : std::vector<std::pair<int, int>>{
+           {0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}}) {
+    g.add_edge(a, b);
+  }
+  g.add_edge(0, 3);  // topology connector, not in M
+  Fixture f(g);
+  graph::EdgeSubset m(g.edge_count());
+  for (graph::EdgeId e = 0; e < 6; ++e) m.insert(e);
+  EXPECT_FALSE(verify_hamiltonian_cycle(f.net, f.tree, m).accepted);
+  EXPECT_TRUE(verify_cycle_containment(f.net, f.tree, m).accepted);
+}
+
+TEST(Verify, SpanningTreeKnownCases) {
+  Rng rng(11);
+  graph::Graph g = graph::random_connected(12, 0.3, rng);
+  Fixture f(g);
+  // A real spanning tree.
+  const auto mst = graph::mst_kruskal(graph::WeightedGraph::with_unit_weights(g));
+  graph::EdgeSubset m = graph::EdgeSubset::of(g.edge_count(), mst.edges);
+  EXPECT_TRUE(verify_spanning_tree(f.net, f.tree, m).accepted);
+  // Remove one edge: disconnected.
+  graph::EdgeSubset broken = m;
+  broken.erase(mst.edges[0]);
+  EXPECT_FALSE(verify_spanning_tree(f.net, f.tree, broken).accepted);
+}
+
+TEST(Verify, SimplePath) {
+  graph::Graph g = graph::cycle_graph(8);
+  Fixture f(g);
+  graph::EdgeSubset m(g.edge_count());
+  for (graph::EdgeId e = 0; e < 5; ++e) m.insert(e);  // path 0..5
+  EXPECT_TRUE(verify_simple_path(f.net, f.tree, m).accepted);
+  // Full cycle is not a simple path.
+  EXPECT_FALSE(
+      verify_simple_path(f.net, f.tree, graph::EdgeSubset::all(8)).accepted);
+}
+
+class VerifyProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(VerifyProperty, AgainstSequentialTruthOnRandomSubnetworks) {
+  Rng rng(static_cast<unsigned>(GetParam()));
+  const int n = 4 + GetParam() % 16;
+  graph::Graph g = graph::random_connected(n, 0.3, rng);
+  Fixture f(g);
+  for (const double p : {0.2, 0.5, 0.8}) {
+    const auto m = graph::random_edge_subset(g, p, rng);
+    const graph::Graph sub = graph::subgraph(g, m);
+
+    EXPECT_EQ(verify_connectivity(f.net, f.tree, m).accepted,
+              graph::is_connected(sub));
+    EXPECT_EQ(verify_spanning_connected_subgraph(f.net, f.tree, m).accepted,
+              graph::is_spanning_connected_subgraph(g, m));
+    EXPECT_EQ(verify_spanning_tree(f.net, f.tree, m).accepted,
+              graph::is_spanning_tree(sub));
+    EXPECT_EQ(verify_hamiltonian_cycle(f.net, f.tree, m).accepted,
+              graph::is_hamiltonian_cycle(sub));
+    EXPECT_EQ(verify_simple_path(f.net, f.tree, m).accepted,
+              graph::is_simple_path(sub));
+    EXPECT_EQ(verify_cycle_containment(f.net, f.tree, m).accepted,
+              graph::has_cycle(sub));
+    EXPECT_EQ(verify_cut(f.net, f.tree, m).accepted,
+              graph::subset_is_cut(g, m));
+    EXPECT_EQ(verify_bipartiteness(f.net, f.tree, m).accepted,
+              graph::is_bipartite(sub));
+
+    const NodeId s = 0;
+    const NodeId t = n - 1;
+    EXPECT_EQ(verify_st_connectivity(f.net, f.tree, m, s, t).accepted,
+              graph::st_connected(sub, s, t));
+    EXPECT_EQ(verify_st_cut(f.net, f.tree, m, s, t).accepted,
+              graph::subset_is_st_cut(g, m, s, t));
+
+    const auto edges_in_m = m.to_vector();
+    if (!edges_in_m.empty()) {
+      const graph::EdgeId e = edges_in_m[0];
+      // e-cycle containment against "endpoints connected in M - e".
+      graph::EdgeSubset me = m;
+      me.erase(e);
+      const graph::Graph sub_me = graph::subgraph(g, me);
+      EXPECT_EQ(verify_e_cycle_containment(f.net, f.tree, m, e).accepted,
+                graph::st_connected(sub_me, g.edge(e).u, g.edge(e).v));
+      // edge-on-all-paths: e separates its endpoints in M.
+      EXPECT_EQ(
+          verify_edge_on_all_paths(f.net, f.tree, m, g.edge(e).u, g.edge(e).v,
+                                   e)
+              .accepted,
+          !graph::st_connected(sub_me, g.edge(e).u, g.edge(e).v));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VerifyProperty, ::testing::Range(0, 12));
+
+TEST(Verify, RoundsStayNearTreeHeightOnLowDiameterNetworks) {
+  Rng rng(21);
+  graph::Graph g = graph::random_connected(150, 0.08, rng);
+  Fixture f(g);
+  const auto m = graph::random_edge_subset(g, 0.5, rng);
+  const auto r = verify_connectivity(f.net, f.tree, m);
+  // Components + one aggregation; must be far below n^2 and reasonably
+  // close to the pipelined bound O(D log n + #fragments).
+  EXPECT_LT(r.rounds, 6 * 150);
+}
+
+TEST(Verify, ECycleRequiresEdgeInM) {
+  graph::Graph g = graph::cycle_graph(5);
+  Fixture f(g);
+  graph::EdgeSubset m(g.edge_count());
+  m.insert(0);
+  EXPECT_THROW(verify_e_cycle_containment(f.net, f.tree, m, 3), ContractError);
+}
+
+}  // namespace
+}  // namespace qdc::dist

@@ -1,0 +1,190 @@
+// Tests for the Section 7 gadget reductions: structure (Observation 7.1 /
+// Lemma C.3), semantics (Lemma 7.2), cycle counts (Figure 12) and the
+// Ham -> spanning tree step (Section 9.1).
+#include <gtest/gtest.h>
+
+#include "comm/problems.hpp"
+#include "gadgets/ham_gadgets.hpp"
+#include "graph/algorithms.hpp"
+
+#include <numeric>
+
+namespace qdc::gadgets {
+namespace {
+
+bool edges_form_perfect_matching(const graph::Graph& g,
+                                 const graph::EdgeSubset& edges) {
+  std::vector<int> covered(static_cast<std::size_t>(g.node_count()), 0);
+  for (graph::EdgeId e : edges.to_vector()) {
+    ++covered[static_cast<std::size_t>(g.edge(e).u)];
+    ++covered[static_cast<std::size_t>(g.edge(e).v)];
+  }
+  for (int c : covered) {
+    if (c != 1) return false;
+  }
+  return true;
+}
+
+TEST(IpMod3Gadget, StructureLemmaC3) {
+  Rng rng(3);
+  const auto x = BitString::random(6, rng);
+  const auto y = BitString::random(6, rng);
+  const auto owned = build_ip_mod3_ham_graph(x, y);
+  EXPECT_EQ(owned.g.node_count(), 6 * kIpMod3NodesPerPosition);
+  // Every node has degree exactly 2 (union of two perfect matchings).
+  for (graph::NodeId v = 0; v < owned.g.node_count(); ++v) {
+    EXPECT_EQ(owned.g.degree(v), 2) << "node " << v;
+  }
+  // Lemma C.3: each player's edges form a perfect matching of G.
+  EXPECT_TRUE(edges_form_perfect_matching(owned.g, owned.carol_edges));
+  EXPECT_TRUE(edges_form_perfect_matching(owned.g, owned.david_edges));
+  // The two matchings partition the edges.
+  EXPECT_EQ(owned.carol_edges.size() + owned.david_edges.size(),
+            owned.g.edge_count());
+}
+
+TEST(IpMod3Gadget, ExhaustiveSmallInputs) {
+  // All 4-bit input pairs: Hamiltonicity iff <x,y> mod 3 != 0.
+  for (int xv = 0; xv < 16; ++xv) {
+    for (int yv = 0; yv < 16; ++yv) {
+      BitString x(4), y(4);
+      for (std::size_t i = 0; i < 4; ++i) {
+        x.set(i, (xv >> i) & 1);
+        y.set(i, (yv >> i) & 1);
+      }
+      const bool truth = !comm::ip_mod3_is_zero(x, y);
+      EXPECT_EQ(ip_mod3_nonzero_via_ham(x, y), truth)
+          << "x=" << x.to_string() << " y=" << y.to_string();
+    }
+  }
+}
+
+TEST(IpMod3Gadget, CycleCountsMatchFigure12) {
+  // <x,y> mod 3 == 0  =>  exactly 3 cycles; otherwise a single cycle.
+  Rng rng(7);
+  int seen_zero = 0, seen_nonzero = 0;
+  for (int t = 0; t < 60; ++t) {
+    const auto x = BitString::random(9, rng);
+    const auto y = BitString::random(9, rng);
+    const auto owned = build_ip_mod3_ham_graph(x, y);
+    const int cycles = graph::cycle_count_degree_two(owned.g);
+    if (comm::ip_mod3_is_zero(x, y)) {
+      EXPECT_EQ(cycles, 3);
+      ++seen_zero;
+    } else {
+      EXPECT_EQ(cycles, 1);
+      ++seen_nonzero;
+    }
+  }
+  EXPECT_GT(seen_zero, 0);
+  EXPECT_GT(seen_nonzero, 0);
+}
+
+TEST(IpMod3Gadget, PromiseInstancesWork) {
+  Rng rng(9);
+  for (int t = 0; t < 30; ++t) {
+    const auto inst = comm::random_ip_mod3_promise(5, rng);
+    EXPECT_EQ(ip_mod3_nonzero_via_ham(inst.x, inst.y),
+              !comm::ip_mod3_is_zero(inst.x, inst.y));
+  }
+}
+
+TEST(EqGadget, StructureAndDegrees) {
+  Rng rng(11);
+  const auto x = BitString::random(7, rng);
+  const auto owned = build_eq_ham_graph(x, x);
+  EXPECT_EQ(owned.g.node_count(), 8 * 7);
+  for (graph::NodeId v = 0; v < owned.g.node_count(); ++v) {
+    EXPECT_EQ(owned.g.degree(v), 2) << "node " << v;
+  }
+}
+
+TEST(EqGadget, EqualStringsYieldHamiltonianCycle) {
+  Rng rng(13);
+  for (int t = 0; t < 20; ++t) {
+    const auto x = BitString::random(1 + t % 10, rng);
+    EXPECT_TRUE(equality_via_ham(x, x)) << x.to_string();
+  }
+}
+
+TEST(EqGadget, ExhaustiveSmallInputs) {
+  for (int n = 1; n <= 4; ++n) {
+    for (int xv = 0; xv < (1 << n); ++xv) {
+      for (int yv = 0; yv < (1 << n); ++yv) {
+        BitString x(static_cast<std::size_t>(n)),
+            y(static_cast<std::size_t>(n));
+        for (std::size_t i = 0; i < static_cast<std::size_t>(n); ++i) {
+          x.set(i, (xv >> i) & 1);
+          y.set(i, (yv >> i) & 1);
+        }
+        EXPECT_EQ(equality_via_ham(x, y), x == y)
+            << "x=" << x.to_string() << " y=" << y.to_string();
+      }
+    }
+  }
+}
+
+TEST(EqGadget, MismatchesProduceDisjointCycles) {
+  // delta mismatches => delta + 1 cycles (far from Hamiltonian: the gap
+  // reduction of Section 7 only needs >= delta).
+  Rng rng(17);
+  for (int t = 0; t < 40; ++t) {
+    const std::size_t n = 6 + static_cast<std::size_t>(t % 6);
+    auto x = BitString::random(n, rng);
+    auto y = x;
+    const int delta = 1 + t % 4;
+    // Flip `delta` distinct positions.
+    std::vector<std::size_t> positions(n);
+    std::iota(positions.begin(), positions.end(), 0u);
+    std::shuffle(positions.begin(), positions.end(), rng);
+    for (int d = 0; d < delta; ++d) {
+      y.flip(positions[static_cast<std::size_t>(d)]);
+    }
+    const auto owned = build_eq_ham_graph(x, y);
+    EXPECT_EQ(graph::cycle_count_degree_two(owned.g), delta + 1)
+        << "n=" << n << " delta=" << delta;
+  }
+}
+
+TEST(EqGadget, PlayersEdgesDependOnlyOnOwnInput) {
+  // Locality: Carol's edge set is identical across different y (and vice
+  // versa) - the defining constraint of the two-party reduction.
+  Rng rng(19);
+  const auto x = BitString::random(5, rng);
+  const auto y1 = BitString::random(5, rng);
+  const auto y2 = BitString::random(5, rng);
+  const auto g1 = build_eq_ham_graph(x, y1);
+  const auto g2 = build_eq_ham_graph(x, y2);
+  // Compare Carol edge endpoints as sets.
+  const auto endpoints = [](const OwnedGraph& og,
+                            const graph::EdgeSubset& subset) {
+    std::vector<std::pair<int, int>> out;
+    for (graph::EdgeId e : subset.to_vector()) {
+      const auto& edge = og.g.edge(e);
+      out.emplace_back(std::min(edge.u, edge.v), std::max(edge.u, edge.v));
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  EXPECT_EQ(endpoints(g1, g1.carol_edges), endpoints(g2, g2.carol_edges));
+
+  const auto xa = BitString::random(5, rng);
+  const auto g3 = build_ip_mod3_ham_graph(xa, y1);
+  const auto g4 = build_ip_mod3_ham_graph(xa, y2);
+  EXPECT_EQ(endpoints(g3, g3.carol_edges), endpoints(g4, g4.carol_edges));
+}
+
+TEST(HamToSpanningTree, Section91Reduction) {
+  Rng rng(23);
+  for (int t = 0; t < 20; ++t) {
+    const auto x = BitString::random(4, rng);
+    const auto y = BitString::random(4, rng);
+    const auto owned = build_ip_mod3_ham_graph(x, y);
+    const bool ham = graph::is_hamiltonian_cycle(owned.g);
+    const graph::Graph reduced = spanning_tree_instance_from_ham(owned.g, 0);
+    EXPECT_EQ(graph::is_spanning_tree(reduced), ham);
+  }
+}
+
+}  // namespace
+}  // namespace qdc::gadgets

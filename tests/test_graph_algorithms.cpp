@@ -1,0 +1,192 @@
+// Tests for sequential graph algorithms, including randomized property
+// sweeps that cross-check independent implementations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace qdc::graph {
+namespace {
+
+TEST(BfsDistances, PathGraph) {
+  const Graph g = path_graph(5);
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(BfsDistances, DisconnectedMarksUnreachable) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[2], -1);
+}
+
+TEST(Connectivity, Basics) {
+  EXPECT_TRUE(is_connected(path_graph(4)));
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_FALSE(is_connected(g));
+  EXPECT_EQ(component_count(g), 2);
+  EXPECT_TRUE(st_connected(g, 0, 1));
+  EXPECT_FALSE(st_connected(g, 1, 2));
+  EXPECT_EQ(connectivity_distance(g), 1);
+}
+
+TEST(Diameter, KnownValues) {
+  EXPECT_EQ(diameter(path_graph(5)), 4);
+  EXPECT_EQ(diameter(cycle_graph(6)), 3);
+  EXPECT_EQ(diameter(complete_graph(5)), 1);
+  EXPECT_EQ(diameter(star_graph(6)), 2);
+  EXPECT_EQ(diameter(grid_graph(3, 4)), 5);
+}
+
+TEST(Bipartite, KnownValues) {
+  EXPECT_TRUE(is_bipartite(path_graph(5)));
+  EXPECT_TRUE(is_bipartite(cycle_graph(6)));
+  EXPECT_FALSE(is_bipartite(cycle_graph(5)));
+  EXPECT_TRUE(is_bipartite(grid_graph(3, 3)));
+  EXPECT_FALSE(is_bipartite(complete_graph(3)));
+}
+
+TEST(HasCycle, KnownValues) {
+  EXPECT_FALSE(has_cycle(path_graph(4)));
+  EXPECT_TRUE(has_cycle(cycle_graph(4)));
+  Graph parallel(2);
+  parallel.add_edge(0, 1);
+  parallel.add_edge(0, 1);
+  EXPECT_TRUE(has_cycle(parallel));
+}
+
+TEST(EdgeOnCycle, BridgeVsCycleEdge) {
+  // Triangle with a pendant edge: triangle edges lie on a cycle, the
+  // pendant edge does not.
+  Graph g(4);
+  const EdgeId t0 = g.add_edge(0, 1);
+  const EdgeId t1 = g.add_edge(1, 2);
+  const EdgeId t2 = g.add_edge(2, 0);
+  const EdgeId pendant = g.add_edge(2, 3);
+  EXPECT_TRUE(edge_on_cycle(g, t0));
+  EXPECT_TRUE(edge_on_cycle(g, t1));
+  EXPECT_TRUE(edge_on_cycle(g, t2));
+  EXPECT_FALSE(edge_on_cycle(g, pendant));
+}
+
+TEST(CycleCountDegreeTwo, PathsAndCycles) {
+  EXPECT_EQ(cycle_count_degree_two(path_graph(5)), 0);
+  EXPECT_EQ(cycle_count_degree_two(cycle_graph(5)), 1);
+  Graph two_cycles(6);
+  two_cycles.add_edge(0, 1);
+  two_cycles.add_edge(1, 2);
+  two_cycles.add_edge(2, 0);
+  two_cycles.add_edge(3, 4);
+  two_cycles.add_edge(4, 5);
+  two_cycles.add_edge(5, 3);
+  EXPECT_EQ(cycle_count_degree_two(two_cycles), 2);
+}
+
+TEST(CycleCountDegreeTwo, RejectsHighDegree) {
+  EXPECT_THROW(cycle_count_degree_two(star_graph(4)), ModelError);
+}
+
+TEST(StructurePredicates, HamiltonianCycle) {
+  EXPECT_TRUE(is_hamiltonian_cycle(cycle_graph(5)));
+  EXPECT_FALSE(is_hamiltonian_cycle(path_graph(5)));
+  Graph two_cycles(6);
+  two_cycles.add_edge(0, 1);
+  two_cycles.add_edge(1, 2);
+  two_cycles.add_edge(2, 0);
+  two_cycles.add_edge(3, 4);
+  two_cycles.add_edge(4, 5);
+  two_cycles.add_edge(5, 3);
+  EXPECT_FALSE(is_hamiltonian_cycle(two_cycles));
+}
+
+TEST(StructurePredicates, SpanningTree) {
+  Rng rng(7);
+  EXPECT_TRUE(is_spanning_tree(random_tree(10, rng)));
+  EXPECT_TRUE(is_spanning_tree(path_graph(4)));
+  EXPECT_FALSE(is_spanning_tree(cycle_graph(4)));
+  Graph forest(4);
+  forest.add_edge(0, 1);
+  forest.add_edge(2, 3);
+  EXPECT_FALSE(is_spanning_tree(forest));
+}
+
+TEST(StructurePredicates, SimplePath) {
+  EXPECT_TRUE(is_simple_path(path_graph(4)));
+  EXPECT_FALSE(is_simple_path(cycle_graph(4)));
+  EXPECT_FALSE(is_simple_path(star_graph(4)));
+  // Path plus isolated node is still a simple path over its support.
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_TRUE(is_simple_path(g));
+  // Two disjoint paths are not a single simple path... (4 endpoints)
+  Graph two(5);
+  two.add_edge(0, 1);
+  two.add_edge(2, 3);
+  EXPECT_FALSE(is_simple_path(two));
+}
+
+TEST(SubsetPredicates, SpanningConnectedSubgraph) {
+  const Graph n = cycle_graph(4);
+  EXPECT_TRUE(is_spanning_connected_subgraph(n, EdgeSubset::all(4)));
+  EXPECT_TRUE(
+      is_spanning_connected_subgraph(n, EdgeSubset::of(4, {0, 1, 2})));
+  EXPECT_FALSE(is_spanning_connected_subgraph(n, EdgeSubset::of(4, {0, 1})));
+}
+
+TEST(SubsetPredicates, Cuts) {
+  // Path 0-1-2-3: the middle edge is a cut, and a 0/3 s-t cut.
+  const Graph n = path_graph(4);
+  EXPECT_TRUE(subset_is_cut(n, EdgeSubset::of(3, {1})));
+  EXPECT_FALSE(subset_is_cut(n, EdgeSubset::of(3, {})));
+  EXPECT_TRUE(subset_is_st_cut(n, EdgeSubset::of(3, {1}), 0, 3));
+  EXPECT_FALSE(subset_is_st_cut(n, EdgeSubset::of(3, {2}), 0, 2));
+}
+
+// Property sweep: generators produce what they claim on many seeds.
+class GeneratorProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratorProperty, RandomTreeIsSpanningTree) {
+  Rng rng(static_cast<unsigned>(GetParam()));
+  const int n = 2 + GetParam() % 60;
+  const Graph t = random_tree(n, rng);
+  EXPECT_EQ(t.edge_count(), n - 1);
+  EXPECT_TRUE(is_connected(t));
+}
+
+TEST_P(GeneratorProperty, RandomConnectedIsConnected) {
+  Rng rng(static_cast<unsigned>(GetParam()));
+  const int n = 2 + GetParam() % 40;
+  const Graph g = random_connected(n, 0.1, rng);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST_P(GeneratorProperty, RandomHamiltonianCycleIsHamiltonian) {
+  Rng rng(static_cast<unsigned>(GetParam()));
+  const int n = 3 + GetParam() % 40;
+  EXPECT_TRUE(is_hamiltonian_cycle(random_hamiltonian_cycle(n, rng)));
+}
+
+TEST_P(GeneratorProperty, RandomPerfectMatchingCoversAllNodes) {
+  Rng rng(static_cast<unsigned>(GetParam()));
+  const int n = 2 * (1 + GetParam() % 20);
+  const auto matching = random_perfect_matching(n, rng);
+  std::vector<int> covered(static_cast<std::size_t>(n), 0);
+  for (const Edge& e : matching) {
+    ++covered[static_cast<std::size_t>(e.u)];
+    ++covered[static_cast<std::size_t>(e.v)];
+  }
+  EXPECT_TRUE(std::all_of(covered.begin(), covered.end(),
+                          [](int c) { return c == 1; }));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorProperty, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace qdc::graph

@@ -1,0 +1,156 @@
+// Unit tests for the graph substrate: Graph/WeightedGraph/EdgeSubset/DSU.
+#include <gtest/gtest.h>
+
+#include "graph/dsu.hpp"
+#include "graph/graph.hpp"
+
+namespace qdc::graph {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.node_count(), 0);
+  EXPECT_EQ(g.edge_count(), 0);
+}
+
+TEST(Graph, AddEdgesAndAdjacency) {
+  Graph g(4);
+  const EdgeId e0 = g.add_edge(0, 1);
+  const EdgeId e1 = g.add_edge(1, 2);
+  const EdgeId e2 = g.add_edge(2, 3);
+  EXPECT_EQ(e0, 0);
+  EXPECT_EQ(e1, 1);
+  EXPECT_EQ(e2, 2);
+  EXPECT_EQ(g.edge_count(), 3);
+  EXPECT_EQ(g.degree(1), 2);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(Graph, EdgeOther) {
+  Graph g(3);
+  g.add_edge(0, 2);
+  EXPECT_EQ(g.edge(0).other(0), 2);
+  EXPECT_EQ(g.edge(0).other(2), 0);
+  EXPECT_THROW(g.edge(0).other(1), ContractError);
+}
+
+TEST(Graph, RejectsSelfLoop) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(1, 1), ContractError);
+}
+
+TEST(Graph, RejectsBadNode) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(0, 2), ContractError);
+  EXPECT_THROW(g.neighbors(-1), ContractError);
+}
+
+TEST(Graph, ParallelEdgesAllowed) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  EXPECT_EQ(g.edge_count(), 2);
+  EXPECT_EQ(g.degree(0), 2);
+}
+
+TEST(WeightedGraph, WeightsAndAspectRatio) {
+  WeightedGraph g(3);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(1, 2, 10.0);
+  EXPECT_DOUBLE_EQ(g.weight(0), 2.0);
+  EXPECT_DOUBLE_EQ(g.aspect_ratio(), 5.0);
+  g.set_weight(0, 1.0);
+  EXPECT_DOUBLE_EQ(g.aspect_ratio(), 10.0);
+}
+
+TEST(WeightedGraph, RejectsNonPositiveWeight) {
+  WeightedGraph g(2);
+  EXPECT_THROW(g.add_edge(0, 1, 0.0), ContractError);
+  EXPECT_THROW(g.add_edge(0, 1, -1.0), ContractError);
+}
+
+TEST(WeightedGraph, TotalWeight) {
+  WeightedGraph g(3);
+  g.add_edge(0, 1, 2.5);
+  g.add_edge(1, 2, 4.0);
+  EXPECT_DOUBLE_EQ(g.total_weight({0, 1}), 6.5);
+  EXPECT_DOUBLE_EQ(g.total_weight({1}), 4.0);
+}
+
+TEST(WeightedGraph, WithUnitWeights) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const WeightedGraph w = WeightedGraph::with_unit_weights(g);
+  EXPECT_EQ(w.edge_count(), 2);
+  EXPECT_DOUBLE_EQ(w.weight(0), 1.0);
+  EXPECT_DOUBLE_EQ(w.weight(1), 1.0);
+}
+
+TEST(EdgeSubset, InsertEraseContains) {
+  EdgeSubset s(5);
+  EXPECT_EQ(s.size(), 0);
+  s.insert(2);
+  s.insert(4);
+  EXPECT_TRUE(s.contains(2));
+  EXPECT_FALSE(s.contains(3));
+  EXPECT_EQ(s.size(), 2);
+  s.erase(2);
+  EXPECT_FALSE(s.contains(2));
+  EXPECT_EQ(s.to_vector(), std::vector<EdgeId>{4});
+}
+
+TEST(EdgeSubset, AllAndOf) {
+  const EdgeSubset all = EdgeSubset::all(3);
+  EXPECT_EQ(all.size(), 3);
+  const EdgeSubset some = EdgeSubset::of(4, {1, 3});
+  EXPECT_TRUE(some.contains(1));
+  EXPECT_TRUE(some.contains(3));
+  EXPECT_EQ(some.size(), 2);
+}
+
+TEST(EdgeSubset, BoundsChecked) {
+  EdgeSubset s(2);
+  EXPECT_THROW(s.insert(2), ContractError);
+  EXPECT_THROW(s.contains(-1), ContractError);
+}
+
+TEST(Subgraph, KeepsSelectedEdges) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  std::vector<EdgeId> old_ids;
+  const Graph sub = subgraph(g, EdgeSubset::of(3, {0, 2}), &old_ids);
+  EXPECT_EQ(sub.edge_count(), 2);
+  EXPECT_TRUE(sub.has_edge(0, 1));
+  EXPECT_TRUE(sub.has_edge(2, 3));
+  EXPECT_FALSE(sub.has_edge(1, 2));
+  EXPECT_EQ(old_ids, (std::vector<EdgeId>{0, 2}));
+}
+
+TEST(Subgraph, RejectsMismatchedUniverse) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  EXPECT_THROW(subgraph(g, EdgeSubset(5)), ContractError);
+}
+
+TEST(DisjointSetUnion, BasicMerging) {
+  DisjointSetUnion dsu(5);
+  EXPECT_EQ(dsu.set_count(), 5);
+  EXPECT_TRUE(dsu.unite(0, 1));
+  EXPECT_TRUE(dsu.unite(2, 3));
+  EXPECT_FALSE(dsu.unite(1, 0));
+  EXPECT_EQ(dsu.set_count(), 3);
+  EXPECT_TRUE(dsu.same(0, 1));
+  EXPECT_FALSE(dsu.same(0, 2));
+  EXPECT_EQ(dsu.set_size(0), 2);
+  dsu.unite(1, 3);
+  EXPECT_EQ(dsu.set_size(2), 4);
+}
+
+}  // namespace
+}  // namespace qdc::graph

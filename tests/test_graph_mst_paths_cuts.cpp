@@ -1,0 +1,223 @@
+// Tests for sequential MST, shortest paths and min cut, including
+// cross-validation properties between independent algorithms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/mincut.hpp"
+#include "graph/mst.hpp"
+#include "graph/shortest_paths.hpp"
+
+namespace qdc::graph {
+namespace {
+
+WeightedGraph small_weighted() {
+  // Classic 5-node example; MST weight 1+2+3+4 = 10 using edges
+  // (0-1,1),(1-2,2),(1-3,3),(3-4,4).
+  WeightedGraph g(5);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(0, 2, 5.0);
+  g.add_edge(1, 3, 3.0);
+  g.add_edge(2, 4, 7.0);
+  g.add_edge(3, 4, 4.0);
+  return g;
+}
+
+TEST(Mst, KruskalKnownValue) {
+  const auto mst = mst_kruskal(small_weighted());
+  EXPECT_DOUBLE_EQ(mst.weight, 10.0);
+  EXPECT_EQ(mst.edges.size(), 4u);
+}
+
+TEST(Mst, PrimMatchesKruskal) {
+  const auto g = small_weighted();
+  EXPECT_DOUBLE_EQ(mst_prim(g).weight, mst_kruskal(g).weight);
+}
+
+TEST(Mst, BoruvkaMatchesKruskal) {
+  const auto g = small_weighted();
+  EXPECT_DOUBLE_EQ(mst_boruvka(g).weight, mst_kruskal(g).weight);
+}
+
+TEST(Mst, DisconnectedReturnsForest) {
+  WeightedGraph g(4);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(2, 3, 3.0);
+  const auto forest = mst_kruskal(g);
+  EXPECT_EQ(forest.edges.size(), 2u);
+  EXPECT_DOUBLE_EQ(forest.weight, 5.0);
+  EXPECT_DOUBLE_EQ(mst_boruvka(g).weight, 5.0);
+}
+
+TEST(Mst, RoundedApproxWithinFactor) {
+  Rng rng(3);
+  const auto g = random_weighted_aspect(30, 0.2, 64.0, rng);
+  const double exact = mst_weight(g);
+  for (const double alpha : {1.0, 2.0, 4.0, 8.0}) {
+    const auto approx = mst_rounded_approx(g, alpha);
+    EXPECT_GE(approx.weight + 1e-9, exact);
+    EXPECT_LE(approx.weight, alpha * exact + 1e-9)
+        << "alpha=" << alpha;
+    // Still spanning.
+    EXPECT_EQ(approx.edges.size(), static_cast<std::size_t>(29));
+  }
+}
+
+class MstProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MstProperty, ThreeAlgorithmsAgreeOnRandomGraphs) {
+  Rng rng(static_cast<unsigned>(GetParam()));
+  const int n = 2 + GetParam() % 50;
+  const Graph topo = random_connected(n, 0.15, rng);
+  const WeightedGraph g = randomly_weighted(topo, 1.0, 100.0, rng);
+  const double k = mst_kruskal(g).weight;
+  EXPECT_NEAR(mst_prim(g).weight, k, 1e-9 * (1.0 + std::abs(k)));
+  EXPECT_NEAR(mst_boruvka(g).weight, k, 1e-9 * (1.0 + std::abs(k)));
+}
+
+TEST_P(MstProperty, MstEdgesFormSpanningTree) {
+  Rng rng(static_cast<unsigned>(1000 + GetParam()));
+  const int n = 3 + GetParam() % 30;
+  const Graph topo = random_connected(n, 0.3, rng);
+  const WeightedGraph g = randomly_weighted(topo, 1.0, 10.0, rng);
+  const auto mst = mst_kruskal(g);
+  EXPECT_TRUE(subset_is_spanning_tree(
+      g.topology(), EdgeSubset::of(g.edge_count(), mst.edges)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MstProperty, ::testing::Range(0, 25));
+
+TEST(ShortestPaths, DijkstraKnownValues) {
+  const auto g = small_weighted();
+  const auto spt = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(spt.distance[0], 0.0);
+  EXPECT_DOUBLE_EQ(spt.distance[1], 1.0);
+  EXPECT_DOUBLE_EQ(spt.distance[2], 3.0);
+  EXPECT_DOUBLE_EQ(spt.distance[3], 4.0);
+  EXPECT_DOUBLE_EQ(spt.distance[4], 8.0);
+}
+
+TEST(ShortestPaths, UnreachableIsInfinite) {
+  WeightedGraph g(3);
+  g.add_edge(0, 1, 1.0);
+  EXPECT_EQ(dijkstra(g, 0).distance[2], kInfiniteDistance);
+  EXPECT_EQ(st_distance(g, 0, 2), kInfiniteDistance);
+}
+
+class ShortestPathProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShortestPathProperty, BellmanFordMatchesDijkstra) {
+  Rng rng(static_cast<unsigned>(GetParam()));
+  const int n = 2 + GetParam() % 40;
+  const Graph topo = random_connected(n, 0.2, rng);
+  const WeightedGraph g = randomly_weighted(topo, 1.0, 20.0, rng);
+  const auto d1 = dijkstra(g, 0).distance;
+  const auto d2 = bellman_ford(g, 0).distance;
+  for (std::size_t i = 0; i < d1.size(); ++i) {
+    EXPECT_NEAR(d1[i], d2[i], 1e-9);
+  }
+}
+
+TEST_P(ShortestPathProperty, DijkstraParentEdgesFormShortestPathTree) {
+  Rng rng(static_cast<unsigned>(500 + GetParam()));
+  const int n = 3 + GetParam() % 30;
+  const Graph topo = random_connected(n, 0.25, rng);
+  const WeightedGraph g = randomly_weighted(topo, 1.0, 9.0, rng);
+  const auto spt = dijkstra(g, 0);
+  EdgeSubset tree(g.edge_count());
+  for (NodeId v = 1; v < g.node_count(); ++v) {
+    tree.insert(spt.parent_edge[static_cast<std::size_t>(v)]);
+  }
+  EXPECT_TRUE(is_shortest_path_tree(g, tree, 0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShortestPathProperty, ::testing::Range(0, 20));
+
+TEST(LeastElementList, SmallExample) {
+  // Path 0 -1- 1 -1- 2 with ranks [2, 0, 1] as seen from node 0:
+  // d=0: node 0 (rank 2) enters; d=1: node 1 (rank 0) enters;
+  // d=2: node 2 (rank 1) does not (rank 0 already seen at distance 1).
+  WeightedGraph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  const auto list = least_element_list(g, 0, {2, 0, 1});
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0], (LeListEntry{0, 0.0}));
+  EXPECT_EQ(list[1], (LeListEntry{1, 1.0}));
+}
+
+TEST(LeastElementList, GlobalMinimumAlwaysLast) {
+  Rng rng(11);
+  const Graph topo = random_connected(20, 0.2, rng);
+  const WeightedGraph g = randomly_weighted(topo, 1.0, 5.0, rng);
+  std::vector<int> rank(20);
+  for (int i = 0; i < 20; ++i) rank[static_cast<std::size_t>(i)] = i * 7 % 20;
+  const auto list = least_element_list(g, 3, rank);
+  ASSERT_FALSE(list.empty());
+  // The last entry must be the node of globally minimal rank.
+  int min_rank_node = 0;
+  for (int v = 1; v < 20; ++v) {
+    if (rank[static_cast<std::size_t>(v)] <
+        rank[static_cast<std::size_t>(min_rank_node)]) {
+      min_rank_node = v;
+    }
+  }
+  EXPECT_EQ(list.back().node, min_rank_node);
+}
+
+TEST(MinCut, StoerWagnerKnownValue) {
+  // Two triangles joined by a single edge: min cut = 1 (the bridge).
+  WeightedGraph g(6);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(2, 0, 1.0);
+  g.add_edge(3, 4, 1.0);
+  g.add_edge(4, 5, 1.0);
+  g.add_edge(5, 3, 1.0);
+  g.add_edge(2, 3, 1.0);
+  const auto cut = min_cut_stoer_wagner(g);
+  EXPECT_DOUBLE_EQ(cut.weight, 1.0);
+  EXPECT_TRUE(cut.partition == (std::vector<NodeId>{0, 1, 2}) ||
+              cut.partition == (std::vector<NodeId>{3, 4, 5}));
+}
+
+TEST(MinCut, EdgeConnectivityKnownValues) {
+  EXPECT_EQ(edge_connectivity(cycle_graph(5)), 2);
+  EXPECT_EQ(edge_connectivity(path_graph(5)), 1);
+  EXPECT_EQ(edge_connectivity(complete_graph(5)), 4);
+  Graph disconnected(3);
+  disconnected.add_edge(0, 1);
+  EXPECT_EQ(edge_connectivity(disconnected), 0);
+}
+
+TEST(MinCut, MinStCutMatchesGlobalOnBridge) {
+  WeightedGraph g(4);
+  g.add_edge(0, 1, 3.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(2, 3, 3.0);
+  EXPECT_DOUBLE_EQ(min_st_cut_weight(g, 0, 3), 1.0);
+  EXPECT_DOUBLE_EQ(min_st_cut_weight(g, 0, 1), 3.0);
+}
+
+class MinCutProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinCutProperty, GlobalCutIsMinOverStCuts) {
+  Rng rng(static_cast<unsigned>(GetParam()));
+  const int n = 4 + GetParam() % 10;
+  const Graph topo = random_connected(n, 0.4, rng);
+  const WeightedGraph g = randomly_weighted(topo, 1.0, 5.0, rng);
+  const double global = min_cut_stoer_wagner(g).weight;
+  double best_st = kInfiniteDistance;
+  for (NodeId t = 1; t < n; ++t) {
+    best_st = std::min(best_st, min_st_cut_weight(g, 0, t));
+  }
+  EXPECT_NEAR(global, best_st, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinCutProperty, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace qdc::graph

@@ -1,0 +1,103 @@
+// Tests for shallow-light trees (LAST) and routing-cost trees (MRCT).
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/mst.hpp"
+#include "graph/shortest_paths.hpp"
+#include "graph/special_trees.hpp"
+
+namespace qdc::graph {
+namespace {
+
+class LastProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LastProperty, BicriteriaGuaranteesHold) {
+  Rng rng(static_cast<unsigned>(GetParam()));
+  const int n = 4 + GetParam() % 30;
+  const Graph topo = random_connected(n, 0.25, rng);
+  const WeightedGraph g = randomly_weighted(topo, 1.0, 20.0, rng);
+  const double alpha = 1.5 + (GetParam() % 3);
+
+  const auto last = shallow_light_tree(g, 0, alpha);
+  // Spanning tree.
+  EXPECT_TRUE(subset_is_spanning_tree(
+      topo, EdgeSubset::of(topo.edge_count(), last.edges)));
+  // Shallow: every node within alpha times its true distance.
+  WeightedGraph t(n);
+  for (EdgeId e : last.edges) {
+    t.add_edge(g.edge(e).u, g.edge(e).v, g.weight(e));
+  }
+  const auto tree_dist = dijkstra(t, 0).distance;
+  const auto true_dist = dijkstra(g, 0).distance;
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_LE(tree_dist[static_cast<std::size_t>(v)],
+              alpha * true_dist[static_cast<std::size_t>(v)] + 1e-9)
+        << "node " << v << " alpha " << alpha;
+  }
+  // Light: weight at most (1 + 2/(alpha-1)) times the MST.
+  EXPECT_LE(last.weight,
+            (1.0 + 2.0 / (alpha - 1.0)) * mst_weight(g) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LastProperty, ::testing::Range(0, 20));
+
+TEST(ShallowLight, LargeAlphaDegeneratesTowardsMstWeight) {
+  Rng rng(5);
+  const Graph topo = random_connected(25, 0.3, rng);
+  const WeightedGraph g = randomly_weighted(topo, 1.0, 50.0, rng);
+  const auto loose = shallow_light_tree(g, 0, 1000.0);
+  EXPECT_NEAR(loose.weight, mst_weight(g), 1e-6);
+}
+
+TEST(ShallowLight, RejectsBadAlpha) {
+  WeightedGraph g(2);
+  g.add_edge(0, 1, 1.0);
+  EXPECT_THROW(shallow_light_tree(g, 0, 1.0), ContractError);
+}
+
+TEST(RoutingCost, PathVsStar) {
+  // On a uniformly weighted star topology, the star itself is routing-cost
+  // optimal; a path has much higher cost.
+  const int n = 7;
+  WeightedGraph g(n);
+  for (NodeId v = 1; v < n; ++v) g.add_edge(0, v, 1.0);
+  std::vector<EdgeId> star;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) star.push_back(e);
+  // star: leaves are at distance 2 from each other, 1 from the hub.
+  const double expected = 2.0 * ((n - 1) * 1.0 + (n - 1) * (n - 2) * 2.0 / 2 * 1.0);
+  EXPECT_NEAR(routing_cost(g, star), expected, 1e-9);
+}
+
+class MrctProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MrctProperty, BestSptIsTwoApproximate) {
+  // Exhaustive optimum over all spanning trees for small graphs.
+  Rng rng(static_cast<unsigned>(GetParam()));
+  const int n = 5;
+  const Graph topo = random_connected(n, 0.5, rng);
+  const WeightedGraph g = randomly_weighted(topo, 1.0, 9.0, rng);
+
+  const auto approx = mrct_best_spt(g);
+  const double approx_cost = routing_cost(g, approx.edges);
+
+  // Enumerate all spanning trees via edge subsets of size n-1.
+  const int m = g.edge_count();
+  double optimum = std::numeric_limits<double>::infinity();
+  for (int mask = 0; mask < (1 << m); ++mask) {
+    if (std::popcount(static_cast<unsigned>(mask)) != n - 1) continue;
+    std::vector<EdgeId> edges;
+    for (int e = 0; e < m; ++e) {
+      if ((mask >> e) & 1) edges.push_back(e);
+    }
+    if (!subset_is_spanning_tree(topo, EdgeSubset::of(m, edges))) continue;
+    optimum = std::min(optimum, routing_cost(g, edges));
+  }
+  EXPECT_LE(approx_cost, 2.0 * optimum + 1e-9);
+  EXPECT_GE(approx_cost, optimum - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MrctProperty, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace qdc::graph

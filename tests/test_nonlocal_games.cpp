@@ -1,0 +1,66 @@
+// Tests for XOR games: exact classical bias, Tsirelson quantum bias, and
+// the quantum >= classical separation (Section 6 / Appendix B.1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "nonlocal/xor_game.hpp"
+#include "util/expect.hpp"
+
+namespace qdc::nonlocal {
+namespace {
+
+TEST(XorGame, ChshClassicalBiasIsHalf) {
+  // Best classical CHSH win probability is 3/4 => bias 1/2.
+  EXPECT_NEAR(classical_bias_exact(XorGame::chsh()), 0.5, 1e-12);
+}
+
+TEST(XorGame, ChshQuantumBiasIsTsirelson) {
+  Rng rng(3);
+  const double bias = quantum_bias_tsirelson(XorGame::chsh(), rng);
+  EXPECT_NEAR(bias, 1.0 / std::numbers::sqrt2, 1e-6);
+  EXPECT_NEAR(bias_to_win_probability(bias), (2.0 + std::numbers::sqrt2) / 4.0,
+              1e-6);
+}
+
+TEST(XorGame, ConstantGameHasFullBias) {
+  const XorGame g = XorGame::uniform({{0, 0}, {0, 0}});
+  EXPECT_NEAR(classical_bias_exact(g), 1.0, 1e-12);
+  Rng rng(5);
+  EXPECT_NEAR(quantum_bias_tsirelson(g, rng), 1.0, 1e-6);
+}
+
+TEST(XorGame, ValidationCatchesMalformedGames) {
+  XorGame g = XorGame::chsh();
+  g.pi[0][0] = 0.9;  // no longer sums to 1
+  EXPECT_THROW(g.validate(), ContractError);
+  XorGame g2 = XorGame::chsh();
+  g2.f[0][0] = 2;
+  EXPECT_THROW(g2.validate(), ContractError);
+}
+
+class RandomGameProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomGameProperty, QuantumBiasAtLeastClassical) {
+  Rng rng(static_cast<unsigned>(GetParam()));
+  const int nx = 2 + GetParam() % 3;
+  const int ny = 2 + (GetParam() / 3) % 3;
+  std::vector<std::vector<int>> f(static_cast<std::size_t>(nx),
+                                  std::vector<int>(static_cast<std::size_t>(ny)));
+  for (auto& row : f) {
+    for (auto& v : row) v = coin(rng) ? 1 : 0;
+  }
+  const XorGame g = XorGame::uniform(f);
+  const double classical = classical_bias_exact(g);
+  const double quantum = quantum_bias_tsirelson(g, rng);
+  EXPECT_GE(quantum, classical - 1e-6);
+  // Grothendieck: the quantum bias exceeds classical by at most K_G < 1.783.
+  EXPECT_LE(quantum, 1.783 * classical + 1e-6);
+  EXPECT_LE(quantum, 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGameProperty, ::testing::Range(0, 18));
+
+}  // namespace
+}  // namespace qdc::nonlocal

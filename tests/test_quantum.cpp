@@ -1,0 +1,178 @@
+// Tests for the statevector simulator and the small quantum protocols.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "quantum/gates.hpp"
+#include "quantum/grover.hpp"
+#include "quantum/protocols.hpp"
+#include "quantum/state.hpp"
+#include "util/expect.hpp"
+
+namespace qdc::quantum {
+namespace {
+
+TEST(StateVector, StartsInZero) {
+  StateVector s(3);
+  EXPECT_EQ(s.dimension(), 8u);
+  EXPECT_DOUBLE_EQ(s.probability_of(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.norm_squared(), 1.0);
+}
+
+TEST(StateVector, HadamardCreatesSuperposition) {
+  StateVector s(1);
+  s.apply(hadamard(), 0);
+  EXPECT_NEAR(s.probability_of(0), 0.5, 1e-12);
+  EXPECT_NEAR(s.probability_of(1), 0.5, 1e-12);
+  s.apply(hadamard(), 0);  // H^2 = I
+  EXPECT_NEAR(s.probability_of(0), 1.0, 1e-12);
+}
+
+TEST(StateVector, PauliXFlips) {
+  StateVector s(2);
+  s.apply(pauli_x(), 1);
+  EXPECT_NEAR(s.probability_of(0b10), 1.0, 1e-12);
+}
+
+TEST(StateVector, CnotEntangles) {
+  StateVector s(2);
+  make_epr(s, 0, 1);
+  EXPECT_NEAR(s.probability_of(0b00), 0.5, 1e-12);
+  EXPECT_NEAR(s.probability_of(0b11), 0.5, 1e-12);
+  EXPECT_NEAR(s.probability_of(0b01), 0.0, 1e-12);
+}
+
+TEST(StateVector, GatesPreserveNorm) {
+  StateVector s(4);
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const int q = static_cast<int>(uniform_int(rng, 0, 3));
+    switch (i % 5) {
+      case 0: s.apply(hadamard(), q); break;
+      case 1: s.apply(ry(0.3 * i), q); break;
+      case 2: s.apply(rz(0.7 * i), q); break;
+      case 3: s.apply(phase_t(), q); break;
+      case 4: s.cnot(q, (q + 1) % 4); break;
+    }
+    ASSERT_NEAR(s.norm_squared(), 1.0, 1e-9);
+  }
+}
+
+TEST(StateVector, MeasurementCollapsesEprPair) {
+  Rng rng(7);
+  int ones = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    StateVector s(2);
+    make_epr(s, 0, 1);
+    const bool a = s.measure(0, rng);
+    const bool b = s.measure(1, rng);
+    EXPECT_EQ(a, b);  // perfectly correlated
+    ones += a ? 1 : 0;
+  }
+  EXPECT_GT(ones, 60);  // and roughly unbiased
+  EXPECT_LT(ones, 140);
+}
+
+TEST(StateVector, SwapMovesAmplitude) {
+  StateVector s(2);
+  s.apply(pauli_x(), 0);
+  s.swap(0, 1);
+  EXPECT_NEAR(s.probability_of(0b10), 1.0, 1e-12);
+}
+
+TEST(Teleport, TransfersArbitraryState) {
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const double theta = 0.31 * trial;
+    const double phi = 1.7 * trial;
+    // Prepare |psi> on qubit 0; EPR on (1, 2).
+    StateVector s(3);
+    s.apply(ry(theta), 0);
+    s.apply(rz(phi), 0);
+    make_epr(s, 1, 2);
+    teleport(s, /*source=*/0, /*epr_a=*/1, /*epr_b=*/2, rng);
+    // Compare qubit 2 against a directly prepared reference.
+    StateVector ref(1);
+    ref.apply(ry(theta), 0);
+    ref.apply(rz(phi), 0);
+    EXPECT_NEAR(s.probability_one(2), ref.probability_one(0), 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(Superdense, RoundTripsAllFourMessages) {
+  Rng rng(13);
+  for (const bool b0 : {false, true}) {
+    for (const bool b1 : {false, true}) {
+      const auto [d0, d1] = superdense_roundtrip(b0, b1, rng);
+      EXPECT_EQ(d0, b0);
+      EXPECT_EQ(d1, b1);
+    }
+  }
+}
+
+TEST(Chsh, QuantumBeatsClassicalBound) {
+  Rng rng(17);
+  int q_wins = 0, c_wins = 0;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    const bool x = coin(rng);
+    const bool y = coin(rng);
+    if (chsh_play_quantum(x, y, rng)) ++q_wins;
+    if (chsh_play_classical(x, y)) ++c_wins;
+  }
+  const double q = static_cast<double>(q_wins) / trials;
+  const double c = static_cast<double>(c_wins) / trials;
+  // Tsirelson: quantum ~ cos^2(pi/8) ~ 0.8536; classical <= 0.75.
+  EXPECT_NEAR(q, 0.8536, 0.02);
+  EXPECT_NEAR(c, 0.75, 0.02);
+  EXPECT_GT(q, 0.80);
+}
+
+TEST(Grover, FindsUniqueMarkedItem) {
+  Rng rng(19);
+  for (int q = 3; q <= 8; ++q) {
+    const std::size_t target = (std::size_t{1} << q) - 3;
+    const auto r = grover_search(
+        q, [target](std::size_t i) { return i == target; }, rng);
+    EXPECT_GT(r.success_probability, 0.8) << "qubits " << q;
+    EXPECT_LE(r.oracle_queries,
+              static_cast<int>(std::ceil(
+                  std::numbers::pi / 4.0 * std::sqrt(double(1 << q)))) +
+                  1);
+  }
+}
+
+TEST(Grover, NoMarkedItemYieldsUnmarkedMeasurement) {
+  Rng rng(23);
+  const auto r =
+      grover_search(6, [](std::size_t) { return false; }, rng);
+  EXPECT_FALSE(r.is_marked);
+  EXPECT_DOUBLE_EQ(r.success_probability, 0.0);
+}
+
+TEST(Grover, MultipleMarkedItemsSpeedUp) {
+  Rng rng(29);
+  const auto r = grover_search(
+      8, [](std::size_t i) { return i % 16 == 0; }, rng);  // M = 16, N = 256
+  EXPECT_GT(r.success_probability, 0.8);
+  EXPECT_LT(r.oracle_queries, 6);  // ~ pi/4 sqrt(16) = 3.1
+}
+
+TEST(Grover, OptimalIterationCounts) {
+  EXPECT_EQ(grover_optimal_iterations(4, 1), 1);    // exact for N=4
+  EXPECT_EQ(grover_optimal_iterations(1024, 1), 25);
+  EXPECT_LE(grover_optimal_iterations(1024, 4), 12);
+}
+
+TEST(StateVector, RejectsBadArguments) {
+  EXPECT_THROW(StateVector(0), ContractError);
+  EXPECT_THROW(StateVector(30), ContractError);
+  StateVector s(2);
+  EXPECT_THROW(s.apply(hadamard(), 2), ContractError);
+  EXPECT_THROW(s.cnot(0, 0), ContractError);
+}
+
+}  // namespace
+}  // namespace qdc::quantum

@@ -1,0 +1,119 @@
+// Tests for Deutsch-Jozsa, Bernstein-Vazirani and the QFT.
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <numbers>
+
+#include "quantum/algorithms.hpp"
+#include "quantum/gates.hpp"
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+
+namespace qdc::quantum {
+namespace {
+
+TEST(DeutschJozsa, ConstantFunctions) {
+  for (const bool value : {false, true}) {
+    EXPECT_TRUE(deutsch_jozsa_is_constant(
+        5, [value](std::size_t) { return value; }));
+  }
+}
+
+TEST(DeutschJozsa, BalancedFunctions) {
+  // Parity of any fixed nonzero mask is balanced.
+  for (const std::size_t mask : {1u, 5u, 31u}) {
+    EXPECT_FALSE(deutsch_jozsa_is_constant(5, [mask](std::size_t x) {
+      return std::popcount(x & mask) % 2 == 1;
+    }));
+  }
+  // Half-space indicator (x < N/2) is balanced too.
+  EXPECT_FALSE(
+      deutsch_jozsa_is_constant(5, [](std::size_t x) { return x < 16; }));
+}
+
+class BvProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BvProperty, RecoversHiddenString) {
+  Rng rng(static_cast<unsigned>(GetParam()));
+  const int n = 3 + GetParam() % 8;
+  const std::size_t s = static_cast<std::size_t>(
+      uniform_int(rng, 0, (1 << n) - 1));
+  const auto f = [s](std::size_t x) {
+    return std::popcount(x & s) % 2 == 1;
+  };
+  EXPECT_EQ(bernstein_vazirani(n, f), s);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BvProperty, ::testing::Range(0, 15));
+
+TEST(BernsteinVazirani, RejectsNonlinearOracle) {
+  EXPECT_THROW(
+      bernstein_vazirani(4, [](std::size_t x) { return x * x % 7 < 3; }),
+      ModelError);
+}
+
+/// Reference DFT for QFT validation.
+std::vector<Amplitude> dft(const std::vector<Amplitude>& in) {
+  const std::size_t n = in.size();
+  std::vector<Amplitude> out(n);
+  for (std::size_t y = 0; y < n; ++y) {
+    Amplitude acc{0, 0};
+    for (std::size_t x = 0; x < n; ++x) {
+      const double angle = 2.0 * std::numbers::pi * double(x) * double(y) /
+                           double(n);
+      acc += in[x] * Amplitude{std::cos(angle), std::sin(angle)};
+    }
+    out[y] = acc / std::sqrt(double(n));
+  }
+  return out;
+}
+
+TEST(Qft, MatchesReferenceDftOnRandomStates) {
+  Rng rng(9);
+  for (const int n : {2, 3, 5}) {
+    StateVector state(n);
+    // Scramble into a generic state with unitaries.
+    for (int q = 0; q < n; ++q) {
+      state.apply(ry(0.3 + 0.7 * q), q);
+      state.apply(rz(1.1 * q + 0.2), q);
+      if (q > 0) state.cnot(q - 1, q);
+    }
+    const auto before = state.amplitudes();
+    qft(state);
+    const auto expected = dft(before);
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_NEAR(std::abs(state.amplitudes()[i] - expected[i]), 0.0, 1e-9)
+          << "n=" << n << " index " << i;
+    }
+  }
+}
+
+TEST(Qft, InverseUndoesForward) {
+  StateVector state(4);
+  for (int q = 0; q < 4; ++q) {
+    state.apply(ry(0.2 + 0.4 * q), q);
+  }
+  state.cnot(0, 2);
+  const auto before = state.amplitudes();
+  qft(state);
+  inverse_qft(state);
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_NEAR(std::abs(state.amplitudes()[i] - before[i]), 0.0, 1e-9);
+  }
+}
+
+TEST(Qft, TransformsBasisStateToPhaseRamp) {
+  // QFT|1> has uniform magnitudes with phase e^{2 pi i y / N}.
+  StateVector state(3);
+  state.apply(pauli_x(), 0);  // |001> = basis 1
+  qft(state);
+  for (std::size_t y = 0; y < 8; ++y) {
+    const double angle = 2.0 * std::numbers::pi * double(y) / 8.0;
+    const Amplitude expected =
+        Amplitude{std::cos(angle), std::sin(angle)} / std::sqrt(8.0);
+    EXPECT_NEAR(std::abs(state.amplitudes()[y] - expected), 0.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace qdc::quantum
