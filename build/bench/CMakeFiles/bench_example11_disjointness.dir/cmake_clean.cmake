@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_example11_disjointness.dir/bench_example11_disjointness.cpp.o"
+  "CMakeFiles/bench_example11_disjointness.dir/bench_example11_disjointness.cpp.o.d"
+  "bench_example11_disjointness"
+  "bench_example11_disjointness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_example11_disjointness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_cycle_structure.dir/bench_fig12_cycle_structure.cpp.o"
+  "CMakeFiles/bench_fig12_cycle_structure.dir/bench_fig12_cycle_structure.cpp.o.d"
+  "bench_fig12_cycle_structure"
+  "bench_fig12_cycle_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_cycle_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

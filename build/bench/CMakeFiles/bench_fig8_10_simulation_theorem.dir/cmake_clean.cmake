@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_10_simulation_theorem.dir/bench_fig8_10_simulation_theorem.cpp.o"
+  "CMakeFiles/bench_fig8_10_simulation_theorem.dir/bench_fig8_10_simulation_theorem.cpp.o.d"
+  "bench_fig8_10_simulation_theorem"
+  "bench_fig8_10_simulation_theorem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_10_simulation_theorem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

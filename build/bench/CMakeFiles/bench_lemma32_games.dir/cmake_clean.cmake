@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lemma32_games.dir/bench_lemma32_games.cpp.o"
+  "CMakeFiles/bench_lemma32_games.dir/bench_lemma32_games.cpp.o.d"
+  "bench_lemma32_games"
+  "bench_lemma32_games.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma32_games.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm38_optimization.dir/bench_thm38_optimization.cpp.o"
+  "CMakeFiles/bench_thm38_optimization.dir/bench_thm38_optimization.cpp.o.d"
+  "bench_thm38_optimization"
+  "bench_thm38_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm38_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm61_hardness_ingredients.dir/bench_thm61_hardness_ingredients.cpp.o"
+  "CMakeFiles/bench_thm61_hardness_ingredients.dir/bench_thm61_hardness_ingredients.cpp.o.d"
+  "bench_thm61_hardness_ingredients"
+  "bench_thm61_hardness_ingredients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm61_hardness_ingredients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

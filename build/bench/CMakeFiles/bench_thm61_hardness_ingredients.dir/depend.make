@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_thm61_hardness_ingredients.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chsh_game.dir/chsh_game.cpp.o"
+  "CMakeFiles/chsh_game.dir/chsh_game.cpp.o.d"
+  "chsh_game"
+  "chsh_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chsh_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

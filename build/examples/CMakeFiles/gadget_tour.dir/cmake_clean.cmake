@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gadget_tour.dir/gadget_tour.cpp.o"
+  "CMakeFiles/gadget_tour.dir/gadget_tour.cpp.o.d"
+  "gadget_tour"
+  "gadget_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gadget_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

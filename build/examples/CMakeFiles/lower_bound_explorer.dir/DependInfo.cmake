@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/lower_bound_explorer.cpp" "examples/CMakeFiles/lower_bound_explorer.dir/lower_bound_explorer.cpp.o" "gcc" "examples/CMakeFiles/lower_bound_explorer.dir/lower_bound_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qdc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qdc_gadgets.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qdc_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qdc_nonlocal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qdc_quantum.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qdc_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qdc_congest.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qdc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qdc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quantum_advantage.dir/quantum_advantage.cpp.o"
+  "CMakeFiles/quantum_advantage.dir/quantum_advantage.cpp.o.d"
+  "quantum_advantage"
+  "quantum_advantage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantum_advantage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/codes.cpp" "src/CMakeFiles/qdc_comm.dir/comm/codes.cpp.o" "gcc" "src/CMakeFiles/qdc_comm.dir/comm/codes.cpp.o.d"
+  "/root/repo/src/comm/degree.cpp" "src/CMakeFiles/qdc_comm.dir/comm/degree.cpp.o" "gcc" "src/CMakeFiles/qdc_comm.dir/comm/degree.cpp.o.d"
+  "/root/repo/src/comm/lemma32.cpp" "src/CMakeFiles/qdc_comm.dir/comm/lemma32.cpp.o" "gcc" "src/CMakeFiles/qdc_comm.dir/comm/lemma32.cpp.o.d"
+  "/root/repo/src/comm/problems.cpp" "src/CMakeFiles/qdc_comm.dir/comm/problems.cpp.o" "gcc" "src/CMakeFiles/qdc_comm.dir/comm/problems.cpp.o.d"
+  "/root/repo/src/comm/server_model.cpp" "src/CMakeFiles/qdc_comm.dir/comm/server_model.cpp.o" "gcc" "src/CMakeFiles/qdc_comm.dir/comm/server_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qdc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qdc_nonlocal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qdc_comm.dir/comm/codes.cpp.o"
+  "CMakeFiles/qdc_comm.dir/comm/codes.cpp.o.d"
+  "CMakeFiles/qdc_comm.dir/comm/degree.cpp.o"
+  "CMakeFiles/qdc_comm.dir/comm/degree.cpp.o.d"
+  "CMakeFiles/qdc_comm.dir/comm/lemma32.cpp.o"
+  "CMakeFiles/qdc_comm.dir/comm/lemma32.cpp.o.d"
+  "CMakeFiles/qdc_comm.dir/comm/problems.cpp.o"
+  "CMakeFiles/qdc_comm.dir/comm/problems.cpp.o.d"
+  "CMakeFiles/qdc_comm.dir/comm/server_model.cpp.o"
+  "CMakeFiles/qdc_comm.dir/comm/server_model.cpp.o.d"
+  "libqdc_comm.a"
+  "libqdc_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qdc_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

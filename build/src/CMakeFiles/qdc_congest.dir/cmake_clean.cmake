@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qdc_congest.dir/congest/network.cpp.o"
+  "CMakeFiles/qdc_congest.dir/congest/network.cpp.o.d"
+  "libqdc_congest.a"
+  "libqdc_congest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qdc_congest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

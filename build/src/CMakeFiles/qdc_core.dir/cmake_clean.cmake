@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qdc_core.dir/core/bounds.cpp.o"
+  "CMakeFiles/qdc_core.dir/core/bounds.cpp.o.d"
+  "CMakeFiles/qdc_core.dir/core/disjointness.cpp.o"
+  "CMakeFiles/qdc_core.dir/core/disjointness.cpp.o.d"
+  "CMakeFiles/qdc_core.dir/core/lb_network.cpp.o"
+  "CMakeFiles/qdc_core.dir/core/lb_network.cpp.o.d"
+  "CMakeFiles/qdc_core.dir/core/simulation.cpp.o"
+  "CMakeFiles/qdc_core.dir/core/simulation.cpp.o.d"
+  "libqdc_core.a"
+  "libqdc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qdc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

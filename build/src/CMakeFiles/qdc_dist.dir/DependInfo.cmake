@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/leader.cpp" "src/CMakeFiles/qdc_dist.dir/dist/leader.cpp.o" "gcc" "src/CMakeFiles/qdc_dist.dir/dist/leader.cpp.o.d"
+  "/root/repo/src/dist/mst.cpp" "src/CMakeFiles/qdc_dist.dir/dist/mst.cpp.o" "gcc" "src/CMakeFiles/qdc_dist.dir/dist/mst.cpp.o.d"
+  "/root/repo/src/dist/sssp.cpp" "src/CMakeFiles/qdc_dist.dir/dist/sssp.cpp.o" "gcc" "src/CMakeFiles/qdc_dist.dir/dist/sssp.cpp.o.d"
+  "/root/repo/src/dist/tree.cpp" "src/CMakeFiles/qdc_dist.dir/dist/tree.cpp.o" "gcc" "src/CMakeFiles/qdc_dist.dir/dist/tree.cpp.o.d"
+  "/root/repo/src/dist/verify.cpp" "src/CMakeFiles/qdc_dist.dir/dist/verify.cpp.o" "gcc" "src/CMakeFiles/qdc_dist.dir/dist/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qdc_congest.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qdc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qdc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

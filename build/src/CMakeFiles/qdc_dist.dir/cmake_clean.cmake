@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qdc_dist.dir/dist/leader.cpp.o"
+  "CMakeFiles/qdc_dist.dir/dist/leader.cpp.o.d"
+  "CMakeFiles/qdc_dist.dir/dist/mst.cpp.o"
+  "CMakeFiles/qdc_dist.dir/dist/mst.cpp.o.d"
+  "CMakeFiles/qdc_dist.dir/dist/sssp.cpp.o"
+  "CMakeFiles/qdc_dist.dir/dist/sssp.cpp.o.d"
+  "CMakeFiles/qdc_dist.dir/dist/tree.cpp.o"
+  "CMakeFiles/qdc_dist.dir/dist/tree.cpp.o.d"
+  "CMakeFiles/qdc_dist.dir/dist/verify.cpp.o"
+  "CMakeFiles/qdc_dist.dir/dist/verify.cpp.o.d"
+  "libqdc_dist.a"
+  "libqdc_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qdc_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

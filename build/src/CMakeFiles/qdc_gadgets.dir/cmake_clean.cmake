@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qdc_gadgets.dir/gadgets/ham_gadgets.cpp.o"
+  "CMakeFiles/qdc_gadgets.dir/gadgets/ham_gadgets.cpp.o.d"
+  "libqdc_gadgets.a"
+  "libqdc_gadgets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qdc_gadgets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for qdc_gadgets.
+# This may be replaced when dependencies are built.

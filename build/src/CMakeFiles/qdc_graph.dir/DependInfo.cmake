@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/algorithms.cpp" "src/CMakeFiles/qdc_graph.dir/graph/algorithms.cpp.o" "gcc" "src/CMakeFiles/qdc_graph.dir/graph/algorithms.cpp.o.d"
+  "/root/repo/src/graph/dsu.cpp" "src/CMakeFiles/qdc_graph.dir/graph/dsu.cpp.o" "gcc" "src/CMakeFiles/qdc_graph.dir/graph/dsu.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/qdc_graph.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/qdc_graph.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/qdc_graph.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/qdc_graph.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/mincut.cpp" "src/CMakeFiles/qdc_graph.dir/graph/mincut.cpp.o" "gcc" "src/CMakeFiles/qdc_graph.dir/graph/mincut.cpp.o.d"
+  "/root/repo/src/graph/mst.cpp" "src/CMakeFiles/qdc_graph.dir/graph/mst.cpp.o" "gcc" "src/CMakeFiles/qdc_graph.dir/graph/mst.cpp.o.d"
+  "/root/repo/src/graph/shortest_paths.cpp" "src/CMakeFiles/qdc_graph.dir/graph/shortest_paths.cpp.o" "gcc" "src/CMakeFiles/qdc_graph.dir/graph/shortest_paths.cpp.o.d"
+  "/root/repo/src/graph/special_trees.cpp" "src/CMakeFiles/qdc_graph.dir/graph/special_trees.cpp.o" "gcc" "src/CMakeFiles/qdc_graph.dir/graph/special_trees.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qdc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qdc_graph.dir/graph/algorithms.cpp.o"
+  "CMakeFiles/qdc_graph.dir/graph/algorithms.cpp.o.d"
+  "CMakeFiles/qdc_graph.dir/graph/dsu.cpp.o"
+  "CMakeFiles/qdc_graph.dir/graph/dsu.cpp.o.d"
+  "CMakeFiles/qdc_graph.dir/graph/generators.cpp.o"
+  "CMakeFiles/qdc_graph.dir/graph/generators.cpp.o.d"
+  "CMakeFiles/qdc_graph.dir/graph/graph.cpp.o"
+  "CMakeFiles/qdc_graph.dir/graph/graph.cpp.o.d"
+  "CMakeFiles/qdc_graph.dir/graph/mincut.cpp.o"
+  "CMakeFiles/qdc_graph.dir/graph/mincut.cpp.o.d"
+  "CMakeFiles/qdc_graph.dir/graph/mst.cpp.o"
+  "CMakeFiles/qdc_graph.dir/graph/mst.cpp.o.d"
+  "CMakeFiles/qdc_graph.dir/graph/shortest_paths.cpp.o"
+  "CMakeFiles/qdc_graph.dir/graph/shortest_paths.cpp.o.d"
+  "CMakeFiles/qdc_graph.dir/graph/special_trees.cpp.o"
+  "CMakeFiles/qdc_graph.dir/graph/special_trees.cpp.o.d"
+  "libqdc_graph.a"
+  "libqdc_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qdc_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

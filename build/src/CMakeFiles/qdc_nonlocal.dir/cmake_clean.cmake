@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qdc_nonlocal.dir/nonlocal/xor_game.cpp.o"
+  "CMakeFiles/qdc_nonlocal.dir/nonlocal/xor_game.cpp.o.d"
+  "libqdc_nonlocal.a"
+  "libqdc_nonlocal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qdc_nonlocal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqdc_nonlocal.a"
+)

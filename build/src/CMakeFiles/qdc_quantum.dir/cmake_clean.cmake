@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qdc_quantum.dir/quantum/algorithms.cpp.o"
+  "CMakeFiles/qdc_quantum.dir/quantum/algorithms.cpp.o.d"
+  "CMakeFiles/qdc_quantum.dir/quantum/grover.cpp.o"
+  "CMakeFiles/qdc_quantum.dir/quantum/grover.cpp.o.d"
+  "CMakeFiles/qdc_quantum.dir/quantum/protocols.cpp.o"
+  "CMakeFiles/qdc_quantum.dir/quantum/protocols.cpp.o.d"
+  "CMakeFiles/qdc_quantum.dir/quantum/state.cpp.o"
+  "CMakeFiles/qdc_quantum.dir/quantum/state.cpp.o.d"
+  "libqdc_quantum.a"
+  "libqdc_quantum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qdc_quantum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qdc_util.dir/util/bitstring.cpp.o"
+  "CMakeFiles/qdc_util.dir/util/bitstring.cpp.o.d"
+  "CMakeFiles/qdc_util.dir/util/expect.cpp.o"
+  "CMakeFiles/qdc_util.dir/util/expect.cpp.o.d"
+  "libqdc_util.a"
+  "libqdc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qdc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_comm.cpp" "tests/CMakeFiles/qdc_tests.dir/test_comm.cpp.o" "gcc" "tests/CMakeFiles/qdc_tests.dir/test_comm.cpp.o.d"
+  "/root/repo/tests/test_congest_network.cpp" "tests/CMakeFiles/qdc_tests.dir/test_congest_network.cpp.o" "gcc" "tests/CMakeFiles/qdc_tests.dir/test_congest_network.cpp.o.d"
+  "/root/repo/tests/test_core_bounds_disj.cpp" "tests/CMakeFiles/qdc_tests.dir/test_core_bounds_disj.cpp.o" "gcc" "tests/CMakeFiles/qdc_tests.dir/test_core_bounds_disj.cpp.o.d"
+  "/root/repo/tests/test_core_lb_network.cpp" "tests/CMakeFiles/qdc_tests.dir/test_core_lb_network.cpp.o" "gcc" "tests/CMakeFiles/qdc_tests.dir/test_core_lb_network.cpp.o.d"
+  "/root/repo/tests/test_core_simulation.cpp" "tests/CMakeFiles/qdc_tests.dir/test_core_simulation.cpp.o" "gcc" "tests/CMakeFiles/qdc_tests.dir/test_core_simulation.cpp.o.d"
+  "/root/repo/tests/test_core_simulation_sweep.cpp" "tests/CMakeFiles/qdc_tests.dir/test_core_simulation_sweep.cpp.o" "gcc" "tests/CMakeFiles/qdc_tests.dir/test_core_simulation_sweep.cpp.o.d"
+  "/root/repo/tests/test_dist_leader.cpp" "tests/CMakeFiles/qdc_tests.dir/test_dist_leader.cpp.o" "gcc" "tests/CMakeFiles/qdc_tests.dir/test_dist_leader.cpp.o.d"
+  "/root/repo/tests/test_dist_mst.cpp" "tests/CMakeFiles/qdc_tests.dir/test_dist_mst.cpp.o" "gcc" "tests/CMakeFiles/qdc_tests.dir/test_dist_mst.cpp.o.d"
+  "/root/repo/tests/test_dist_mst_warmstart.cpp" "tests/CMakeFiles/qdc_tests.dir/test_dist_mst_warmstart.cpp.o" "gcc" "tests/CMakeFiles/qdc_tests.dir/test_dist_mst_warmstart.cpp.o.d"
+  "/root/repo/tests/test_dist_sssp.cpp" "tests/CMakeFiles/qdc_tests.dir/test_dist_sssp.cpp.o" "gcc" "tests/CMakeFiles/qdc_tests.dir/test_dist_sssp.cpp.o.d"
+  "/root/repo/tests/test_dist_tree.cpp" "tests/CMakeFiles/qdc_tests.dir/test_dist_tree.cpp.o" "gcc" "tests/CMakeFiles/qdc_tests.dir/test_dist_tree.cpp.o.d"
+  "/root/repo/tests/test_dist_verify.cpp" "tests/CMakeFiles/qdc_tests.dir/test_dist_verify.cpp.o" "gcc" "tests/CMakeFiles/qdc_tests.dir/test_dist_verify.cpp.o.d"
+  "/root/repo/tests/test_gadgets.cpp" "tests/CMakeFiles/qdc_tests.dir/test_gadgets.cpp.o" "gcc" "tests/CMakeFiles/qdc_tests.dir/test_gadgets.cpp.o.d"
+  "/root/repo/tests/test_graph_algorithms.cpp" "tests/CMakeFiles/qdc_tests.dir/test_graph_algorithms.cpp.o" "gcc" "tests/CMakeFiles/qdc_tests.dir/test_graph_algorithms.cpp.o.d"
+  "/root/repo/tests/test_graph_basic.cpp" "tests/CMakeFiles/qdc_tests.dir/test_graph_basic.cpp.o" "gcc" "tests/CMakeFiles/qdc_tests.dir/test_graph_basic.cpp.o.d"
+  "/root/repo/tests/test_graph_mst_paths_cuts.cpp" "tests/CMakeFiles/qdc_tests.dir/test_graph_mst_paths_cuts.cpp.o" "gcc" "tests/CMakeFiles/qdc_tests.dir/test_graph_mst_paths_cuts.cpp.o.d"
+  "/root/repo/tests/test_graph_special_trees.cpp" "tests/CMakeFiles/qdc_tests.dir/test_graph_special_trees.cpp.o" "gcc" "tests/CMakeFiles/qdc_tests.dir/test_graph_special_trees.cpp.o.d"
+  "/root/repo/tests/test_integration_pipeline.cpp" "tests/CMakeFiles/qdc_tests.dir/test_integration_pipeline.cpp.o" "gcc" "tests/CMakeFiles/qdc_tests.dir/test_integration_pipeline.cpp.o.d"
+  "/root/repo/tests/test_nonlocal_games.cpp" "tests/CMakeFiles/qdc_tests.dir/test_nonlocal_games.cpp.o" "gcc" "tests/CMakeFiles/qdc_tests.dir/test_nonlocal_games.cpp.o.d"
+  "/root/repo/tests/test_quantum.cpp" "tests/CMakeFiles/qdc_tests.dir/test_quantum.cpp.o" "gcc" "tests/CMakeFiles/qdc_tests.dir/test_quantum.cpp.o.d"
+  "/root/repo/tests/test_quantum_algorithms.cpp" "tests/CMakeFiles/qdc_tests.dir/test_quantum_algorithms.cpp.o" "gcc" "tests/CMakeFiles/qdc_tests.dir/test_quantum_algorithms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qdc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qdc_gadgets.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qdc_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qdc_nonlocal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qdc_quantum.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qdc_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qdc_congest.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qdc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qdc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
