@@ -1,0 +1,97 @@
+#include "congest/model_auditor.hpp"
+
+#include "util/expect.hpp"
+
+namespace qdc::congest {
+
+ModelAuditor::ModelAuditor(const graph::Graph& topology, int bandwidth)
+    : topology_(topology),
+      bandwidth_(bandwidth),
+      round_fields_(static_cast<std::size_t>(topology.edge_count()) * 2, 0) {
+  QDC_EXPECT(bandwidth >= 1, "ModelAuditor: bandwidth must be >= 1");
+}
+
+void ModelAuditor::begin_round(int round,
+                               const std::vector<bool>& halted_at_round_start) {
+  QDC_EXPECT(!round_open_, "ModelAuditor::begin_round: round already open");
+  QDC_EXPECT(round == rounds_, "ModelAuditor::begin_round: rounds must be "
+                               "audited consecutively from 0");
+  QDC_EXPECT(halted_at_round_start.size() ==
+                 static_cast<std::size_t>(topology_.node_count()),
+             "ModelAuditor::begin_round: halt vector size mismatch");
+  halted_at_round_start_ = halted_at_round_start;
+  round_open_ = true;
+}
+
+void ModelAuditor::on_message(graph::NodeId from, graph::NodeId to,
+                              graph::EdgeId edge, std::size_t fields,
+                              bool delivered, bool receiver_halted) {
+  QDC_EXPECT(round_open_, "ModelAuditor::on_message: no open round");
+  QDC_EXPECT(edge >= 0 && edge < topology_.edge_count(),
+             "ModelAuditor::on_message: bad edge id");
+  const graph::Edge& e = topology_.edge(edge);
+  QDC_CHECK((from == e.u && to == e.v) || (from == e.v && to == e.u),
+            "[audit] a message was attributed to an edge that does not "
+            "connect its sender and receiver");
+  QDC_CHECK(fields > 0, "[audit] a delivered message carries zero fields");
+  QDC_CHECK(!halted_at_round_start_[static_cast<std::size_t>(from)],
+            "[audit] a node that halted in an earlier round sent a message");
+  QDC_CHECK(delivered == !receiver_halted,
+            "[audit] message delivery disagrees with the receiver's halt "
+            "status (halted nodes receive nothing; live nodes miss nothing)");
+  const std::size_t key =
+      static_cast<std::size_t>(edge) * 2 + (from == e.u ? 0 : 1);
+  if (round_fields_[key] == 0) touched_.push_back(key);
+  round_fields_[key] += static_cast<std::int64_t>(fields);
+  ++messages_;
+  fields_ += static_cast<std::int64_t>(fields);
+}
+
+void ModelAuditor::end_round() {
+  QDC_EXPECT(round_open_, "ModelAuditor::end_round: no open round");
+  for (const std::size_t key : touched_) {
+    QDC_CHECK(round_fields_[key] <= bandwidth_,
+              "[audit] recounted fields on one edge direction exceed the "
+              "CONGEST bandwidth B: the send path under-charged this round");
+    round_fields_[key] = 0;
+  }
+  touched_.clear();
+  fields_per_round_.push_back(fields_);
+  round_open_ = false;
+  ++rounds_;
+}
+
+void ModelAuditor::verify(const RunStats& stats) const {
+  QDC_EXPECT(!round_open_, "ModelAuditor::verify: a round is still open");
+  QDC_CHECK(stats.rounds == rounds_,
+            "[audit] RunStats.rounds disagrees with the audited round count");
+  QDC_CHECK(stats.messages == messages_,
+            "[audit] RunStats.messages disagrees with the independently "
+            "recounted message total");
+  QDC_CHECK(stats.fields == fields_,
+            "[audit] RunStats.fields disagrees with the independently "
+            "recounted field total: bandwidth accounting was tampered with "
+            "or under-charged");
+}
+
+void ModelAuditor::verify_trace(
+    const std::vector<std::vector<TracedMessage>>& trace) const {
+  QDC_EXPECT(!round_open_, "ModelAuditor::verify_trace: a round is still open");
+  QDC_CHECK(trace.size() == static_cast<std::size_t>(rounds_),
+            "[audit] trace round count disagrees with the audited rounds");
+  std::int64_t traced_messages = 0;
+  std::int64_t traced_fields = 0;
+  for (const auto& round_trace : trace) {
+    for (const TracedMessage& m : round_trace) {
+      QDC_CHECK(m.fields > 0, "[audit] trace records a zero-field message");
+      ++traced_messages;
+      traced_fields += m.fields;
+    }
+  }
+  QDC_CHECK(traced_messages == messages_,
+            "[audit] trace message total disagrees with the audit count");
+  QDC_CHECK(traced_fields == fields_,
+            "[audit] trace field total disagrees with the audit count");
+}
+
+}  // namespace qdc::congest

@@ -1,0 +1,81 @@
+// Independent model-conformance accountant for CONGEST(B) runs.
+//
+// The Network's send path already rejects over-budget sends with a
+// QDC_CHECK, but a simulator bug there would *under-charge* bandwidth and
+// silently fake a lower-bound violation — the exact failure mode that makes
+// an empirical CONGEST study untrustworthy. The ModelAuditor is a second
+// accountant wired into Network::run that re-derives every quantity from
+// the delivered messages themselves, without reading the send path's
+// staging counters:
+//
+//   * per-edge, per-direction field totals each round (must be <= B);
+//   * halted nodes neither send nor receive;
+//   * message/field/round totals agree with the RunStats the run reports;
+//   * when tracing is on, the trace agrees with the audit counts.
+//
+// Any disagreement throws qdc::ModelError via QDC_CHECK with an "[audit]"
+// message, so a tampered or buggy run can never report success.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/stats.hpp"
+#include "graph/graph.hpp"
+
+namespace qdc::congest {
+
+class ModelAuditor {
+ public:
+  /// Audits runs over `topology` with `bandwidth` fields per edge per
+  /// direction per round. The topology reference must outlive the auditor.
+  ModelAuditor(const graph::Graph& topology, int bandwidth);
+
+  /// Opens round `round`. `halted_at_round_start[u]` is u's halt status
+  /// before the round's compute phase: a node halted then must be silent
+  /// for the rest of the run.
+  void begin_round(int round, const std::vector<bool>& halted_at_round_start);
+
+  /// Records one message of `fields` fields crossing `edge` from `from`
+  /// to `to` in the current round. `delivered` says whether the simulator
+  /// put it into the receiver's inbox; `receiver_halted` is the receiver's
+  /// halt status at delivery time. Checks sender liveness, edge/endpoint
+  /// consistency, and that exactly the live receivers get their messages.
+  void on_message(graph::NodeId from, graph::NodeId to, graph::EdgeId edge,
+                  std::size_t fields, bool delivered, bool receiver_halted);
+
+  /// Closes the current round: every (edge, direction) pair's recounted
+  /// field total must be within the bandwidth budget.
+  void end_round();
+
+  /// Final cross-check of the run's reported statistics against the
+  /// independently recounted totals.
+  void verify(const RunStats& stats) const;
+
+  /// Cross-checks a recorded trace (one vector per round) against the
+  /// audit counts: same number of rounds, same message and field totals.
+  void verify_trace(const std::vector<std::vector<TracedMessage>>& trace) const;
+
+  std::int64_t messages() const { return messages_; }
+  std::int64_t fields() const { return fields_; }
+  int rounds() const { return rounds_; }
+
+ private:
+  const graph::Graph& topology_;
+  int bandwidth_;
+
+  // Recounted per-(edge, direction) fields for the open round. Keyed by
+  // 2*edge + direction where direction 0 means edge.u -> edge.v. Only the
+  // touched keys are reset between rounds.
+  std::vector<std::int64_t> round_fields_;
+  std::vector<std::size_t> touched_;
+
+  std::vector<bool> halted_at_round_start_;
+  std::vector<std::int64_t> fields_per_round_;
+  bool round_open_ = false;
+  int rounds_ = 0;
+  std::int64_t messages_ = 0;
+  std::int64_t fields_ = 0;
+};
+
+}  // namespace qdc::congest

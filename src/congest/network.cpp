@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "congest/model_auditor.hpp"
+
 namespace qdc::congest {
 
 namespace {
@@ -16,9 +18,16 @@ std::uint64_t splitmix64(std::uint64_t x) {
 
 }  // namespace
 
-int NodeContext::node_count() const { return network_->node_count(); }
-int NodeContext::bandwidth() const { return network_->config().bandwidth; }
-int NodeContext::round() const { return network_->round(); }
+const Network& NodeContext::attached() const {
+  QDC_EXPECT(network_ != nullptr,
+             "NodeContext: method requires a Network-attached context "
+             "(this one was default-constructed)");
+  return *network_;
+}
+
+int NodeContext::node_count() const { return attached().node_count(); }
+int NodeContext::bandwidth() const { return attached().config().bandwidth; }
+int NodeContext::round() const { return attached().round(); }
 
 NodeId NodeContext::neighbor(int port) const {
   QDC_EXPECT(port >= 0 && port < degree(), "NodeContext::neighbor: bad port");
@@ -35,15 +44,15 @@ int NodeContext::port_to(NodeId v) const {
 double NodeContext::edge_weight(int port) const {
   QDC_EXPECT(port >= 0 && port < degree(),
              "NodeContext::edge_weight: bad port");
-  return network_->edge_weight(ports_[static_cast<std::size_t>(port)]);
+  return attached().edge_weight(ports_[static_cast<std::size_t>(port)]);
 }
 
 bool NodeContext::edge_in_subnetwork(int port) const {
   QDC_EXPECT(port >= 0 && port < degree(),
              "NodeContext::edge_in_subnetwork: bad port");
-  if (!network_->has_subnetwork_) return true;
-  return network_->subnetwork_.contains(
-      ports_[static_cast<std::size_t>(port)]);
+  const Network& net = attached();
+  if (!net.has_subnetwork_) return true;
+  return net.subnetwork_.contains(ports_[static_cast<std::size_t>(port)]);
 }
 
 void NodeContext::send(int port, Payload message) {
@@ -69,7 +78,7 @@ bool NodeContext::shared_bit(std::int64_t key) const {
 }
 
 std::uint64_t NodeContext::shared_hash(std::int64_t key) const {
-  return splitmix64(network_->shared_seed() ^
+  return splitmix64(attached().shared_seed() ^
                     splitmix64(static_cast<std::uint64_t>(key)));
 }
 
@@ -134,8 +143,15 @@ RunStats Network::run(int max_rounds) {
   QDC_EXPECT(!programs_.empty(), "Network::run: no programs installed");
   QDC_EXPECT(max_rounds >= 0, "Network::run: negative round budget");
   RunStats stats;
+  ModelAuditor auditor(topology_, config_.bandwidth);
   const int n = node_count();
+  std::vector<bool> halted_at_start(static_cast<std::size_t>(n), false);
   for (round_ = 0; round_ < max_rounds; ++round_) {
+    for (NodeId u = 0; u < n; ++u) {
+      halted_at_start[static_cast<std::size_t>(u)] =
+          contexts_[static_cast<std::size_t>(u)].halted_;
+    }
+    auditor.begin_round(round_, halted_at_start);
     bool all_halted = true;
     // Compute phase: every live node processes its inbox and stages sends.
     for (NodeId u = 0; u < n; ++u) {
@@ -145,7 +161,8 @@ RunStats Network::run(int max_rounds) {
           ctx, inboxes_[static_cast<std::size_t>(u)]);
       if (!ctx.halted_) all_halted = false;
     }
-    // Delivery phase: move staged messages into next-round inboxes.
+    // Delivery phase: move staged messages into next-round inboxes. The
+    // auditor recounts every message independently of staged_fields_.
     for (auto& inbox : inboxes_) inbox.clear();
     std::vector<TracedMessage> round_trace;
     for (NodeId u = 0; u < n; ++u) {
@@ -157,6 +174,10 @@ RunStats Network::run(int max_rounds) {
         const auto& peer = contexts_[static_cast<std::size_t>(v)];
         const int back_port = peer.port_to(u);
         for (Payload& msg : queue) {
+          // Halted nodes drop incoming traffic.
+          const bool delivered = !peer.halted_;
+          auditor.on_message(u, v, ctx.ports_[static_cast<std::size_t>(p)],
+                             msg.size(), delivered, peer.halted_);
           ++stats.messages;
           stats.fields += static_cast<std::int64_t>(msg.size());
           if (config_.record_trace) {
@@ -164,8 +185,7 @@ RunStats Network::run(int max_rounds) {
                 u, v, ctx.ports_[static_cast<std::size_t>(p)],
                 static_cast<int>(msg.size())});
           }
-          // Halted nodes drop incoming traffic.
-          if (!peer.halted_) {
+          if (delivered) {
             inboxes_[static_cast<std::size_t>(v)].push_back(
                 Incoming{back_port, std::move(msg)});
           }
@@ -177,14 +197,23 @@ RunStats Network::run(int max_rounds) {
     if (config_.record_trace) {
       trace_.push_back(std::move(round_trace));
     }
+    auditor.end_round();
     if (all_halted) {
       stats.rounds = round_ + 1;
       stats.completed = true;
-      return stats;
+      break;
     }
   }
-  stats.rounds = max_rounds;
-  stats.completed = false;
+  if (!stats.completed) {
+    stats.rounds = max_rounds;
+  }
+  if (stats_tamper_for_test_) {
+    stats_tamper_for_test_(stats);
+  }
+  auditor.verify(stats);
+  if (config_.record_trace) {
+    auditor.verify_trace(trace_);
+  }
   return stats;
 }
 
@@ -214,6 +243,21 @@ double Network::edge_weight(EdgeId e) const {
   QDC_EXPECT(e >= 0 && e < topology_.edge_count(),
              "Network::edge_weight: bad edge");
   return weights_[static_cast<std::size_t>(e)];
+}
+
+void Network::stage_unchecked_for_test(NodeId u, int port, Payload message) {
+  QDC_EXPECT(topology_.valid_node(u),
+             "Network::stage_unchecked_for_test: bad node");
+  auto& ctx = contexts_[static_cast<std::size_t>(u)];
+  QDC_EXPECT(port >= 0 && port < ctx.degree(),
+             "Network::stage_unchecked_for_test: bad port");
+  QDC_EXPECT(!message.empty(),
+             "Network::stage_unchecked_for_test: empty message");
+  ctx.staged_[static_cast<std::size_t>(port)].push_back(std::move(message));
+}
+
+void Network::set_stats_tamper_for_test(std::function<void(RunStats&)> tamper) {
+  stats_tamper_for_test_ = std::move(tamper);
 }
 
 }  // namespace qdc::congest

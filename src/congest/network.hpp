@@ -12,6 +12,11 @@
 // common random tape that is independent of the input (footnote 2 of the
 // paper: shared entanglement subsumes shared randomness). Programs read it
 // through NodeContext::shared_bit / shared_hash without communicating.
+//
+// Model conformance: every run is double-checked by a ModelAuditor (see
+// congest/model_auditor.hpp), a second accountant that recounts bandwidth
+// from the delivered messages and rejects any run whose accounting was
+// under-charged or tampered with.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +26,7 @@
 #include <vector>
 
 #include "congest/message.hpp"
+#include "congest/stats.hpp"
 #include "graph/graph.hpp"
 
 namespace qdc::congest {
@@ -77,12 +83,17 @@ class NodeContext {
   bool shared_bit(std::int64_t key) const;
   std::uint64_t shared_hash(std::int64_t key) const;
 
-  /// Contexts are created and wired up by the Network only; treat instances
-  /// obtained elsewhere as unusable.
+  /// Contexts are created and wired up by the Network only. A
+  /// default-constructed context is not attached to any Network; calling a
+  /// method that needs one throws ContractError instead of dereferencing
+  /// null.
   NodeContext() = default;
 
  private:
   friend class Network;
+
+  /// The owning network; throws ContractError on a detached context.
+  const Network& attached() const;
 
   const Network* network_ = nullptr;
   NodeId id_ = -1;
@@ -108,22 +119,6 @@ class NodeProgram {
 
 using ProgramFactory =
     std::function<std::unique_ptr<NodeProgram>(NodeId, const NodeContext&)>;
-
-/// One directed message observed by the tracer.
-struct TracedMessage {
-  NodeId from = -1;
-  NodeId to = -1;
-  EdgeId edge = -1;
-  int fields = 0;
-};
-
-/// Execution statistics for one run.
-struct RunStats {
-  int rounds = 0;                 ///< rounds executed until all halted
-  std::int64_t messages = 0;      ///< total messages delivered
-  std::int64_t fields = 0;        ///< total fields delivered
-  bool completed = false;         ///< all nodes halted within the budget
-};
 
 struct NetworkConfig {
   int bandwidth = 8;              ///< fields per edge per direction per round
@@ -154,7 +149,9 @@ class Network {
   /// and statistics.
   void install(const ProgramFactory& factory);
 
-  /// Runs until every node halts or `max_rounds` elapse.
+  /// Runs until every node halts or `max_rounds` elapse. The whole run is
+  /// audited by a ModelAuditor; a model violation or an accounting
+  /// mismatch throws ModelError.
   RunStats run(int max_rounds);
 
   std::optional<std::int64_t> output(NodeId u) const;
@@ -174,6 +171,16 @@ class Network {
   double edge_weight(EdgeId e) const;
   std::uint64_t shared_seed() const { return config_.shared_seed; }
 
+  /// Test-only: stage `message` on u's `port` without charging the
+  /// per-edge budget, simulating a send path that under-counts bandwidth.
+  /// The next run's ModelAuditor must reject the offending round.
+  void stage_unchecked_for_test(NodeId u, int port, Payload message);
+
+  /// Test-only: mutate the RunStats that run() is about to report, right
+  /// before the final audit. Lets tests prove the second accountant
+  /// rejects tampered bandwidth accounting.
+  void set_stats_tamper_for_test(std::function<void(RunStats&)> tamper);
+
  private:
   friend class NodeContext;
 
@@ -187,6 +194,7 @@ class Network {
   std::vector<std::unique_ptr<NodeProgram>> programs_;
   std::vector<std::vector<Incoming>> inboxes_;
   std::vector<std::vector<TracedMessage>> trace_;
+  std::function<void(RunStats&)> stats_tamper_for_test_;
   int round_ = 0;
 };
 

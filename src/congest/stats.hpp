@@ -1,0 +1,27 @@
+// Execution accounting for CONGEST(B) runs, shared between the Network
+// simulator and the ModelAuditor that double-checks it.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace qdc::congest {
+
+/// One directed message observed by the tracer.
+struct TracedMessage {
+  graph::NodeId from = -1;
+  graph::NodeId to = -1;
+  graph::EdgeId edge = -1;
+  int fields = 0;
+};
+
+/// Execution statistics for one run.
+struct RunStats {
+  int rounds = 0;                 ///< rounds executed until all halted
+  std::int64_t messages = 0;      ///< total messages delivered
+  std::int64_t fields = 0;        ///< total fields delivered
+  bool completed = false;         ///< all nodes halted within the budget
+};
+
+}  // namespace qdc::congest

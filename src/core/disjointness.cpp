@@ -58,7 +58,7 @@ class StreamDisjointnessProgram : public congest::NodeProgram {
       decided_ = true;
       std::size_t common = 0;
       for (std::size_t i = 0; i < y_.size(); ++i) {
-        common += (buffer_[i] && y_.get(i)) ? 1 : 0;
+        if (buffer_[i] && y_.get(i)) ++common;
       }
       answer_ = common == 0;
       have_answer_ = true;

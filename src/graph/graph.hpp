@@ -113,7 +113,8 @@ class WeightedGraph {
 class EdgeSubset {
  public:
   EdgeSubset() = default;
-  explicit EdgeSubset(int edge_count) : member_(edge_count, 0) {}
+  explicit EdgeSubset(int edge_count)
+      : member_(static_cast<std::size_t>(edge_count), 0) {}
 
   static EdgeSubset all(int edge_count);
   static EdgeSubset of(int edge_count, const std::vector<EdgeId>& edges);

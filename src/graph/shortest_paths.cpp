@@ -44,7 +44,7 @@ ShortestPathTree bellman_ford(const WeightedGraph& g, NodeId source) {
     for (EdgeId e = 0; e < g.edge_count(); ++e) {
       const Edge& edge = g.edge(e);
       const double w = g.weight(e);
-      for (const auto [from, to] :
+      for (const auto& [from, to] :
            {std::pair{edge.u, edge.v}, std::pair{edge.v, edge.u}}) {
         const double nd = out.distance[static_cast<std::size_t>(from)] + w;
         auto& cur = out.distance[static_cast<std::size_t>(to)];

@@ -44,7 +44,7 @@ std::size_t BitString::hamming_distance(const BitString& other) const {
              "BitString::hamming_distance: length mismatch");
   std::size_t d = 0;
   for (std::size_t i = 0; i < size(); ++i) {
-    d += (bits_[i] != other.bits_[i]) ? 1 : 0;
+    if (bits_[i] != other.bits_[i]) ++d;
   }
   return d;
 }

@@ -1,0 +1,216 @@
+// Model-violation paths and the ModelAuditor second accountant: a run whose
+// bandwidth accounting is tampered with or whose send path under-charges
+// must be rejected even though the primary send-path checks were bypassed.
+#include <gtest/gtest.h>
+
+#include "congest/model_auditor.hpp"
+#include "congest/network.hpp"
+#include "graph/generators.hpp"
+
+namespace qdc::congest {
+namespace {
+
+class IdleProgram : public NodeProgram {
+ public:
+  void on_round(NodeContext&, const std::vector<Incoming>&) override {}
+};
+
+class HaltNowProgram : public NodeProgram {
+ public:
+  void on_round(NodeContext& ctx, const std::vector<Incoming>&) override {
+    ctx.set_output(0);
+    ctx.halt();
+  }
+};
+
+/// Fills the whole per-edge budget with legitimate sends each round.
+class FullBudgetProgram : public NodeProgram {
+ public:
+  void on_round(NodeContext& ctx, const std::vector<Incoming>&) override {
+    Payload all(static_cast<std::size_t>(ctx.bandwidth()), 1);
+    ctx.send(0, std::move(all));
+    ctx.set_output(0);
+    ctx.halt();
+  }
+};
+
+TEST(ModelViolations, OversendOnOneEdgeThrows) {
+  Network net(graph::path_graph(2), NetworkConfig{.bandwidth = 3});
+  class Oversend : public NodeProgram {
+   public:
+    void on_round(NodeContext& ctx, const std::vector<Incoming>&) override {
+      ctx.send(0, {1, 2});
+      ctx.send(0, {3});
+      ctx.send(0, {4});  // field 4 of 3: over budget on this edge
+    }
+  };
+  net.install([](NodeId, const NodeContext&) {
+    return std::make_unique<Oversend>();
+  });
+  EXPECT_THROW(net.run(5), ModelError);
+}
+
+TEST(ModelViolations, SendAfterHaltThrows) {
+  Network net(graph::path_graph(2), NetworkConfig{});
+  class SendAfterHalt : public NodeProgram {
+   public:
+    void on_round(NodeContext& ctx, const std::vector<Incoming>&) override {
+      ctx.halt();
+      ctx.send(0, {1});
+    }
+  };
+  net.install([](NodeId, const NodeContext&) {
+    return std::make_unique<SendAfterHalt>();
+  });
+  EXPECT_THROW(net.run(5), ContractError);
+}
+
+TEST(ModelViolations, OutputsWithMissingOutputThrows) {
+  Network net(graph::path_graph(3), NetworkConfig{});
+  // Only node 0 produces an output.
+  net.install([](NodeId id, const NodeContext&) -> std::unique_ptr<NodeProgram> {
+    if (id == 0) return std::make_unique<HaltNowProgram>();
+    class HaltSilent : public NodeProgram {
+     public:
+      void on_round(NodeContext& ctx, const std::vector<Incoming>&) override {
+        ctx.halt();
+      }
+    };
+    return std::make_unique<HaltSilent>();
+  });
+  EXPECT_TRUE(net.run(3).completed);
+  EXPECT_THROW(net.outputs(), ModelError);
+}
+
+TEST(DefaultNodeContext, MethodsThrowInsteadOfSegfaulting) {
+  NodeContext ctx;
+  EXPECT_EQ(ctx.degree(), 0);
+  EXPECT_THROW(ctx.node_count(), ContractError);
+  EXPECT_THROW(ctx.bandwidth(), ContractError);
+  EXPECT_THROW(ctx.round(), ContractError);
+  EXPECT_THROW(ctx.shared_bit(0), ContractError);
+  EXPECT_THROW(ctx.shared_hash(0), ContractError);
+  EXPECT_THROW(ctx.send(0, {1}), ContractError);    // also a bad port
+  EXPECT_THROW(ctx.neighbor(0), ContractError);
+  EXPECT_THROW(ctx.edge_weight(0), ContractError);
+  EXPECT_THROW(ctx.edge_in_subnetwork(0), ContractError);
+}
+
+TEST(ModelAuditorTest, TamperedFieldTotalIsRejected) {
+  Network net(graph::path_graph(2), NetworkConfig{.bandwidth = 4});
+  net.install([](NodeId, const NodeContext&) {
+    return std::make_unique<FullBudgetProgram>();
+  });
+  // Under-charge by one field: exactly the tampering that would fake a
+  // lower-bound violation. The second accountant must notice.
+  net.set_stats_tamper_for_test([](RunStats& stats) { stats.fields -= 1; });
+  EXPECT_THROW(net.run(5), ModelError);
+}
+
+TEST(ModelAuditorTest, TamperedMessageCountIsRejected) {
+  Network net(graph::path_graph(2), NetworkConfig{});
+  net.install([](NodeId, const NodeContext&) {
+    return std::make_unique<FullBudgetProgram>();
+  });
+  net.set_stats_tamper_for_test([](RunStats& stats) { stats.messages += 1; });
+  EXPECT_THROW(net.run(5), ModelError);
+}
+
+TEST(ModelAuditorTest, UntamperedRunStillPasses) {
+  Network net(graph::path_graph(2), NetworkConfig{.bandwidth = 4});
+  net.install([](NodeId, const NodeContext&) {
+    return std::make_unique<FullBudgetProgram>();
+  });
+  net.set_stats_tamper_for_test([](RunStats&) {});  // identity tamper
+  EXPECT_TRUE(net.run(5).completed);
+}
+
+TEST(ModelAuditorTest, UnderchargedSendPathIsRejected) {
+  // A payload staged without charging the budget slips past the send-path
+  // QDC_CHECK; the auditor recounts the delivered fields and rejects the
+  // round.
+  Network net(graph::path_graph(2), NetworkConfig{.bandwidth = 2});
+  net.install([](NodeId, const NodeContext&) {
+    return std::make_unique<IdleProgram>();
+  });
+  net.stage_unchecked_for_test(0, 0, {1, 2, 3});
+  EXPECT_THROW(net.run(1), ModelError);
+}
+
+TEST(ModelAuditorTest, UnderchargeOnTopOfFullBudgetIsRejected) {
+  // The program legitimately fills the budget; one extra smuggled field
+  // tips the recount over B even though each payload alone is within B.
+  Network net(graph::path_graph(2), NetworkConfig{.bandwidth = 4});
+  net.install([](NodeId, const NodeContext&) {
+    return std::make_unique<FullBudgetProgram>();
+  });
+  net.stage_unchecked_for_test(0, 0, {99});
+  EXPECT_THROW(net.run(5), ModelError);
+}
+
+TEST(ModelAuditorTest, HaltedSenderIsRejected) {
+  Network net(graph::path_graph(2), NetworkConfig{});
+  net.install([](NodeId, const NodeContext&) {
+    return std::make_unique<HaltNowProgram>();
+  });
+  EXPECT_TRUE(net.run(3).completed);
+  // Everyone has halted; a message smuggled out of a halted node must be
+  // caught by the halted-nodes-are-silent audit.
+  net.stage_unchecked_for_test(0, 0, {1});
+  EXPECT_THROW(net.run(1), ModelError);
+}
+
+TEST(ModelAuditorTest, WithinBudgetInjectionPassesTheRecount) {
+  // Control case: an injected payload that stays within B is a legitimate
+  // message as far as the model is concerned, so the audit accepts it.
+  Network net(graph::path_graph(2), NetworkConfig{.bandwidth = 4});
+  net.install([](NodeId, const NodeContext&) {
+    return std::make_unique<HaltNowProgram>();
+  });
+  net.stage_unchecked_for_test(0, 0, {1, 2});
+  EXPECT_TRUE(net.run(3).completed);
+}
+
+TEST(ModelAuditorTest, StandaloneAuditorChecksEdgeEndpoints) {
+  const graph::Graph topo = graph::path_graph(3);  // edges: 0-1, 1-2
+  ModelAuditor auditor(topo, 2);
+  auditor.begin_round(0, std::vector<bool>(3, false));
+  // Edge 0 connects nodes 0 and 1; claiming it carried 0 -> 2 is a lie.
+  EXPECT_THROW(auditor.on_message(0, 2, 0, 1, true, false), ModelError);
+}
+
+TEST(ModelAuditorTest, StandaloneAuditorSeparatesDirections) {
+  const graph::Graph topo = graph::path_graph(2);
+  ModelAuditor auditor(topo, 2);
+  auditor.begin_round(0, std::vector<bool>(2, false));
+  // B fields in each direction of the same edge is legal...
+  auditor.on_message(0, 1, 0, 2, true, false);
+  auditor.on_message(1, 0, 0, 2, true, false);
+  auditor.end_round();
+  // ...but B+1 in one direction is not.
+  auditor.begin_round(1, std::vector<bool>(2, false));
+  auditor.on_message(0, 1, 0, 2, true, false);
+  auditor.on_message(0, 1, 0, 1, true, false);
+  EXPECT_THROW(auditor.end_round(), ModelError);
+}
+
+TEST(ModelAuditorTest, StandaloneAuditorCrossChecksStats) {
+  const graph::Graph topo = graph::path_graph(2);
+  ModelAuditor auditor(topo, 4);
+  auditor.begin_round(0, std::vector<bool>(2, false));
+  auditor.on_message(0, 1, 0, 3, true, false);
+  auditor.end_round();
+  EXPECT_EQ(auditor.messages(), 1);
+  EXPECT_EQ(auditor.fields(), 3);
+  EXPECT_EQ(auditor.rounds(), 1);
+
+  RunStats good{.rounds = 1, .messages = 1, .fields = 3, .completed = true};
+  auditor.verify(good);  // must not throw
+
+  RunStats bad = good;
+  bad.fields = 2;
+  EXPECT_THROW(auditor.verify(bad), ModelError);
+}
+
+}  // namespace
+}  // namespace qdc::congest

@@ -1,0 +1,254 @@
+#!/usr/bin/env python3
+"""qdc_lint: repo-specific static checks no generic tool knows about.
+
+Run as a CTest test (see tools/CMakeLists.txt) or by hand:
+
+    python3 tools/qdc_lint.py --root .
+
+Rules enforced on library code (src/):
+
+  pragma-once       every header starts its preprocessor life with
+                    `#pragma once` (no include guards, no unguarded headers).
+  no-raw-random     no `rand()`, `srand()` or `std::random_device`: all
+                    randomness must flow through util/rng.hpp (explicit
+                    seeded Rng&) or the Network's shared tape, otherwise
+                    experiments are not reproducible from a seed.
+  no-iostream       library code never includes <iostream>/<cstdio> or
+                    writes to std::cout/std::cerr/printf. Reporting belongs
+                    to tests, benches and examples.
+  throw-via-macro   every `throw` goes through QDC_EXPECT/QDC_CHECK so
+                    model violations carry file/line context and a uniform
+                    exception taxonomy (util/expect.{hpp,cpp} implement the
+                    macros and are exempt).
+  include-order     within a file: the matching own header first (for
+                    .cpp), then <system> headers, then "project" headers;
+                    each block alphabetically sorted.
+  namespace-hygiene no `using namespace` at file scope in any src/ file
+                    (headers or sources); every src/ file puts its
+                    declarations inside namespace qdc or a nested
+                    namespace.
+
+Exit status: 0 when clean, 1 when any rule fires. Diagnostics are printed
+one per line as `file:line: [rule] message` so editors can jump to them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+
+class Diagnostic:
+    def __init__(self, path: Path, line: int, rule: str, message: str) -> None:
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line structure.
+
+    Every removed character is replaced by a space and newlines are kept, so
+    line numbers in the stripped text match the original file.
+    """
+    out: list[str] = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+            i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+            i += 1
+        else:  # string or char
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append("\n" if c == "\n" else " ")
+            i += 1
+    return "".join(out)
+
+
+def check_pragma_once(path: Path, code_lines: list[str]) -> list[Diagnostic]:
+    if path.suffix != ".hpp":
+        return []
+    for lineno, line in enumerate(code_lines, start=1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if stripped == "#pragma once":
+            return []
+        return [Diagnostic(path, lineno, "pragma-once",
+                           "first preprocessor token in a header must be "
+                           "`#pragma once`")]
+    return [Diagnostic(path, 1, "pragma-once", "header has no `#pragma once`")]
+
+
+RAW_RANDOM = re.compile(r"\b(?:std::)?(?:rand|srand)\s*\(|\bstd::random_device\b")
+IOSTREAM_INCLUDE = re.compile(r'#\s*include\s*<(?:iostream|cstdio|stdio\.h)>')
+IOSTREAM_USE = re.compile(r"\bstd::c(?:out|err|log)\b|\b(?:f|s)?printf\s*\(")
+THROW = re.compile(r"\bthrow\b(?!\s*;)")
+USING_NAMESPACE = re.compile(r"^\s*using\s+namespace\b")
+NAMESPACE_OPEN = re.compile(r"^\s*(?:inline\s+)?namespace\s+([A-Za-z_][\w:]*)")
+
+
+def check_content_rules(path: Path, code_lines: list[str],
+                        rel: Path) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+    is_expect_impl = rel.as_posix() in ("src/util/expect.hpp",
+                                        "src/util/expect.cpp")
+    depth = 0  # brace depth, to distinguish file scope from inner scopes
+    for lineno, line in enumerate(code_lines, start=1):
+        if RAW_RANDOM.search(line):
+            diags.append(Diagnostic(
+                path, lineno, "no-raw-random",
+                "use util/rng.hpp (seeded Rng&) or the shared tape; "
+                "rand()/std::random_device break reproducibility"))
+        if IOSTREAM_INCLUDE.search(line) or IOSTREAM_USE.search(line):
+            diags.append(Diagnostic(
+                path, lineno, "no-iostream",
+                "library code must not perform console I/O; report through "
+                "return values or RunStats"))
+        if not is_expect_impl and THROW.search(line):
+            diags.append(Diagnostic(
+                path, lineno, "throw-via-macro",
+                "throw only via QDC_EXPECT / QDC_CHECK (util/expect.hpp)"))
+        if USING_NAMESPACE.search(line) and depth == 0:
+            diags.append(Diagnostic(
+                path, lineno, "namespace-hygiene",
+                "no file-scope `using namespace` in src/"))
+        depth += line.count("{") - line.count("}")
+    return diags
+
+
+def check_namespace(path: Path, code_lines: list[str]) -> list[Diagnostic]:
+    for line in code_lines:
+        m = NAMESPACE_OPEN.search(line)
+        if m and (m.group(1) == "qdc" or m.group(1).startswith("qdc::")):
+            return []
+    lineno = next(
+        (i for i, text in enumerate(code_lines, start=1) if text.strip()), 1)
+    return [Diagnostic(path, lineno, "namespace-hygiene",
+                       "src/ file declares nothing inside namespace qdc")]
+
+
+INCLUDE = re.compile(r'^\s*#\s*include\s*([<"])([^">]+)[">]')
+
+
+def check_include_order(path: Path, raw_lines: list[str],
+                        rel: Path) -> list[Diagnostic]:
+    # Raw lines: the comment/string stripper blanks the "..." of project
+    # includes. `// #include` lines do not match (the regex anchors on #).
+    includes = [(i, m.group(1), m.group(2))
+                for i, text in enumerate(raw_lines, start=1)
+                if (m := INCLUDE.match(text))]
+    if not includes:
+        return []
+    diags: list[Diagnostic] = []
+    own_header = None
+    if path.suffix == ".cpp":
+        own_header = rel.relative_to("src").with_suffix(".hpp").as_posix()
+    start = 0
+    if own_header and includes[0][1] == '"' and includes[0][2] == own_header:
+        start = 1  # own header first is the expected layout
+    # After the optional own header: all <...> precede all "..." and each
+    # group is alphabetically sorted.
+    seen_quote = False
+    prev = {"<": "", '"': ""}
+    for lineno, kind, name in includes[start:]:
+        if kind == "<" and seen_quote:
+            diags.append(Diagnostic(
+                path, lineno, "include-order",
+                f"<{name}> appears after a project include; system headers "
+                "come first"))
+            continue
+        if kind == '"':
+            seen_quote = True
+        if prev[kind] and name < prev[kind]:
+            diags.append(Diagnostic(
+                path, lineno, "include-order",
+                f"include '{name}' is not in alphabetical order "
+                f"(after '{prev[kind]}')"))
+        prev[kind] = name
+    return diags
+
+
+def lint_file(path: Path, root: Path) -> list[Diagnostic]:
+    rel = path.relative_to(root)
+    text = path.read_text(encoding="utf-8")
+    code_lines = strip_comments_and_strings(text).split("\n")
+    diags: list[Diagnostic] = []
+    diags += check_pragma_once(path, code_lines)
+    diags += check_content_rules(path, code_lines, rel)
+    diags += check_namespace(path, code_lines)
+    diags += check_include_order(path, text.split("\n"), rel)
+    return diags
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=Path, default=Path("."),
+                        help="repository root (contains src/)")
+    args = parser.parse_args(argv)
+    root = args.root.resolve()
+    src = root / "src"
+    if not src.is_dir():
+        print(f"qdc_lint: no src/ under {root}", file=sys.stderr)
+        return 2
+    files = sorted(p for p in src.rglob("*") if p.suffix in (".hpp", ".cpp"))
+    diags: list[Diagnostic] = []
+    for path in files:
+        diags.extend(lint_file(path, root))
+    for d in diags:
+        print(d)
+    print(f"qdc_lint: {len(files)} files checked, {len(diags)} diagnostic(s)")
+    return 1 if diags else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
