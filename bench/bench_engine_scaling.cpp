@@ -1,0 +1,223 @@
+// Engine-scaling harness: measures the deterministic parallel round engine
+// (congest/network.cpp) across thread counts and topologies, and emits
+// BENCH_engine.json — the start of the repo's recorded perf trajectory.
+//
+//   ./bench_engine_scaling [--smoke] [--out PATH]
+//
+// --smoke shrinks every instance to seconds-scale for CI; --out defaults
+// to BENCH_engine.json in the working directory. Topologies: the paper's
+// lower-bound network N(Gamma, L) at n >= 4096, a path of the same order,
+// and a seeded sparse random graph. Every run keeps the ModelAuditor on —
+// the reported rounds/sec are for fully audited executions, the only kind
+// the experiments trust.
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "core/lb_network.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using qdc::congest::Incoming;
+using qdc::congest::Network;
+using qdc::congest::NetworkConfig;
+using qdc::congest::NodeContext;
+using qdc::congest::NodeId;
+using qdc::congest::NodeProgram;
+using qdc::congest::Payload;
+using qdc::congest::RunStats;
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Round-synchronous flood with a tunable local-compute knob: every round
+/// each node folds its inbox, burns `work` hash iterations (standing in
+/// for a real program's local computation), and pushes two fields through
+/// every port. Halts after `rounds` rounds.
+class ScalingProgram : public NodeProgram {
+ public:
+  ScalingProgram(int rounds, int work) : rounds_(rounds), work_(work) {}
+
+  void on_round(NodeContext& ctx, const std::vector<Incoming>& inbox) override {
+    for (const Incoming& msg : inbox) {
+      for (const std::int64_t f : msg.data) {
+        acc_ = mix64(acc_ ^ static_cast<std::uint64_t>(f));
+      }
+    }
+    for (int i = 0; i < work_; ++i) {
+      acc_ = mix64(acc_);
+    }
+    if (ctx.round() >= rounds_) {
+      ctx.set_output(static_cast<std::int64_t>(acc_ & 0x7fffffff));
+      ctx.halt();
+      return;
+    }
+    const Payload out{static_cast<std::int64_t>(acc_ & 0xffff),
+                      ctx.round()};
+    for (int p = 0; p < ctx.degree(); ++p) {
+      ctx.send(p, out);
+    }
+  }
+
+ private:
+  int rounds_;
+  int work_;
+  std::uint64_t acc_ = 0x243f6a8885a308d3ULL;
+};
+
+struct ThreadResult {
+  int threads = 0;
+  double seconds = 0.0;
+  double rounds_per_sec = 0.0;
+  double speedup = 1.0;
+};
+
+struct CaseResult {
+  std::string name;
+  std::string topology;
+  int nodes = 0;
+  int edges = 0;
+  int rounds = 0;
+  std::vector<ThreadResult> results;
+};
+
+CaseResult run_case(const std::string& name, const std::string& kind,
+                    qdc::graph::Graph topology, int rounds, int work,
+                    const std::vector<int>& thread_counts) {
+  CaseResult result;
+  result.name = name;
+  result.topology = kind;
+  result.nodes = topology.node_count();
+  result.edges = topology.edge_count();
+  result.rounds = rounds;
+  Network net(std::move(topology), NetworkConfig{.bandwidth = 8});
+  for (const int threads : thread_counts) {
+    net.install([rounds, work](NodeId, const NodeContext&) {
+      return std::make_unique<ScalingProgram>(rounds, work);
+    });
+    const auto start = std::chrono::steady_clock::now();
+    const RunStats stats = net.run({.max_rounds = rounds + 2,
+                                    .threads = threads});
+    const auto stop = std::chrono::steady_clock::now();
+    if (!stats.completed) {
+      std::cerr << "engine_scaling: case " << name << " did not complete\n";
+      std::exit(1);
+    }
+    ThreadResult tr;
+    tr.threads = threads;
+    tr.seconds = std::chrono::duration<double>(stop - start).count();
+    tr.rounds_per_sec =
+        tr.seconds > 0.0 ? static_cast<double>(stats.rounds) / tr.seconds
+                         : 0.0;
+    result.results.push_back(tr);
+  }
+  const double base = result.results.front().rounds_per_sec;
+  for (ThreadResult& tr : result.results) {
+    tr.speedup = base > 0.0 ? tr.rounds_per_sec / base : 1.0;
+  }
+  return result;
+}
+
+void write_json(const std::string& path, const std::vector<CaseResult>& cases,
+                bool smoke) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "engine_scaling: cannot write " << path << "\n";
+    std::exit(1);
+  }
+  out << "{\n";
+  out << "  \"bench\": \"engine_scaling\",\n";
+  out << "  \"schema_version\": 1,\n";
+  out << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+  out << "  \"hardware_threads\": "
+      << qdc::util::ThreadPool::hardware_threads() << ",\n";
+  out << "  \"cases\": [\n";
+  for (std::size_t c = 0; c < cases.size(); ++c) {
+    const CaseResult& cr = cases[c];
+    out << "    {\n";
+    out << "      \"name\": \"" << cr.name << "\",\n";
+    out << "      \"topology\": \"" << cr.topology << "\",\n";
+    out << "      \"nodes\": " << cr.nodes << ",\n";
+    out << "      \"edges\": " << cr.edges << ",\n";
+    out << "      \"rounds\": " << cr.rounds << ",\n";
+    out << "      \"results\": [\n";
+    for (std::size_t r = 0; r < cr.results.size(); ++r) {
+      const ThreadResult& tr = cr.results[r];
+      out << "        {\"threads\": " << tr.threads
+          << ", \"seconds\": " << tr.seconds
+          << ", \"rounds_per_sec\": " << tr.rounds_per_sec
+          << ", \"speedup\": " << tr.speedup << "}"
+          << (r + 1 < cr.results.size() ? "," : "") << "\n";
+    }
+    out << "      ]\n";
+    out << "    }" << (c + 1 < cases.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_engine.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_engine_scaling [--smoke] [--out PATH]\n";
+      return 1;
+    }
+  }
+
+  const int gamma = smoke ? 4 : 64;
+  const int length = smoke ? 9 : 65;     // LbNetwork rounds L up to 2^k + 1
+  const int n = smoke ? 64 : 4096;
+  const int rounds = smoke ? 4 : 24;
+  const int work = smoke ? 16 : 256;
+  const std::vector<int> thread_counts =
+      smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
+
+  std::vector<CaseResult> cases;
+  {
+    const qdc::core::LbNetwork lbn(gamma, length);
+    cases.push_back(run_case("lb_network", "lb_network", lbn.topology(),
+                             rounds, work, thread_counts));
+  }
+  cases.push_back(run_case("path", "path", qdc::graph::path_graph(n), rounds,
+                           work, thread_counts));
+  {
+    qdc::Rng rng(12345);
+    const double p = smoke ? 0.1 : 0.002;
+    cases.push_back(run_case("random", "random",
+                             qdc::graph::random_connected(n, p, rng), rounds,
+                             work, thread_counts));
+  }
+
+  write_json(out_path, cases, smoke);
+  for (const CaseResult& cr : cases) {
+    std::cout << cr.name << " (n=" << cr.nodes << ", m=" << cr.edges << ")\n";
+    for (const ThreadResult& tr : cr.results) {
+      std::cout << "  threads=" << tr.threads
+                << "  rounds/sec=" << tr.rounds_per_sec
+                << "  speedup=" << tr.speedup << "\n";
+    }
+  }
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

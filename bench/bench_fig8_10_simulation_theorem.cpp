@@ -67,7 +67,7 @@ int main(int argc, char** argv) {
     net.install([&](congest::NodeId, const congest::NodeContext&) {
       return std::make_unique<Saturate>(t);
     });
-    net.run(t + 2);
+    net.run({.max_rounds = t + 2});
     const auto sat_acc = core::account_three_party_cost(lbn, net);
 
     std::printf(
@@ -96,7 +96,7 @@ int main(int argc, char** argv) {
     net.install([&](congest::NodeId, const congest::NodeContext&) {
       return std::make_unique<Saturate>(t);
     });
-    net.run(t + 2);
+    net.run({.max_rounds = t + 2});
     const auto acc = core::account_three_party_cost(lbn, net);
     std::printf("%6d %14lld %14lld\n", b,
                 static_cast<long long>(acc.max_charged_per_round),

@@ -7,8 +7,16 @@ namespace qdc::congest {
 ModelAuditor::ModelAuditor(const graph::Graph& topology, int bandwidth)
     : topology_(topology),
       bandwidth_(bandwidth),
-      round_fields_(static_cast<std::size_t>(topology.edge_count()) * 2, 0) {
+      round_fields_(static_cast<std::size_t>(topology.edge_count()) * 2, 0),
+      shards_(1) {
   QDC_EXPECT(bandwidth >= 1, "ModelAuditor: bandwidth must be >= 1");
+}
+
+void ModelAuditor::set_shard_count(int shards) {
+  QDC_EXPECT(!round_open_,
+             "ModelAuditor::set_shard_count: a round is still open");
+  QDC_EXPECT(shards >= 1, "ModelAuditor::set_shard_count: needs >= 1 shard");
+  shards_.resize(static_cast<std::size_t>(shards));
 }
 
 void ModelAuditor::begin_round(int round,
@@ -23,10 +31,12 @@ void ModelAuditor::begin_round(int round,
   round_open_ = true;
 }
 
-void ModelAuditor::on_message(graph::NodeId from, graph::NodeId to,
+void ModelAuditor::on_message(int shard, graph::NodeId from, graph::NodeId to,
                               graph::EdgeId edge, std::size_t fields,
                               bool delivered, bool receiver_halted) {
   QDC_EXPECT(round_open_, "ModelAuditor::on_message: no open round");
+  QDC_EXPECT(shard >= 0 && shard < static_cast<int>(shards_.size()),
+             "ModelAuditor::on_message: bad shard index");
   QDC_EXPECT(edge >= 0 && edge < topology_.edge_count(),
              "ModelAuditor::on_message: bad edge id");
   const graph::Edge& e = topology_.edge(edge);
@@ -41,21 +51,28 @@ void ModelAuditor::on_message(graph::NodeId from, graph::NodeId to,
             "status (halted nodes receive nothing; live nodes miss nothing)");
   const std::size_t key =
       static_cast<std::size_t>(edge) * 2 + (from == e.u ? 0 : 1);
-  if (round_fields_[key] == 0) touched_.push_back(key);
+  ShardTally& tally = shards_[static_cast<std::size_t>(shard)];
+  if (round_fields_[key] == 0) tally.touched.push_back(key);
   round_fields_[key] += static_cast<std::int64_t>(fields);
-  ++messages_;
-  fields_ += static_cast<std::int64_t>(fields);
+  ++tally.messages;
+  tally.fields += static_cast<std::int64_t>(fields);
 }
 
 void ModelAuditor::end_round() {
   QDC_EXPECT(round_open_, "ModelAuditor::end_round: no open round");
-  for (const std::size_t key : touched_) {
-    QDC_CHECK(round_fields_[key] <= bandwidth_,
-              "[audit] recounted fields on one edge direction exceed the "
-              "CONGEST bandwidth B: the send path under-charged this round");
-    round_fields_[key] = 0;
+  for (ShardTally& tally : shards_) {
+    for (const std::size_t key : tally.touched) {
+      QDC_CHECK(round_fields_[key] <= bandwidth_,
+                "[audit] recounted fields on one edge direction exceed the "
+                "CONGEST bandwidth B: the send path under-charged this round");
+      round_fields_[key] = 0;
+    }
+    tally.touched.clear();
+    messages_ += tally.messages;
+    fields_ += tally.fields;
+    tally.messages = 0;
+    tally.fields = 0;
   }
-  touched_.clear();
   fields_per_round_.push_back(fields_);
   round_open_ = false;
   ++rounds_;

@@ -15,6 +15,14 @@
 //
 // Any disagreement throws qdc::ModelError via QDC_CHECK with an "[audit]"
 // message, so a tampered or buggy run can never report success.
+//
+// Parallel recounting: the parallel round engine delivers messages from
+// several threads at once, sharded by receiver. The auditor supports this
+// through the shard-qualified on_message overload: distinct shards own
+// disjoint receivers, hence disjoint (edge, direction) keys, so the shared
+// per-key counters are written race-free, and per-shard message/field
+// tallies are merged deterministically (in shard-index order) by
+// end_round(). The unqualified on_message is the serial path (shard 0).
 #pragma once
 
 #include <cstdint>
@@ -31,21 +39,36 @@ class ModelAuditor {
   /// direction per round. The topology reference must outlive the auditor.
   ModelAuditor(const graph::Graph& topology, int bandwidth);
 
+  /// Declares how many delivery shards will feed this auditor (default 1).
+  /// Must be called outside an open round.
+  void set_shard_count(int shards);
+
   /// Opens round `round`. `halted_at_round_start[u]` is u's halt status
   /// before the round's compute phase: a node halted then must be silent
   /// for the rest of the run.
   void begin_round(int round, const std::vector<bool>& halted_at_round_start);
 
   /// Records one message of `fields` fields crossing `edge` from `from`
-  /// to `to` in the current round. `delivered` says whether the simulator
-  /// put it into the receiver's inbox; `receiver_halted` is the receiver's
-  /// halt status at delivery time. Checks sender liveness, edge/endpoint
-  /// consistency, and that exactly the live receivers get their messages.
+  /// to `to` in the current round, observed by delivery shard `shard`.
+  /// `delivered` says whether the simulator put it into the receiver's
+  /// inbox; `receiver_halted` is the receiver's halt status at delivery
+  /// time. Checks sender liveness, edge/endpoint consistency, and that
+  /// exactly the live receivers get their messages. Thread-safe across
+  /// *distinct* shards provided every (edge, direction) key is reported by
+  /// a single shard — which holds whenever shards partition the receivers.
+  void on_message(int shard, graph::NodeId from, graph::NodeId to,
+                  graph::EdgeId edge, std::size_t fields, bool delivered,
+                  bool receiver_halted);
+
+  /// Serial convenience overload: reports through shard 0.
   void on_message(graph::NodeId from, graph::NodeId to, graph::EdgeId edge,
-                  std::size_t fields, bool delivered, bool receiver_halted);
+                  std::size_t fields, bool delivered, bool receiver_halted) {
+    on_message(0, from, to, edge, fields, delivered, receiver_halted);
+  }
 
   /// Closes the current round: every (edge, direction) pair's recounted
-  /// field total must be within the bandwidth budget.
+  /// field total must be within the bandwidth budget. Merges the shard
+  /// tallies in shard-index order (serial; call from one thread).
   void end_round();
 
   /// Final cross-check of the run's reported statistics against the
@@ -61,14 +84,24 @@ class ModelAuditor {
   int rounds() const { return rounds_; }
 
  private:
+  /// Per-shard scratch, padded so shards claimed by different threads do
+  /// not share cache lines while tallying.
+  struct alignas(64) ShardTally {
+    std::int64_t messages = 0;
+    std::int64_t fields = 0;
+    std::vector<std::size_t> touched;  // keys this shard wrote this round
+  };
+
   const graph::Graph& topology_;
   int bandwidth_;
 
   // Recounted per-(edge, direction) fields for the open round. Keyed by
-  // 2*edge + direction where direction 0 means edge.u -> edge.v. Only the
-  // touched keys are reset between rounds.
+  // 2*edge + direction where direction 0 means edge.u -> edge.v. Each key
+  // is owned by the shard that owns the receiving endpoint, so concurrent
+  // shards write disjoint entries. Only the touched keys are reset between
+  // rounds.
   std::vector<std::int64_t> round_fields_;
-  std::vector<std::size_t> touched_;
+  std::vector<ShardTally> shards_;
 
   std::vector<bool> halted_at_round_start_;
   std::vector<std::int64_t> fields_per_round_;

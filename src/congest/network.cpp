@@ -16,6 +16,10 @@ std::uint64_t splitmix64(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
+/// Nodes per engine shard. Sharding depends on n only — never on the
+/// thread count — so shard-order merges are thread-count-invariant.
+constexpr int kNodesPerShard = 32;
+
 }  // namespace
 
 const Network& NodeContext::attached() const {
@@ -55,21 +59,33 @@ bool NodeContext::edge_in_subnetwork(int port) const {
   return net.subnetwork_.contains(ports_[static_cast<std::size_t>(port)]);
 }
 
-void NodeContext::send(int port, Payload message) {
+void NodeContext::stage(int port, const std::int64_t* fields,
+                        std::size_t count) {
   QDC_EXPECT(port >= 0 && port < degree(), "NodeContext::send: bad port");
   QDC_EXPECT(!halted_, "NodeContext::send: node already halted");
-  QDC_CHECK(!message.empty(), "NodeContext::send: empty message");
+  QDC_CHECK(count > 0, "NodeContext::send: empty message");
   auto& used = staged_fields_[static_cast<std::size_t>(port)];
-  QDC_CHECK(used + static_cast<int>(message.size()) <= bandwidth(),
+  QDC_CHECK(used + static_cast<int>(count) <= bandwidth(),
             "CONGEST bandwidth exceeded: a node tried to push more than B "
             "fields through one edge in one round");
-  used += static_cast<int>(message.size());
-  staged_[static_cast<std::size_t>(port)].push_back(std::move(message));
+  used += static_cast<int>(count);
+  const auto offset = static_cast<std::uint32_t>(staged_pool_.size());
+  staged_pool_.insert(staged_pool_.end(), fields, fields + count);
+  staged_by_port_[static_cast<std::size_t>(port)].push_back(
+      StagedRef{offset, static_cast<std::uint32_t>(count)});
 }
 
-void NodeContext::send_all(Payload message) {
+void NodeContext::send(int port, const Payload& message) {
+  stage(port, message.data(), message.size());
+}
+
+void NodeContext::send(int port, Payload&& message) {
+  stage(port, message.data(), message.size());
+}
+
+void NodeContext::send_all(const Payload& message) {
   for (int p = 0; p < degree(); ++p) {
-    send(p, message);
+    stage(p, message.data(), message.size());
   }
 }
 
@@ -87,19 +103,54 @@ Network::Network(graph::Graph topology, NetworkConfig config)
       weights_(static_cast<std::size_t>(topology_.edge_count()), 1.0),
       config_(config) {
   QDC_EXPECT(config_.bandwidth >= 1, "Network: bandwidth must be >= 1");
-  contexts_.resize(static_cast<std::size_t>(topology_.node_count()));
-  inboxes_.resize(static_cast<std::size_t>(topology_.node_count()));
-  for (NodeId u = 0; u < topology_.node_count(); ++u) {
+  const int n = topology_.node_count();
+  contexts_.resize(static_cast<std::size_t>(n));
+  for (auto& buffer : inboxes_) {
+    buffer.resize(static_cast<std::size_t>(n));
+  }
+  // Port index of each edge at its two endpoints, for O(1) back-port
+  // lookup during delivery (port_to would be O(degree) per message).
+  std::vector<int> port_at_u(static_cast<std::size_t>(topology_.edge_count()),
+                             -1);
+  std::vector<int> port_at_v(static_cast<std::size_t>(topology_.edge_count()),
+                             -1);
+  for (NodeId u = 0; u < n; ++u) {
     auto& ctx = contexts_[static_cast<std::size_t>(u)];
     ctx.network_ = this;
     ctx.id_ = u;
+    int port = 0;
     for (const graph::Adjacency& a : topology_.neighbors(u)) {
       ctx.ports_.push_back(a.edge);
       ctx.port_peer_.push_back(a.neighbor);
+      if (topology_.edge(a.edge).u == u) {
+        port_at_u[static_cast<std::size_t>(a.edge)] = port;
+      } else {
+        port_at_v[static_cast<std::size_t>(a.edge)] = port;
+      }
+      ++port;
     }
-    ctx.staged_.resize(ctx.ports_.size());
+    ctx.staged_by_port_.resize(ctx.ports_.size());
     ctx.staged_fields_.resize(ctx.ports_.size(), 0);
   }
+  for (NodeId u = 0; u < n; ++u) {
+    auto& ctx = contexts_[static_cast<std::size_t>(u)];
+    for (std::size_t p = 0; p < ctx.ports_.size(); ++p) {
+      const EdgeId e = ctx.ports_[p];
+      const NodeId peer = ctx.port_peer_[p];
+      ctx.peer_back_port_.push_back(
+          topology_.edge(e).u == peer
+              ? port_at_u[static_cast<std::size_t>(e)]
+              : port_at_v[static_cast<std::size_t>(e)]);
+    }
+  }
+  const int shard_count =
+      std::max(1, (n + kNodesPerShard - 1) / kNodesPerShard);
+  for (int s = 0; s < shard_count; ++s) {
+    const NodeId begin = s * kNodesPerShard;
+    const NodeId end = std::min(n, begin + kNodesPerShard);
+    shards_.emplace_back(begin, end);
+  }
+  shard_scratch_.resize(static_cast<std::size_t>(shard_count));
 }
 
 Network::Network(const graph::WeightedGraph& topology, NetworkConfig config)
@@ -125,79 +176,185 @@ void Network::install(const ProgramFactory& factory) {
   QDC_EXPECT(static_cast<bool>(factory), "Network::install: null factory");
   programs_.clear();
   trace_.clear();
+  trace_recorded_ = false;
   round_ = 0;
+  inbox_cur_ = 0;
   for (NodeId u = 0; u < topology_.node_count(); ++u) {
     auto& ctx = contexts_[static_cast<std::size_t>(u)];
     ctx.output_.reset();
     ctx.halted_ = false;
-    for (auto& q : ctx.staged_) q.clear();
+    ctx.staged_pool_.clear();
+    for (auto& q : ctx.staged_by_port_) q.clear();
     std::fill(ctx.staged_fields_.begin(), ctx.staged_fields_.end(), 0);
-    inboxes_[static_cast<std::size_t>(u)].clear();
+    for (auto& buffer : inboxes_) {
+      buffer[static_cast<std::size_t>(u)].clear();
+    }
     programs_.push_back(factory(u, ctx));
     QDC_EXPECT(programs_.back() != nullptr,
                "Network::install: factory returned null");
   }
 }
 
-RunStats Network::run(int max_rounds) {
-  QDC_EXPECT(!programs_.empty(), "Network::run: no programs installed");
-  QDC_EXPECT(max_rounds >= 0, "Network::run: negative round budget");
-  RunStats stats;
-  ModelAuditor auditor(topology_, config_.bandwidth);
-  const int n = node_count();
-  std::vector<bool> halted_at_start(static_cast<std::size_t>(n), false);
-  for (round_ = 0; round_ < max_rounds; ++round_) {
-    for (NodeId u = 0; u < n; ++u) {
-      halted_at_start[static_cast<std::size_t>(u)] =
-          contexts_[static_cast<std::size_t>(u)].halted_;
-    }
-    auditor.begin_round(round_, halted_at_start);
-    bool all_halted = true;
-    // Compute phase: every live node processes its inbox and stages sends.
-    for (NodeId u = 0; u < n; ++u) {
-      auto& ctx = contexts_[static_cast<std::size_t>(u)];
-      if (ctx.halted_) continue;
-      programs_[static_cast<std::size_t>(u)]->on_round(
-          ctx, inboxes_[static_cast<std::size_t>(u)]);
-      if (!ctx.halted_) all_halted = false;
-    }
-    // Delivery phase: move staged messages into next-round inboxes. The
-    // auditor recounts every message independently of staged_fields_.
-    for (auto& inbox : inboxes_) inbox.clear();
-    std::vector<TracedMessage> round_trace;
-    for (NodeId u = 0; u < n; ++u) {
-      auto& ctx = contexts_[static_cast<std::size_t>(u)];
-      for (int p = 0; p < ctx.degree(); ++p) {
-        auto& queue = ctx.staged_[static_cast<std::size_t>(p)];
-        if (queue.empty()) continue;
-        const NodeId v = ctx.port_peer_[static_cast<std::size_t>(p)];
-        const auto& peer = contexts_[static_cast<std::size_t>(v)];
-        const int back_port = peer.port_to(u);
-        for (Payload& msg : queue) {
-          // Halted nodes drop incoming traffic.
-          const bool delivered = !peer.halted_;
-          auditor.on_message(u, v, ctx.ports_[static_cast<std::size_t>(p)],
-                             msg.size(), delivered, peer.halted_);
-          ++stats.messages;
-          stats.fields += static_cast<std::int64_t>(msg.size());
-          if (config_.record_trace) {
-            round_trace.push_back(TracedMessage{
-                u, v, ctx.ports_[static_cast<std::size_t>(p)],
-                static_cast<int>(msg.size())});
-          }
-          if (delivered) {
-            inboxes_[static_cast<std::size_t>(v)].push_back(
-                Incoming{back_port, std::move(msg)});
-          }
+void Network::ensure_pool(int threads) {
+  if (threads <= 1) {
+    pool_.reset();
+    pool_threads_ = 1;
+    return;
+  }
+  if (!pool_ || pool_threads_ != threads) {
+    pool_ = std::make_unique<util::ThreadPool>(threads);
+    pool_threads_ = threads;
+  }
+}
+
+void Network::dispatch(const std::function<void(int)>& job) {
+  const int shard_count = static_cast<int>(shards_.size());
+  if (pool_) {
+    pool_->run(shard_count, job);
+    return;
+  }
+  for (int s = 0; s < shard_count; ++s) {
+    job(s);
+  }
+}
+
+void Network::compute_shard(int shard) {
+  const auto [begin, end] = shards_[static_cast<std::size_t>(shard)];
+  ShardScratch& scratch = shard_scratch_[static_cast<std::size_t>(shard)];
+  const auto& inbox = inboxes_[static_cast<std::size_t>(inbox_cur_)];
+  for (NodeId u = begin; u < end; ++u) {
+    auto& ctx = contexts_[static_cast<std::size_t>(u)];
+    if (ctx.halted_) continue;
+    programs_[static_cast<std::size_t>(u)]->on_round(
+        ctx, inbox[static_cast<std::size_t>(u)]);
+    if (!ctx.halted_) scratch.any_live = true;
+  }
+}
+
+void Network::deliver_shard(int shard, bool record_trace,
+                            ModelAuditor* auditor) {
+  const auto [begin, end] = shards_[static_cast<std::size_t>(shard)];
+  ShardScratch& scratch = shard_scratch_[static_cast<std::size_t>(shard)];
+  auto& next = inboxes_[static_cast<std::size_t>(1 - inbox_cur_)];
+  for (NodeId v = begin; v < end; ++v) {
+    const auto& rctx = contexts_[static_cast<std::size_t>(v)];
+    auto& box = next[static_cast<std::size_t>(v)];
+    std::size_t used = 0;
+    const bool receiver_halted = rctx.halted_;
+    const int deg = rctx.degree();
+    for (int p = 0; p < deg; ++p) {
+      const NodeId u = rctx.port_peer_[static_cast<std::size_t>(p)];
+      const auto& sctx = contexts_[static_cast<std::size_t>(u)];
+      const int back = rctx.peer_back_port_[static_cast<std::size_t>(p)];
+      const auto& staged = sctx.staged_by_port_[static_cast<std::size_t>(back)];
+      if (staged.empty()) continue;
+      const EdgeId e = rctx.ports_[static_cast<std::size_t>(p)];
+      for (const NodeContext::StagedRef& m : staged) {
+        const bool delivered = !receiver_halted;
+        if (auditor != nullptr) {
+          auditor->on_message(shard, u, v, e, m.size, delivered,
+                              receiver_halted);
         }
-        queue.clear();
-        ctx.staged_fields_[static_cast<std::size_t>(p)] = 0;
+        ++scratch.messages;
+        scratch.fields += m.size;
+        if (record_trace) {
+          scratch.trace.push_back(
+              TracedMessage{u, v, e, static_cast<int>(m.size)});
+        }
+        if (delivered) {
+          const std::int64_t* first = sctx.staged_pool_.data() + m.offset;
+          const std::int64_t* last = first + m.size;
+          if (used < box.size()) {
+            box[used].port = p;
+            box[used].data.assign(first, last);
+          } else {
+            box.push_back(Incoming{p, Payload(first, last)});
+          }
+          ++used;
+        }
       }
     }
-    if (config_.record_trace) {
+    box.resize(used);
+  }
+}
+
+void Network::clear_staging_shard(int shard) {
+  const auto [begin, end] = shards_[static_cast<std::size_t>(shard)];
+  for (NodeId u = begin; u < end; ++u) {
+    auto& ctx = contexts_[static_cast<std::size_t>(u)];
+    ctx.staged_pool_.clear();
+    for (auto& q : ctx.staged_by_port_) q.clear();
+    std::fill(ctx.staged_fields_.begin(), ctx.staged_fields_.end(), 0);
+  }
+}
+
+RunStats Network::run(const RunOptions& options) {
+  QDC_EXPECT(!programs_.empty(), "Network::run: no programs installed");
+  QDC_EXPECT(options.max_rounds >= 0, "Network::run: negative round budget");
+  QDC_EXPECT(options.threads >= 0, "Network::run: negative thread count");
+  const bool record_trace =
+      options.record_trace.value_or(config_.record_trace);
+  const int threads = options.threads == 0
+                          ? util::ThreadPool::hardware_threads()
+                          : options.threads;
+  ensure_pool(threads);
+  trace_.clear();
+  trace_recorded_ = record_trace;
+  for (auto& buffer : inboxes_) {
+    for (auto& box : buffer) box.clear();
+  }
+
+  RunStats stats;
+  ModelAuditor auditor(topology_, config_.bandwidth);
+  auditor.set_shard_count(static_cast<int>(shards_.size()));
+  ModelAuditor* audit = options.audit ? &auditor : nullptr;
+  const int n = node_count();
+  std::vector<bool> halted_at_start(static_cast<std::size_t>(n), false);
+  for (round_ = 0; round_ < options.max_rounds; ++round_) {
+    if (audit != nullptr) {
+      for (NodeId u = 0; u < n; ++u) {
+        halted_at_start[static_cast<std::size_t>(u)] =
+            contexts_[static_cast<std::size_t>(u)].halted_;
+      }
+      audit->begin_round(round_, halted_at_start);
+    }
+    for (ShardScratch& scratch : shard_scratch_) {
+      scratch.messages = 0;
+      scratch.fields = 0;
+      scratch.any_live = false;
+      scratch.trace.clear();
+    }
+    // Compute phase: every live node processes its inbox and stages sends
+    // into its own arena (shard-local writes only).
+    dispatch([this](int s) { compute_shard(s); });
+    // Delivery phase: sharded by receiver; each shard reads any sender's
+    // (now immutable) staging and writes only its own receivers' inboxes,
+    // tallies and trace slice. The auditor recounts every message.
+    dispatch([this, record_trace, audit](int s) {
+      deliver_shard(s, record_trace, audit);
+    });
+    // Reset phase: sharded by sender, clearing the staging arenas read by
+    // the delivery phase (cannot be fused with it — receivers of several
+    // shards read the same sender).
+    dispatch([this](int s) { clear_staging_shard(s); });
+    // Serial epilogue: merge shard results in shard-index order, which is
+    // node order — independent of how threads picked up the shards.
+    bool all_halted = true;
+    std::vector<TracedMessage> round_trace;
+    for (ShardScratch& scratch : shard_scratch_) {
+      stats.messages += scratch.messages;
+      stats.fields += scratch.fields;
+      if (scratch.any_live) all_halted = false;
+      if (record_trace) {
+        round_trace.insert(round_trace.end(), scratch.trace.begin(),
+                           scratch.trace.end());
+      }
+    }
+    if (record_trace) {
       trace_.push_back(std::move(round_trace));
     }
-    auditor.end_round();
+    if (audit != nullptr) audit->end_round();
+    inbox_cur_ = 1 - inbox_cur_;
     if (all_halted) {
       stats.rounds = round_ + 1;
       stats.completed = true;
@@ -205,14 +362,16 @@ RunStats Network::run(int max_rounds) {
     }
   }
   if (!stats.completed) {
-    stats.rounds = max_rounds;
+    stats.rounds = options.max_rounds;
   }
   if (stats_tamper_for_test_) {
     stats_tamper_for_test_(stats);
   }
-  auditor.verify(stats);
-  if (config_.record_trace) {
-    auditor.verify_trace(trace_);
+  if (audit != nullptr) {
+    audit->verify(stats);
+    if (record_trace) {
+      audit->verify_trace(trace_);
+    }
   }
   return stats;
 }
@@ -253,7 +412,12 @@ void Network::stage_unchecked_for_test(NodeId u, int port, Payload message) {
              "Network::stage_unchecked_for_test: bad port");
   QDC_EXPECT(!message.empty(),
              "Network::stage_unchecked_for_test: empty message");
-  ctx.staged_[static_cast<std::size_t>(port)].push_back(std::move(message));
+  const auto offset = static_cast<std::uint32_t>(ctx.staged_pool_.size());
+  ctx.staged_pool_.insert(ctx.staged_pool_.end(), message.begin(),
+                          message.end());
+  ctx.staged_by_port_[static_cast<std::size_t>(port)].push_back(
+      NodeContext::StagedRef{offset,
+                             static_cast<std::uint32_t>(message.size())});
 }
 
 void Network::set_stats_tamper_for_test(std::function<void(RunStats&)> tamper) {

@@ -16,26 +16,50 @@
 // Model conformance: every run is double-checked by a ModelAuditor (see
 // congest/model_auditor.hpp), a second accountant that recounts bandwidth
 // from the delivered messages and rejects any run whose accounting was
-// under-charged or tampered with.
+// under-charged or tampered with. Auditing is on by default and can only
+// be disabled explicitly through RunOptions::audit.
+//
+// Parallel execution: rounds are synchronous, so within one round every
+// node's on_round is independent (it reads its own inbox, writes its own
+// staging) and delivery to distinct receivers is independent. run()
+// exploits this with a deterministic sharded engine: nodes are split into
+// contiguous shards (a function of n only, never of the thread count),
+// shards execute on a work-stealing-free thread pool, and every merge —
+// delivered inboxes, RunStats tallies, traces, audit recounts — happens in
+// shard-index order. Outputs, RunStats, and traces are therefore
+// bit-identical for any RunOptions::threads value. Within one receiver's
+// inbox, messages are ordered by the receiver's port index (i.e. by
+// (edge, direction)), then by the sender's staging order on that edge.
+//
+// NodePrograms are per-node instances and must not share mutable state
+// with each other if the network is run with threads > 1.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "congest/message.hpp"
 #include "congest/stats.hpp"
 #include "graph/graph.hpp"
+#include "util/thread_pool.hpp"
 
 namespace qdc::congest {
 
 using graph::EdgeId;
 using graph::NodeId;
 
+class ModelAuditor;
 class Network;
 class NodeProgram;
+
+namespace testing {
+class NetworkTestAccess;
+}  // namespace testing
 
 /// Immutable per-node view of the network plus the node's mutable
 /// input/output slots. Owned by the Network; handed to programs each round.
@@ -64,11 +88,14 @@ class NodeContext {
   const Payload& input() const { return input_; }
 
   /// Queue a message through `port`; throws ModelError if the per-edge
-  /// budget for this round is exceeded.
-  void send(int port, Payload message);
+  /// budget for this round is exceeded. The fields are staged in the
+  /// node's flat per-round arena — no per-message allocation.
+  void send(int port, const Payload& message);
+  void send(int port, Payload&& message);
 
   /// Send the same message through every port (costs bandwidth on each).
-  void send_all(Payload message);
+  /// Stages the fields directly; the payload is never copied per port.
+  void send_all(const Payload& message);
 
   /// Record this node's output value.
   void set_output(std::int64_t value) { output_ = value; }
@@ -92,19 +119,33 @@ class NodeContext {
  private:
   friend class Network;
 
+  /// One staged message: `size` fields at `offset` in staged_pool_.
+  struct StagedRef {
+    std::uint32_t offset = 0;
+    std::uint32_t size = 0;
+  };
+
   /// The owning network; throws ContractError on a detached context.
   const Network& attached() const;
+
+  /// Copies `count` fields into the staging arena after the budget check.
+  void stage(int port, const std::int64_t* fields, std::size_t count);
 
   const Network* network_ = nullptr;
   NodeId id_ = -1;
   std::vector<EdgeId> ports_;        // port -> global edge id
   std::vector<NodeId> port_peer_;    // port -> neighbor node id
+  std::vector<int> peer_back_port_;  // port -> the same edge's port index
+                                     //         at the neighbor
   Payload input_;
   std::optional<std::int64_t> output_;
   bool halted_ = false;
 
-  // Per-round send staging: messages_[port] queued this round.
-  std::vector<std::vector<Payload>> staged_;
+  // Per-round send staging: one flat field arena per node (reused across
+  // rounds, so steady-state staging performs no allocation at all) plus
+  // per-port references into it, in staging order.
+  std::vector<std::int64_t> staged_pool_;
+  std::vector<std::vector<StagedRef>> staged_by_port_;
   std::vector<int> staged_fields_;   // fields used per port this round
 };
 
@@ -123,7 +164,24 @@ using ProgramFactory =
 struct NetworkConfig {
   int bandwidth = 8;              ///< fields per edge per direction per round
   std::uint64_t shared_seed = 0x9e3779b97f4a7c15ULL;
-  bool record_trace = false;      ///< keep per-round message traces
+  bool record_trace = false;      ///< default trace setting for run()
+};
+
+/// Per-run execution options for Network::run.
+struct RunOptions {
+  int max_rounds = 0;   ///< round budget; the run stops when it elapses
+
+  /// Worker threads for the round engine. 1 = serial (default); 0 = use
+  /// all hardware threads. Results are bit-identical for every value.
+  int threads = 1;
+
+  /// Per-run trace override; unset = NetworkConfig::record_trace.
+  std::optional<bool> record_trace;
+
+  /// Run the ModelAuditor second accountant (default on). Disable only
+  /// for benchmarking the raw engine; unaudited runs are not trustworthy
+  /// evidence for any bound.
+  bool audit = true;
 };
 
 /// The synchronous network. Construction freezes the topology; inputs and
@@ -149,10 +207,18 @@ class Network {
   /// and statistics.
   void install(const ProgramFactory& factory);
 
-  /// Runs until every node halts or `max_rounds` elapse. The whole run is
-  /// audited by a ModelAuditor; a model violation or an accounting
-  /// mismatch throws ModelError.
-  RunStats run(int max_rounds);
+  /// Runs until every node halts or `options.max_rounds` elapse, using the
+  /// deterministic sharded round engine with `options.threads` threads.
+  /// Unless options.audit is off, the whole run is audited by a
+  /// ModelAuditor; a model violation or an accounting mismatch throws
+  /// ModelError.
+  RunStats run(const RunOptions& options);
+
+  /// Deprecated single-thread entry point, kept as a thin wrapper.
+  [[deprecated("use run(const RunOptions&)")]]
+  RunStats run(int max_rounds) {
+    return run(RunOptions{.max_rounds = max_rounds});
+  }
 
   std::optional<std::int64_t> output(NodeId u) const;
 
@@ -163,26 +229,45 @@ class Network {
   /// All node outputs; throws ModelError if some node never set one.
   std::vector<std::int64_t> outputs() const;
 
-  /// Per-round message traces (only if config.record_trace).
+  /// Per-round message traces of the most recent run (only if it recorded
+  /// a trace; see trace_recorded()).
   const std::vector<std::vector<TracedMessage>>& trace() const {
     return trace_;
   }
 
+  /// Whether the most recent run() recorded a trace.
+  bool trace_recorded() const { return trace_recorded_; }
+
   double edge_weight(EdgeId e) const;
   std::uint64_t shared_seed() const { return config_.shared_seed; }
 
-  /// Test-only: stage `message` on u's `port` without charging the
-  /// per-edge budget, simulating a send path that under-counts bandwidth.
-  /// The next run's ModelAuditor must reject the offending round.
-  void stage_unchecked_for_test(NodeId u, int port, Payload message);
-
-  /// Test-only: mutate the RunStats that run() is about to report, right
-  /// before the final audit. Lets tests prove the second accountant
-  /// rejects tampered bandwidth accounting.
-  void set_stats_tamper_for_test(std::function<void(RunStats&)> tamper);
-
  private:
   friend class NodeContext;
+  friend class testing::NetworkTestAccess;
+
+  /// Per-shard scratch for one round, merged in shard-index order. Padded
+  /// so threads tallying different shards do not share cache lines.
+  struct alignas(64) ShardScratch {
+    std::int64_t messages = 0;
+    std::int64_t fields = 0;
+    bool any_live = false;
+    std::vector<TracedMessage> trace;  // reused across rounds
+  };
+
+  /// Test-only hooks, reachable through congest::testing::NetworkTestAccess.
+  void stage_unchecked_for_test(NodeId u, int port, Payload message);
+  void set_stats_tamper_for_test(std::function<void(RunStats&)> tamper);
+
+  /// Runs `job(shard)` over all node shards, on the pool when one is
+  /// active, inline (in shard order) otherwise.
+  void dispatch(const std::function<void(int)>& job);
+
+  /// (Re)creates the thread pool to match the requested thread count.
+  void ensure_pool(int threads);
+
+  void compute_shard(int shard);
+  void deliver_shard(int shard, bool record_trace, ModelAuditor* auditor);
+  void clear_staging_shard(int shard);
 
   graph::Graph topology_;
   std::vector<double> weights_;
@@ -192,8 +277,23 @@ class Network {
 
   std::vector<NodeContext> contexts_;
   std::vector<std::unique_ptr<NodeProgram>> programs_;
-  std::vector<std::vector<Incoming>> inboxes_;
+
+  // Double-buffered inboxes: compute reads inboxes_[inbox_cur_], delivery
+  // writes inboxes_[1 - inbox_cur_], and the buffers swap between rounds.
+  // Incoming slots are reused, so steady-state delivery reallocates only
+  // when a round delivers more to a node than any previous round did.
+  std::array<std::vector<std::vector<Incoming>>, 2> inboxes_;
+  int inbox_cur_ = 0;
+
+  // Engine sharding: contiguous node ranges, fixed by n alone so that the
+  // shard-order merges are independent of the thread count.
+  std::vector<std::pair<NodeId, NodeId>> shards_;
+  std::vector<ShardScratch> shard_scratch_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  int pool_threads_ = 1;
+
   std::vector<std::vector<TracedMessage>> trace_;
+  bool trace_recorded_ = false;
   std::function<void(RunStats&)> stats_tamper_for_test_;
   int round_ = 0;
 };

@@ -14,6 +14,8 @@ struct TracedMessage {
   graph::NodeId to = -1;
   graph::EdgeId edge = -1;
   int fields = 0;
+
+  bool operator==(const TracedMessage&) const = default;
 };
 
 /// Execution statistics for one run.
@@ -22,6 +24,8 @@ struct RunStats {
   std::int64_t messages = 0;      ///< total messages delivered
   std::int64_t fields = 0;        ///< total fields delivered
   bool completed = false;         ///< all nodes halted within the budget
+
+  bool operator==(const RunStats&) const = default;
 };
 
 }  // namespace qdc::congest

@@ -1,0 +1,17 @@
+#include "congest/testing.hpp"
+
+#include <utility>
+
+namespace qdc::congest::testing {
+
+void NetworkTestAccess::stage_unchecked(Network& net, NodeId u, int port,
+                                        Payload message) {
+  net.stage_unchecked_for_test(u, port, std::move(message));
+}
+
+void NetworkTestAccess::set_stats_tamper(
+    Network& net, std::function<void(RunStats&)> tamper) {
+  net.set_stats_tamper_for_test(std::move(tamper));
+}
+
+}  // namespace qdc::congest::testing

@@ -1,0 +1,29 @@
+// Test-only backdoors into the CONGEST Network, quarantined behind a
+// friend helper so the production Network surface does not advertise
+// tamper hooks. Tests use these to prove that the ModelAuditor second
+// accountant rejects under-charged or tampered runs; nothing under src/
+// may call them outside this translation unit.
+#pragma once
+
+#include <functional>
+
+#include "congest/network.hpp"
+
+namespace qdc::congest::testing {
+
+class NetworkTestAccess {
+ public:
+  /// Stages `message` on u's `port` without charging the per-edge budget,
+  /// simulating a send path that under-counts bandwidth. The next run's
+  /// ModelAuditor must reject the offending round.
+  static void stage_unchecked(Network& net, NodeId u, int port,
+                              Payload message);
+
+  /// Mutates the RunStats that run() is about to report, right before the
+  /// final audit. Lets tests prove the second accountant rejects tampered
+  /// bandwidth accounting.
+  static void set_stats_tamper(Network& net,
+                               std::function<void(RunStats&)> tamper);
+};
+
+}  // namespace qdc::congest::testing

@@ -111,7 +111,7 @@ DisjointnessComparison compare_disjointness(const BitString& x,
     return std::make_unique<StreamDisjointnessProgram>(x, y, diameter);
   });
   const auto stats =
-      net.run(static_cast<int>(b) + 4 * diameter + 16);
+      net.run({.max_rounds = static_cast<int>(b) + 4 * diameter + 16});
   QDC_CHECK(stats.completed, "compare_disjointness: classical run stalled");
   result.classical_rounds = stats.rounds;
   result.classical_answer = net.output(0).value() != 0;

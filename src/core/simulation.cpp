@@ -9,7 +9,7 @@ SimulationAccounting account_three_party_cost(const LbNetwork& lbn,
   QDC_EXPECT(net.topology().node_count() == lbn.topology().node_count() &&
                  net.topology().edge_count() == lbn.topology().edge_count(),
              "account_three_party_cost: network does not match N(Gamma, L)");
-  QDC_EXPECT(net.config().record_trace,
+  QDC_EXPECT(net.trace_recorded(),
              "account_three_party_cost: run the network with record_trace");
   const auto& trace = net.trace();
   QDC_CHECK(static_cast<int>(trace.size()) <= lbn.max_simulated_rounds(),

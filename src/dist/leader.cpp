@@ -48,7 +48,7 @@ LeaderResult elect_leader(Network& net) {
   net.install([](NodeId, const NodeContext&) {
     return std::make_unique<FloodMaxProgram>();
   });
-  const auto stats = net.run(net.node_count() + 2);
+  const auto stats = net.run({.max_rounds = net.node_count() + 2});
   QDC_CHECK(stats.completed, "elect_leader: did not complete");
   LeaderResult result;
   result.stats = stats;

@@ -636,7 +636,7 @@ MstRunResult run_mst(Network& net, const BfsTreeResult& tree,
     const int logn = static_cast<int>(std::ceil(std::log2(std::max(2, n))));
     budget = 64 * n * (logn + 2) + 4096;
   }
-  const auto stats = net.run(budget);
+  const auto stats = net.run({.max_rounds = budget});
   QDC_CHECK(stats.completed, "run_mst: did not complete within the budget");
 
   MstRunResult result;

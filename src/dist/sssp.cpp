@@ -63,7 +63,7 @@ SsspResult run_bellman_ford(Network& net, NodeId source) {
   net.install([source](NodeId, const NodeContext&) {
     return std::make_unique<BellmanFordProgram>(source);
   });
-  const auto stats = net.run(net.node_count() + 2);
+  const auto stats = net.run({.max_rounds = net.node_count() + 2});
   QDC_CHECK(stats.completed, "run_bellman_ford: did not complete");
   SsspResult result;
   result.stats = stats;

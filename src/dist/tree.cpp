@@ -335,7 +335,8 @@ GatherResult run_gather(Network& net, const BfsTreeResult& tree,
         items[static_cast<std::size_t>(u)]);
   });
   const auto stats =
-      net.run(static_cast<int>(4 * net.node_count() + 2 * total_items + 20));
+      net.run({.max_rounds = static_cast<int>(4 * net.node_count() +
+                                              2 * total_items + 20)});
   QDC_CHECK(stats.completed, "run_gather: did not complete");
   auto* root_prog = dynamic_cast<GatherProgram*>(net.program(tree.root));
   GatherResult result;
@@ -349,7 +350,7 @@ BfsTreeResult build_bfs_tree(Network& net, NodeId root) {
   net.install([root](NodeId, const NodeContext&) {
     return std::make_unique<BfsTreeProgram>(root);
   });
-  const auto stats = net.run(3 * net.node_count() + 10);
+  const auto stats = net.run({.max_rounds = 3 * net.node_count() + 10});
   QDC_CHECK(stats.completed,
             "build_bfs_tree: network is disconnected (tree never finished)");
   BfsTreeResult result;
@@ -383,7 +384,7 @@ AggregateResult run_aggregate(Network& net, const BfsTreeResult& tree,
         tree.local[static_cast<std::size_t>(u)], combiners,
         contributions[static_cast<std::size_t>(u)]);
   });
-  const auto stats = net.run(3 * net.node_count() + 10);
+  const auto stats = net.run({.max_rounds = 3 * net.node_count() + 10});
   QDC_CHECK(stats.completed, "run_aggregate: did not complete");
   auto* root_prog =
       dynamic_cast<AggregateProgram*>(net.program(tree.root));
@@ -401,7 +402,7 @@ BroadcastResult run_broadcast(Network& net, const BfsTreeResult& tree,
     return std::make_unique<BroadcastProgram>(
         tree.local[static_cast<std::size_t>(u)], value);
   });
-  const auto stats = net.run(3 * net.node_count() + 10);
+  const auto stats = net.run({.max_rounds = 3 * net.node_count() + 10});
   QDC_CHECK(stats.completed, "run_broadcast: did not complete");
   BroadcastResult result;
   result.stats = stats;

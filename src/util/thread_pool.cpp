@@ -1,0 +1,100 @@
+#include "util/thread_pool.hpp"
+
+#include "util/expect.hpp"
+
+namespace qdc::util {
+
+ThreadPool::ThreadPool(int threads) : threads_(threads) {
+  QDC_EXPECT(threads >= 1, "ThreadPool: needs at least one thread");
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int i = 0; i < threads - 1; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    w.join();
+  }
+}
+
+int ThreadPool::hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void ThreadPool::process_shards() {
+  for (;;) {
+    const int shard = next_shard_.fetch_add(1, std::memory_order_relaxed);
+    if (shard >= shard_count_) {
+      return;
+    }
+    try {
+      (*job_)(shard);
+    } catch (...) {
+      // Each shard is claimed by exactly one thread, so shard-indexed
+      // slots need no lock.
+      shard_errors_[static_cast<std::size_t>(shard)] =
+          std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) {
+        return;
+      }
+      seen_generation = generation_;
+    }
+    process_shards();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--active_workers_ == 0) {
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::run(int shard_count, const std::function<void(int)>& job) {
+  QDC_EXPECT(shard_count >= 0, "ThreadPool::run: negative shard count");
+  QDC_EXPECT(static_cast<bool>(job), "ThreadPool::run: null job");
+  if (shard_count == 0) {
+    return;
+  }
+  shard_errors_.assign(static_cast<std::size_t>(shard_count), nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &job;
+    shard_count_ = shard_count;
+    next_shard_.store(0, std::memory_order_relaxed);
+    active_workers_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  process_shards();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return active_workers_ == 0; });
+    job_ = nullptr;
+  }
+  for (const std::exception_ptr& error : shard_errors_) {
+    if (error) {
+      std::rethrow_exception(error);
+    }
+  }
+}
+
+}  // namespace qdc::util

@@ -1,0 +1,74 @@
+// A small, reusable, work-stealing-free thread pool for sharded jobs.
+//
+// The pool exists for one purpose: executing a job over a fixed number of
+// shards, `job(shard)` for shard in [0, shard_count), with deterministic
+// results. Shards are claimed from a single atomic cursor (no per-worker
+// deques, no stealing), so *which thread* runs a shard varies between
+// executions but the set of shards and anything they write into
+// shard-indexed slots does not. Callers that (a) make shards write only to
+// shard-owned state and (b) merge shard results in shard-index order get
+// bit-identical output for any thread count — this is the contract the
+// CONGEST parallel round engine (congest/network.cpp) is built on.
+//
+// Exceptions thrown by `job` are captured per shard and the exception of
+// the lowest-numbered failing shard is rethrown from run(), so error
+// reporting is deterministic too.
+//
+// A pool constructed with `threads <= 1` spawns no workers and runs jobs
+// inline on the calling thread.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qdc::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` persistent workers; the caller participates in
+  /// every run(), so `threads` is the total parallelism. Requires >= 1.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total threads that execute a job (workers + calling thread).
+  int thread_count() const { return threads_; }
+
+  /// Executes job(0) .. job(shard_count - 1), each exactly once, spread
+  /// over the pool plus the calling thread. Blocks until every shard has
+  /// finished. If shards threw, rethrows the lowest-numbered shard's
+  /// exception. Not reentrant: one run() at a time per pool.
+  void run(int shard_count, const std::function<void(int)>& job);
+
+  /// Best-effort hardware concurrency, always >= 1.
+  static int hardware_threads();
+
+ private:
+  void worker_loop();
+  void process_shards();
+
+  int threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   // signals workers: new job / stop
+  std::condition_variable done_cv_;   // signals run(): workers drained
+  std::uint64_t generation_ = 0;      // bumped once per run()
+  int active_workers_ = 0;            // workers still draining this job
+  bool stop_ = false;
+
+  const std::function<void(int)>* job_ = nullptr;
+  int shard_count_ = 0;
+  std::atomic<int> next_shard_{0};
+  std::vector<std::exception_ptr> shard_errors_;
+};
+
+}  // namespace qdc::util

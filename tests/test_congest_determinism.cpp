@@ -1,0 +1,198 @@
+// Determinism suite for the parallel round engine: outputs, RunStats and
+// traces must be bit-identical for every thread count, on every topology.
+// The probe program is deliberately order-sensitive (it folds its inbox
+// non-commutatively), so any divergence in delivery order between thread
+// counts fails loudly instead of averaging out.
+#include <gtest/gtest.h>
+
+#include "congest/network.hpp"
+#include "congest/testing.hpp"
+#include "core/lb_network.hpp"
+#include "graph/generators.hpp"
+
+namespace qdc::congest {
+namespace {
+
+/// Floods deterministic pseudo-random payloads of varying size and folds
+/// every received field into a non-commutative accumulator. Nodes halt at
+/// staggered rounds (id mod 3) to exercise the halted-receiver paths.
+class MixProgram : public NodeProgram {
+ public:
+  void on_round(NodeContext& ctx, const std::vector<Incoming>& inbox) override {
+    for (const Incoming& msg : inbox) {
+      acc_ = acc_ * 1000003u + static_cast<std::uint64_t>(msg.port);
+      for (const std::int64_t f : msg.data) {
+        acc_ = acc_ * 131u + static_cast<std::uint64_t>(f);
+      }
+    }
+    const int stop = 6 + static_cast<int>(ctx.id() % 3);
+    if (ctx.round() >= stop) {
+      ctx.set_output(static_cast<std::int64_t>(acc_ >> 1));
+      ctx.halt();
+      return;
+    }
+    for (int p = 0; p < ctx.degree(); ++p) {
+      const std::uint64_t h = ctx.shared_hash(
+          static_cast<std::int64_t>(ctx.round()) * 131071 +
+          static_cast<std::int64_t>(ctx.id()) * 31 + p);
+      if ((h & 3u) == 0) continue;  // stay quiet on some ports
+      const int len = 1 + static_cast<int>(h % 3);
+      Payload msg(static_cast<std::size_t>(len));
+      msg[0] = ctx.id();
+      for (int i = 1; i < len; ++i) {
+        msg[static_cast<std::size_t>(i)] =
+            static_cast<std::int64_t>((h >> (i * 7)) & 0xffff);
+      }
+      ctx.send(p, std::move(msg));
+    }
+  }
+
+ private:
+  std::uint64_t acc_ = 1;  // unsigned: the mixing fold wraps by design
+};
+
+struct RunResult {
+  std::vector<std::int64_t> outputs;
+  RunStats stats;
+  std::vector<std::vector<TracedMessage>> trace;
+};
+
+RunResult run_mix_with_threads(Network& net, int threads) {
+  net.install([](NodeId, const NodeContext&) {
+    return std::make_unique<MixProgram>();
+  });
+  RunResult result;
+  result.stats = net.run(
+      {.max_rounds = 50, .threads = threads, .record_trace = true});
+  EXPECT_TRUE(result.stats.completed);
+  result.outputs = net.outputs();
+  result.trace = net.trace();
+  return result;
+}
+
+void expect_thread_count_invariance(graph::Graph topology) {
+  Network net(std::move(topology), NetworkConfig{.bandwidth = 8});
+  const RunResult serial = run_mix_with_threads(net, 1);
+  EXPECT_GT(serial.stats.messages, 0);
+  for (const int threads : {2, 8}) {
+    const RunResult parallel = run_mix_with_threads(net, threads);
+    EXPECT_EQ(parallel.outputs, serial.outputs) << "threads=" << threads;
+    EXPECT_EQ(parallel.stats, serial.stats) << "threads=" << threads;
+    EXPECT_EQ(parallel.trace, serial.trace) << "threads=" << threads;
+  }
+}
+
+TEST(EngineDeterminism, SeededRandomTopology) {
+  Rng rng(7);
+  expect_thread_count_invariance(graph::random_connected(96, 0.08, rng));
+}
+
+TEST(EngineDeterminism, PathTopology) {
+  expect_thread_count_invariance(graph::path_graph(65));
+}
+
+TEST(EngineDeterminism, LbNetworkTopology) {
+  const core::LbNetwork lbn(4, 9);
+  expect_thread_count_invariance(lbn.topology());
+}
+
+TEST(EngineDeterminism, RepeatedRunsAreIdentical) {
+  // Arena and inbox buffers are reused across runs; reuse must not leak
+  // state from one run into the next.
+  Rng rng(11);
+  Network net(graph::random_connected(40, 0.1, rng),
+              NetworkConfig{.bandwidth = 8});
+  const RunResult first = run_mix_with_threads(net, 2);
+  const RunResult second = run_mix_with_threads(net, 2);
+  EXPECT_EQ(first.outputs, second.outputs);
+  EXPECT_EQ(first.stats, second.stats);
+  EXPECT_EQ(first.trace, second.trace);
+}
+
+TEST(EngineDeterminism, HardwareThreadsOptionRuns) {
+  Rng rng(13);
+  Network net(graph::random_connected(40, 0.1, rng),
+              NetworkConfig{.bandwidth = 8});
+  const RunResult serial = run_mix_with_threads(net, 1);
+  net.install([](NodeId, const NodeContext&) {
+    return std::make_unique<MixProgram>();
+  });
+  // threads = 0 resolves to all hardware threads; results must not change.
+  const RunStats stats =
+      net.run({.max_rounds = 50, .threads = 0, .record_trace = true});
+  EXPECT_EQ(stats, serial.stats);
+  EXPECT_EQ(net.outputs(), serial.outputs);
+  EXPECT_EQ(net.trace(), serial.trace);
+}
+
+TEST(EngineDeterminism, TraceOverrideAndRecordedFlag) {
+  Network net(graph::path_graph(8), NetworkConfig{.bandwidth = 8});
+  net.install([](NodeId, const NodeContext&) {
+    return std::make_unique<MixProgram>();
+  });
+  EXPECT_TRUE(net.run({.max_rounds = 50, .threads = 2}).completed);
+  EXPECT_FALSE(net.trace_recorded());  // config default is off
+  EXPECT_TRUE(net.trace().empty());
+
+  net.install([](NodeId, const NodeContext&) {
+    return std::make_unique<MixProgram>();
+  });
+  EXPECT_TRUE(net.run({.max_rounds = 50, .threads = 2, .record_trace = true})
+                  .completed);
+  EXPECT_TRUE(net.trace_recorded());
+  EXPECT_FALSE(net.trace().empty());
+}
+
+/// Sends one oversized message to trigger bandwidth enforcement.
+class OversizeProgram : public NodeProgram {
+ public:
+  void on_round(NodeContext& ctx, const std::vector<Incoming>&) override {
+    Payload big(static_cast<std::size_t>(ctx.bandwidth() + 1), 7);
+    ctx.send(0, std::move(big));
+    ctx.halt();
+  }
+};
+
+TEST(EngineDeterminism, ParallelEngineEnforcesBandwidth) {
+  Network net(graph::path_graph(70), NetworkConfig{.bandwidth = 4});
+  net.install([](NodeId, const NodeContext&) {
+    return std::make_unique<OversizeProgram>();
+  });
+  EXPECT_THROW(net.run({.max_rounds = 10, .threads = 8}), ModelError);
+}
+
+class IdleProgram : public NodeProgram {
+ public:
+  void on_round(NodeContext&, const std::vector<Incoming>&) override {}
+};
+
+TEST(EngineDeterminism, ParallelAuditorRejectsUnderchargedSend) {
+  // The smuggled payload bypasses the send-path budget; the sharded
+  // auditor recount must reject the round under the parallel engine too.
+  Network net(graph::path_graph(70), NetworkConfig{.bandwidth = 2});
+  net.install([](NodeId, const NodeContext&) {
+    return std::make_unique<IdleProgram>();
+  });
+  testing::NetworkTestAccess::stage_unchecked(net, 0, 0, {1, 2, 3});
+  EXPECT_THROW(net.run({.max_rounds = 2, .threads = 8}), ModelError);
+}
+
+TEST(EngineDeterminism, UnauditedRunStillDelivers) {
+  Rng rng(17);
+  Network net(graph::random_connected(40, 0.1, rng),
+              NetworkConfig{.bandwidth = 8});
+  const RunResult audited = run_mix_with_threads(net, 2);
+  net.install([](NodeId, const NodeContext&) {
+    return std::make_unique<MixProgram>();
+  });
+  const RunStats stats = net.run({.max_rounds = 50,
+                                  .threads = 2,
+                                  .record_trace = true,
+                                  .audit = false});
+  EXPECT_EQ(stats, audited.stats);
+  EXPECT_EQ(net.outputs(), audited.outputs);
+  EXPECT_EQ(net.trace(), audited.trace);
+}
+
+}  // namespace
+}  // namespace qdc::congest

@@ -5,6 +5,7 @@
 
 #include "congest/model_auditor.hpp"
 #include "congest/network.hpp"
+#include "congest/testing.hpp"
 #include "graph/generators.hpp"
 
 namespace qdc::congest {
@@ -47,7 +48,7 @@ TEST(ModelViolations, OversendOnOneEdgeThrows) {
   net.install([](NodeId, const NodeContext&) {
     return std::make_unique<Oversend>();
   });
-  EXPECT_THROW(net.run(5), ModelError);
+  EXPECT_THROW(net.run({.max_rounds = 5}), ModelError);
 }
 
 TEST(ModelViolations, SendAfterHaltThrows) {
@@ -62,7 +63,7 @@ TEST(ModelViolations, SendAfterHaltThrows) {
   net.install([](NodeId, const NodeContext&) {
     return std::make_unique<SendAfterHalt>();
   });
-  EXPECT_THROW(net.run(5), ContractError);
+  EXPECT_THROW(net.run({.max_rounds = 5}), ContractError);
 }
 
 TEST(ModelViolations, OutputsWithMissingOutputThrows) {
@@ -78,7 +79,7 @@ TEST(ModelViolations, OutputsWithMissingOutputThrows) {
     };
     return std::make_unique<HaltSilent>();
   });
-  EXPECT_TRUE(net.run(3).completed);
+  EXPECT_TRUE(net.run({.max_rounds = 3}).completed);
   EXPECT_THROW(net.outputs(), ModelError);
 }
 
@@ -103,8 +104,9 @@ TEST(ModelAuditorTest, TamperedFieldTotalIsRejected) {
   });
   // Under-charge by one field: exactly the tampering that would fake a
   // lower-bound violation. The second accountant must notice.
-  net.set_stats_tamper_for_test([](RunStats& stats) { stats.fields -= 1; });
-  EXPECT_THROW(net.run(5), ModelError);
+  testing::NetworkTestAccess::set_stats_tamper(
+      net, [](RunStats& stats) { stats.fields -= 1; });
+  EXPECT_THROW(net.run({.max_rounds = 5}), ModelError);
 }
 
 TEST(ModelAuditorTest, TamperedMessageCountIsRejected) {
@@ -112,8 +114,9 @@ TEST(ModelAuditorTest, TamperedMessageCountIsRejected) {
   net.install([](NodeId, const NodeContext&) {
     return std::make_unique<FullBudgetProgram>();
   });
-  net.set_stats_tamper_for_test([](RunStats& stats) { stats.messages += 1; });
-  EXPECT_THROW(net.run(5), ModelError);
+  testing::NetworkTestAccess::set_stats_tamper(
+      net, [](RunStats& stats) { stats.messages += 1; });
+  EXPECT_THROW(net.run({.max_rounds = 5}), ModelError);
 }
 
 TEST(ModelAuditorTest, UntamperedRunStillPasses) {
@@ -121,8 +124,9 @@ TEST(ModelAuditorTest, UntamperedRunStillPasses) {
   net.install([](NodeId, const NodeContext&) {
     return std::make_unique<FullBudgetProgram>();
   });
-  net.set_stats_tamper_for_test([](RunStats&) {});  // identity tamper
-  EXPECT_TRUE(net.run(5).completed);
+  // identity tamper
+  testing::NetworkTestAccess::set_stats_tamper(net, [](RunStats&) {});
+  EXPECT_TRUE(net.run({.max_rounds = 5}).completed);
 }
 
 TEST(ModelAuditorTest, UnderchargedSendPathIsRejected) {
@@ -133,8 +137,8 @@ TEST(ModelAuditorTest, UnderchargedSendPathIsRejected) {
   net.install([](NodeId, const NodeContext&) {
     return std::make_unique<IdleProgram>();
   });
-  net.stage_unchecked_for_test(0, 0, {1, 2, 3});
-  EXPECT_THROW(net.run(1), ModelError);
+  testing::NetworkTestAccess::stage_unchecked(net, 0, 0, {1, 2, 3});
+  EXPECT_THROW(net.run({.max_rounds = 1}), ModelError);
 }
 
 TEST(ModelAuditorTest, UnderchargeOnTopOfFullBudgetIsRejected) {
@@ -144,8 +148,8 @@ TEST(ModelAuditorTest, UnderchargeOnTopOfFullBudgetIsRejected) {
   net.install([](NodeId, const NodeContext&) {
     return std::make_unique<FullBudgetProgram>();
   });
-  net.stage_unchecked_for_test(0, 0, {99});
-  EXPECT_THROW(net.run(5), ModelError);
+  testing::NetworkTestAccess::stage_unchecked(net, 0, 0, {99});
+  EXPECT_THROW(net.run({.max_rounds = 5}), ModelError);
 }
 
 TEST(ModelAuditorTest, HaltedSenderIsRejected) {
@@ -153,11 +157,11 @@ TEST(ModelAuditorTest, HaltedSenderIsRejected) {
   net.install([](NodeId, const NodeContext&) {
     return std::make_unique<HaltNowProgram>();
   });
-  EXPECT_TRUE(net.run(3).completed);
+  EXPECT_TRUE(net.run({.max_rounds = 3}).completed);
   // Everyone has halted; a message smuggled out of a halted node must be
   // caught by the halted-nodes-are-silent audit.
-  net.stage_unchecked_for_test(0, 0, {1});
-  EXPECT_THROW(net.run(1), ModelError);
+  testing::NetworkTestAccess::stage_unchecked(net, 0, 0, {1});
+  EXPECT_THROW(net.run({.max_rounds = 1}), ModelError);
 }
 
 TEST(ModelAuditorTest, WithinBudgetInjectionPassesTheRecount) {
@@ -167,8 +171,8 @@ TEST(ModelAuditorTest, WithinBudgetInjectionPassesTheRecount) {
   net.install([](NodeId, const NodeContext&) {
     return std::make_unique<HaltNowProgram>();
   });
-  net.stage_unchecked_for_test(0, 0, {1, 2});
-  EXPECT_TRUE(net.run(3).completed);
+  testing::NetworkTestAccess::stage_unchecked(net, 0, 0, {1, 2});
+  EXPECT_TRUE(net.run({.max_rounds = 3}).completed);
 }
 
 TEST(ModelAuditorTest, StandaloneAuditorChecksEdgeEndpoints) {

@@ -45,7 +45,7 @@ TEST(Network, FloodMaxElectsMaxId) {
   net.install([](NodeId, const NodeContext&) {
     return std::make_unique<FloodMaxProgram>();
   });
-  const RunStats stats = net.run(100);
+  const RunStats stats = net.run({.max_rounds = 100});
   EXPECT_TRUE(stats.completed);
   for (const auto v : net.outputs()) {
     EXPECT_EQ(v, 19);
@@ -67,7 +67,7 @@ TEST(Network, EnforcesBandwidth) {
   net.install([](NodeId, const NodeContext&) {
     return std::make_unique<OversizeProgram>();
   });
-  EXPECT_THROW(net.run(10), ModelError);
+  EXPECT_THROW(net.run({.max_rounds = 10}), ModelError);
 }
 
 /// Sends exactly B fields split over two messages: allowed. A third field
@@ -88,7 +88,7 @@ TEST(Network, PerEdgeBudgetIsPerRoundAndPerDirection) {
   net.install([](NodeId, const NodeContext&) {
     return std::make_unique<ExactBudgetProgram>();
   });
-  const auto stats = net.run(10);
+  const auto stats = net.run({.max_rounds = 10});
   EXPECT_TRUE(stats.completed);
 }
 
@@ -124,7 +124,7 @@ TEST(Network, MessagesArriveNextRound) {
   net.install([](NodeId id, const NodeContext&) {
     return std::make_unique<PingPongProgram>(id == 0);
   });
-  EXPECT_TRUE(net.run(20).completed);
+  EXPECT_TRUE(net.run({.max_rounds = 20}).completed);
 }
 
 class NeverHaltProgram : public NodeProgram {
@@ -137,7 +137,7 @@ TEST(Network, RunStopsAtBudgetWithoutCompletion) {
   net.install([](NodeId, const NodeContext&) {
     return std::make_unique<NeverHaltProgram>();
   });
-  const auto stats = net.run(5);
+  const auto stats = net.run({.max_rounds = 5});
   EXPECT_FALSE(stats.completed);
   EXPECT_EQ(stats.rounds, 5);
 }
@@ -159,7 +159,7 @@ TEST(Network, SharedRandomnessIsIdenticalAcrossNodes) {
   net.install([](NodeId, const NodeContext&) {
     return std::make_unique<SharedCoinProgram>();
   });
-  EXPECT_TRUE(net.run(3).completed);
+  EXPECT_TRUE(net.run({.max_rounds = 3}).completed);
   const auto outs = net.outputs();
   for (const auto v : outs) {
     EXPECT_EQ(v, outs[0]);
@@ -188,7 +188,7 @@ TEST(Network, TraceRecordsMessages) {
   net.install([](NodeId, const NodeContext&) {
     return std::make_unique<TalkOnceProgram>();
   });
-  const auto stats = net.run(10);
+  const auto stats = net.run({.max_rounds = 10});
   EXPECT_TRUE(stats.completed);
   ASSERT_GE(net.trace().size(), 1u);
   EXPECT_EQ(net.trace()[0].size(), 3u);  // hub sent to 3 leaves
@@ -220,7 +220,7 @@ TEST(Network, SubnetworkIndicatorVisible) {
   };
   net.install(
       [](NodeId, const NodeContext&) { return std::make_unique<Check>(); });
-  EXPECT_TRUE(net.run(3).completed);
+  EXPECT_TRUE(net.run({.max_rounds = 3}).completed);
   // Node 0 sees edge 0 in M; node 2 sees edge 1 not in M.
   EXPECT_EQ(net.output(0).value(), 1);
   EXPECT_EQ(net.output(2).value(), 0);
@@ -239,9 +239,22 @@ TEST(Network, InputsArePerNode) {
   };
   net.install(
       [](NodeId, const NodeContext&) { return std::make_unique<Echo>(); });
-  EXPECT_TRUE(net.run(2).completed);
+  EXPECT_TRUE(net.run({.max_rounds = 2}).completed);
   EXPECT_EQ(net.output(0).value(), 42);
   EXPECT_EQ(net.output(1).value(), 7);
+}
+
+TEST(Network, DeprecatedRunIntWrapperStillWorks) {
+  Network net(graph::path_graph(5), NetworkConfig{});
+  net.install([](NodeId, const NodeContext&) {
+    return std::make_unique<SharedCoinProgram>();
+  });
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const auto stats = net.run(3);  // legacy serial entry point
+#pragma GCC diagnostic pop
+  EXPECT_TRUE(stats.completed);
+  EXPECT_EQ(stats.rounds, 1);
 }
 
 }  // namespace

@@ -75,7 +75,7 @@ TEST(SimulationTheorem, WorstCaseTrafficStillWithinBound) {
   net.install([&](congest::NodeId, const congest::NodeContext&) {
     return std::make_unique<FloodEverything>(t);
   });
-  const auto stats = net.run(t + 2);
+  const auto stats = net.run({.max_rounds = t + 2});
   ASSERT_TRUE(stats.completed);
   const auto acc = account_three_party_cost(lbn, net);
   EXPECT_LE(acc.max_charged_per_round, acc.per_round_bound);
@@ -91,7 +91,7 @@ TEST(SimulationTheorem, RefusesRunsBeyondTheSchedule) {
   net.install([&](congest::NodeId, const congest::NodeContext&) {
     return std::make_unique<FloodEverything>(10);
   });
-  net.run(12);
+  net.run({.max_rounds = 12});
   EXPECT_THROW(account_three_party_cost(lbn, net), ModelError);
 }
 
@@ -101,7 +101,7 @@ TEST(SimulationTheorem, RefusesUntracedRuns) {
   net.install([&](congest::NodeId, const congest::NodeContext&) {
     return std::make_unique<FloodEverything>(2);
   });
-  net.run(5);
+  net.run({.max_rounds = 5});
   EXPECT_THROW(account_three_party_cost(lbn, net), ContractError);
 }
 

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Validate the BENCH_engine.json emitted by bench_engine_scaling.
+
+Usage:
+
+    python3 tools/check_bench_schema.py BENCH_engine.json
+
+Checks structure and value sanity (positive timings, threads=1 baseline
+present, speedups derived from the baseline) so CI catches a bench that
+silently emits garbage. Exit status: 0 on success, 1 on any violation.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+ERRORS: list[str] = []
+
+
+def fail(msg: str) -> None:
+    ERRORS.append(msg)
+
+
+def expect_key(obj: dict, key: str, kind, where: str):
+    if key not in obj:
+        fail(f"{where}: missing key '{key}'")
+        return None
+    value = obj[key]
+    if not isinstance(value, kind) or isinstance(value, bool) and kind is not bool:
+        fail(f"{where}: key '{key}' must be {kind}, got {type(value).__name__}")
+        return None
+    return value
+
+
+def check_case(case: dict, where: str) -> None:
+    expect_key(case, "name", str, where)
+    expect_key(case, "topology", str, where)
+    nodes = expect_key(case, "nodes", int, where)
+    edges = expect_key(case, "edges", int, where)
+    rounds = expect_key(case, "rounds", int, where)
+    if nodes is not None and nodes <= 0:
+        fail(f"{where}: nodes must be positive")
+    if edges is not None and edges <= 0:
+        fail(f"{where}: edges must be positive")
+    if rounds is not None and rounds <= 0:
+        fail(f"{where}: rounds must be positive")
+    results = expect_key(case, "results", list, where)
+    if not results:
+        fail(f"{where}: results must be a non-empty list")
+        return
+    seen_threads = set()
+    for i, res in enumerate(results):
+        rwhere = f"{where}.results[{i}]"
+        if not isinstance(res, dict):
+            fail(f"{rwhere}: must be an object")
+            continue
+        threads = expect_key(res, "threads", int, rwhere)
+        seconds = expect_key(res, "seconds", (int, float), rwhere)
+        rps = expect_key(res, "rounds_per_sec", (int, float), rwhere)
+        speedup = expect_key(res, "speedup", (int, float), rwhere)
+        if threads is not None:
+            if threads < 1:
+                fail(f"{rwhere}: threads must be >= 1")
+            if threads in seen_threads:
+                fail(f"{rwhere}: duplicate thread count {threads}")
+            seen_threads.add(threads)
+        if seconds is not None and seconds <= 0:
+            fail(f"{rwhere}: seconds must be positive")
+        if rps is not None and rps <= 0:
+            fail(f"{rwhere}: rounds_per_sec must be positive")
+        if speedup is not None and speedup <= 0:
+            fail(f"{rwhere}: speedup must be positive")
+    if 1 not in seen_threads:
+        fail(f"{where}: no threads=1 baseline in results")
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 1:
+        print("usage: check_bench_schema.py BENCH_engine.json", file=sys.stderr)
+        return 2
+    path = Path(argv[0])
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"check_bench_schema: cannot parse {path}: {exc}", file=sys.stderr)
+        return 1
+    if not isinstance(doc, dict):
+        print("check_bench_schema: top level must be an object", file=sys.stderr)
+        return 1
+
+    bench = expect_key(doc, "bench", str, "$")
+    if bench is not None and bench != "engine_scaling":
+        fail(f"$: bench must be 'engine_scaling', got '{bench}'")
+    version = expect_key(doc, "schema_version", int, "$")
+    if version is not None and version != 1:
+        fail(f"$: unsupported schema_version {version}")
+    expect_key(doc, "smoke", bool, "$")
+    hw = expect_key(doc, "hardware_threads", int, "$")
+    if hw is not None and hw < 1:
+        fail("$: hardware_threads must be >= 1")
+    cases = expect_key(doc, "cases", list, "$")
+    if not cases:
+        fail("$: cases must be a non-empty list")
+    else:
+        for i, case in enumerate(cases):
+            where = f"$.cases[{i}]"
+            if not isinstance(case, dict):
+                fail(f"{where}: must be an object")
+                continue
+            check_case(case, where)
+
+    for err in ERRORS:
+        print(err)
+    if ERRORS:
+        print(f"check_bench_schema: {len(ERRORS)} violation(s) in {path}")
+        return 1
+    print(f"check_bench_schema: {path} OK "
+          f"({len(cases) if cases else 0} case(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
