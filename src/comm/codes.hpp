@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "util/bitstring.hpp"
+#include "util/rng.hpp"
 
 namespace qdc::comm {
 

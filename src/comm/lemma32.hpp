@@ -20,6 +20,7 @@
 #pragma once
 
 #include "comm/server_model.hpp"
+#include "util/bitstring.hpp"
 #include "util/rng.hpp"
 
 namespace qdc::comm {

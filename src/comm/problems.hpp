@@ -4,6 +4,7 @@
 #pragma once
 
 #include "util/bitstring.hpp"
+#include "util/rng.hpp"
 
 namespace qdc::comm {
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "congest/model_auditor.hpp"
+#include "util/expect.hpp"
 
 namespace qdc::congest {
 

@@ -8,6 +8,7 @@
 #include <functional>
 
 #include "congest/network.hpp"
+#include "congest/stats.hpp"
 
 namespace qdc::congest::testing {
 

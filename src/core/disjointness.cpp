@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "comm/problems.hpp"
+#include "congest/network.hpp"
 #include "graph/generators.hpp"
 #include "quantum/grover.hpp"
 #include "util/expect.hpp"

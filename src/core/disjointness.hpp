@@ -18,8 +18,8 @@
 // cannot rely on Disjointness and switches to IPmod3 / Gap-Eq instead.
 #pragma once
 
-#include "congest/network.hpp"
 #include "util/bitstring.hpp"
+#include "util/rng.hpp"
 
 namespace qdc::core {
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/expect.hpp"
+
 namespace qdc::core {
 
 namespace {

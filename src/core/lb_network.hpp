@@ -15,7 +15,6 @@
 #include <vector>
 
 #include "graph/graph.hpp"
-#include "util/expect.hpp"
 
 namespace qdc::core {
 

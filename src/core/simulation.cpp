@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "congest/stats.hpp"
+#include "util/expect.hpp"
+
 namespace qdc::core {
 
 SimulationAccounting account_three_party_cost(const LbNetwork& lbn,

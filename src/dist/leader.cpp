@@ -1,5 +1,6 @@
 #include "dist/leader.hpp"
 
+#include "congest/network.hpp"
 #include "util/expect.hpp"
 
 namespace qdc::dist {

@@ -8,6 +8,7 @@
 // The follow-up count runs one BFS + aggregation from the leader (O(D)).
 #pragma once
 
+#include "congest/stats.hpp"
 #include "dist/tree.hpp"
 
 namespace qdc::dist {

@@ -7,6 +7,7 @@
 #include <map>
 #include <set>
 
+#include "congest/network.hpp"
 #include "util/expect.hpp"
 
 namespace qdc::dist {

@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "congest/stats.hpp"
 #include "dist/tree.hpp"
 #include "graph/graph.hpp"
 

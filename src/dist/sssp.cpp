@@ -5,6 +5,7 @@
 #include <cmath>
 #include <set>
 
+#include "congest/network.hpp"
 #include "dist/mst.hpp"
 #include "util/expect.hpp"
 

@@ -10,6 +10,7 @@
 // calculators instead).
 #pragma once
 
+#include "congest/stats.hpp"
 #include "dist/tree.hpp"
 #include "graph/graph.hpp"
 #include "graph/shortest_paths.hpp"

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "congest/network.hpp"
+#include "congest/stats.hpp"
 
 namespace qdc::dist {
 

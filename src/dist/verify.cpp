@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "congest/stats.hpp"
+#include "dist/mst.hpp"
 #include "util/expect.hpp"
 
 namespace qdc::dist {

@@ -12,8 +12,8 @@
 // M (e.g. e-cycle containment works on M - e) restore it before returning.
 #pragma once
 
-#include "dist/mst.hpp"
 #include "dist/tree.hpp"
+#include "graph/graph.hpp"
 
 namespace qdc::dist {
 

@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "graph/dsu.hpp"
+#include "util/expect.hpp"
 
 namespace qdc::graph {
 

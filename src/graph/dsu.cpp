@@ -3,6 +3,8 @@
 #include <numeric>
 #include <utility>
 
+#include "util/expect.hpp"
+
 namespace qdc::graph {
 
 DisjointSetUnion::DisjointSetUnion(int n)

@@ -3,8 +3,6 @@
 
 #include <vector>
 
-#include "util/expect.hpp"
-
 namespace qdc::graph {
 
 class DisjointSetUnion {

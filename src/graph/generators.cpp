@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "util/expect.hpp"
+
 namespace qdc::graph {
 
 Graph path_graph(int n) {

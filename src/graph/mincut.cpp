@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "graph/algorithms.hpp"
+#include "util/expect.hpp"
 
 namespace qdc::graph {
 

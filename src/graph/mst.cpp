@@ -8,6 +8,7 @@
 
 #include "graph/algorithms.hpp"
 #include "graph/dsu.hpp"
+#include "util/expect.hpp"
 
 namespace qdc::graph {
 

@@ -6,6 +6,7 @@
 #include "graph/algorithms.hpp"
 #include "graph/mst.hpp"
 #include "graph/shortest_paths.hpp"
+#include "util/expect.hpp"
 
 namespace qdc::graph {
 

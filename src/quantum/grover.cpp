@@ -4,6 +4,7 @@
 #include <numbers>
 
 #include "quantum/gates.hpp"
+#include "quantum/state.hpp"
 #include "util/expect.hpp"
 
 namespace qdc::quantum {

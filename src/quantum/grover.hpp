@@ -9,7 +9,7 @@
 
 #include <functional>
 
-#include "quantum/state.hpp"
+#include "util/rng.hpp"
 
 namespace qdc::quantum {
 

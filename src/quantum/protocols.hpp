@@ -9,6 +9,7 @@
 #pragma once
 
 #include "quantum/state.hpp"
+#include "util/rng.hpp"
 
 namespace qdc::quantum {
 

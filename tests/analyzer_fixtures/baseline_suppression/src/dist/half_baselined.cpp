@@ -1,0 +1,16 @@
+// FIXTURE: two wall-clock hazards; exactly one is baselined away, the
+// other must still be reported.
+#include <chrono>
+#include <cstdint>
+
+namespace qdc::dist {
+
+std::int64_t stamp() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+std::int64_t precise_stamp() {
+  return std::chrono::high_resolution_clock::now().time_since_epoch().count();
+}
+
+}  // namespace qdc::dist

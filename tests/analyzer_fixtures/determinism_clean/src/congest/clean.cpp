@@ -1,0 +1,26 @@
+// FIXTURE: ordered iteration, shard-order FP merge, no clocks — silent.
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace qdc::congest {
+
+struct Ctx {
+  void send(int port, std::int64_t value);
+};
+
+void broadcast_table(Ctx& ctx, const std::map<int, std::int64_t>& table) {
+  for (const auto& [port, value] : table) {
+    ctx.send(port, value);
+  }
+}
+
+template <typename Pool>
+double tally(Pool& pool, std::vector<double>& shard_sums) {
+  pool.dispatch([&](int shard) { shard_sums[shard] = double(shard); });
+  double total = 0.0;
+  for (double s : shard_sums) total += s;  // merge in shard-index order
+  return total;
+}
+
+}  // namespace qdc::congest

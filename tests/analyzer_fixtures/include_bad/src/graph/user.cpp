@@ -1,0 +1,13 @@
+// FIXTURE: unused_dep.hpp is never used; AlphaCfg is reached only
+// through util/beta.hpp (include/unused + include/transitive).
+#include "util/beta.hpp"
+#include "util/unused_dep.hpp"
+
+namespace qdc::graph {
+
+int total_knobs(const util::BetaCfg& cfg) {
+  util::AlphaCfg copy = cfg.base;
+  return copy.knobs;
+}
+
+}  // namespace qdc::graph

@@ -1,0 +1,7 @@
+#pragma once
+
+namespace qdc::util {
+struct AlphaCfg {
+  int knobs = 0;
+};
+}  // namespace qdc::util

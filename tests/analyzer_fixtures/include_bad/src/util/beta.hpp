@@ -1,0 +1,9 @@
+#pragma once
+
+#include "util/alpha.hpp"
+
+namespace qdc::util {
+struct BetaCfg {
+  AlphaCfg base;
+};
+}  // namespace qdc::util

@@ -1,0 +1,7 @@
+#pragma once
+
+namespace qdc::util {
+struct UnusedDep {
+  int nothing = 0;
+};
+}  // namespace qdc::util

@@ -1,0 +1,13 @@
+// FIXTURE: the guarded include is exempt from include/unused (the
+// analyzer does not evaluate preprocessor conditions).
+#pragma once
+
+#ifdef QDC_EXTRAS
+#include "util/opt.hpp"
+#endif
+
+namespace qdc::util {
+struct Misc {
+  int id = 0;
+};
+}  // namespace qdc::util

@@ -1,0 +1,7 @@
+#pragma once
+
+namespace qdc::util {
+struct OptThing {
+  int extras = 0;
+};
+}  // namespace qdc::util

@@ -1,0 +1,10 @@
+// FIXTURE: graph -> util is a legal DAG edge; include is used.
+#pragma once
+
+#include "util/base.hpp"
+
+namespace qdc::graph {
+struct Thing {
+  util::Base base;
+};
+}  // namespace qdc::graph

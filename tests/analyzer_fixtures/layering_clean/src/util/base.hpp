@@ -1,0 +1,8 @@
+// FIXTURE: legal util -> (nothing) edge; nothing should fire.
+#pragma once
+
+namespace qdc::util {
+struct Base {
+  int id = 0;
+};
+}  // namespace qdc::util

@@ -1,0 +1,10 @@
+// FIXTURE: alpha <-> beta form a cycle; neither is in the DAG table.
+#pragma once
+
+#include "beta/b.hpp"
+
+namespace qdc::alpha {
+struct AlphaThing {
+  BetaThing inner;
+};
+}  // namespace qdc::alpha

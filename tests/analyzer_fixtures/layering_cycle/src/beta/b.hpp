@@ -1,0 +1,9 @@
+#pragma once
+
+#include "alpha/a.hpp"
+
+namespace qdc::beta {
+struct BetaThing {
+  AlphaThing* back = nullptr;
+};
+}  // namespace qdc::beta

@@ -1,0 +1,6 @@
+// FIXTURE: congest/testing.hpp is test-only (layering/testing-header).
+#include "congest/testing.hpp"
+
+namespace qdc::dist {
+int cheat() { return congest::testing::tamper_count(); }
+}  // namespace qdc::dist

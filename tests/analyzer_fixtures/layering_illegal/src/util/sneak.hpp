@@ -1,0 +1,8 @@
+// FIXTURE: util must not depend on graph (layering/illegal-edge).
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace qdc::util {
+inline int hop_count(const qdc::graph::Graph& g) { return g.node_count(); }
+}  // namespace qdc::util

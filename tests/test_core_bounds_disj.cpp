@@ -5,6 +5,7 @@
 #include "comm/problems.hpp"
 #include "core/bounds.hpp"
 #include "core/disjointness.hpp"
+#include "util/expect.hpp"
 
 namespace qdc::core {
 namespace {

@@ -1,0 +1,64 @@
+#include "baseline.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace qdc::analyze {
+
+namespace {
+const char kSep[] = " — ";  // " — "
+}
+
+bool Baseline::covers(const Diagnostic& d) const {
+  const std::string fp = d.fingerprint();
+  for (const BaselineEntry& e : entries) {
+    if (e.fingerprint == fp) {
+      e.matched = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<const BaselineEntry*> Baseline::stale() const {
+  std::vector<const BaselineEntry*> out;
+  for (const BaselineEntry& e : entries)
+    if (!e.matched) out.push_back(&e);
+  return out;
+}
+
+Baseline load_baseline(const std::string& path) {
+  Baseline b;
+  std::ifstream in(path);
+  if (!in) return b;  // absent baseline == empty baseline
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::size_t sep = line.find(kSep);
+    if (sep == std::string::npos)
+      throw std::runtime_error(path + ":" + std::to_string(lineno) +
+                               ": baseline entry lacks ' — "
+                               "<justification>'");
+    std::string fp = line.substr(first, sep - first);
+    std::string why = line.substr(sep + sizeof(kSep) - 1);
+    if (fp.find('|') == std::string::npos || why.empty())
+      throw std::runtime_error(path + ":" + std::to_string(lineno) +
+                               ": malformed baseline entry");
+    b.entries.push_back({fp, why, false});
+  }
+  return b;
+}
+
+std::string baseline_skeleton(const std::vector<Diagnostic>& diags) {
+  std::string out =
+      "# qdc_analyze baseline — accepted diagnostics, one per line:\n"
+      "#   <rule>|<file>|<detail> — <justification>\n";
+  for (const Diagnostic& d : diags)
+    out += d.fingerprint() + kSep + "TODO: justify\n";
+  return out;
+}
+
+}  // namespace qdc::analyze

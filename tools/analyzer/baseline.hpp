@@ -1,0 +1,42 @@
+// Baseline suppressions: a committed list of accepted-diagnostic
+// fingerprints, each with a one-line justification. Format, one entry per
+// line (blank lines and '#' comments ignored):
+//
+//   <rule>|<file>|<detail> — <justification>
+//
+// The separator is " — " (em dash). Fingerprints omit line numbers so
+// entries survive unrelated edits; `qdc_analyze --write-baseline` emits a
+// skeleton for the current findings.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "check.hpp"
+
+namespace qdc::analyze {
+
+struct BaselineEntry {
+  std::string fingerprint;
+  std::string justification;
+  mutable bool matched = false;
+};
+
+struct Baseline {
+  std::vector<BaselineEntry> entries;
+
+  /// Marks the entry as matched and returns true when `d` is baselined.
+  bool covers(const Diagnostic& d) const;
+
+  /// Entries that matched no diagnostic in this run (stale suppressions).
+  std::vector<const BaselineEntry*> stale() const;
+};
+
+/// Parse `path`. A missing file yields an empty baseline; a present but
+/// malformed line throws std::runtime_error with the offending line number.
+Baseline load_baseline(const std::string& path);
+
+/// Skeleton baseline text for `diags` (justifications left as TODO).
+std::string baseline_skeleton(const std::vector<Diagnostic>& diags);
+
+}  // namespace qdc::analyze

@@ -1,0 +1,66 @@
+// Check interface and registry for qdc_analyze.
+//
+// A check is a stateless object that inspects the whole corpus and emits
+// diagnostics. Checks self-register through QDC_ANALYZE_REGISTER so adding
+// one is: write a .cpp in tools/analyzer/, register it, list it in the
+// CMake target, add a firing + clean fixture under tests/analyzer_fixtures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "source.hpp"
+
+namespace qdc::analyze {
+
+struct Diagnostic {
+  std::string rule;     ///< "family/rule", e.g. "layering/illegal-edge"
+  std::string file;     ///< rel path ("" for corpus-level findings)
+  int line = 0;
+  std::string detail;   ///< stable, line-independent fingerprint payload
+  std::string message;  ///< human-readable explanation
+
+  /// Baseline key. Deliberately excludes the line number so suppressions
+  /// survive unrelated edits to the file.
+  std::string fingerprint() const { return rule + "|" + file + "|" + detail; }
+};
+
+/// Sort by (file, line, rule, detail) for deterministic reports.
+void sort_diagnostics(std::vector<Diagnostic>& diags);
+
+struct AnalysisContext {
+  const std::vector<SourceFile>* files = nullptr;
+
+  const SourceFile* find(const std::string& rel) const {
+    for (const auto& f : *files)
+      if (f.rel == rel) return &f;
+    return nullptr;
+  }
+};
+
+class Check {
+ public:
+  virtual ~Check() = default;
+  virtual const char* name() const = 0;         ///< family name
+  virtual const char* description() const = 0;  ///< one line, for --list-checks
+  virtual void run(const AnalysisContext& ctx,
+                   std::vector<Diagnostic>& out) const = 0;
+};
+
+/// All registered checks, in registration order (link order of the .cpps).
+const std::vector<const Check*>& check_registry();
+
+namespace detail {
+struct CheckRegistrar {
+  explicit CheckRegistrar(const Check* check);
+};
+}  // namespace detail
+
+#define QDC_ANALYZE_REGISTER(CheckType)                        \
+  namespace {                                                  \
+  const CheckType g_instance_##CheckType;                      \
+  const ::qdc::analyze::detail::CheckRegistrar                 \
+      g_registrar_##CheckType(&g_instance_##CheckType);        \
+  }
+
+}  // namespace qdc::analyze

@@ -1,0 +1,321 @@
+// Determinism-hazard check: flags constructs the runtime EngineDeterminism
+// suite can only catch probabilistically.
+//
+// Rules:
+//   determinism/unordered-iteration  iteration over a std::unordered_*
+//       container (or an alias of one) in src/congest, src/dist, src/graph
+//       or src/core whose loop body lets the iteration order escape — into
+//       sends, merged stats, appended/returned containers, or compound
+//       accumulation. Hash iteration order is implementation-defined, so
+//       any escape breaks the bit-determinism the engine guarantees.
+//   determinism/fp-accumulation      float/double compound accumulation
+//       inside a lambda handed to the round engine or thread pool
+//       (dispatch/submit/parallel_for), or any std::atomic<float|double>.
+//       Cross-shard FP addition is order-sensitive; merges must happen in
+//       shard-index order outside the parallel region.
+//   determinism/wall-clock           wall-clock or time-seeded calls in
+//       src/ (chrono clocks, time(), random_device, ...). All randomness
+//       and timing must flow through seeded Rng / RunStats.
+
+#include <array>
+#include <cctype>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "check.hpp"
+
+namespace qdc::analyze {
+namespace {
+
+bool is_ident(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Whole-token occurrences of `needle` in `hay`, starting at `from`.
+std::size_t find_token(const std::string& hay, const std::string& needle,
+                       std::size_t from = 0) {
+  while (true) {
+    std::size_t pos = hay.find(needle, from);
+    if (pos == std::string::npos) return std::string::npos;
+    bool left_ok = pos == 0 || !is_ident(hay[pos - 1]);
+    std::size_t end = pos + needle.size();
+    bool right_ok = end >= hay.size() || !is_ident(hay[end]);
+    if (left_ok && right_ok) return pos;
+    from = pos + 1;
+  }
+}
+
+/// Offset just past the bracket that matches the opener at `open`.
+std::size_t match_bracket(const std::string& s, std::size_t open, char lhs,
+                          char rhs) {
+  int depth = 0;
+  for (std::size_t i = open; i < s.size(); ++i) {
+    if (s[i] == lhs) ++depth;
+    if (s[i] == rhs && --depth == 0) return i + 1;
+  }
+  return std::string::npos;
+}
+
+std::size_t skip_space(const std::string& s, std::size_t i) {
+  while (i < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[i])) != 0)
+    ++i;
+  return i;
+}
+
+std::string read_ident(const std::string& s, std::size_t i) {
+  std::size_t j = i;
+  while (j < s.size() && is_ident(s[j])) ++j;
+  return s.substr(i, j - i);
+}
+
+/// Identifier ending right before position `end` (skipping trailing space).
+std::string ident_before(const std::string& s, std::size_t end) {
+  while (end > 0 && std::isspace(static_cast<unsigned char>(s[end - 1])) != 0)
+    --end;
+  std::size_t begin = end;
+  while (begin > 0 && is_ident(s[begin - 1])) --begin;
+  return s.substr(begin, end - begin);
+}
+
+/// Names of variables declared with an unordered container type (or an
+/// alias of one) anywhere in the file, plus the aliases themselves.
+void collect_unordered_names(const SourceFile& f, std::set<std::string>& vars,
+                             std::set<std::string>& aliases) {
+  const std::string& code = f.code;
+  std::vector<std::string> type_spellings = {"std::unordered_map",
+                                             "std::unordered_set",
+                                             "std::unordered_multimap",
+                                             "std::unordered_multiset"};
+  // Two passes so an alias declared after its first use is still found.
+  for (int pass = 0; pass < 2; ++pass) {
+    std::vector<std::string> spellings = type_spellings;
+    spellings.insert(spellings.end(), aliases.begin(), aliases.end());
+    for (const std::string& ty : spellings) {
+      std::size_t pos = 0;
+      while ((pos = find_token(code, ty, pos)) != std::string::npos) {
+        std::size_t i = pos + ty.size();
+        // `using Alias = std::unordered_map<...>` declares an alias.
+        std::size_t line_begin = code.rfind('\n', pos);
+        line_begin = line_begin == std::string::npos ? 0 : line_begin + 1;
+        std::string before = code.substr(line_begin, pos - line_begin);
+        if (before.find("using") != std::string::npos &&
+            before.find('=') != std::string::npos) {
+          std::size_t eq = before.rfind('=');
+          aliases.insert(ident_before(before, eq));
+          pos = i;
+          continue;
+        }
+        if (i < code.size() && code[skip_space(code, i)] == '<')
+          i = match_bracket(code, skip_space(code, i), '<', '>');
+        if (i == std::string::npos) break;
+        i = skip_space(code, i);
+        while (i < code.size() && (code[i] == '&' || code[i] == '*'))
+          i = skip_space(code, i + 1);
+        std::string var = read_ident(code, i);
+        if (!var.empty()) vars.insert(var);
+        pos = i;
+      }
+    }
+  }
+}
+
+const char* kEscapeTokens[] = {"send",    "send_all",     "push_back",
+                               "emplace_back", "insert",  "emplace",
+                               "return",  "merge",        "+=",
+                               "|=",      "^=",           "set_output"};
+
+class DeterminismCheck final : public Check {
+ public:
+  const char* name() const override { return "determinism"; }
+  const char* description() const override {
+    return "unordered iteration escapes, cross-shard FP accumulation, "
+           "wall-clock calls";
+  }
+
+  void run(const AnalysisContext& ctx,
+           std::vector<Diagnostic>& out) const override {
+    for (const SourceFile& f : *ctx.files) {
+      if (f.module_name.empty()) continue;
+      check_wall_clock(f, out);
+      check_fp_accumulation(f, out);
+      static const std::set<std::string> kOrderSensitive = {
+          "congest", "dist", "graph", "core"};
+      if (kOrderSensitive.count(f.module_name) != 0)
+        check_unordered_iteration(f, out);
+    }
+  }
+
+ private:
+  static void check_wall_clock(const SourceFile& f,
+                               std::vector<Diagnostic>& out) {
+    static const char* kBanned[] = {
+        "system_clock",  "steady_clock", "high_resolution_clock",
+        "random_device", "gettimeofday", "localtime",
+        "rdtsc",         "timespec_get"};
+    for (const char* token : kBanned) {
+      std::size_t pos = find_token(f.code, token);
+      if (pos != std::string::npos) {
+        out.push_back({"determinism/wall-clock", f.rel, f.line_of(pos), token,
+                       std::string("wall-clock / nondeterministic source '") +
+                           token + "' in library code; runs must be a pure "
+                           "function of (input, seed)"});
+      }
+    }
+    for (const char* call : {"time(nullptr)", "time(NULL)", "time(0)"}) {
+      std::size_t pos = f.code.find(call);
+      if (pos != std::string::npos) {
+        out.push_back({"determinism/wall-clock", f.rel, f.line_of(pos),
+                       "time()", "time() seeds depend on the wall clock; "
+                       "use an explicit seed"});
+      }
+    }
+  }
+
+  static void check_fp_accumulation(const SourceFile& f,
+                                    std::vector<Diagnostic>& out) {
+    for (const char* atomic_fp :
+         {"std::atomic<double>", "std::atomic<float>"}) {
+      std::size_t pos = f.code.find(atomic_fp);
+      if (pos != std::string::npos) {
+        out.push_back({"determinism/fp-accumulation", f.rel, f.line_of(pos),
+                       "atomic-float",
+                       std::string(atomic_fp) + ": atomic FP accumulation is "
+                       "scheduling-order-sensitive; tally per shard and merge "
+                       "in shard-index order"});
+      }
+    }
+
+    // float/double vars declared anywhere in this file.
+    std::set<std::string> fp_vars;
+    for (const char* ty : {"double", "float"}) {
+      std::size_t pos = 0;
+      while ((pos = find_token(f.code, ty, pos)) != std::string::npos) {
+        std::size_t i = skip_space(f.code, pos + std::string(ty).size());
+        std::string var = read_ident(f.code, i);
+        if (!var.empty()) fp_vars.insert(var);
+        pos = i == pos ? pos + 1 : i;
+      }
+    }
+    if (fp_vars.empty()) return;
+
+    // Compound FP assignment inside a parallel-region call.
+    for (const char* entry : {"dispatch", "submit", "parallel_for"}) {
+      std::size_t pos = 0;
+      while ((pos = find_token(f.code, entry, pos)) != std::string::npos) {
+        std::size_t open = skip_space(f.code, pos + std::string(entry).size());
+        if (open >= f.code.size() || f.code[open] != '(') {
+          pos = open;
+          continue;
+        }
+        std::size_t close = match_bracket(f.code, open, '(', ')');
+        if (close == std::string::npos) break;
+        std::string region = f.code.substr(open, close - open);
+        for (const char* op : {"+=", "-="}) {
+          std::size_t at = 0;
+          while ((at = region.find(op, at)) != std::string::npos) {
+            std::string lhs = ident_before(region, at);
+            if (fp_vars.count(lhs) != 0) {
+              out.push_back(
+                  {"determinism/fp-accumulation", f.rel,
+                   f.line_of(open + at), lhs,
+                   "floating-point accumulation into '" + lhs + "' inside " +
+                       entry + "(): cross-shard FP addition is order-"
+                       "sensitive; tally per shard, merge in shard order"});
+            }
+            at += 2;
+          }
+        }
+        pos = close;
+      }
+    }
+  }
+
+  static void check_unordered_iteration(const SourceFile& f,
+                                        std::vector<Diagnostic>& out) {
+    std::set<std::string> vars;
+    std::set<std::string> aliases;
+    collect_unordered_names(f, vars, aliases);
+    if (vars.empty()) return;
+
+    const std::string& code = f.code;
+    // Range-for loops whose range expression ends in an unordered var.
+    std::size_t pos = 0;
+    while ((pos = find_token(code, "for", pos)) != std::string::npos) {
+      std::size_t open = skip_space(code, pos + 3);
+      pos += 3;
+      if (open >= code.size() || code[open] != '(') continue;
+      std::size_t close = match_bracket(code, open, '(', ')');
+      if (close == std::string::npos) continue;
+      std::string head = code.substr(open + 1, close - open - 2);
+      // top-level ':' (not '::')
+      int depth = 0;
+      std::size_t colon = std::string::npos;
+      for (std::size_t i = 0; i < head.size(); ++i) {
+        char c = head[i];
+        if (c == '(' || c == '<' || c == '[') ++depth;
+        if (c == ')' || c == '>' || c == ']') --depth;
+        if (c == ':' && depth == 0 &&
+            (i + 1 >= head.size() || head[i + 1] != ':') &&
+            (i == 0 || head[i - 1] != ':')) {
+          colon = i;
+          break;
+        }
+      }
+      if (colon == std::string::npos) continue;
+      std::string range = head.substr(colon + 1);
+      while (!range.empty() &&
+             (range.back() == ' ' || range.back() == ')' ||
+              range.back() == '\n'))
+        range.pop_back();
+      std::string base = ident_before(range, range.size());
+      if (vars.count(base) == 0) continue;
+
+      // Loop body: `{...}` or a single statement up to ';'.
+      std::size_t body_begin = skip_space(code, close);
+      std::size_t body_end;
+      if (body_begin < code.size() && code[body_begin] == '{') {
+        body_end = match_bracket(code, body_begin, '{', '}');
+      } else {
+        body_end = code.find(';', body_begin);
+        body_end = body_end == std::string::npos ? code.size() : body_end + 1;
+      }
+      if (body_end == std::string::npos) body_end = code.size();
+      std::string body = code.substr(body_begin, body_end - body_begin);
+      for (const char* esc : kEscapeTokens) {
+        bool hit = std::string(esc).find_first_of("+|^") != std::string::npos
+                       ? body.find(esc) != std::string::npos
+                       : find_token(body, esc) != std::string::npos;
+        if (hit) {
+          out.push_back(
+              {"determinism/unordered-iteration", f.rel,
+               f.line_of(open), base,
+               "iteration over unordered container '" + base + "' escapes "
+               "via '" + esc + "'; hash order is implementation-defined — "
+               "iterate a sorted view or use std::map"});
+          break;
+        }
+      }
+    }
+
+    // `.begin()` handed to algorithms: order escapes almost always.
+    for (const std::string& var : vars) {
+      for (const char* method : {".begin()", ".cbegin()"}) {
+        std::size_t at = code.find(var + method);
+        if (at != std::string::npos &&
+            (at == 0 || !is_ident(code[at - 1]))) {
+          out.push_back(
+              {"determinism/unordered-iteration", f.rel, f.line_of(at), var,
+               "'" + var + method + "' exposes unordered iteration order "
+               "to an algorithm; iterate a sorted view or use std::map"});
+        }
+      }
+    }
+  }
+};
+
+QDC_ANALYZE_REGISTER(DeterminismCheck)
+
+}  // namespace
+}  // namespace qdc::analyze

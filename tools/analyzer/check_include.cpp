@@ -1,0 +1,291 @@
+// Include-hygiene check (IWYU-lite), project headers only.
+//
+// Rules:
+//   include/unused      a direct "project" include none of whose declared
+//                       symbols the including file mentions. System
+//                       includes are out of scope (no std symbol table);
+//                       #if-guarded includes are skipped (the analyzer does
+//                       not evaluate preprocessor conditions).
+//   include/transitive  a symbol that is declared in exactly one project
+//                       header, used by this file, but only reachable
+//                       through transitive includes — the file must name
+//                       the header it depends on.
+//
+// A .cpp file is credited with its own header's direct includes (the
+// repo convention keeps interface dependencies in the header).
+//
+// Symbol extraction is heuristic: names introduced at namespace scope by
+// class/struct/enum/union/concept, alias and typedef declarations,
+// using-declarations, #define, free functions, and namespace-scope
+// constants. Opaque braces (function bodies, class bodies) are skipped.
+
+#include <cctype>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "check.hpp"
+
+namespace qdc::analyze {
+namespace {
+
+struct Token {
+  std::string text;
+  std::size_t offset = 0;
+  bool ident = false;
+};
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::vector<Token> tokenize(const std::string& code) {
+  std::vector<Token> toks;
+  std::size_t i = 0;
+  bool line_is_directive = false;
+  bool at_line_start = true;
+  while (i < code.size()) {
+    char c = code[i];
+    if (c == '\n') {
+      line_is_directive = false;
+      at_line_start = true;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    if (at_line_start && c == '#') line_is_directive = true;
+    at_line_start = false;
+    if (line_is_directive) {  // directives are handled by the lexer already
+      ++i;
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < code.size() && ident_char(code[j])) ++j;
+      toks.push_back({code.substr(i, j - i), i, true});
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      while (i < code.size() && ident_char(code[i])) ++i;
+    } else {
+      toks.push_back({std::string(1, c), i, false});
+      ++i;
+    }
+  }
+  return toks;
+}
+
+bool is_decl_keyword(const std::string& t) {
+  return t == "class" || t == "struct" || t == "enum" || t == "union" ||
+         t == "concept";
+}
+
+/// Names a file introduces at namespace scope (heuristic; see file header).
+std::set<std::string> declared_symbols(const SourceFile& f) {
+  std::set<std::string> out(f.defines.begin(), f.defines.end());
+  std::vector<Token> toks = tokenize(f.code);
+  // Brace stack: true = transparent (namespace/extern), false = opaque.
+  std::vector<bool> braces;
+  auto transparent = [&] {
+    for (bool b : braces)
+      if (!b) return false;
+    return true;
+  };
+  bool next_brace_transparent = false;
+  int paren_depth = 0;  // function parameters are not namespace-scope names
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (t == "(") {
+      ++paren_depth;
+      continue;
+    }
+    if (t == ")") {
+      if (paren_depth > 0) --paren_depth;
+      continue;
+    }
+    if (t == "{") {
+      braces.push_back(next_brace_transparent);
+      next_brace_transparent = false;
+      continue;
+    }
+    if (t == "}") {
+      if (!braces.empty()) braces.pop_back();
+      continue;
+    }
+    if (!transparent() || paren_depth > 0) continue;
+    if (t == "namespace" || t == "extern") {
+      next_brace_transparent = true;
+      continue;
+    }
+    if (is_decl_keyword(t)) {
+      std::size_t j = i + 1;
+      if (j < toks.size() &&
+          (toks[j].text == "class" || toks[j].text == "struct"))
+        ++j;  // enum class / enum struct
+      while (j < toks.size() && toks[j].text == "[") {  // [[attributes]]
+        while (j < toks.size() && toks[j].text != "]") ++j;
+        ++j;
+      }
+      if (j < toks.size() && toks[j].ident) out.insert(toks[j].text);
+      continue;
+    }
+    if (t == "using") {
+      // using Alias = ...;   |   using ns::Name;   (skip using namespace)
+      if (i + 1 < toks.size() && toks[i + 1].text == "namespace") continue;
+      std::string last_ident;
+      std::size_t j = i + 1;
+      for (; j < toks.size(); ++j) {
+        if (toks[j].text == "=" || toks[j].text == ";") break;
+        if (toks[j].ident) last_ident = toks[j].text;
+      }
+      if (!last_ident.empty()) out.insert(last_ident);
+      i = j;
+      continue;
+    }
+    if (t == "typedef") {
+      std::string last_ident;
+      std::size_t j = i + 1;
+      for (; j < toks.size() && toks[j].text != ";"; ++j)
+        if (toks[j].ident) last_ident = toks[j].text;
+      if (!last_ident.empty()) out.insert(last_ident);
+      i = j;
+      continue;
+    }
+    // Free function: identifier immediately followed by '(' — unless it is
+    // a qualified out-of-line definition (preceded by "::"), which declares
+    // nothing new.
+    if (toks[i].ident && i + 1 < toks.size() && toks[i + 1].text == "(") {
+      bool qualified = i >= 2 && toks[i - 1].text == ":" &&
+                       toks[i - 2].text == ":";
+      bool preceded_by_type = i > 0 && (toks[i - 1].ident ||
+                                        toks[i - 1].text == ">" ||
+                                        toks[i - 1].text == "&" ||
+                                        toks[i - 1].text == "*");
+      if (!qualified && preceded_by_type) out.insert(t);
+      continue;
+    }
+    // Namespace-scope constant / variable: identifier followed by '=' or
+    // ';' with a type-ish token before it.
+    if (toks[i].ident && i > 0 && i + 1 < toks.size() &&
+        (toks[i + 1].text == "=" || toks[i + 1].text == ";") &&
+        (toks[i - 1].ident || toks[i - 1].text == ">" ||
+         toks[i - 1].text == "&" || toks[i - 1].text == "*")) {
+      out.insert(t);
+      continue;
+    }
+  }
+  return out;
+}
+
+class IncludeHygieneCheck final : public Check {
+ public:
+  const char* name() const override { return "include-hygiene"; }
+  const char* description() const override {
+    return "unused direct includes; symbols reached only transitively";
+  }
+
+  void run(const AnalysisContext& ctx,
+           std::vector<Diagnostic>& out) const override {
+    // Symbol tables per file, and symbol -> number of headers declaring it.
+    std::map<std::string, std::set<std::string>> symbols;
+    std::map<std::string, int> header_decl_count;
+    for (const SourceFile& f : *ctx.files) {
+      symbols[f.rel] = declared_symbols(f);
+      if (f.is_header)
+        for (const std::string& s : symbols[f.rel]) ++header_decl_count[s];
+    }
+
+    for (const SourceFile& f : *ctx.files) {
+      std::string own_header;
+      if (!f.is_header)
+        own_header = f.rel.substr(0, f.rel.size() - 4) + ".hpp";
+
+      std::set<std::string> direct;  // rel paths of directly-named headers
+      for (const Include& inc : f.includes) {
+        if (inc.angled) continue;
+        std::string target = "src/" + inc.path;
+        const SourceFile* h = ctx.find(target);
+        if (h == nullptr) continue;
+        direct.insert(target);
+
+        if (inc.cond_depth > 0) continue;       // cannot evaluate #if
+        if (target == own_header) continue;     // never "unused"
+        const std::set<std::string>& syms = symbols[target];
+        if (syms.empty()) continue;             // nothing extracted: skip
+        bool used = false;
+        for (const std::string& s : syms)
+          if (f.uses(s)) {
+            used = true;
+            break;
+          }
+        if (!used) {
+          out.push_back({"include/unused", f.rel, inc.line, inc.path,
+                         "no symbol declared in \"" + inc.path + "\" is "
+                         "mentioned here; drop the include (or baseline it "
+                         "with a justification if it is a deliberate "
+                         "re-export)"});
+        }
+      }
+
+      // Credit a .cpp with its own header's direct includes.
+      std::set<std::string> credited = direct;
+      if (!own_header.empty()) {
+        if (const SourceFile* h = ctx.find(own_header)) {
+          credited.insert(own_header);
+          for (const Include& inc : h->includes)
+            if (!inc.angled && ctx.find("src/" + inc.path) != nullptr)
+              credited.insert("src/" + inc.path);
+        }
+      }
+
+      // Reachable closure over project includes.
+      std::set<std::string> reachable;
+      std::vector<std::string> queue(credited.begin(), credited.end());
+      while (!queue.empty()) {
+        std::string cur = queue.back();
+        queue.pop_back();
+        if (!reachable.insert(cur).second) continue;
+        if (const SourceFile* h = ctx.find(cur))
+          for (const Include& inc : h->includes)
+            if (!inc.angled && ctx.find("src/" + inc.path) != nullptr)
+              queue.push_back("src/" + inc.path);
+      }
+
+      // Symbols available through credited headers or the file itself.
+      std::set<std::string> provided = symbols[f.rel];
+      for (const std::string& h : credited)
+        provided.insert(symbols[h].begin(), symbols[h].end());
+
+      for (const std::string& h : reachable) {
+        if (credited.count(h) != 0 || h == f.rel) continue;
+        std::vector<std::string> hits;
+        for (const std::string& s : symbols[h]) {
+          if (header_decl_count[s] != 1) continue;  // ambiguous name
+          if (provided.count(s) != 0) continue;
+          if (f.uses(s)) hits.push_back(s);
+        }
+        if (hits.empty()) continue;
+        std::string shown;
+        for (std::size_t i = 0; i < hits.size() && i < 3; ++i)
+          shown += (i != 0 ? ", " : "") + hits[i];
+        if (hits.size() > 3) shown += ", ...";
+        std::string path = h.substr(4);  // drop "src/"
+        out.push_back({"include/transitive", f.rel,
+                       f.first_use_line(hits.front()), path,
+                       "uses " + shown + " declared in \"" + path + "\" but "
+                       "reaches it only transitively; include it directly"});
+      }
+    }
+  }
+};
+
+QDC_ANALYZE_REGISTER(IncludeHygieneCheck)
+
+}  // namespace
+}  // namespace qdc::analyze

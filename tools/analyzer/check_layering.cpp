@@ -1,0 +1,162 @@
+// Layering check: derives the module dependency graph from project
+// #includes and enforces the intended DAG. The table below is the source
+// of truth for module structure (mirrored by the link graph in
+// src/CMakeLists.txt); tools/analyzer/README.md documents it.
+//
+// Rules:
+//   layering/illegal-edge    an #include crosses an edge the DAG forbids
+//   layering/cycle           the derived graph contains a dependency cycle
+//   layering/unknown-module  a src/ subdirectory is not in the DAG table
+//   layering/testing-header  congest/testing.hpp included from src/ (it is
+//                            the test-only tamper surface; only its own
+//                            implementation file may include it)
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "check.hpp"
+
+namespace qdc::analyze {
+namespace {
+
+// module -> modules it may include from (transitively closed).
+const std::map<std::string, std::set<std::string>>& allowed_deps() {
+  static const std::map<std::string, std::set<std::string>> kAllowed = {
+      {"util", {}},
+      {"graph", {"util"}},
+      {"congest", {"util", "graph"}},
+      {"dist", {"util", "graph", "congest"}},
+      {"quantum", {"util"}},
+      {"nonlocal", {"util"}},
+      {"comm", {"util", "nonlocal"}},
+      {"gadgets", {"util", "graph", "nonlocal", "comm"}},
+      {"core",
+       {"util", "graph", "congest", "dist", "quantum", "nonlocal", "comm",
+        "gadgets"}},
+  };
+  return kAllowed;
+}
+
+struct Edge {
+  std::string file;  // representative include site
+  int line = 0;
+};
+
+class LayeringCheck final : public Check {
+ public:
+  const char* name() const override { return "layering"; }
+  const char* description() const override {
+    return "module dependency DAG, cycles, and the testing-header firewall";
+  }
+
+  void run(const AnalysisContext& ctx,
+           std::vector<Diagnostic>& out) const override {
+    const auto& allowed = allowed_deps();
+    // module -> module -> representative include site.
+    std::map<std::string, std::map<std::string, Edge>> edges;
+    std::set<std::string> modules;
+
+    for (const SourceFile& f : *ctx.files) {
+      if (f.module_name.empty()) continue;
+      modules.insert(f.module_name);
+      for (const Include& inc : f.includes) {
+        if (inc.angled) continue;
+        std::size_t slash = inc.path.find('/');
+        if (slash == std::string::npos) continue;
+        std::string target = inc.path.substr(0, slash);
+
+        if (inc.path == "congest/testing.hpp" &&
+            f.rel != "src/congest/testing.cpp" &&
+            f.rel != "src/congest/testing.hpp") {
+          out.push_back({"layering/testing-header", f.rel, inc.line,
+                         "congest/testing.hpp",
+                         "congest/testing.hpp is the test-only tamper "
+                         "surface; src/ code must not include it"});
+        }
+
+        if (target == f.module_name) continue;
+        modules.insert(target);
+        edges[f.module_name].emplace(target, Edge{f.rel, inc.line});
+
+        auto it = allowed.find(f.module_name);
+        if (it != allowed.end() && allowed.count(target) != 0 &&
+            it->second.count(target) == 0) {
+          out.push_back({"layering/illegal-edge", f.rel, inc.line,
+                         f.module_name + "->" + target,
+                         "include of \"" + inc.path + "\" creates forbidden "
+                         "module edge " + f.module_name + " -> " + target +
+                         " (see tools/analyzer/README.md for the DAG)"});
+        }
+      }
+    }
+
+    for (const std::string& m : modules) {
+      if (allowed.count(m) == 0) {
+        out.push_back({"layering/unknown-module", "", 0, m,
+                       "module '" + m + "' is not in the layering DAG; add "
+                       "it to tools/analyzer/check_layering.cpp and "
+                       "tools/analyzer/README.md"});
+      }
+    }
+
+    report_cycles(edges, out);
+  }
+
+ private:
+  static void report_cycles(
+      const std::map<std::string, std::map<std::string, Edge>>& edges,
+      std::vector<Diagnostic>& out) {
+    // Iterative-friendly sizes (a handful of modules): recursive DFS with
+    // an explicit path; every back edge yields one canonicalized cycle.
+    std::set<std::string> reported;
+    std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+    std::vector<std::string> path;
+
+    std::function<void(const std::string&)> dfs =
+        [&](const std::string& u) {
+          color[u] = 1;
+          path.push_back(u);
+          auto it = edges.find(u);
+          if (it != edges.end()) {
+            for (const auto& [v, site] : it->second) {
+              if (color[v] == 1) {
+                auto begin =
+                    std::find(path.begin(), path.end(), v);
+                std::vector<std::string> cycle(begin, path.end());
+                std::string canon = canonical_cycle(cycle);
+                if (reported.insert(canon).second) {
+                  out.push_back({"layering/cycle", site.file, site.line,
+                                 canon,
+                                 "module dependency cycle: " + canon});
+                }
+              } else if (color[v] == 0) {
+                dfs(v);
+              }
+            }
+          }
+          path.pop_back();
+          color[u] = 2;
+        };
+    for (const auto& [u, _] : edges)
+      if (color[u] == 0) dfs(u);
+  }
+
+  /// Rotate so the lexicographically smallest module leads, then render
+  /// "a->b->a" — stable no matter where the DFS entered the cycle.
+  static std::string canonical_cycle(std::vector<std::string> cycle) {
+    auto smallest = std::min_element(cycle.begin(), cycle.end());
+    std::rotate(cycle.begin(), smallest, cycle.end());
+    std::string s;
+    for (const std::string& m : cycle) s += m + "->";
+    return s + cycle.front();
+  }
+};
+
+QDC_ANALYZE_REGISTER(LayeringCheck)
+
+}  // namespace
+}  // namespace qdc::analyze

@@ -1,0 +1,170 @@
+// qdc_analyze — compile-time enforcement of the invariants the runtime
+// ModelAuditor / EngineDeterminism suite can only sample: module layering,
+// determinism hazards, include hygiene. See tools/analyzer/README.md.
+//
+// Usage:
+//   qdc_analyze --root DIR [--baseline FILE] [--format text|json]
+//               [--out FILE] [--show-baselined] [--write-baseline FILE]
+//   qdc_analyze --list-checks
+//   qdc_analyze --selftest FIXTURE_DIR
+//
+// Exit codes: 0 clean (every diagnostic baselined), 1 new diagnostics (or
+// a failed selftest), 2 usage / IO error.
+
+#include <cstddef>
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baseline.hpp"
+#include "check.hpp"
+#include "report.hpp"
+#include "source.hpp"
+
+namespace qdc::analyze {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<Diagnostic> analyze(const std::string& root) {
+  std::vector<SourceFile> files = load_corpus(root);
+  AnalysisContext ctx{&files};
+  std::vector<Diagnostic> diags;
+  for (const Check* check : check_registry()) check->run(ctx, diags);
+  sort_diagnostics(diags);
+  return diags;
+}
+
+int run_selftest(const std::string& fixtures_dir) {
+  std::vector<fs::path> cases;
+  for (const auto& entry : fs::directory_iterator(fixtures_dir))
+    if (entry.is_directory() &&
+        fs::exists(entry.path() / "expected.txt"))
+      cases.push_back(entry.path());
+  std::sort(cases.begin(), cases.end());
+  if (cases.empty()) {
+    std::cerr << "qdc_analyze: no fixtures (dirs with expected.txt) under "
+              << fixtures_dir << "\n";
+    return 2;
+  }
+  std::size_t failures = 0;
+  for (const fs::path& dir : cases) {
+    std::string got;
+    try {
+      // A fixture may ship its own baseline.txt; this is how the
+      // suppression path itself gets golden-tested.
+      Baseline baseline = load_baseline((dir / "baseline.txt").string());
+      got = render_text(analyze(dir.string()), baseline, false);
+    } catch (const std::exception& e) {
+      got = std::string("error: ") + e.what() + "\n";
+    }
+    std::ifstream in(dir / "expected.txt");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string want = buf.str();
+    if (got == want) {
+      std::cout << "PASS " << dir.filename().string() << "\n";
+    } else {
+      ++failures;
+      std::cout << "FAIL " << dir.filename().string()
+                << "\n--- expected ---\n" << want
+                << "--- actual ---\n" << got << "---\n";
+    }
+  }
+  std::cout << cases.size() - failures << "/" << cases.size()
+            << " fixtures passed\n";
+  return failures == 0 ? 0 : 1;
+}
+
+int run_main(int argc, char** argv) {
+  std::string root;
+  std::string baseline_path;
+  std::string format = "text";
+  std::string out_path;
+  std::string write_baseline_path;
+  std::string selftest_dir;
+  bool show_baselined = false;
+  bool list_checks = false;
+
+  std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    auto need_value = [&](const std::string& flag) -> std::string {
+      if (i + 1 >= args.size())
+        throw std::runtime_error(flag + " requires a value");
+      return args[++i];
+    };
+    if (args[i] == "--root") root = need_value("--root");
+    else if (args[i] == "--baseline") baseline_path = need_value("--baseline");
+    else if (args[i] == "--format") format = need_value("--format");
+    else if (args[i] == "--out") out_path = need_value("--out");
+    else if (args[i] == "--write-baseline")
+      write_baseline_path = need_value("--write-baseline");
+    else if (args[i] == "--selftest") selftest_dir = need_value("--selftest");
+    else if (args[i] == "--show-baselined") show_baselined = true;
+    else if (args[i] == "--list-checks") list_checks = true;
+    else throw std::runtime_error("unknown argument: " + args[i]);
+  }
+
+  if (list_checks) {
+    for (const Check* c : check_registry())
+      std::cout << c->name() << ": " << c->description() << "\n";
+    return 0;
+  }
+  if (!selftest_dir.empty()) return run_selftest(selftest_dir);
+  if (root.empty())
+    throw std::runtime_error("--root is required (or --selftest/--list-checks)");
+  if (format != "text" && format != "json")
+    throw std::runtime_error("--format must be text or json");
+
+  std::vector<Diagnostic> diags = analyze(root);
+  Baseline baseline = baseline_path.empty() ? Baseline{}
+                                            : load_baseline(baseline_path);
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path);
+    out << baseline_skeleton(diags);
+    std::cout << "qdc_analyze: wrote " << diags.size()
+              << " baseline entries to " << write_baseline_path << "\n";
+    return 0;
+  }
+
+  std::size_t new_count = 0;
+  for (const Diagnostic& d : diags)
+    if (!baseline.covers(d)) ++new_count;
+
+  std::string report = format == "json"
+                           ? render_json(diags, baseline)
+                           : render_text(diags, baseline, show_baselined);
+  if (out_path.empty()) {
+    std::cout << report;
+  } else {
+    std::ofstream out(out_path);
+    out << report;
+  }
+
+  if (format == "text") {
+    for (const BaselineEntry* e : baseline.stale())
+      std::cerr << "qdc_analyze: stale baseline entry (matched nothing): "
+                << e->fingerprint << "\n";
+    std::cerr << "qdc_analyze: " << diags.size() << " diagnostic(s), "
+              << diags.size() - new_count << " baselined, " << new_count
+              << " new\n";
+  }
+  return new_count == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace qdc::analyze
+
+int main(int argc, char** argv) {
+  try {
+    return qdc::analyze::run_main(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "qdc_analyze: " << e.what() << "\n";
+    return 2;
+  }
+}

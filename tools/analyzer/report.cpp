@@ -1,0 +1,75 @@
+#include "report.hpp"
+
+#include <cstddef>
+#include <cstdio>
+
+namespace qdc::analyze {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_text(const std::vector<Diagnostic>& diags,
+                        const Baseline& baseline, bool show_baselined) {
+  std::string out;
+  for (const Diagnostic& d : diags) {
+    bool covered = baseline.covers(d);
+    if (covered && !show_baselined) continue;
+    std::string loc = d.file.empty() ? "(corpus)" : d.file;
+    if (d.line > 0) loc += ":" + std::to_string(d.line);
+    out += loc + ": [" + d.rule + "] " + d.message +
+           (covered ? " (baselined)" : "") + "\n";
+  }
+  return out;
+}
+
+std::string render_json(const std::vector<Diagnostic>& diags,
+                        const Baseline& baseline) {
+  std::string out = "{\n  \"tool\": {\"name\": \"qdc_analyze\", "
+                    "\"version\": \"1.0\"},\n  \"results\": [";
+  std::size_t baselined = 0;
+  bool first = true;
+  for (const Diagnostic& d : diags) {
+    bool covered = baseline.covers(d);
+    if (covered) ++baselined;
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"ruleId\": \"" + json_escape(d.rule) +
+           "\", \"level\": \"error\", \"message\": \"" +
+           json_escape(d.message) + "\", \"location\": {\"file\": \"" +
+           json_escape(d.file) + "\", \"line\": " + std::to_string(d.line) +
+           "}, \"fingerprint\": \"" + json_escape(d.fingerprint()) +
+           "\", \"baselined\": " + (covered ? "true" : "false") + "}";
+  }
+  auto stale = baseline.stale();
+  out += "\n  ],\n  \"summary\": {\"total\": " +
+         std::to_string(diags.size()) +
+         ", \"baselined\": " + std::to_string(baselined) +
+         ", \"new\": " + std::to_string(diags.size() - baselined) +
+         ", \"stale\": " + std::to_string(stale.size()) + "}\n}\n";
+  return out;
+}
+
+}  // namespace qdc::analyze

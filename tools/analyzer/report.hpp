@@ -1,0 +1,23 @@
+// Report rendering: editor-friendly text and SARIF-lite JSON.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "baseline.hpp"
+#include "check.hpp"
+
+namespace qdc::analyze {
+
+/// `file:line: [rule] message` lines, sorted, one per diagnostic.
+/// Diagnostics covered by `baseline` are annotated `(baselined)` when
+/// `show_baselined` is set and omitted otherwise.
+std::string render_text(const std::vector<Diagnostic>& diags,
+                        const Baseline& baseline, bool show_baselined);
+
+/// SARIF-lite: {"tool", "results": [{ruleId, level, message, location,
+/// fingerprint, baselined}], "summary": {total, baselined, new, stale}}.
+std::string render_json(const std::vector<Diagnostic>& diags,
+                        const Baseline& baseline);
+
+}  // namespace qdc::analyze

@@ -1,0 +1,206 @@
+#include "source.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace qdc::analyze {
+
+namespace fs = std::filesystem;
+
+std::string strip_comments_and_strings(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    char nxt = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && nxt == '/') {
+          state = State::kLineComment;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && nxt == '*') {
+          state = State::kBlockComment;
+          out += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::kString;
+          out += ' ';
+        } else if (c == '\'') {
+          state = State::kChar;
+          out += ' ';
+        } else {
+          out += c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          out += '\n';
+        } else {
+          out += ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && nxt == '/') {
+          state = State::kCode;
+          out += "  ";
+          ++i;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kString:
+      case State::kChar: {
+        char quote = state == State::kString ? '"' : '\'';
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+        } else {
+          if (c == quote) state = State::kCode;
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+int SourceFile::line_of(std::size_t pos) const {
+  auto it = std::upper_bound(line_starts_.begin(), line_starts_.end(), pos);
+  return static_cast<int>(it - line_starts_.begin());
+}
+
+namespace {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_keyword(const std::string& s) {
+  static const char* kKeywords[] = {
+      "alignas",  "alignof",  "auto",     "bool",     "break",   "case",
+      "catch",    "char",     "class",    "const",    "constexpr",
+      "continue", "decltype", "default",  "delete",   "do",      "double",
+      "else",     "enum",     "explicit", "extern",   "false",   "float",
+      "for",      "friend",   "goto",     "if",       "inline",  "int",
+      "long",     "mutable",  "namespace", "new",     "noexcept", "nullptr",
+      "operator", "private",  "protected", "public",  "return",  "short",
+      "signed",   "sizeof",   "static",   "struct",   "switch",  "template",
+      "this",     "throw",    "true",     "try",      "typedef", "typename",
+      "union",    "unsigned", "using",    "virtual",  "void",    "while"};
+  for (const char* k : kKeywords)
+    if (s == k) return true;
+  return false;
+}
+
+}  // namespace
+
+SourceFile lex_file(const std::string& rel, const std::string& text) {
+  SourceFile f;
+  f.rel = rel;
+  f.is_header = rel.size() > 4 && rel.compare(rel.size() - 4, 4, ".hpp") == 0;
+  if (rel.rfind("src/", 0) == 0) {
+    std::size_t slash = rel.find('/', 4);
+    if (slash != std::string::npos) f.module_name = rel.substr(4, slash - 4);
+  }
+  f.code = strip_comments_and_strings(text);
+
+  f.line_starts_.push_back(0);
+  for (std::size_t i = 0; i < f.code.size(); ++i)
+    if (f.code[i] == '\n') f.line_starts_.push_back(i + 1);
+
+  // Walk raw lines for preprocessor state (the stripper blanks the "..."
+  // of project includes, so include paths must come from the raw text).
+  std::istringstream raw(text);
+  std::istringstream stripped(f.code);
+  std::string raw_line;
+  std::string code_line;
+  int cond_depth = 0;
+  int lineno = 0;
+  while (std::getline(raw, raw_line)) {
+    std::getline(stripped, code_line);
+    ++lineno;
+    std::size_t first = raw_line.find_first_not_of(" \t");
+    bool is_directive = first != std::string::npos && raw_line[first] == '#';
+    if (is_directive) {
+      std::string directive = raw_line.substr(first + 1);
+      std::size_t d = directive.find_first_not_of(" \t");
+      directive = d == std::string::npos ? "" : directive.substr(d);
+      if (directive.rfind("if", 0) == 0) {
+        ++cond_depth;
+      } else if (directive.rfind("endif", 0) == 0) {
+        cond_depth = std::max(0, cond_depth - 1);
+      } else if (directive.rfind("define", 0) == 0) {
+        std::size_t i = 6;
+        while (i < directive.size() &&
+               std::isspace(static_cast<unsigned char>(directive[i])) != 0)
+          ++i;
+        std::size_t j = i;
+        while (j < directive.size() && is_ident_char(directive[j])) ++j;
+        if (j > i) f.defines.push_back(directive.substr(i, j - i));
+      } else if (directive.rfind("include", 0) == 0) {
+        std::size_t open = directive.find_first_of("<\"", 7);
+        if (open != std::string::npos) {
+          char close = directive[open] == '<' ? '>' : '"';
+          std::size_t end = directive.find(close, open + 1);
+          if (end != std::string::npos) {
+            f.includes.push_back(Include{
+                lineno, directive[open] == '<',
+                directive.substr(open + 1, end - open - 1), cond_depth});
+          }
+        }
+      }
+      continue;  // directive lines contribute no identifier usage
+    }
+    // Identifier tokens of this (stripped) line.
+    std::size_t i = 0;
+    while (i < code_line.size()) {
+      if (is_ident_char(code_line[i]) &&
+          std::isdigit(static_cast<unsigned char>(code_line[i])) == 0) {
+        std::size_t j = i;
+        while (j < code_line.size() && is_ident_char(code_line[j])) ++j;
+        std::string tok = code_line.substr(i, j - i);
+        if (!is_keyword(tok)) f.identifiers.emplace(tok, lineno);
+        i = j;
+      } else if (is_ident_char(code_line[i])) {  // number: skip the run
+        while (i < code_line.size() && is_ident_char(code_line[i])) ++i;
+      } else {
+        ++i;
+      }
+    }
+  }
+  return f;
+}
+
+std::vector<SourceFile> load_corpus(const std::string& root) {
+  fs::path src = fs::path(root) / "src";
+  if (!fs::is_directory(src))
+    throw std::runtime_error("qdc_analyze: no src/ directory under " + root);
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (!entry.is_regular_file()) continue;
+    fs::path p = entry.path();
+    if (p.extension() == ".hpp" || p.extension() == ".cpp") paths.push_back(p);
+  }
+  std::sort(paths.begin(), paths.end());
+  std::vector<SourceFile> files;
+  files.reserve(paths.size());
+  for (const auto& p : paths) {
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    files.push_back(
+        lex_file(fs::relative(p, root).generic_string(), buf.str()));
+  }
+  return files;
+}
+
+}  // namespace qdc::analyze

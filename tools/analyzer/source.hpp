@@ -1,0 +1,64 @@
+// Corpus loading and the lightweight lexer behind every qdc_analyze check.
+//
+// A SourceFile is a preprocessor-aware view of one translation-unit
+// fragment: comments and string/char literals are blanked (preserving line
+// structure), #include directives are recorded together with the #if
+// nesting depth they live at, and every identifier token is indexed with
+// its first line of occurrence. Checks work on this view only — the
+// analyzer never runs a real compiler.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qdc::analyze {
+
+struct Include {
+  int line = 0;
+  bool angled = false;  ///< <...> include (system) vs "..." (project)
+  std::string path;     ///< as written inside the delimiters
+  int cond_depth = 0;   ///< #if/#ifdef nesting depth at the directive
+};
+
+struct SourceFile {
+  std::string rel;          ///< path relative to the analysis root (posix)
+  std::string module_name;  ///< first component under src/ ("" if none)
+  bool is_header = false;
+  std::string code;         ///< comments/strings blanked, lines preserved
+  std::vector<Include> includes;
+  std::vector<std::string> defines;  ///< macro names #define'd in this file
+
+  /// Identifier token -> first line it occurs on. Preprocessor directive
+  /// lines are excluded so `#include <vector>` does not count as a use of
+  /// `vector`.
+  std::map<std::string, int> identifiers;
+
+  bool uses(const std::string& id) const {
+    return identifiers.find(id) != identifiers.end();
+  }
+  int first_use_line(const std::string& id) const {
+    auto it = identifiers.find(id);
+    return it == identifiers.end() ? 0 : it->second;
+  }
+
+  /// 1-based line number of byte offset `pos` in `code`.
+  int line_of(std::size_t pos) const;
+
+ private:
+  friend SourceFile lex_file(const std::string& rel, const std::string& text);
+  std::vector<std::size_t> line_starts_;
+};
+
+/// Blank comments and string/char literals with spaces; newlines survive so
+/// line numbers in the result match the original text.
+std::string strip_comments_and_strings(const std::string& text);
+
+/// Lex one file's text into the SourceFile view used by checks.
+SourceFile lex_file(const std::string& rel, const std::string& text);
+
+/// Load and lex every src/**/*.hpp|*.cpp under `root`, sorted by rel path.
+/// Throws std::runtime_error when root/src does not exist.
+std::vector<SourceFile> load_corpus(const std::string& root);
+
+}  // namespace qdc::analyze

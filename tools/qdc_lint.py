@@ -12,7 +12,11 @@ Rules enforced on library code (src/):
   no-raw-random     no `rand()`, `srand()` or `std::random_device`: all
                     randomness must flow through util/rng.hpp (explicit
                     seeded Rng&) or the Network's shared tape, otherwise
-                    experiments are not reproducible from a seed.
+                    experiments are not reproducible from a seed. This rule
+                    (and only this rule) also covers tests/ and bench/, plus
+                    a ban on raw std <random> engines there (std::mt19937
+                    and friends) — figure benches must be reproducible from
+                    a seeded Rng alone.
   no-iostream       library code never includes <iostream>/<cstdio> or
                     writes to std::cout/std::cerr/printf. Reporting belongs
                     to tests, benches and examples.
@@ -130,6 +134,12 @@ def check_pragma_once(path: Path, code_lines: list[str]) -> list[Diagnostic]:
 
 
 RAW_RANDOM = re.compile(r"\b(?:std::)?(?:rand|srand)\s*\(|\bstd::random_device\b")
+# In tests/ and bench/ we additionally ban direct std <random> engines:
+# reproducibility there must come from util/rng.hpp's seeded Rng, not from
+# ad-hoc engine seeding scattered across drivers.
+RAW_STD_ENGINE = re.compile(
+    r"\bstd::(?:mt19937(?:_64)?|minstd_rand0?|default_random_engine|"
+    r"ranlux\w+|knuth_b)\b")
 IOSTREAM_INCLUDE = re.compile(r'#\s*include\s*<(?:iostream|cstdio|stdio\.h)>')
 IOSTREAM_USE = re.compile(r"\bstd::c(?:out|err|log)\b|\b(?:f|s)?printf\s*\(")
 THROW = re.compile(r"\bthrow\b(?!\s*;)")
@@ -180,13 +190,29 @@ def check_namespace(path: Path, code_lines: list[str]) -> list[Diagnostic]:
 INCLUDE = re.compile(r'^\s*#\s*include\s*([<"])([^">]+)[">]')
 
 
+COND_OPEN = re.compile(r"^\s*#\s*(?:if|ifdef|ifndef)\b")
+COND_CLOSE = re.compile(r"^\s*#\s*endif\b")
+
+
 def check_include_order(path: Path, raw_lines: list[str],
                         rel: Path) -> list[Diagnostic]:
     # Raw lines: the comment/string stripper blanks the "..." of project
     # includes. `// #include` lines do not match (the regex anchors on #).
-    includes = [(i, m.group(1), m.group(2))
-                for i, text in enumerate(raw_lines, start=1)
-                if (m := INCLUDE.match(text))]
+    # Includes inside #if/#ifdef blocks are conditionally compiled and take
+    # no part in the ordering contract: whether they are present at all
+    # depends on the configuration, so there is no single canonical slot
+    # for them.
+    includes = []
+    cond_depth = 0
+    for i, text in enumerate(raw_lines, start=1):
+        if COND_OPEN.match(text):
+            cond_depth += 1
+            continue
+        if COND_CLOSE.match(text):
+            cond_depth = max(0, cond_depth - 1)
+            continue
+        if cond_depth == 0 and (m := INCLUDE.match(text)):
+            includes.append((i, m.group(1), m.group(2)))
     if not includes:
         return []
     diags: list[Diagnostic] = []
@@ -230,6 +256,22 @@ def lint_file(path: Path, root: Path) -> list[Diagnostic]:
     return diags
 
 
+def lint_aux_file(path: Path) -> list[Diagnostic]:
+    """tests/ and bench/ carry only the reproducibility rule: randomness
+    must come from a seeded Rng, never from raw sources or std engines."""
+    code_lines = strip_comments_and_strings(
+        path.read_text(encoding="utf-8")).split("\n")
+    diags: list[Diagnostic] = []
+    for lineno, line in enumerate(code_lines, start=1):
+        if RAW_RANDOM.search(line) or RAW_STD_ENGINE.search(line):
+            diags.append(Diagnostic(
+                path, lineno, "no-raw-random",
+                "tests/ and bench/ must draw randomness from a seeded Rng "
+                "(util/rng.hpp) so every figure is reproducible from its "
+                "seed"))
+    return diags
+
+
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--root", type=Path, default=Path("."),
@@ -244,9 +286,15 @@ def main(argv: list[str]) -> int:
     diags: list[Diagnostic] = []
     for path in files:
         diags.extend(lint_file(path, root))
+    aux_files = sorted(
+        p for sub in ("tests", "bench") if (root / sub).is_dir()
+        for p in (root / sub).rglob("*") if p.suffix in (".hpp", ".cpp"))
+    for path in aux_files:
+        diags.extend(lint_aux_file(path))
     for d in diags:
         print(d)
-    print(f"qdc_lint: {len(files)} files checked, {len(diags)} diagnostic(s)")
+    print(f"qdc_lint: {len(files) + len(aux_files)} files checked, "
+          f"{len(diags)} diagnostic(s)")
     return 1 if diags else 0
 
 
