@@ -1,15 +1,24 @@
 // Engine-scaling harness: measures the deterministic parallel round engine
 // (congest/network.cpp) across thread counts and topologies, and emits
-// BENCH_engine.json — the start of the repo's recorded perf trajectory.
+// BENCH_engine.json — the repo's recorded perf trajectory.
 //
-//   ./bench_engine_scaling [--smoke] [--out PATH]
+//   ./bench_engine_scaling [--smoke] [--gate] [--out PATH]
 //
-// --smoke shrinks every instance to seconds-scale for CI; --out defaults
-// to BENCH_engine.json in the working directory. Topologies: the paper's
-// lower-bound network N(Gamma, L) at n >= 4096, a path of the same order,
-// and a seeded sparse random graph. Every run keeps the ModelAuditor on —
-// the reported rounds/sec are for fully audited executions, the only kind
-// the experiments trust.
+// --smoke shrinks every instance to seconds-scale for CI; --gate runs the
+// medium-size configuration the CI speedup regression gate reads (only the
+// N(Gamma, L) case, threads {1, 4} — see tools/check_engine_speedup.py);
+// --out defaults to BENCH_engine.json in the working directory. Topologies:
+// the paper's lower-bound network N(Gamma, L) at n >= 4096, a path of the
+// same order, and a seeded sparse random graph. Every run keeps the
+// ModelAuditor on — the reported rounds/sec are for fully audited
+// executions, the only kind the experiments trust.
+//
+// Besides the per-run engine scaling ("cases"), the report carries a
+// sweep-level section ("sweep", schema v2): many small independent
+// Network::run jobs driven through util::SweepRunner at increasing worker
+// counts, each job with inner RunOptions::threads = 1 — the batched-sweep
+// axis the figure benches use. Sweep-level scaling is what makes whole
+// parameter grids affordable; see docs/EXPERIMENT_PIPELINE.md.
 #include <chrono>
 #include <cstdint>
 #include <fstream>
@@ -22,6 +31,7 @@
 #include "core/lb_network.hpp"
 #include "graph/generators.hpp"
 #include "util/rng.hpp"
+#include "util/sweep.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -93,6 +103,20 @@ struct CaseResult {
   std::vector<ThreadResult> results;
 };
 
+struct SweepWorkerResult {
+  int workers = 0;
+  double seconds = 0.0;
+  double jobs_per_sec = 0.0;
+  double speedup = 1.0;
+};
+
+struct SweepResult {
+  int jobs = 0;
+  int job_nodes = 0;
+  int job_rounds = 0;
+  std::vector<SweepWorkerResult> results;
+};
+
 CaseResult run_case(const std::string& name, const std::string& kind,
                     qdc::graph::Graph topology, int rounds, int work,
                     const std::vector<int>& thread_counts) {
@@ -130,8 +154,52 @@ CaseResult run_case(const std::string& name, const std::string& kind,
   return result;
 }
 
+/// The sweep-level axis: `jobs` independent small networks, each run to
+/// completion with inner threads = 1, batched through a SweepRunner at
+/// each worker count. Per-job graphs come from the runner's per-job seeds,
+/// so every worker count executes the exact same job vector.
+SweepResult run_sweep_section(int jobs, int job_nodes, int job_rounds,
+                              int work, const std::vector<int>& workers) {
+  SweepResult result;
+  result.jobs = jobs;
+  result.job_nodes = job_nodes;
+  result.job_rounds = job_rounds;
+  for (const int w : workers) {
+    qdc::util::SweepRunner runner(qdc::util::SweepOptions{.threads = w});
+    const auto start = std::chrono::steady_clock::now();
+    runner.run(jobs, [&](const qdc::util::SweepJob& job) {
+      qdc::Rng rng = job.make_rng();
+      Network net(qdc::graph::random_connected(job_nodes, 6.0 / job_nodes,
+                                               rng),
+                  NetworkConfig{.bandwidth = 8});
+      net.install([job_rounds, work](NodeId, const NodeContext&) {
+        return std::make_unique<ScalingProgram>(job_rounds, work);
+      });
+      const RunStats stats = net.run({.max_rounds = job_rounds + 2});
+      if (!stats.completed) {
+        std::cerr << "engine_scaling: sweep job " << job.index
+                  << " did not complete\n";
+        std::exit(1);
+      }
+    });
+    const auto stop = std::chrono::steady_clock::now();
+    SweepWorkerResult wr;
+    wr.workers = w;
+    wr.seconds = std::chrono::duration<double>(stop - start).count();
+    wr.jobs_per_sec =
+        wr.seconds > 0.0 ? static_cast<double>(jobs) / wr.seconds : 0.0;
+    result.results.push_back(wr);
+  }
+  const double base = result.results.front().jobs_per_sec;
+  for (SweepWorkerResult& wr : result.results) {
+    wr.speedup = base > 0.0 ? wr.jobs_per_sec / base : 1.0;
+  }
+  return result;
+}
+
 void write_json(const std::string& path, const std::vector<CaseResult>& cases,
-                bool smoke) {
+                const SweepResult& sweep, bool smoke,
+                const std::string& mode) {
   std::ofstream out(path);
   if (!out) {
     std::cerr << "engine_scaling: cannot write " << path << "\n";
@@ -139,8 +207,9 @@ void write_json(const std::string& path, const std::vector<CaseResult>& cases,
   }
   out << "{\n";
   out << "  \"bench\": \"engine_scaling\",\n";
-  out << "  \"schema_version\": 1,\n";
+  out << "  \"schema_version\": 2,\n";
   out << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+  out << "  \"mode\": \"" << mode << "\",\n";
   out << "  \"hardware_threads\": "
       << qdc::util::ThreadPool::hardware_threads() << ",\n";
   out << "  \"cases\": [\n";
@@ -164,7 +233,22 @@ void write_json(const std::string& path, const std::vector<CaseResult>& cases,
     out << "      ]\n";
     out << "    }" << (c + 1 < cases.size() ? "," : "") << "\n";
   }
-  out << "  ]\n";
+  out << "  ],\n";
+  out << "  \"sweep\": {\n";
+  out << "    \"jobs\": " << sweep.jobs << ",\n";
+  out << "    \"job_nodes\": " << sweep.job_nodes << ",\n";
+  out << "    \"job_rounds\": " << sweep.job_rounds << ",\n";
+  out << "    \"results\": [\n";
+  for (std::size_t r = 0; r < sweep.results.size(); ++r) {
+    const SweepWorkerResult& wr = sweep.results[r];
+    out << "      {\"workers\": " << wr.workers
+        << ", \"seconds\": " << wr.seconds
+        << ", \"jobs_per_sec\": " << wr.jobs_per_sec
+        << ", \"speedup\": " << wr.speedup << "}"
+        << (r + 1 < sweep.results.size() ? "," : "") << "\n";
+  }
+  out << "    ]\n";
+  out << "  }\n";
   out << "}\n";
 }
 
@@ -172,26 +256,39 @@ void write_json(const std::string& path, const std::vector<CaseResult>& cases,
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool gate = false;
   std::string out_path = "BENCH_engine.json";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
       smoke = true;
+    } else if (arg == "--gate") {
+      gate = true;
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else {
-      std::cerr << "usage: bench_engine_scaling [--smoke] [--out PATH]\n";
+      std::cerr
+          << "usage: bench_engine_scaling [--smoke] [--gate] [--out PATH]\n";
       return 1;
     }
   }
+  if (smoke && gate) {
+    std::cerr << "engine_scaling: --smoke and --gate are exclusive\n";
+    return 1;
+  }
+  const std::string mode = gate ? "gate" : smoke ? "smoke" : "full";
 
-  const int gamma = smoke ? 4 : 64;
-  const int length = smoke ? 9 : 65;     // LbNetwork rounds L up to 2^k + 1
-  const int n = smoke ? 64 : 4096;
-  const int rounds = smoke ? 4 : 24;
-  const int work = smoke ? 16 : 256;
+  // gate: the medium-size N(Gamma, L) configuration the CI speedup
+  // regression gate reads — large enough that per-round parallelism
+  // dominates scheduling overhead, small enough for a PR-gating job.
+  const int gamma = gate ? 16 : smoke ? 4 : 64;
+  const int length = gate ? 33 : smoke ? 9 : 65;  // LbNetwork rounds L up
+  const int n = smoke ? 64 : 4096;                // to 2^k + 1
+  const int rounds = gate ? 12 : smoke ? 4 : 24;
+  const int work = gate ? 128 : smoke ? 16 : 256;
   const std::vector<int> thread_counts =
-      smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
+      gate ? std::vector<int>{1, 4}
+           : smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
 
   std::vector<CaseResult> cases;
   {
@@ -199,9 +296,9 @@ int main(int argc, char** argv) {
     cases.push_back(run_case("lb_network", "lb_network", lbn.topology(),
                              rounds, work, thread_counts));
   }
-  cases.push_back(run_case("path", "path", qdc::graph::path_graph(n), rounds,
-                           work, thread_counts));
-  {
+  if (!gate) {
+    cases.push_back(run_case("path", "path", qdc::graph::path_graph(n),
+                             rounds, work, thread_counts));
     qdc::Rng rng(12345);
     const double p = smoke ? 0.1 : 0.002;
     cases.push_back(run_case("random", "random",
@@ -209,7 +306,13 @@ int main(int argc, char** argv) {
                              work, thread_counts));
   }
 
-  write_json(out_path, cases, smoke);
+  const int sweep_jobs = gate ? 8 : smoke ? 4 : 16;
+  const int sweep_nodes = gate ? 192 : smoke ? 48 : 256;
+  const int sweep_rounds = gate ? 8 : smoke ? 4 : 8;
+  const SweepResult sweep = run_sweep_section(
+      sweep_jobs, sweep_nodes, sweep_rounds, work, thread_counts);
+
+  write_json(out_path, cases, sweep, smoke, mode);
   for (const CaseResult& cr : cases) {
     std::cout << cr.name << " (n=" << cr.nodes << ", m=" << cr.edges << ")\n";
     for (const ThreadResult& tr : cr.results) {
@@ -217,6 +320,13 @@ int main(int argc, char** argv) {
                 << "  rounds/sec=" << tr.rounds_per_sec
                 << "  speedup=" << tr.speedup << "\n";
     }
+  }
+  std::cout << "sweep (" << sweep.jobs << " jobs, n=" << sweep.job_nodes
+            << ")\n";
+  for (const SweepWorkerResult& wr : sweep.results) {
+    std::cout << "  workers=" << wr.workers
+              << "  jobs/sec=" << wr.jobs_per_sec
+              << "  speedup=" << wr.speedup << "\n";
   }
   std::cout << "wrote " << out_path << "\n";
   return 0;

@@ -14,16 +14,25 @@
 //  * the winner's time is the measured envelope, printed against the
 //    evaluated Theorem 3.8 lower bound. The crossover location
 //    W* = alpha sqrt(n) is printed for comparison.
+//
+// Sweep-migrated: the weighted graphs are drawn serially with the legacy
+// seed (11) in the historical aspect order; each W row then runs as one
+// sweep job (its own Network, so set_subnetwork never crosses jobs) and
+// rows print in job-index order — stdout is byte-identical to the
+// pre-harness bench at every --sweep-threads value.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <cstdio>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "core/bounds.hpp"
 #include "dist/mst.hpp"
 #include "graph/generators.hpp"
 #include "graph/mst.hpp"
+#include "harness.hpp"
 
 namespace {
 
@@ -68,7 +77,7 @@ dist::MstRunResult run_class_sequential(congest::Network& net,
   return merged;
 }
 
-void run_sweep(int n, double alpha) {
+void run_sweep(bench::SweepHarness& harness, int n, double alpha) {
   Rng rng(11);
   std::printf(
       "=== Figure 3: T(n=%d, W) for alpha=%.1f (B = 8 fields/round) ===\n",
@@ -76,29 +85,47 @@ void run_sweep(int n, double alpha) {
   std::printf("%10s %14s %13s %14s %16s %12s\n", "W", "approx-rounds",
               "exact-rounds", "envelope(min)", "lower-bound", "approx-ok");
   const double crossover = core::figure3_crossover_aspect(n, alpha);
-  for (double aspect = 2.0; aspect <= 10.0 * crossover; aspect *= 2.0) {
-    const auto g = graph::random_weighted_aspect(n, 6.0 / n, aspect, rng);
-    congest::Network net(g, congest::NetworkConfig{.bandwidth = 8});
-    const auto tree = dist::build_bfs_tree(net, 0);
-
-    int approx_rounds = 0;
-    const auto approx =
-        run_class_sequential(net, tree, g, alpha - 1.0, &approx_rounds);
-
-    dist::MstOptions exact_opt;
-    exact_opt.phase1_target = 1;
-    const auto exact = dist::run_mst(net, tree, exact_opt);
-
-    const double optimum = graph::mst_weight(g);
-    const double lb = core::optimization_lower_bound(
-        n, core::fields_to_bits(8, n), aspect, alpha);
-    const bool ok = approx.weight <= alpha * optimum + 1e-6 &&
-                    approx.weight >= optimum - 1e-6;
-    std::printf("%10.0f %14d %13d %14d %16.1f %12s\n", aspect, approx_rounds,
-                exact.stats.rounds,
-                std::min(approx_rounds, exact.stats.rounds), lb,
-                ok ? "yes" : "NO");
+  const double max_aspect =
+      harness.smoke() ? crossover : 10.0 * crossover;
+  struct RowInput {
+    double aspect = 0.0;
+    graph::WeightedGraph g;
+  };
+  std::vector<RowInput> inputs;
+  for (double aspect = 2.0; aspect <= max_aspect; aspect *= 2.0) {
+    RowInput input;
+    input.aspect = aspect;
+    input.g = graph::random_weighted_aspect(n, 6.0 / n, aspect, rng);
+    inputs.push_back(std::move(input));
   }
+  const std::vector<std::string> rows = harness.sweep<std::string>(
+      "aspect_rows", static_cast<int>(inputs.size()),
+      [&](const util::SweepJob& job) {
+        const RowInput& input = inputs[static_cast<std::size_t>(job.index)];
+        const graph::WeightedGraph& g = input.g;
+        congest::Network net(g, congest::NetworkConfig{.bandwidth = 8});
+        const auto tree = dist::build_bfs_tree(net, 0);
+
+        int approx_rounds = 0;
+        const auto approx =
+            run_class_sequential(net, tree, g, alpha - 1.0, &approx_rounds);
+
+        dist::MstOptions exact_opt;
+        exact_opt.phase1_target = 1;
+        const auto exact = dist::run_mst(net, tree, exact_opt);
+
+        const double optimum = graph::mst_weight(g);
+        const double lb = core::optimization_lower_bound(
+            n, core::fields_to_bits(8, n), input.aspect, alpha);
+        const bool ok = approx.weight <= alpha * optimum + 1e-6 &&
+                        approx.weight >= optimum - 1e-6;
+        return bench::strprintf("%10.0f %14d %13d %14d %16.1f %12s\n",
+                                input.aspect, approx_rounds,
+                                exact.stats.rounds,
+                                std::min(approx_rounds, exact.stats.rounds),
+                                lb, ok ? "yes" : "NO");
+      });
+  for (const std::string& row : rows) std::fputs(row.c_str(), stdout);
   std::printf("crossover W* = alpha*sqrt(n) = %.0f: the envelope flattens "
               "once W exceeds it (paper Figure 3)\n\n",
               crossover);
@@ -125,7 +152,10 @@ BENCHMARK(BM_ExactMstRounds)->Arg(64)->Arg(128)->Arg(256);
 }  // namespace
 
 int main(int argc, char** argv) {
-  run_sweep(/*n=*/196, /*alpha=*/2.0);
+  using namespace qdc;
+  bench::HarnessOptions options = bench::parse_harness_flags(&argc, argv);
+  bench::SweepHarness harness("bench_fig3_mst_tradeoff", options);
+  run_sweep(harness, /*n=*/196, /*alpha=*/2.0);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -10,13 +10,22 @@
 //     must still hold - it is a property of the ownership schedule;
 //   * ablation: N' without highways (plain paths + end cliques) has
 //     diameter Theta(L) - the trade Section 8 makes explicit.
+//
+// Sweep-migrated: every row is deterministic (no RNG), so each (Gamma, L)
+// or ablation row runs as one sweep job and rows print in job-index order —
+// stdout is byte-identical to the pre-harness bench at every
+// --sweep-threads value.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "core/simulation.hpp"
 #include "dist/tree.hpp"
 #include "graph/algorithms.hpp"
+#include "harness.hpp"
 
 namespace {
 
@@ -45,6 +54,10 @@ class Saturate : public congest::NodeProgram {
 }  // namespace
 
 int main(int argc, char** argv) {
+  using namespace qdc;
+  bench::HarnessOptions options = bench::parse_harness_flags(&argc, argv);
+  bench::SweepHarness harness("bench_fig8_10_simulation_theorem", options);
+
   std::printf("=== Figures 8-10 / Theorem 3.5: N(Gamma, L) and the "
               "three-party cost ===\n\n");
   std::printf("%6s %5s %7s %7s %5s %5s | %12s %12s %9s | %12s %12s\n",
@@ -52,80 +65,101 @@ int main(int argc, char** argv) {
               "bfs-max/rnd", "highway", "sat-max/rnd", "bound-6kB");
   // L must exceed ~2x the BFS round count for the schedule to apply
   // (Theorem 3.5 simulates algorithms of at most L/2 - 2 rounds).
-  for (const auto& [gamma, len] : std::vector<std::pair<int, int>>{
-           {2, 129}, {4, 129}, {4, 257}, {8, 257}}) {
-    const core::LbNetwork lbn(gamma, len);
-    const int diam = qdc::graph::diameter(lbn.topology());
+  std::vector<std::pair<int, int>> configs{
+      {2, 129}, {4, 129}, {4, 257}, {8, 257}};
+  if (harness.smoke()) configs = {{2, 129}, {4, 129}};
+  const std::vector<std::string> config_rows = harness.sweep<std::string>(
+      "gamma_length_rows", static_cast<int>(configs.size()),
+      [&](const util::SweepJob& job) {
+        const auto [gamma, len] =
+            configs[static_cast<std::size_t>(job.index)];
+        const core::LbNetwork lbn(gamma, len);
+        const int diam = qdc::graph::diameter(lbn.topology());
 
-    congest::Network net(lbn.topology(),
-                         congest::NetworkConfig{.bandwidth = 8,
-                                                .record_trace = true});
-    const auto tree = dist::build_bfs_tree(net, lbn.path_node(0, 1));
-    const auto bfs_acc = core::account_three_party_cost(lbn, net);
+        congest::Network net(lbn.topology(),
+                             congest::NetworkConfig{.bandwidth = 8,
+                                                    .record_trace = true});
+        const auto tree = dist::build_bfs_tree(net, lbn.path_node(0, 1));
+        const auto bfs_acc = core::account_three_party_cost(lbn, net);
 
-    const int t = lbn.max_simulated_rounds() - 2;
-    net.install([&](congest::NodeId, const congest::NodeContext&) {
-      return std::make_unique<Saturate>(t);
-    });
-    net.run({.max_rounds = t + 2});
-    const auto sat_acc = core::account_three_party_cost(lbn, net);
+        const int t = lbn.max_simulated_rounds() - 2;
+        net.install([&](congest::NodeId, const congest::NodeContext&) {
+          return std::make_unique<Saturate>(t);
+        });
+        net.run({.max_rounds = t + 2});
+        const auto sat_acc = core::account_three_party_cost(lbn, net);
+        (void)tree;
 
-    std::printf(
-        "%6d %5d %7d %7d %5d %5d | %12lld %12lld %9s | %12lld %12lld\n",
-        lbn.gamma(), lbn.length(), lbn.topology().node_count(),
-        lbn.topology().edge_count(), lbn.highway_count(), diam,
-        static_cast<long long>(bfs_acc.total_charged()),
-        static_cast<long long>(bfs_acc.max_charged_per_round),
-        bfs_acc.only_highway_edges_charged &&
-                sat_acc.only_highway_edges_charged
-            ? "yes"
-            : "NO",
-        static_cast<long long>(sat_acc.max_charged_per_round),
-        static_cast<long long>(sat_acc.per_round_bound));
-    (void)tree;
-  }
+        return bench::strprintf(
+            "%6d %5d %7d %7d %5d %5d | %12lld %12lld %9s | %12lld %12lld\n",
+            lbn.gamma(), lbn.length(), lbn.topology().node_count(),
+            lbn.topology().edge_count(), lbn.highway_count(), diam,
+            static_cast<long long>(bfs_acc.total_charged()),
+            static_cast<long long>(bfs_acc.max_charged_per_round),
+            bfs_acc.only_highway_edges_charged &&
+                    sat_acc.only_highway_edges_charged
+                ? "yes"
+                : "NO",
+            static_cast<long long>(sat_acc.max_charged_per_round),
+            static_cast<long long>(sat_acc.per_round_bound));
+      });
+  for (const std::string& row : config_rows) std::fputs(row.c_str(), stdout);
 
   std::printf("\nbandwidth ablation on N(4, 129) (saturating traffic):\n");
   std::printf("%6s %14s %14s\n", "B", "sat-max/round", "bound 6kB");
-  for (const int b : {2, 4, 8, 16}) {
-    const core::LbNetwork lbn(4, 129);
-    congest::Network net(lbn.topology(),
-                         congest::NetworkConfig{.bandwidth = b,
-                                                .record_trace = true});
-    const int t = lbn.max_simulated_rounds() - 2;
-    net.install([&](congest::NodeId, const congest::NodeContext&) {
-      return std::make_unique<Saturate>(t);
-    });
-    net.run({.max_rounds = t + 2});
-    const auto acc = core::account_three_party_cost(lbn, net);
-    std::printf("%6d %14lld %14lld\n", b,
-                static_cast<long long>(acc.max_charged_per_round),
-                static_cast<long long>(acc.per_round_bound));
-  }
+  std::vector<int> bandwidths = {2, 4, 8, 16};
+  if (harness.smoke()) bandwidths = {2, 8};
+  const std::vector<std::string> bandwidth_rows = harness.sweep<std::string>(
+      "bandwidth_ablation", static_cast<int>(bandwidths.size()),
+      [&](const util::SweepJob& job) {
+        const int b = bandwidths[static_cast<std::size_t>(job.index)];
+        const core::LbNetwork lbn(4, 129);
+        congest::Network net(lbn.topology(),
+                             congest::NetworkConfig{.bandwidth = b,
+                                                    .record_trace = true});
+        const int t = lbn.max_simulated_rounds() - 2;
+        net.install([&](congest::NodeId, const congest::NodeContext&) {
+          return std::make_unique<Saturate>(t);
+        });
+        net.run({.max_rounds = t + 2});
+        const auto acc = core::account_three_party_cost(lbn, net);
+        return bench::strprintf(
+            "%6d %14lld %14lld\n", b,
+            static_cast<long long>(acc.max_charged_per_round),
+            static_cast<long long>(acc.per_round_bound));
+      });
+  for (const std::string& row : bandwidth_rows)
+    std::fputs(row.c_str(), stdout);
 
   std::printf("\nhighway ablation: diameter with vs without highways "
               "(Theta(log L) vs Theta(L)):\n");
   std::printf("%6s %12s %14s\n", "L", "diam N", "diam N'(no hwy)");
-  for (const int len : {33, 65, 129}) {
-    const core::LbNetwork lbn(3, len);
-    // N': paths plus end cliques only.
-    qdc::graph::Graph plain(3 * lbn.length());
-    for (int i = 0; i < 3; ++i) {
-      for (int j = 0; j + 1 < lbn.length(); ++j) {
-        plain.add_edge(i * lbn.length() + j, i * lbn.length() + j + 1);
-      }
-    }
-    for (int a = 0; a < 3; ++a) {
-      for (int b = a + 1; b < 3; ++b) {
-        plain.add_edge(a * lbn.length(), b * lbn.length());
-        plain.add_edge((a + 1) * lbn.length() - 1,
-                       (b + 1) * lbn.length() - 1);
-      }
-    }
-    std::printf("%6d %12d %14d\n", lbn.length(),
-                qdc::graph::diameter(lbn.topology()),
-                qdc::graph::diameter(plain));
-  }
+  std::vector<int> lengths = {33, 65, 129};
+  if (harness.smoke()) lengths = {33, 65};
+  const std::vector<std::string> highway_rows = harness.sweep<std::string>(
+      "highway_ablation", static_cast<int>(lengths.size()),
+      [&](const util::SweepJob& job) {
+        const int len = lengths[static_cast<std::size_t>(job.index)];
+        const core::LbNetwork lbn(3, len);
+        // N': paths plus end cliques only.
+        qdc::graph::Graph plain(3 * lbn.length());
+        for (int i = 0; i < 3; ++i) {
+          for (int j = 0; j + 1 < lbn.length(); ++j) {
+            plain.add_edge(i * lbn.length() + j, i * lbn.length() + j + 1);
+          }
+        }
+        for (int a = 0; a < 3; ++a) {
+          for (int b = a + 1; b < 3; ++b) {
+            plain.add_edge(a * lbn.length(), b * lbn.length());
+            plain.add_edge((a + 1) * lbn.length() - 1,
+                           (b + 1) * lbn.length() - 1);
+          }
+        }
+        return bench::strprintf("%6d %12d %14d\n", lbn.length(),
+                                qdc::graph::diameter(lbn.topology()),
+                                qdc::graph::diameter(plain));
+      });
+  for (const std::string& row : highway_rows) std::fputs(row.c_str(), stdout);
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

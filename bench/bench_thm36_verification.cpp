@@ -10,99 +10,159 @@
 // Theorem 3.5: the measured rounds exceed L/2 - 2, i.e. no run of ours
 // could have been simulated cheaply by the three parties - exactly what
 // the lower-bound proof predicts.
+//
+// Sweep-migrated: random inputs are drawn serially with the legacy seed
+// (71) in the historical order (section 1's graphs first, then section
+// 2's), the expensive rows then run as sweep jobs and print in job-index
+// order — stdout is byte-identical to the pre-harness bench at every
+// --sweep-threads value.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "core/bounds.hpp"
 #include "core/lb_network.hpp"
 #include "dist/sssp.hpp"
 #include "dist/verify.hpp"
 #include "graph/generators.hpp"
+#include "harness.hpp"
 
 int main(int argc, char** argv) {
   using namespace qdc;
+  bench::HarnessOptions options = bench::parse_harness_flags(&argc, argv);
+  bench::SweepHarness harness("bench_thm36_verification", options);
   Rng rng(71);
 
   std::printf("=== Theorem 3.6 / Corollary 3.7: verification bounds ===\n\n");
   std::printf("%6s %8s | %7s %7s %7s %7s %7s %7s %7s %7s | %8s\n", "n",
               "LB", "Ham", "ST", "SCS", "Conn", "Cycle", "eCycle", "Bipart",
               "Path", "LB<=all");
-  for (const int n : {64, 128, 256, 512}) {
-    const auto topo = graph::random_connected(n, 6.0 / n, rng);
-    congest::Network net(topo, congest::NetworkConfig{.bandwidth = 8});
-    const auto tree = dist::build_bfs_tree(net, 0);
-    const auto m = graph::random_edge_subset(topo, 0.5, rng);
-    const graph::EdgeId some_edge = m.to_vector().empty() ? -1
-                                                          : m.to_vector()[0];
-
-    const int rounds[] = {
-        dist::verify_hamiltonian_cycle(net, tree, m).rounds,
-        dist::verify_spanning_tree(net, tree, m).rounds,
-        dist::verify_spanning_connected_subgraph(net, tree, m).rounds,
-        dist::verify_connectivity(net, tree, m).rounds,
-        dist::verify_cycle_containment(net, tree, m).rounds,
-        some_edge >= 0
-            ? dist::verify_e_cycle_containment(net, tree, m, some_edge)
-                  .rounds
-            : 0,
-        dist::verify_bipartiteness(net, tree, m).rounds,
-        dist::verify_simple_path(net, tree, m).rounds,
-    };
-    const double lb =
-        core::verification_lower_bound(n, core::fields_to_bits(8, n));
-    bool all_above = true;
-    for (const int r : rounds) {
-      if (r > 0 && r < lb) all_above = false;
-    }
-    std::printf("%6d %8.1f | %7d %7d %7d %7d %7d %7d %7d %7d | %8s\n", n,
-                lb, rounds[0], rounds[1], rounds[2], rounds[3], rounds[4],
-                rounds[5], rounds[6], rounds[7], all_above ? "yes" : "NO");
+  std::vector<int> sizes = {64, 128, 256, 512};
+  if (harness.smoke()) sizes = {64, 128};
+  struct VerifierInput {
+    int n = 0;
+    graph::Graph topo;
+    graph::EdgeSubset m;
+  };
+  std::vector<VerifierInput> verifier_inputs;
+  for (const int n : sizes) {
+    VerifierInput input;
+    input.n = n;
+    input.topo = graph::random_connected(n, 6.0 / n, rng);
+    input.m = graph::random_edge_subset(input.topo, 0.5, rng);
+    verifier_inputs.push_back(std::move(input));
   }
+  const std::vector<std::string> verifier_rows = harness.sweep<std::string>(
+      "verification_bounds", static_cast<int>(verifier_inputs.size()),
+      [&](const util::SweepJob& job) {
+        const VerifierInput& input =
+            verifier_inputs[static_cast<std::size_t>(job.index)];
+        const int n = input.n;
+        const graph::EdgeSubset& m = input.m;
+        congest::Network net(input.topo,
+                             congest::NetworkConfig{.bandwidth = 8});
+        const auto tree = dist::build_bfs_tree(net, 0);
+        const graph::EdgeId some_edge =
+            m.to_vector().empty() ? -1 : m.to_vector()[0];
+
+        const int rounds[] = {
+            dist::verify_hamiltonian_cycle(net, tree, m).rounds,
+            dist::verify_spanning_tree(net, tree, m).rounds,
+            dist::verify_spanning_connected_subgraph(net, tree, m).rounds,
+            dist::verify_connectivity(net, tree, m).rounds,
+            dist::verify_cycle_containment(net, tree, m).rounds,
+            some_edge >= 0
+                ? dist::verify_e_cycle_containment(net, tree, m, some_edge)
+                      .rounds
+                : 0,
+            dist::verify_bipartiteness(net, tree, m).rounds,
+            dist::verify_simple_path(net, tree, m).rounds,
+        };
+        const double lb =
+            core::verification_lower_bound(n, core::fields_to_bits(8, n));
+        bool all_above = true;
+        for (const int r : rounds) {
+          if (r > 0 && r < lb) all_above = false;
+        }
+        return bench::strprintf(
+            "%6d %8.1f | %7d %7d %7d %7d %7d %7d %7d %7d | %8s\n", n, lb,
+            rounds[0], rounds[1], rounds[2], rounds[3], rounds[4], rounds[5],
+            rounds[6], rounds[7], all_above ? "yes" : "NO");
+      });
+  for (const std::string& row : verifier_rows) std::fputs(row.c_str(), stdout);
 
   std::printf("\nleast-element-list verification (exact, Bellman-Ford + "
               "gather; no sqrt(n) upper bound is known, cf. [DHK+12]):\n");
   std::printf("%6s %10s\n", "n", "rounds");
-  for (const int n : {32, 64, 128}) {
+  std::vector<int> le_sizes = {32, 64, 128};
+  if (harness.smoke()) le_sizes = {32, 64};
+  struct LeInput {
+    int n = 0;
+    graph::WeightedGraph g;
+  };
+  std::vector<LeInput> le_inputs;
+  for (const int n : le_sizes) {
+    LeInput input;
+    input.n = n;
     const auto topo = graph::random_connected(n, 5.0 / n, rng);
-    const auto g = graph::randomly_weighted(topo, 1.0, 9.0, rng);
-    congest::Network net(g, congest::NetworkConfig{.bandwidth = 8});
-    std::vector<int> rank(static_cast<std::size_t>(n));
-    for (int i = 0; i < n; ++i) rank[static_cast<std::size_t>(i)] = i;
-    const auto truth = graph::least_element_list(g, 0, rank);
-    const auto res = dist::verify_least_element_list(net, 0, rank, truth);
-    std::printf("%6d %10d%s\n", n, res.rounds,
-                res.accepted ? "" : "  (REJECTED?)");
+    input.g = graph::randomly_weighted(topo, 1.0, 9.0, rng);
+    le_inputs.push_back(std::move(input));
   }
+  const std::vector<std::string> le_rows = harness.sweep<std::string>(
+      "le_list_verification", static_cast<int>(le_inputs.size()),
+      [&](const util::SweepJob& job) {
+        const LeInput& input =
+            le_inputs[static_cast<std::size_t>(job.index)];
+        const int n = input.n;
+        congest::Network net(input.g, congest::NetworkConfig{.bandwidth = 8});
+        std::vector<int> rank(static_cast<std::size_t>(n));
+        for (int i = 0; i < n; ++i) rank[static_cast<std::size_t>(i)] = i;
+        const auto truth = graph::least_element_list(input.g, 0, rank);
+        const auto res =
+            dist::verify_least_element_list(net, 0, rank, truth);
+        return bench::strprintf("%6d %10d%s\n", n, res.rounds,
+                                res.accepted ? "" : "  (REJECTED?)");
+      });
+  for (const std::string& row : le_rows) std::fputs(row.c_str(), stdout);
 
   std::printf("\nconsistency with the Simulation Theorem on the hard "
               "network N(Gamma, L):\n");
   std::printf("%6s %5s %7s | %12s %14s %12s\n", "Gamma", "L", "nodes",
               "Ham rounds", "L/2-2 budget", "exceeds?");
-  for (const auto& [gamma, len] :
-       std::vector<std::pair<int, int>>{{3, 33}, {4, 65}, {8, 65}}) {
-    const core::LbNetwork lbn(gamma, len);
-    congest::Network net(lbn.topology(),
-                         congest::NetworkConfig{.bandwidth = 8});
-    const auto tree = dist::build_bfs_tree(net, lbn.path_node(0, 1));
-    // Embed a Hamiltonian instance.
-    const int lines = lbn.line_count();
-    graph::EdgeSubset m(lbn.topology().edge_count());
-    if (lines % 2 == 0) {
-      std::vector<graph::Edge> ec, ed;
-      for (int l = 0; l < lines; l += 2) ec.push_back({l, l + 1});
-      for (int l = 1; l + 1 < lines; l += 2) ed.push_back({l, l + 1});
-      ed.push_back({lines - 1, 0});
-      m = lbn.embed_matchings(ec, ed);
-    }
-    const auto v = dist::verify_hamiltonian_cycle(net, tree, m);
-    std::printf("%6d %5d %7d | %12d %14d %12s\n", lbn.gamma(), lbn.length(),
-                lbn.topology().node_count(), v.rounds,
-                lbn.max_simulated_rounds(),
-                v.rounds > lbn.max_simulated_rounds()
-                    ? "yes (as the bound demands)"
-                    : "NO (would contradict Thm 3.6!)");
-  }
+  std::vector<std::pair<int, int>> configs{{3, 33}, {4, 65}, {8, 65}};
+  if (harness.smoke()) configs = {{3, 33}, {4, 65}};
+  const std::vector<std::string> ham_rows = harness.sweep<std::string>(
+      "hard_network_consistency", static_cast<int>(configs.size()),
+      [&](const util::SweepJob& job) {
+        const auto [gamma, len] =
+            configs[static_cast<std::size_t>(job.index)];
+        const core::LbNetwork lbn(gamma, len);
+        congest::Network net(lbn.topology(),
+                             congest::NetworkConfig{.bandwidth = 8});
+        const auto tree = dist::build_bfs_tree(net, lbn.path_node(0, 1));
+        // Embed a Hamiltonian instance.
+        const int lines = lbn.line_count();
+        graph::EdgeSubset m(lbn.topology().edge_count());
+        if (lines % 2 == 0) {
+          std::vector<graph::Edge> ec, ed;
+          for (int l = 0; l < lines; l += 2) ec.push_back({l, l + 1});
+          for (int l = 1; l + 1 < lines; l += 2) ed.push_back({l, l + 1});
+          ed.push_back({lines - 1, 0});
+          m = lbn.embed_matchings(ec, ed);
+        }
+        const auto v = dist::verify_hamiltonian_cycle(net, tree, m);
+        return bench::strprintf(
+            "%6d %5d %7d | %12d %14d %12s\n", lbn.gamma(), lbn.length(),
+            lbn.topology().node_count(), v.rounds,
+            lbn.max_simulated_rounds(),
+            v.rounds > lbn.max_simulated_rounds()
+                ? "yes (as the bound demands)"
+                : "NO (would contradict Thm 3.6!)");
+      });
+  for (const std::string& row : ham_rows) std::fputs(row.c_str(), stdout);
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

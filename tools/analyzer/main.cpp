@@ -3,10 +3,15 @@
 // determinism hazards, include hygiene. See tools/analyzer/README.md.
 //
 // Usage:
-//   qdc_analyze --root DIR [--baseline FILE] [--format text|json]
-//               [--out FILE] [--show-baselined] [--write-baseline FILE]
+//   qdc_analyze --root DIR [--also REL]... [--baseline FILE]
+//               [--format text|json] [--out FILE] [--show-baselined]
+//               [--write-baseline FILE]
 //   qdc_analyze --list-checks
 //   qdc_analyze --selftest FIXTURE_DIR
+//
+// --also (repeatable) adds files outside src/ to the corpus — CI uses it
+// for bench/harness.{hpp,cpp}. Extra files have no module, so layering and
+// determinism checks skip them; include hygiene still applies.
 //
 // Exit codes: 0 clean (every diagnostic baselined), 1 new diagnostics (or
 // a failed selftest), 2 usage / IO error.
@@ -30,8 +35,9 @@ namespace {
 
 namespace fs = std::filesystem;
 
-std::vector<Diagnostic> analyze(const std::string& root) {
-  std::vector<SourceFile> files = load_corpus(root);
+std::vector<Diagnostic> analyze(const std::string& root,
+                                const std::vector<std::string>& also = {}) {
+  std::vector<SourceFile> files = load_corpus(root, also);
   AnalysisContext ctx{&files};
   std::vector<Diagnostic> diags;
   for (const Check* check : check_registry()) check->run(ctx, diags);
@@ -82,6 +88,7 @@ int run_selftest(const std::string& fixtures_dir) {
 
 int run_main(int argc, char** argv) {
   std::string root;
+  std::vector<std::string> also;
   std::string baseline_path;
   std::string format = "text";
   std::string out_path;
@@ -98,6 +105,7 @@ int run_main(int argc, char** argv) {
       return args[++i];
     };
     if (args[i] == "--root") root = need_value("--root");
+    else if (args[i] == "--also") also.push_back(need_value("--also"));
     else if (args[i] == "--baseline") baseline_path = need_value("--baseline");
     else if (args[i] == "--format") format = need_value("--format");
     else if (args[i] == "--out") out_path = need_value("--out");
@@ -120,7 +128,7 @@ int run_main(int argc, char** argv) {
   if (format != "text" && format != "json")
     throw std::runtime_error("--format must be text or json");
 
-  std::vector<Diagnostic> diags = analyze(root);
+  std::vector<Diagnostic> diags = analyze(root, also);
   Baseline baseline = baseline_path.empty() ? Baseline{}
                                             : load_baseline(baseline_path);
 

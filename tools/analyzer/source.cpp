@@ -180,7 +180,9 @@ SourceFile lex_file(const std::string& rel, const std::string& text) {
   return f;
 }
 
-std::vector<SourceFile> load_corpus(const std::string& root) {
+std::vector<SourceFile> load_corpus(
+    const std::string& root,
+    const std::vector<std::string>& extra_rel_paths) {
   fs::path src = fs::path(root) / "src";
   if (!fs::is_directory(src))
     throw std::runtime_error("qdc_analyze: no src/ directory under " + root);
@@ -189,6 +191,12 @@ std::vector<SourceFile> load_corpus(const std::string& root) {
     if (!entry.is_regular_file()) continue;
     fs::path p = entry.path();
     if (p.extension() == ".hpp" || p.extension() == ".cpp") paths.push_back(p);
+  }
+  for (const std::string& rel : extra_rel_paths) {
+    fs::path p = fs::path(root) / rel;
+    if (!fs::is_regular_file(p))
+      throw std::runtime_error("qdc_analyze: --also file not found: " + rel);
+    paths.push_back(p);
   }
   std::sort(paths.begin(), paths.end());
   std::vector<SourceFile> files;

@@ -59,6 +59,15 @@ SourceFile lex_file(const std::string& rel, const std::string& text);
 
 /// Load and lex every src/**/*.hpp|*.cpp under `root`, sorted by rel path.
 /// Throws std::runtime_error when root/src does not exist.
-std::vector<SourceFile> load_corpus(const std::string& root);
+///
+/// `extra_rel_paths` (the --also flag) adds files outside src/ — e.g.
+/// bench/harness.{hpp,cpp} — to the corpus. Extras get an empty
+/// module_name, so the layering and determinism checks skip them (a bench
+/// harness may legitimately read the wall clock) while include hygiene
+/// still applies. Throws std::runtime_error when an extra is missing:
+/// a silently-dropped path would un-lint the file it was meant to cover.
+std::vector<SourceFile> load_corpus(
+    const std::string& root,
+    const std::vector<std::string>& extra_rel_paths = {});
 
 }  // namespace qdc::analyze

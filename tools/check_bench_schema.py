@@ -6,8 +6,13 @@ Usage:
     python3 tools/check_bench_schema.py BENCH_engine.json
 
 Checks structure and value sanity (positive timings, threads=1 baseline
-present, speedups derived from the baseline) so CI catches a bench that
-silently emits garbage. Exit status: 0 on success, 1 on any violation.
+present, speedups derived from the baseline, the schema-v2 sweep section)
+so CI catches a bench that silently emits garbage. Exit status: 0 on
+success, 1 on any violation.
+
+The checker is also importable: check_document(doc) returns the violation
+list for an already-parsed document, which is how
+tools/test_check_bench_schema.py unit-tests every rule.
 """
 
 from __future__ import annotations
@@ -34,6 +39,33 @@ def expect_key(obj: dict, key: str, kind, where: str):
     return value
 
 
+def check_results(results: list, where: str, unit_key: str, rate_key: str) -> None:
+    seen_units = set()
+    for i, res in enumerate(results):
+        rwhere = f"{where}[{i}]"
+        if not isinstance(res, dict):
+            fail(f"{rwhere}: must be an object")
+            continue
+        units = expect_key(res, unit_key, int, rwhere)
+        seconds = expect_key(res, "seconds", (int, float), rwhere)
+        rate = expect_key(res, rate_key, (int, float), rwhere)
+        speedup = expect_key(res, "speedup", (int, float), rwhere)
+        if units is not None:
+            if units < 1:
+                fail(f"{rwhere}: {unit_key} must be >= 1")
+            if units in seen_units:
+                fail(f"{rwhere}: duplicate {unit_key} count {units}")
+            seen_units.add(units)
+        if seconds is not None and seconds <= 0:
+            fail(f"{rwhere}: seconds must be positive")
+        if rate is not None and rate <= 0:
+            fail(f"{rwhere}: {rate_key} must be positive")
+        if speedup is not None and speedup <= 0:
+            fail(f"{rwhere}: speedup must be positive")
+    if 1 not in seen_units:
+        fail(f"{where}: no {unit_key}=1 baseline in results")
+
+
 def check_case(case: dict, where: str) -> None:
     expect_key(case, "name", str, where)
     expect_key(case, "topology", str, where)
@@ -50,53 +82,43 @@ def check_case(case: dict, where: str) -> None:
     if not results:
         fail(f"{where}: results must be a non-empty list")
         return
-    seen_threads = set()
-    for i, res in enumerate(results):
-        rwhere = f"{where}.results[{i}]"
-        if not isinstance(res, dict):
-            fail(f"{rwhere}: must be an object")
-            continue
-        threads = expect_key(res, "threads", int, rwhere)
-        seconds = expect_key(res, "seconds", (int, float), rwhere)
-        rps = expect_key(res, "rounds_per_sec", (int, float), rwhere)
-        speedup = expect_key(res, "speedup", (int, float), rwhere)
-        if threads is not None:
-            if threads < 1:
-                fail(f"{rwhere}: threads must be >= 1")
-            if threads in seen_threads:
-                fail(f"{rwhere}: duplicate thread count {threads}")
-            seen_threads.add(threads)
-        if seconds is not None and seconds <= 0:
-            fail(f"{rwhere}: seconds must be positive")
-        if rps is not None and rps <= 0:
-            fail(f"{rwhere}: rounds_per_sec must be positive")
-        if speedup is not None and speedup <= 0:
-            fail(f"{rwhere}: speedup must be positive")
-    if 1 not in seen_threads:
-        fail(f"{where}: no threads=1 baseline in results")
+    check_results(results, f"{where}.results", "threads", "rounds_per_sec")
 
 
-def main(argv: list[str]) -> int:
-    if len(argv) != 1:
-        print("usage: check_bench_schema.py BENCH_engine.json", file=sys.stderr)
-        return 2
-    path = Path(argv[0])
-    try:
-        doc = json.loads(path.read_text(encoding="utf-8"))
-    except (OSError, json.JSONDecodeError) as exc:
-        print(f"check_bench_schema: cannot parse {path}: {exc}", file=sys.stderr)
-        return 1
+def check_sweep(sweep: dict, where: str) -> None:
+    jobs = expect_key(sweep, "jobs", int, where)
+    job_nodes = expect_key(sweep, "job_nodes", int, where)
+    job_rounds = expect_key(sweep, "job_rounds", int, where)
+    if jobs is not None and jobs <= 0:
+        fail(f"{where}: jobs must be positive")
+    if job_nodes is not None and job_nodes <= 0:
+        fail(f"{where}: job_nodes must be positive")
+    if job_rounds is not None and job_rounds <= 0:
+        fail(f"{where}: job_rounds must be positive")
+    results = expect_key(sweep, "results", list, where)
+    if not results:
+        fail(f"{where}: results must be a non-empty list")
+        return
+    check_results(results, f"{where}.results", "workers", "jobs_per_sec")
+
+
+def check_document(doc) -> list[str]:
+    """Validates an already-parsed report; returns the violation list."""
+    ERRORS.clear()
     if not isinstance(doc, dict):
-        print("check_bench_schema: top level must be an object", file=sys.stderr)
-        return 1
+        fail("$: top level must be an object")
+        return list(ERRORS)
 
     bench = expect_key(doc, "bench", str, "$")
     if bench is not None and bench != "engine_scaling":
         fail(f"$: bench must be 'engine_scaling', got '{bench}'")
     version = expect_key(doc, "schema_version", int, "$")
-    if version is not None and version != 1:
+    if version is not None and version != 2:
         fail(f"$: unsupported schema_version {version}")
     expect_key(doc, "smoke", bool, "$")
+    mode = expect_key(doc, "mode", str, "$")
+    if mode is not None and mode not in ("full", "smoke", "gate"):
+        fail(f"$: mode must be full|smoke|gate, got '{mode}'")
     hw = expect_key(doc, "hardware_threads", int, "$")
     if hw is not None and hw < 1:
         fail("$: hardware_threads must be >= 1")
@@ -110,14 +132,32 @@ def main(argv: list[str]) -> int:
                 fail(f"{where}: must be an object")
                 continue
             check_case(case, where)
+    sweep = expect_key(doc, "sweep", dict, "$")
+    if sweep is not None:
+        check_sweep(sweep, "$.sweep")
+    return list(ERRORS)
 
-    for err in ERRORS:
-        print(err)
-    if ERRORS:
-        print(f"check_bench_schema: {len(ERRORS)} violation(s) in {path}")
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 1:
+        print("usage: check_bench_schema.py BENCH_engine.json", file=sys.stderr)
+        return 2
+    path = Path(argv[0])
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"check_bench_schema: cannot parse {path}: {exc}", file=sys.stderr)
         return 1
+
+    errors = check_document(doc)
+    for err in errors:
+        print(err)
+    if errors:
+        print(f"check_bench_schema: {len(errors)} violation(s) in {path}")
+        return 1
+    cases = doc.get("cases") if isinstance(doc, dict) else None
     print(f"check_bench_schema: {path} OK "
-          f"({len(cases) if cases else 0} case(s))")
+          f"({len(cases) if isinstance(cases, list) else 0} case(s))")
     return 0
 
 

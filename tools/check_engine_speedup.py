@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""CI regression gate: N(Gamma, L) engine speedup at 4 threads >= 1.5x.
+
+Usage:
+
+    python3 tools/check_engine_speedup.py BENCH_engine.json [--min-speedup X]
+
+Reads the report written by `bench_engine_scaling --gate` (any mode works,
+as long as the lb_network case carries threads 1 and 4) and asserts the
+4-thread speedup. When the report says the machine has fewer than 4
+hardware threads, the gate SKIPS with a visible notice instead of failing:
+a 1-core runner cannot measure parallel speedup, and a silent pass would
+be indistinguishable from a real one. Exit status: 0 pass or skip, 1
+regression or malformed report.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+MIN_SPEEDUP = 1.5
+GATE_THREADS = 4
+
+
+def main(argv: list[str]) -> int:
+    min_speedup = MIN_SPEEDUP
+    args = list(argv)
+    if "--min-speedup" in args:
+        i = args.index("--min-speedup")
+        try:
+            min_speedup = float(args[i + 1])
+        except (IndexError, ValueError):
+            print("check_engine_speedup: --min-speedup wants a number",
+                  file=sys.stderr)
+            return 2
+        del args[i:i + 2]
+    if len(args) != 1:
+        print("usage: check_engine_speedup.py BENCH_engine.json "
+              "[--min-speedup X]", file=sys.stderr)
+        return 2
+    path = Path(args[0])
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"check_engine_speedup: cannot parse {path}: {exc}",
+              file=sys.stderr)
+        return 1
+
+    hw = doc.get("hardware_threads")
+    if not isinstance(hw, int):
+        print(f"check_engine_speedup: {path} has no hardware_threads",
+              file=sys.stderr)
+        return 1
+    if hw < GATE_THREADS:
+        print(f"check_engine_speedup: SKIPPED — runner has only {hw} "
+              f"hardware thread(s), needs >= {GATE_THREADS} to measure "
+              f"parallel speedup. The >= {min_speedup}x gate did NOT run.")
+        return 0
+
+    for case in doc.get("cases", []):
+        if case.get("name") != "lb_network":
+            continue
+        for res in case.get("results", []):
+            if res.get("threads") == GATE_THREADS:
+                speedup = res.get("speedup")
+                if not isinstance(speedup, (int, float)):
+                    print("check_engine_speedup: lb_network has no speedup "
+                          f"value at threads={GATE_THREADS}", file=sys.stderr)
+                    return 1
+                if speedup < min_speedup:
+                    print(f"check_engine_speedup: REGRESSION — lb_network "
+                          f"speedup at {GATE_THREADS} threads is "
+                          f"{speedup:.2f}x, gate requires >= "
+                          f"{min_speedup}x")
+                    return 1
+                print(f"check_engine_speedup: OK — lb_network speedup at "
+                      f"{GATE_THREADS} threads is {speedup:.2f}x "
+                      f"(>= {min_speedup}x)")
+                return 0
+    print(f"check_engine_speedup: {path} has no lb_network result at "
+          f"threads={GATE_THREADS}", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

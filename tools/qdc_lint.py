@@ -31,6 +31,11 @@ Rules enforced on library code (src/):
                     (headers or sources); every src/ file puts its
                     declarations inside namespace qdc or a nested
                     namespace.
+  doc-drift         every bench/bench_*.cpp binary must be named in
+                    EXPERIMENTS.md (its run instructions) and in the
+                    docs/EXPERIMENT_PIPELINE.md mapping table, so the
+                    experiment docs cannot silently rot as benches are
+                    added or renamed.
 
 Exit status: 0 when clean, 1 when any rule fires. Diagnostics are printed
 one per line as `file:line: [rule] message` so editors can jump to them.
@@ -272,6 +277,34 @@ def lint_aux_file(path: Path) -> list[Diagnostic]:
     return diags
 
 
+def check_doc_drift(root: Path) -> list[Diagnostic]:
+    """Every bench binary must be documented where readers look for it:
+    EXPERIMENTS.md (how to run it) and docs/EXPERIMENT_PIPELINE.md (which
+    paper figure it regenerates)."""
+    bench_dir = root / "bench"
+    if not bench_dir.is_dir():
+        return []
+    doc_paths = [root / "EXPERIMENTS.md",
+                 root / "docs" / "EXPERIMENT_PIPELINE.md"]
+    doc_texts = {}
+    diags: list[Diagnostic] = []
+    for doc in doc_paths:
+        if doc.is_file():
+            doc_texts[doc] = doc.read_text(encoding="utf-8")
+        else:
+            diags.append(Diagnostic(doc, 1, "doc-drift",
+                                    "experiment doc is missing"))
+    for bench in sorted(bench_dir.glob("bench_*.cpp")):
+        name = bench.stem
+        for doc, text in doc_texts.items():
+            if name not in text:
+                diags.append(Diagnostic(
+                    bench, 1, "doc-drift",
+                    f"bench binary '{name}' is not mentioned in "
+                    f"{doc.relative_to(root).as_posix()}"))
+    return diags
+
+
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--root", type=Path, default=Path("."),
@@ -291,6 +324,7 @@ def main(argv: list[str]) -> int:
         for p in (root / sub).rglob("*") if p.suffix in (".hpp", ".cpp"))
     for path in aux_files:
         diags.extend(lint_aux_file(path))
+    diags.extend(check_doc_drift(root))
     for d in diags:
         print(d)
     print(f"qdc_lint: {len(files) + len(aux_files)} files checked, "

@@ -1,0 +1,199 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/check_bench_schema.py (run as CTest lint.bench_schema_unit).
+
+Covers: a valid schema-v2 document, missing keys, wrong types, value-sanity
+rules, and the sweep-section rules — so schema edits cannot silently break
+the CI validation step.
+"""
+
+from __future__ import annotations
+
+import copy
+import sys
+import unittest
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import check_bench_schema  # noqa: E402
+
+
+def valid_document() -> dict:
+    return {
+        "bench": "engine_scaling",
+        "schema_version": 2,
+        "smoke": False,
+        "mode": "full",
+        "hardware_threads": 8,
+        "cases": [
+            {
+                "name": "lb_network",
+                "topology": "lb_network",
+                "nodes": 4161,
+                "edges": 8385,
+                "rounds": 24,
+                "results": [
+                    {"threads": 1, "seconds": 2.0,
+                     "rounds_per_sec": 12.0, "speedup": 1.0},
+                    {"threads": 4, "seconds": 0.6,
+                     "rounds_per_sec": 40.0, "speedup": 3.3},
+                ],
+            }
+        ],
+        "sweep": {
+            "jobs": 16,
+            "job_nodes": 256,
+            "job_rounds": 8,
+            "results": [
+                {"workers": 1, "seconds": 4.0,
+                 "jobs_per_sec": 4.0, "speedup": 1.0},
+                {"workers": 4, "seconds": 1.25,
+                 "jobs_per_sec": 12.8, "speedup": 3.2},
+            ],
+        },
+    }
+
+
+class CheckDocumentTest(unittest.TestCase):
+    def check(self, doc) -> list[str]:
+        return check_bench_schema.check_document(doc)
+
+    def assert_violation(self, doc, fragment: str) -> None:
+        errors = self.check(doc)
+        self.assertTrue(any(fragment in e for e in errors),
+                        f"expected a violation containing {fragment!r}, "
+                        f"got {errors!r}")
+
+    def test_valid_document_passes(self):
+        self.assertEqual(self.check(valid_document()), [])
+
+    def test_errors_reset_between_calls(self):
+        self.assertNotEqual(self.check({}), [])
+        self.assertEqual(self.check(valid_document()), [])
+
+    def test_top_level_must_be_object(self):
+        self.assert_violation([], "top level must be an object")
+
+    def test_missing_bench_key(self):
+        doc = valid_document()
+        del doc["bench"]
+        self.assert_violation(doc, "missing key 'bench'")
+
+    def test_wrong_bench_name(self):
+        doc = valid_document()
+        doc["bench"] = "other"
+        self.assert_violation(doc, "bench must be 'engine_scaling'")
+
+    def test_old_schema_version_rejected(self):
+        doc = valid_document()
+        doc["schema_version"] = 1
+        self.assert_violation(doc, "unsupported schema_version 1")
+
+    def test_schema_version_wrong_type(self):
+        doc = valid_document()
+        doc["schema_version"] = "2"
+        self.assert_violation(doc, "key 'schema_version' must be")
+
+    def test_smoke_wrong_type(self):
+        doc = valid_document()
+        doc["smoke"] = "no"
+        self.assert_violation(doc, "key 'smoke' must be")
+
+    def test_unknown_mode(self):
+        doc = valid_document()
+        doc["mode"] = "turbo"
+        self.assert_violation(doc, "mode must be full|smoke|gate")
+
+    def test_empty_cases(self):
+        doc = valid_document()
+        doc["cases"] = []
+        self.assert_violation(doc, "cases must be a non-empty list")
+
+    def test_case_negative_nodes(self):
+        doc = valid_document()
+        doc["cases"][0]["nodes"] = -1
+        self.assert_violation(doc, "nodes must be positive")
+
+    def test_case_missing_threads_baseline(self):
+        doc = valid_document()
+        doc["cases"][0]["results"] = [
+            {"threads": 4, "seconds": 0.6,
+             "rounds_per_sec": 40.0, "speedup": 3.3}]
+        self.assert_violation(doc, "no threads=1 baseline")
+
+    def test_case_duplicate_threads(self):
+        doc = valid_document()
+        doc["cases"][0]["results"].append(
+            copy.deepcopy(doc["cases"][0]["results"][1]))
+        self.assert_violation(doc, "duplicate threads count 4")
+
+    def test_case_nonpositive_seconds(self):
+        doc = valid_document()
+        doc["cases"][0]["results"][0]["seconds"] = 0
+        self.assert_violation(doc, "seconds must be positive")
+
+    def test_missing_sweep_section(self):
+        doc = valid_document()
+        del doc["sweep"]
+        self.assert_violation(doc, "missing key 'sweep'")
+
+    def test_sweep_wrong_type(self):
+        doc = valid_document()
+        doc["sweep"] = []
+        self.assert_violation(doc, "key 'sweep' must be")
+
+    def test_sweep_nonpositive_jobs(self):
+        doc = valid_document()
+        doc["sweep"]["jobs"] = 0
+        self.assert_violation(doc, "jobs must be positive")
+
+    def test_sweep_missing_workers_baseline(self):
+        doc = valid_document()
+        doc["sweep"]["results"] = [
+            {"workers": 2, "seconds": 2.0,
+             "jobs_per_sec": 8.0, "speedup": 2.0}]
+        self.assert_violation(doc, "no workers=1 baseline")
+
+    def test_sweep_empty_results(self):
+        doc = valid_document()
+        doc["sweep"]["results"] = []
+        self.assert_violation(doc, "results must be a non-empty list")
+
+    def test_sweep_nonpositive_rate(self):
+        doc = valid_document()
+        doc["sweep"]["results"][0]["jobs_per_sec"] = -1.0
+        self.assert_violation(doc, "jobs_per_sec must be positive")
+
+
+class MainEntryTest(unittest.TestCase):
+    def test_main_accepts_valid_file(self):
+        import json
+        import tempfile
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".json", delete=False) as f:
+            json.dump(valid_document(), f)
+            path = f.name
+        self.assertEqual(check_bench_schema.main([path]), 0)
+
+    def test_main_rejects_invalid_file(self):
+        import json
+        import tempfile
+        doc = valid_document()
+        del doc["sweep"]
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".json", delete=False) as f:
+            json.dump(doc, f)
+            path = f.name
+        self.assertEqual(check_bench_schema.main([path]), 1)
+
+    def test_main_rejects_garbage(self):
+        import tempfile
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".json", delete=False) as f:
+            f.write("{not json")
+            path = f.name
+        self.assertEqual(check_bench_schema.main([path]), 1)
+
+
+if __name__ == "__main__":
+    unittest.main()
