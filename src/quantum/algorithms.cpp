@@ -19,7 +19,7 @@ Gate1 phase_gate(double theta) {
 
 bool deutsch_jozsa_is_constant(int num_qubits,
                                const std::function<bool(std::size_t)>& f) {
-  QDC_EXPECT(num_qubits >= 1 && num_qubits <= 20,
+  QDC_EXPECT(num_qubits >= 1 && num_qubits <= kMaxQubits,
              "deutsch_jozsa: qubit count out of range");
   StateVector state(num_qubits);
   for (int q = 0; q < num_qubits; ++q) state.apply(hadamard(), q);
@@ -31,7 +31,7 @@ bool deutsch_jozsa_is_constant(int num_qubits,
 
 std::size_t bernstein_vazirani(int num_qubits,
                                const std::function<bool(std::size_t)>& f) {
-  QDC_EXPECT(num_qubits >= 1 && num_qubits <= 20,
+  QDC_EXPECT(num_qubits >= 1 && num_qubits <= kMaxQubits,
              "bernstein_vazirani: qubit count out of range");
   StateVector state(num_qubits);
   for (int q = 0; q < num_qubits; ++q) state.apply(hadamard(), q);

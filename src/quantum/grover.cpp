@@ -1,11 +1,14 @@
 #include "quantum/grover.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <numbers>
+#include <vector>
 
 #include "quantum/gates.hpp"
 #include "quantum/state.hpp"
 #include "util/expect.hpp"
+#include "util/shard.hpp"
 
 namespace qdc::quantum {
 
@@ -23,19 +26,33 @@ int grover_optimal_iterations(std::size_t n_items, std::size_t n_marked) {
 
 GroverResult grover_search(int num_qubits,
                            const std::function<bool(std::size_t)>& marked,
-                           Rng& rng, int iterations) {
-  QDC_EXPECT(num_qubits >= 1 && num_qubits <= 20,
+                           Rng& rng, int iterations,
+                           util::ThreadPool* pool) {
+  QDC_EXPECT(num_qubits >= 1 && num_qubits <= kMaxQubits,
              "grover_search: qubit count out of range");
   const std::size_t n = std::size_t{1} << num_qubits;
+  const util::ShardPlan scan_plan = util::ShardPlan::over(n);
+
+  // Count marked items with shard-indexed tallies merged in shard order —
+  // integer sums are order-free, but keeping the scan on the same contract
+  // as the floating-point reductions costs nothing.
+  std::vector<std::uint64_t> marked_partial(
+      static_cast<std::size_t>(scan_plan.shards), 0);
+  util::run_sharded(pool, scan_plan,
+                    [&](int s, std::size_t begin, std::size_t end) {
+                      std::uint64_t count = 0;
+                      for (std::size_t i = begin; i < end; ++i) {
+                        if (marked(i)) ++count;
+                      }
+                      marked_partial[static_cast<std::size_t>(s)] = count;
+                    });
   std::size_t m = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (marked(i)) ++m;
-  }
+  for (const std::uint64_t c : marked_partial) m += c;
   if (iterations < 0) {
     iterations = grover_optimal_iterations(n, std::max<std::size_t>(1, m));
   }
 
-  StateVector state(num_qubits);
+  StateVector state(num_qubits, pool);
   for (int q = 0; q < num_qubits; ++q) state.apply(hadamard(), q);
   for (int it = 0; it < iterations; ++it) {
     // Oracle: phase-flip marked items.
@@ -49,9 +66,20 @@ GroverResult grover_search(int num_qubits,
   GroverResult result;
   result.iterations = iterations;
   result.oracle_queries = iterations;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (marked(i)) result.success_probability += state.probability_of(i);
-  }
+  // Success probability: per-shard partial sums, merged serially in shard
+  // order (bit-identical for every pool; exactly the serial left-to-right
+  // sum when n fits in one shard).
+  std::vector<double> prob_partial(
+      static_cast<std::size_t>(scan_plan.shards), 0.0);
+  util::run_sharded(pool, scan_plan,
+                    [&](int s, std::size_t begin, std::size_t end) {
+                      double sum = 0.0;
+                      for (std::size_t i = begin; i < end; ++i) {
+                        if (marked(i)) sum += state.probability_of(i);
+                      }
+                      prob_partial[static_cast<std::size_t>(s)] = sum;
+                    });
+  for (const double p : prob_partial) result.success_probability += p;
   result.found = state.measure_all(rng);
   result.is_marked = marked(result.found);
   return result;

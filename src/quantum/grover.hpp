@@ -11,6 +11,10 @@
 
 #include "util/rng.hpp"
 
+namespace qdc::util {
+class ThreadPool;
+}  // namespace qdc::util
+
 namespace qdc::quantum {
 
 struct GroverResult {
@@ -23,10 +27,15 @@ struct GroverResult {
 
 /// Searches {0,1}^num_qubits for a marked item. `iterations` < 0 selects
 /// the optimal count floor(pi/4 * sqrt(N/M)) (or the M=1 count when no
-/// item is marked, mirroring a player who does not know M).
+/// item is marked, mirroring a player who does not know M). num_qubits is
+/// capped at kMaxQubits — the same limit as the StateVector the search
+/// runs on. `pool` (non-owning; null = serial) shards the statevector
+/// kernels and the oracle/probability scans; results are bit-identical
+/// for every pool (see state.hpp).
 GroverResult grover_search(int num_qubits,
                            const std::function<bool(std::size_t)>& marked,
-                           Rng& rng, int iterations = -1);
+                           Rng& rng, int iterations = -1,
+                           util::ThreadPool* pool = nullptr);
 
 /// Optimal iteration count for N items of which M are marked (M >= 1).
 int grover_optimal_iterations(std::size_t n_items, std::size_t n_marked);

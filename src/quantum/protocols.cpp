@@ -28,8 +28,9 @@ TeleportBits teleport(StateVector& state, int source, int epr_a, int epr_b,
   return bits;
 }
 
-std::pair<bool, bool> superdense_roundtrip(bool b0, bool b1, Rng& rng) {
-  StateVector state(2);
+std::pair<bool, bool> superdense_roundtrip(bool b0, bool b1, Rng& rng,
+                                           util::ThreadPool* pool) {
+  StateVector state(2, pool);
   make_epr(state, 0, 1);  // qubit 0: sender, qubit 1: receiver
   // Encode: Z for b0, X for b1 on the sender's half.
   if (b0) state.apply(pauli_z(), 0);

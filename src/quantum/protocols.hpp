@@ -31,8 +31,11 @@ TeleportBits teleport(StateVector& state, int source, int epr_a, int epr_b,
 
 /// Superdense coding: encodes two classical bits into one qubit of an EPR
 /// pair and decodes them on the other side. Returns the decoded bits
-/// (always equal to the inputs; exercised as a protocol test).
-std::pair<bool, bool> superdense_roundtrip(bool b0, bool b1, Rng& rng);
+/// (always equal to the inputs; exercised as a protocol test). `pool`
+/// (non-owning; null = serial) is forwarded to the internal StateVector —
+/// outcomes are bit-identical for every pool.
+std::pair<bool, bool> superdense_roundtrip(bool b0, bool b1, Rng& rng,
+                                           util::ThreadPool* pool = nullptr);
 
 /// One CHSH game round played with the optimal entangled strategy
 /// (measurement angles 0, pi/2 for Alice and pi/4, -pi/4 for Bob).

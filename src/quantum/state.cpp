@@ -1,16 +1,42 @@
 #include "quantum/state.hpp"
 
 #include <cmath>
+#include <string>
 
 #include "util/expect.hpp"
+#include "util/shard.hpp"
 
 namespace qdc::quantum {
 
-StateVector::StateVector(int qubit_count) : qubit_count_(qubit_count) {
-  QDC_EXPECT(qubit_count >= 1 && qubit_count <= 24,
-             "StateVector: qubit count must be in [1, 24]");
+namespace {
+
+/// Spreads a packed pair index back into a basis index by inserting a 0 at
+/// `bit_pos`: the k-th basis index whose `bit_pos` bit is clear. Gate
+/// kernels enumerate pairs directly through this instead of scanning the
+/// whole range and skipping half of it, so shard workloads are balanced.
+inline std::size_t insert_zero_bit(std::size_t k, int bit_pos) {
+  const std::size_t low_mask = (std::size_t{1} << bit_pos) - 1;
+  return ((k >> bit_pos) << (bit_pos + 1)) | (k & low_mask);
+}
+
+}  // namespace
+
+StateVector::StateVector(int qubit_count, util::ThreadPool* pool)
+    : qubit_count_(qubit_count), pool_(pool) {
+  QDC_EXPECT(qubit_count >= 1 && qubit_count <= kMaxQubits,
+             "StateVector: qubit count must be in [1, kMaxQubits]");
   amplitudes_.assign(std::size_t{1} << qubit_count, Amplitude{0.0, 0.0});
   amplitudes_[0] = Amplitude{1.0, 0.0};
+}
+
+void StateVector::for_shards(
+    std::size_t items,
+    const std::function<void(int, std::size_t, std::size_t)>& body) const {
+  util::run_sharded(pool_, util::ShardPlan::over(items), body);
+}
+
+int StateVector::shard_count_for(std::size_t items) const {
+  return util::ShardPlan::over(items).shards;
 }
 
 Amplitude StateVector::amplitude(std::size_t basis) const {
@@ -21,13 +47,17 @@ Amplitude StateVector::amplitude(std::size_t basis) const {
 void StateVector::apply(const Gate1& g, int qubit) {
   QDC_EXPECT(qubit >= 0 && qubit < qubit_count_, "StateVector::apply: bad qubit");
   const std::size_t bit = std::size_t{1} << qubit;
-  for (std::size_t i = 0; i < amplitudes_.size(); ++i) {
-    if (i & bit) continue;
-    const Amplitude a0 = amplitudes_[i];
-    const Amplitude a1 = amplitudes_[i | bit];
-    amplitudes_[i] = g.u00 * a0 + g.u01 * a1;
-    amplitudes_[i | bit] = g.u10 * a0 + g.u11 * a1;
-  }
+  for_shards(amplitudes_.size() >> 1,
+             [&](int, std::size_t begin, std::size_t end) {
+               for (std::size_t k = begin; k < end; ++k) {
+                 const std::size_t i0 = insert_zero_bit(k, qubit);
+                 const std::size_t i1 = i0 | bit;
+                 const Amplitude a0 = amplitudes_[i0];
+                 const Amplitude a1 = amplitudes_[i1];
+                 amplitudes_[i0] = g.u00 * a0 + g.u01 * a1;
+                 amplitudes_[i1] = g.u10 * a0 + g.u11 * a1;
+               }
+             });
 }
 
 void StateVector::apply_controlled(const Gate1& g, int control, int target) {
@@ -36,13 +66,22 @@ void StateVector::apply_controlled(const Gate1& g, int control, int target) {
              "StateVector::apply_controlled: bad qubits");
   const std::size_t cbit = std::size_t{1} << control;
   const std::size_t tbit = std::size_t{1} << target;
-  for (std::size_t i = 0; i < amplitudes_.size(); ++i) {
-    if (!(i & cbit) || (i & tbit)) continue;
-    const Amplitude a0 = amplitudes_[i];
-    const Amplitude a1 = amplitudes_[i | tbit];
-    amplitudes_[i] = g.u00 * a0 + g.u01 * a1;
-    amplitudes_[i | tbit] = g.u10 * a0 + g.u11 * a1;
-  }
+  const int lo = control < target ? control : target;
+  const int hi = control < target ? target : control;
+  // Pair k enumerates the dimension/4 basis indices with control = 1 and
+  // target = 0: insert zeros at both qubit positions, then set control.
+  for_shards(amplitudes_.size() >> 2,
+             [&](int, std::size_t begin, std::size_t end) {
+               for (std::size_t k = begin; k < end; ++k) {
+                 const std::size_t i0 =
+                     insert_zero_bit(insert_zero_bit(k, lo), hi) | cbit;
+                 const std::size_t i1 = i0 | tbit;
+                 const Amplitude a0 = amplitudes_[i0];
+                 const Amplitude a1 = amplitudes_[i1];
+                 amplitudes_[i0] = g.u00 * a0 + g.u01 * a1;
+                 amplitudes_[i1] = g.u10 * a0 + g.u11 * a1;
+               }
+             });
 }
 
 void StateVector::cnot(int control, int target) {
@@ -54,6 +93,9 @@ void StateVector::cz(int control, int target) {
 }
 
 void StateVector::swap(int a, int b) {
+  QDC_EXPECT(a >= 0 && a < qubit_count_ && b >= 0 && b < qubit_count_,
+             "StateVector::swap: bad qubits");
+  if (a == b) return;  // a qubit trivially swaps with itself
   cnot(a, b);
   cnot(b, a);
   cnot(a, b);
@@ -63,41 +105,112 @@ double StateVector::probability_one(int qubit) const {
   QDC_EXPECT(qubit >= 0 && qubit < qubit_count_,
              "StateVector::probability_one: bad qubit");
   const std::size_t bit = std::size_t{1} << qubit;
+  const std::size_t half = amplitudes_.size() >> 1;
+  // Shard-indexed partial sums merged serially in shard order: bit-identical
+  // for any thread count (and exactly the serial left-to-right sum when the
+  // state is small enough for a single shard).
+  std::vector<double> partial(
+      static_cast<std::size_t>(shard_count_for(half)), 0.0);
+  for_shards(half, [&](int s, std::size_t begin, std::size_t end) {
+    double sum = 0.0;
+    for (std::size_t k = begin; k < end; ++k) {
+      sum += std::norm(amplitudes_[insert_zero_bit(k, qubit) | bit]);
+    }
+    partial[static_cast<std::size_t>(s)] = sum;
+  });
   double p = 0.0;
-  for (std::size_t i = 0; i < amplitudes_.size(); ++i) {
-    if (i & bit) p += std::norm(amplitudes_[i]);
-  }
+  for (const double v : partial) p += v;
   return p;
 }
 
 bool StateVector::measure(int qubit, Rng& rng) {
+  return collapse_qubit(qubit, uniform_real(rng));
+}
+
+bool StateVector::collapse_qubit(int qubit, double r) {
   const double p1 = probability_one(qubit);
-  const bool outcome = uniform_real(rng) < p1;
+  const bool outcome = r < p1;
   const std::size_t bit = std::size_t{1} << qubit;
   const double keep_norm = std::sqrt(outcome ? p1 : 1.0 - p1);
-  QDC_CHECK(keep_norm > 0.0, "StateVector::measure: zero-probability branch");
-  for (std::size_t i = 0; i < amplitudes_.size(); ++i) {
-    const bool is_one = (i & bit) != 0;
-    if (is_one == outcome) {
-      amplitudes_[i] /= keep_norm;
-    } else {
-      amplitudes_[i] = Amplitude{0.0, 0.0};
+  QDC_CHECK(keep_norm > 0.0,
+            "StateVector::measure: zero-probability branch |" +
+                std::string(outcome ? "1" : "0") + "> on qubit " +
+                std::to_string(qubit));
+  for_shards(amplitudes_.size(), [&](int, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const bool is_one = (i & bit) != 0;
+      if (is_one == outcome) {
+        amplitudes_[i] /= keep_norm;
+      } else {
+        amplitudes_[i] = Amplitude{0.0, 0.0};
+      }
     }
-  }
+  });
   return outcome;
 }
 
 std::size_t StateVector::measure_all(Rng& rng) {
-  double r = uniform_real(rng);
-  std::size_t outcome = amplitudes_.size() - 1;
-  for (std::size_t i = 0; i < amplitudes_.size(); ++i) {
-    r -= std::norm(amplitudes_[i]);
-    if (r <= 0.0) {
-      outcome = i;
+  return collapse_all(uniform_real(rng));
+}
+
+std::size_t StateVector::collapse_all(double r) {
+  const std::size_t dim = amplitudes_.size();
+  const int shards = shard_count_for(dim);
+  // Per-shard measure mass and highest nonzero-probability index, tallied
+  // into shard-indexed slots and consumed serially in shard order below.
+  std::vector<double> mass(static_cast<std::size_t>(shards), 0.0);
+  std::vector<std::size_t> top_nonzero(static_cast<std::size_t>(shards), dim);
+  for_shards(dim, [&](int s, std::size_t begin, std::size_t end) {
+    double sum = 0.0;
+    std::size_t top = dim;
+    for (std::size_t i = begin; i < end; ++i) {
+      const double p = std::norm(amplitudes_[i]);
+      sum += p;
+      if (p > 0.0) top = i;
+    }
+    mass[static_cast<std::size_t>(s)] = sum;
+    top_nonzero[static_cast<std::size_t>(s)] = top;
+  });
+
+  // Walk shard masses to find the shard the threshold lands in, then scan
+  // amplitudes serially from there. Falling off the end of that shard
+  // (rounding: the batched mass and the element-by-element subtraction
+  // disagree by an ulp) just continues into the next one.
+  std::size_t outcome = dim;
+  int first = shards;
+  for (int s = 0; s < shards; ++s) {
+    if (r - mass[static_cast<std::size_t>(s)] <= 0.0) {
+      first = s;
       break;
     }
+    r -= mass[static_cast<std::size_t>(s)];
   }
-  amplitudes_.assign(amplitudes_.size(), Amplitude{0.0, 0.0});
+  if (first < shards) {
+    const util::ShardPlan plan = util::ShardPlan::over(dim);
+    for (std::size_t i = plan.begin(first); i < dim; ++i) {
+      r -= std::norm(amplitudes_[i]);
+      if (r <= 0.0) {
+        outcome = i;
+        break;
+      }
+    }
+  }
+  if (outcome == dim) {
+    // Rounding left r > 0 after the scan: collapse onto the highest-index
+    // basis state that actually carries probability, never onto a
+    // zero-amplitude one.
+    for (int s = shards - 1; s >= 0 && outcome == dim; --s) {
+      outcome = top_nonzero[static_cast<std::size_t>(s)];
+    }
+    QDC_CHECK(outcome != dim,
+              "StateVector::measure_all: state carries no probability mass");
+  }
+
+  for_shards(dim, [&](int, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      amplitudes_[i] = Amplitude{0.0, 0.0};
+    }
+  });
   amplitudes_[outcome] = Amplitude{1.0, 0.0};
   return outcome;
 }
@@ -109,18 +222,36 @@ double StateVector::probability_of(std::size_t basis) const {
 }
 
 double StateVector::norm_squared() const {
-  double s = 0.0;
-  for (const Amplitude& a : amplitudes_) s += std::norm(a);
-  return s;
+  const std::size_t dim = amplitudes_.size();
+  std::vector<double> partial(
+      static_cast<std::size_t>(shard_count_for(dim)), 0.0);
+  for_shards(dim, [&](int s, std::size_t begin, std::size_t end) {
+    double sum = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      sum += std::norm(amplitudes_[i]);
+    }
+    partial[static_cast<std::size_t>(s)] = sum;
+  });
+  double total = 0.0;
+  for (const double v : partial) total += v;
+  return total;
 }
 
 double StateVector::fidelity(const StateVector& other) const {
   QDC_EXPECT(dimension() == other.dimension(),
              "StateVector::fidelity: dimension mismatch");
+  const std::size_t dim = amplitudes_.size();
+  std::vector<Amplitude> partial(
+      static_cast<std::size_t>(shard_count_for(dim)), Amplitude{0.0, 0.0});
+  for_shards(dim, [&](int s, std::size_t begin, std::size_t end) {
+    Amplitude sum{0.0, 0.0};
+    for (std::size_t i = begin; i < end; ++i) {
+      sum += std::conj(amplitudes_[i]) * other.amplitudes_[i];
+    }
+    partial[static_cast<std::size_t>(s)] = sum;
+  });
   Amplitude inner{0.0, 0.0};
-  for (std::size_t i = 0; i < amplitudes_.size(); ++i) {
-    inner += std::conj(amplitudes_[i]) * other.amplitudes_[i];
-  }
+  for (const Amplitude& v : partial) inner += v;
   return std::norm(inner);
 }
 

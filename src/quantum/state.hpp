@@ -7,8 +7,18 @@
 // an outcome in this paper is small: EPR pairs and teleportation
 // (Section 6's reduction from qubits to classical bits), nonlocal-game
 // strategies (CHSH), and Grover search inside the distributed Disjointness
-// protocol of Example 1.1. Those all fit comfortably in a <= 24-qubit
-// statevector.
+// protocol of Example 1.1. Those all fit comfortably in a statevector of
+// at most kMaxQubits (= 24) qubits — the one limit every allocator of a
+// StateVector (grover_search, Deutsch-Jozsa, ...) shares.
+//
+// Parallelism: every amplitude kernel can shard its index range over an
+// injected, non-owning util::ThreadPool (null = serial, the default).
+// Shard boundaries depend on the amplitude count only — never on the
+// thread count — and every floating-point reduction tallies into
+// shard-indexed slots that are merged serially in shard order, so all
+// results are bit-identical for a null pool and for pools of 1, 2 or N
+// threads (pinned by the QuantumDeterminism suite). See util/shard.hpp
+// and docs/ARCHITECTURE.md for the contract.
 //
 // Conventions: qubit 0 is the least significant bit of the basis index;
 // basis state |b_{n-1} ... b_1 b_0>.
@@ -16,11 +26,21 @@
 
 #include <complex>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "util/rng.hpp"
 
+namespace qdc::util {
+class ThreadPool;
+}  // namespace qdc::util
+
 namespace qdc::quantum {
+
+/// Hard cap on statevector width (2^24 amplitudes, 256 MiB), shared by the
+/// StateVector constructor and by every algorithm that allocates one
+/// (grover_search, deutsch_jozsa_is_constant, bernstein_vazirani).
+inline constexpr int kMaxQubits = 24;
 
 using Amplitude = std::complex<double>;
 
@@ -29,13 +49,24 @@ struct Gate1 {
   Amplitude u00, u01, u10, u11;
 };
 
+struct StateVectorTestAccess;
+
 class StateVector {
  public:
-  /// |0...0> on `qubit_count` qubits. Limited to 24 qubits.
-  explicit StateVector(int qubit_count);
+  /// |0...0> on `qubit_count` qubits. Limited to kMaxQubits qubits. `pool`
+  /// is a non-owning thread pool the amplitude kernels shard over; null
+  /// (the default) runs every kernel serially. The caller keeps the pool
+  /// alive for the lifetime of the StateVector (or until it is replaced
+  /// via set_thread_pool).
+  explicit StateVector(int qubit_count, util::ThreadPool* pool = nullptr);
 
   int qubit_count() const { return qubit_count_; }
   std::size_t dimension() const { return amplitudes_.size(); }
+
+  /// Replaces the injected pool (non-owning; null = serial). Results never
+  /// depend on the pool — only kernel wall time does.
+  void set_thread_pool(util::ThreadPool* pool) { pool_ = pool; }
+  util::ThreadPool* thread_pool() const { return pool_; }
 
   const std::vector<Amplitude>& amplitudes() const { return amplitudes_; }
   Amplitude amplitude(std::size_t basis) const;
@@ -44,21 +75,27 @@ class StateVector {
   void apply(const Gate1& g, int qubit);
 
   /// Applies a single-qubit gate controlled on `control` being 1.
+  /// Requires control != target.
   void apply_controlled(const Gate1& g, int control, int target);
 
-  /// CNOT / CZ / SWAP conveniences.
+  /// CNOT / CZ / SWAP conveniences. swap(a, a) is a no-op (a qubit always
+  /// trivially swaps with itself); cnot/cz require distinct qubits.
   void cnot(int control, int target);
   void cz(int control, int target);
   void swap(int a, int b);
 
   /// Phase-flips every basis state whose index satisfies the predicate
   /// (a classical oracle: |x> -> (-1)^{f(x)} |x>). The predicate sees the
-  /// full basis index.
+  /// full basis index and must be safe to call concurrently when a pool
+  /// is injected (pure predicates are; all oracles in this repo are pure).
   template <typename Pred>
   void oracle_phase(Pred&& marked) {
-    for (std::size_t i = 0; i < amplitudes_.size(); ++i) {
-      if (marked(i)) amplitudes_[i] = -amplitudes_[i];
-    }
+    for_shards(amplitudes_.size(),
+               [&](int, std::size_t begin, std::size_t end) {
+                 for (std::size_t i = begin; i < end; ++i) {
+                   if (marked(i)) amplitudes_[i] = -amplitudes_[i];
+                 }
+               });
   }
 
   /// Probability of measuring `qubit` as 1.
@@ -67,7 +104,11 @@ class StateVector {
   /// Measures one qubit in the computational basis, collapsing the state.
   bool measure(int qubit, Rng& rng);
 
-  /// Measures all qubits; returns the observed basis index.
+  /// Measures all qubits; returns the observed basis index. When
+  /// floating-point rounding leaves residual measure mass after the scan
+  /// (the drawn threshold lands beyond the accumulated total), the state
+  /// collapses onto the highest-index basis state with nonzero
+  /// probability — never onto a zero-amplitude one.
   std::size_t measure_all(Rng& rng);
 
   /// Probability of observing `basis` when measuring everything.
@@ -76,13 +117,37 @@ class StateVector {
   /// Squared norm (should always be ~1; exposed for testing).
   double norm_squared() const;
 
-  /// Inner product <this|other|... fidelity |<a|b>|^2 with another state of
-  /// the same dimension.
+  /// Fidelity |<this|other>|^2 with another state of the same dimension.
   double fidelity(const StateVector& other) const;
 
  private:
+  friend struct StateVectorTestAccess;
+
+  /// Executes body(shard, begin, end) over the injected pool (serial when
+  /// none): the single dispatch point every kernel goes through. Shard
+  /// geometry is util::ShardPlan::over(items) — a function of `items`
+  /// alone, which is what makes results thread-count-invariant.
+  void for_shards(
+      std::size_t items,
+      const std::function<void(int, std::size_t, std::size_t)>& body) const;
+
+  /// Shard count for_shards(items, ...) will use; sizes the shard-indexed
+  /// partial-reduction slots.
+  int shard_count_for(std::size_t items) const;
+
+  /// measure() with the uniform draw injected: collapses `qubit` to the
+  /// branch selected by r < P(qubit = 1). Split out so tests can force the
+  /// zero-probability branch (see quantum/testing.hpp).
+  bool collapse_qubit(int qubit, double r);
+
+  /// measure_all() with the uniform draw injected: scans the measure mass
+  /// until it exceeds r, with the documented highest-nonzero fallback for
+  /// rounding residue. Split out so tests can pin the fallback.
+  std::size_t collapse_all(double r);
+
   int qubit_count_;
   std::vector<Amplitude> amplitudes_;
+  util::ThreadPool* pool_ = nullptr;  // non-owning; null = serial
 };
 
 }  // namespace qdc::quantum

@@ -1,0 +1,33 @@
+// Test-only access to StateVector internals, mirroring congest/testing.hpp:
+// the measurement kernels take their uniform draw from an Rng, so their
+// rounding edge cases (a threshold landing beyond the accumulated measure
+// mass, a zero-probability branch) cannot be forced through the public
+// API. This header injects the draw directly. It is a test surface only —
+// src/ code must not include it (enforced by qdc_analyze's
+// layering/testing-header firewall).
+#pragma once
+
+#include <cstddef>
+
+#include "quantum/state.hpp"
+
+namespace qdc::quantum {
+
+struct StateVectorTestAccess {
+  /// measure_all() with the uniform draw replaced by `r`: the only way to
+  /// deterministically pin the rounding-residue fallback (r still positive
+  /// after the full scan collapses onto the highest-index basis state with
+  /// nonzero probability).
+  static std::size_t collapse_all_with(StateVector& state, double r) {
+    return state.collapse_all(r);
+  }
+
+  /// measure() with the uniform draw replaced by `r`: forces a branch
+  /// (outcome = r < P(qubit = 1)), which is how the zero-probability-branch
+  /// ModelError and its message are exercised.
+  static bool collapse_qubit_with(StateVector& state, int qubit, double r) {
+    return state.collapse_qubit(qubit, r);
+  }
+};
+
+}  // namespace qdc::quantum

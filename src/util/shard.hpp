@@ -1,0 +1,73 @@
+// Deterministic shard geometry for data-parallel kernels and reductions.
+//
+// Shard boundaries are a pure function of the item count alone — never of
+// the thread count, the pool, or which worker claims a shard — so a caller
+// that (a) makes each shard write only shard-owned state (typically a slot
+// indexed by the shard number) and (b) merges shard results serially in
+// shard-index order gets bit-identical output for 1, 2 or N threads, and
+// for a null pool. This is the same contract the CONGEST round engine
+// applies to its node shards (congest/network.cpp); ShardPlan packages it
+// for flat index ranges such as quantum amplitude blocks.
+//
+// Small inputs resolve to a single shard, which keeps their numerics
+// exactly equal to a plain serial loop: floating-point reductions only
+// change associativity once an input is large enough to split, and then
+// they change it the same way for every thread count.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "util/thread_pool.hpp"
+
+namespace qdc::util {
+
+/// Shard geometry over `items` flat indices. Value type; cheap to build.
+struct ShardPlan {
+  /// Below 2 * kMinItemsPerShard items everything stays in one shard (and
+  /// therefore keeps serial numerics bit-for-bit); above it, one shard per
+  /// kMinItemsPerShard items, capped at kMaxShards.
+  static constexpr std::size_t kMinItemsPerShard = 4096;
+  static constexpr int kMaxShards = 64;
+
+  std::size_t items = 0;
+  int shards = 1;
+
+  static ShardPlan over(std::size_t items) {
+    ShardPlan plan;
+    plan.items = items;
+    if (items >= 2 * kMinItemsPerShard) {
+      const std::size_t wide = items / kMinItemsPerShard;
+      plan.shards = wide < static_cast<std::size_t>(kMaxShards)
+                        ? static_cast<int>(wide)
+                        : kMaxShards;
+    }
+    return plan;
+  }
+
+  std::size_t begin(int shard) const {
+    return items * static_cast<std::size_t>(shard) /
+           static_cast<std::size_t>(shards);
+  }
+  std::size_t end(int shard) const {
+    return items * (static_cast<std::size_t>(shard) + 1) /
+           static_cast<std::size_t>(shards);
+  }
+};
+
+/// Executes body(shard, begin, end) for every shard of `plan`, over `pool`
+/// when one is supplied (and both the pool and the plan are actually
+/// parallel), inline on the calling thread otherwise. Each shard runs
+/// exactly once either way, so results are identical for every pool.
+inline void run_sharded(
+    ThreadPool* pool, const ShardPlan& plan,
+    const std::function<void(int, std::size_t, std::size_t)>& body) {
+  const auto job = [&](int s) { body(s, plan.begin(s), plan.end(s)); };
+  if (pool != nullptr && pool->thread_count() > 1 && plan.shards > 1) {
+    pool->run(plan.shards, job);
+  } else {
+    for (int s = 0; s < plan.shards; ++s) job(s);
+  }
+}
+
+}  // namespace qdc::util

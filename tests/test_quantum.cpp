@@ -3,11 +3,14 @@
 
 #include <cmath>
 #include <numbers>
+#include <string>
+#include <vector>
 
 #include "quantum/gates.hpp"
 #include "quantum/grover.hpp"
 #include "quantum/protocols.hpp"
 #include "quantum/state.hpp"
+#include "quantum/testing.hpp"
 #include "util/expect.hpp"
 
 namespace qdc::quantum {
@@ -79,6 +82,69 @@ TEST(StateVector, SwapMovesAmplitude) {
   s.apply(pauli_x(), 0);
   s.swap(0, 1);
   EXPECT_NEAR(s.probability_of(0b10), 1.0, 1e-12);
+}
+
+TEST(StateVector, SwapSameQubitIsNoOp) {
+  // swap(a, a) used to throw through apply_controlled's distinct-qubits
+  // contract; it is now a documented no-op.
+  StateVector s(3);
+  s.apply(hadamard(), 0);
+  s.apply(ry(0.7), 1);
+  const std::vector<Amplitude> before = s.amplitudes();
+  s.swap(1, 1);
+  EXPECT_EQ(s.amplitudes(), before);
+  // An out-of-range qubit still violates the contract, even when a == b.
+  EXPECT_THROW(s.swap(3, 3), ContractError);
+  EXPECT_THROW(s.swap(-1, -1), ContractError);
+}
+
+TEST(StateVector, MeasureAllRoundingResidueFallsBackToNonzeroState) {
+  // (|00> + |01>)/sqrt(2): the top basis states carry exactly zero
+  // probability. Inject a threshold beyond the accumulated measure mass —
+  // the situation floating-point rounding can produce when the drawn r is
+  // within an ulp of the total — and the collapse must land on the
+  // highest-index basis state with NONZERO probability (index 1), not
+  // blindly on amplitudes.size() - 1 (index 3, probability zero).
+  StateVector s(2);
+  s.apply(hadamard(), 0);
+  const std::size_t outcome = StateVectorTestAccess::collapse_all_with(s, 1.25);
+  EXPECT_EQ(outcome, 1u);
+  EXPECT_DOUBLE_EQ(s.probability_of(1), 1.0);
+}
+
+TEST(StateVector, MeasureAllNeverLandsOnZeroProbabilityState) {
+  // Property guard for the same bug: whatever measure_all returns must
+  // have carried probability before the collapse.
+  Rng rng(101);
+  for (int trial = 0; trial < 300; ++trial) {
+    StateVector s(4);
+    s.apply(hadamard(), 0);
+    s.apply(ry(0.17 * trial), 1);  // qubits 2, 3 stay |0>: top half is zero
+    const double mass_before = s.norm_squared();
+    std::vector<double> probs(s.dimension());
+    for (std::size_t i = 0; i < s.dimension(); ++i) {
+      probs[i] = s.probability_of(i);
+    }
+    const std::size_t outcome = s.measure_all(rng);
+    EXPECT_GT(probs[outcome], 0.0) << "trial " << trial;
+    EXPECT_NEAR(mass_before, 1.0, 1e-12);
+  }
+}
+
+TEST(StateVector, MeasureZeroProbabilityBranchNamesQubitAndBranch) {
+  // |1> on qubit 0: the |0> branch has probability exactly zero. Forcing
+  // it (threshold >= 1 never selects the one-branch) must throw a
+  // ModelError whose message names both the branch and the qubit.
+  StateVector s(2);
+  s.apply(pauli_x(), 0);
+  try {
+    StateVectorTestAccess::collapse_qubit_with(s, 0, 1.5);
+    FAIL() << "expected ModelError";
+  } catch (const ModelError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("|0>"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("qubit 0"), std::string::npos) << msg;
+  }
 }
 
 TEST(Teleport, TransfersArbitraryState) {
@@ -172,6 +238,20 @@ TEST(StateVector, RejectsBadArguments) {
   StateVector s(2);
   EXPECT_THROW(s.apply(hadamard(), 2), ContractError);
   EXPECT_THROW(s.cnot(0, 0), ContractError);
+}
+
+TEST(Grover, QubitCapMatchesStateVector) {
+  // grover_search used to stop at 20 qubits while StateVector documented
+  // 24; both now share kMaxQubits.
+  Rng rng(31);
+  EXPECT_THROW(grover_search(kMaxQubits + 1,
+                             [](std::size_t) { return false; }, rng),
+               ContractError);
+  // 21 qubits (beyond the old cap) is now legal; zero iterations keeps the
+  // run cheap — this only checks the contract, not the search.
+  const auto r = grover_search(
+      21, [](std::size_t i) { return i == 5; }, rng, /*iterations=*/0);
+  EXPECT_EQ(r.iterations, 0);
 }
 
 }  // namespace

@@ -7,9 +7,12 @@
 //   layering/illegal-edge    an #include crosses an edge the DAG forbids
 //   layering/cycle           the derived graph contains a dependency cycle
 //   layering/unknown-module  a src/ subdirectory is not in the DAG table
-//   layering/testing-header  congest/testing.hpp included from src/ (it is
-//                            the test-only tamper surface; only its own
-//                            implementation file may include it)
+//   layering/testing-header  a <module>/testing.hpp included from src/ (the
+//                            testing headers are the test-only tamper
+//                            surface; only the header's own implementation
+//                            file may include it). congest/testing.hpp and
+//                            quantum/testing.hpp today; the rule covers any
+//                            future module's testing header automatically.
 
 #include <algorithm>
 #include <functional>
@@ -69,13 +72,18 @@ class LayeringCheck final : public Check {
         if (slash == std::string::npos) continue;
         std::string target = inc.path.substr(0, slash);
 
-        if (inc.path == "congest/testing.hpp" &&
-            f.rel != "src/congest/testing.cpp" &&
-            f.rel != "src/congest/testing.hpp") {
-          out.push_back({"layering/testing-header", f.rel, inc.line,
-                         "congest/testing.hpp",
-                         "congest/testing.hpp is the test-only tamper "
-                         "surface; src/ code must not include it"});
+        if (inc.path.ends_with("/testing.hpp")) {
+          // Only the header itself and its implementation file (when one
+          // exists) may include a module's testing header from src/.
+          const std::string owner_hpp = "src/" + inc.path;
+          const std::string owner_cpp =
+              owner_hpp.substr(0, owner_hpp.size() - 4) + ".cpp";
+          if (f.rel != owner_hpp && f.rel != owner_cpp) {
+            out.push_back({"layering/testing-header", f.rel, inc.line,
+                           inc.path,
+                           inc.path + " is the test-only tamper "
+                           "surface; src/ code must not include it"});
+          }
         }
 
         if (target == f.module_name) continue;

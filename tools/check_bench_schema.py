@@ -1,14 +1,23 @@
 #!/usr/bin/env python3
-"""Validate the BENCH_engine.json emitted by bench_engine_scaling.
+"""Validate the scaling reports emitted by the bench executables.
 
 Usage:
 
     python3 tools/check_bench_schema.py BENCH_engine.json
+    python3 tools/check_bench_schema.py BENCH_quantum.json
 
-Checks structure and value sanity (positive timings, threads=1 baseline
-present, speedups derived from the baseline, the schema-v2 sweep section)
-so CI catches a bench that silently emits garbage. Exit status: 0 on
-success, 1 on any violation.
+Dispatches on the document's "bench" key:
+
+  * "engine_scaling" (schema v2, bench_engine_scaling): topology cases with
+    rounds_per_sec results plus the batched-sweep section.
+  * "quantum_scaling" (schema v1, bench_quantum_scaling): statevector
+    kernel cases with ops_per_sec results, a per-case payload checksum
+    (0x + 16 hex digits — the amplitude-bit fold the bench asserts equal
+    across thread counts), and a Grover sweep section.
+
+Both share the value-sanity core (positive timings, threads=1 / workers=1
+baseline present, no duplicate thread counts) so CI catches a bench that
+silently emits garbage. Exit status: 0 on success, 1 on any violation.
 
 The checker is also importable: check_document(doc) returns the violation
 list for an already-parsed document, which is how
@@ -18,10 +27,17 @@ tools/test_check_bench_schema.py unit-tests every rule.
 from __future__ import annotations
 
 import json
+import re
 import sys
 from pathlib import Path
 
 ERRORS: list[str] = []
+
+# Mirrors qdc::quantum::kMaxQubits (src/quantum/state.hpp): no real report
+# can carry a wider statevector than the simulator accepts.
+MAX_QUBITS = 24
+
+CHECKSUM_RE = re.compile(r"0x[0-9a-f]{16}")
 
 
 def fail(msg: str) -> None:
@@ -66,7 +82,14 @@ def check_results(results: list, where: str, unit_key: str, rate_key: str) -> No
         fail(f"{where}: no {unit_key}=1 baseline in results")
 
 
-def check_case(case: dict, where: str) -> None:
+def check_checksum(obj: dict, where: str) -> None:
+    value = expect_key(obj, "checksum", str, where)
+    if value is not None and not CHECKSUM_RE.fullmatch(value):
+        fail(f"{where}: checksum must be 0x followed by 16 lowercase hex "
+             f"digits, got '{value}'")
+
+
+def check_engine_case(case: dict, where: str) -> None:
     expect_key(case, "name", str, where)
     expect_key(case, "topology", str, where)
     nodes = expect_key(case, "nodes", int, where)
@@ -85,7 +108,7 @@ def check_case(case: dict, where: str) -> None:
     check_results(results, f"{where}.results", "threads", "rounds_per_sec")
 
 
-def check_sweep(sweep: dict, where: str) -> None:
+def check_engine_sweep(sweep: dict, where: str) -> None:
     jobs = expect_key(sweep, "jobs", int, where)
     job_nodes = expect_key(sweep, "job_nodes", int, where)
     job_rounds = expect_key(sweep, "job_rounds", int, where)
@@ -102,6 +125,43 @@ def check_sweep(sweep: dict, where: str) -> None:
     check_results(results, f"{where}.results", "workers", "jobs_per_sec")
 
 
+def check_quantum_case(case: dict, where: str) -> None:
+    expect_key(case, "name", str, where)
+    qubits = expect_key(case, "qubits", int, where)
+    ops = expect_key(case, "ops", int, where)
+    if qubits is not None and not 1 <= qubits <= MAX_QUBITS:
+        fail(f"{where}: qubits must be in [1, {MAX_QUBITS}]")
+    if ops is not None and ops <= 0:
+        fail(f"{where}: ops must be positive")
+    check_checksum(case, where)
+    results = expect_key(case, "results", list, where)
+    if not results:
+        fail(f"{where}: results must be a non-empty list")
+        return
+    check_results(results, f"{where}.results", "threads", "ops_per_sec")
+
+
+def check_quantum_sweep(sweep: dict, where: str) -> None:
+    jobs = expect_key(sweep, "jobs", int, where)
+    job_qubits = expect_key(sweep, "job_qubits", int, where)
+    if jobs is not None and jobs <= 0:
+        fail(f"{where}: jobs must be positive")
+    if job_qubits is not None and not 1 <= job_qubits <= MAX_QUBITS:
+        fail(f"{where}: job_qubits must be in [1, {MAX_QUBITS}]")
+    check_checksum(sweep, where)
+    results = expect_key(sweep, "results", list, where)
+    if not results:
+        fail(f"{where}: results must be a non-empty list")
+        return
+    check_results(results, f"{where}.results", "workers", "jobs_per_sec")
+
+
+SCHEMAS = {
+    "engine_scaling": (2, check_engine_case, check_engine_sweep),
+    "quantum_scaling": (1, check_quantum_case, check_quantum_sweep),
+}
+
+
 def check_document(doc) -> list[str]:
     """Validates an already-parsed report; returns the violation list."""
     ERRORS.clear()
@@ -110,10 +170,13 @@ def check_document(doc) -> list[str]:
         return list(ERRORS)
 
     bench = expect_key(doc, "bench", str, "$")
-    if bench is not None and bench != "engine_scaling":
-        fail(f"$: bench must be 'engine_scaling', got '{bench}'")
+    if bench is not None and bench not in SCHEMAS:
+        fail(f"$: bench must be 'engine_scaling' or 'quantum_scaling', "
+             f"got '{bench}'")
+    expected_version, check_case, check_sweep = SCHEMAS.get(
+        bench, SCHEMAS["engine_scaling"])
     version = expect_key(doc, "schema_version", int, "$")
-    if version is not None and version != 2:
+    if version is not None and version != expected_version:
         fail(f"$: unsupported schema_version {version}")
     expect_key(doc, "smoke", bool, "$")
     mode = expect_key(doc, "mode", str, "$")
@@ -140,7 +203,8 @@ def check_document(doc) -> list[str]:
 
 def main(argv: list[str]) -> int:
     if len(argv) != 1:
-        print("usage: check_bench_schema.py BENCH_engine.json", file=sys.stderr)
+        print("usage: check_bench_schema.py BENCH_engine.json|BENCH_quantum.json",
+              file=sys.stderr)
         return 2
     path = Path(argv[0])
     try:

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""CI regression gate: statevector gate-kernel speedup at 4 threads >= 1.3x.
+
+Usage:
+
+    python3 tools/check_quantum_speedup.py BENCH_quantum.json [--min-speedup X]
+
+Reads the report written by `bench_quantum_scaling --gate` (any mode works,
+as long as the "gates" case carries threads 1 and 4) and asserts the
+4-thread speedup. The bar is lower than the engine gate's 1.5x: the gate
+kernels stream every amplitude through memory once per gate, so they
+saturate bandwidth well before the embarrassingly-parallel round engine
+does. When the report says the machine has fewer than 4 hardware threads,
+the gate SKIPS with a visible notice instead of failing: a 1-core runner
+cannot measure parallel speedup, and a silent pass would be
+indistinguishable from a real one. Exit status: 0 pass or skip, 1
+regression or malformed report.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+MIN_SPEEDUP = 1.3
+GATE_THREADS = 4
+GATE_CASE = "gates"
+
+
+def main(argv: list[str]) -> int:
+    min_speedup = MIN_SPEEDUP
+    args = list(argv)
+    if "--min-speedup" in args:
+        i = args.index("--min-speedup")
+        try:
+            min_speedup = float(args[i + 1])
+        except (IndexError, ValueError):
+            print("check_quantum_speedup: --min-speedup wants a number",
+                  file=sys.stderr)
+            return 2
+        del args[i:i + 2]
+    if len(args) != 1:
+        print("usage: check_quantum_speedup.py BENCH_quantum.json "
+              "[--min-speedup X]", file=sys.stderr)
+        return 2
+    path = Path(args[0])
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"check_quantum_speedup: cannot parse {path}: {exc}",
+              file=sys.stderr)
+        return 1
+
+    hw = doc.get("hardware_threads")
+    if not isinstance(hw, int):
+        print(f"check_quantum_speedup: {path} has no hardware_threads",
+              file=sys.stderr)
+        return 1
+    if hw < GATE_THREADS:
+        print(f"check_quantum_speedup: SKIPPED — runner has only {hw} "
+              f"hardware thread(s), needs >= {GATE_THREADS} to measure "
+              f"parallel speedup. The >= {min_speedup}x gate did NOT run.")
+        return 0
+
+    for case in doc.get("cases", []):
+        if case.get("name") != GATE_CASE:
+            continue
+        for res in case.get("results", []):
+            if res.get("threads") == GATE_THREADS:
+                speedup = res.get("speedup")
+                if not isinstance(speedup, (int, float)):
+                    print(f"check_quantum_speedup: {GATE_CASE} has no "
+                          f"speedup value at threads={GATE_THREADS}",
+                          file=sys.stderr)
+                    return 1
+                if speedup < min_speedup:
+                    print(f"check_quantum_speedup: REGRESSION — {GATE_CASE} "
+                          f"speedup at {GATE_THREADS} threads is "
+                          f"{speedup:.2f}x, gate requires >= "
+                          f"{min_speedup}x")
+                    return 1
+                print(f"check_quantum_speedup: OK — {GATE_CASE} speedup at "
+                      f"{GATE_THREADS} threads is {speedup:.2f}x "
+                      f"(>= {min_speedup}x)")
+                return 0
+    print(f"check_quantum_speedup: {path} has no {GATE_CASE} result at "
+          f"threads={GATE_THREADS}", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

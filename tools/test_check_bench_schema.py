@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
 """Unit tests for tools/check_bench_schema.py (run as CTest lint.bench_schema_unit).
 
-Covers: a valid schema-v2 document, missing keys, wrong types, value-sanity
-rules, and the sweep-section rules — so schema edits cannot silently break
-the CI validation step.
+Covers: a valid engine schema-v2 document, a valid quantum schema-v1
+document, missing keys, wrong types, value-sanity rules, the checksum
+format, and the sweep-section rules — so schema edits cannot silently
+break the CI validation step.
 """
 
 from __future__ import annotations
@@ -44,6 +45,41 @@ def valid_document() -> dict:
             "jobs": 16,
             "job_nodes": 256,
             "job_rounds": 8,
+            "results": [
+                {"workers": 1, "seconds": 4.0,
+                 "jobs_per_sec": 4.0, "speedup": 1.0},
+                {"workers": 4, "seconds": 1.25,
+                 "jobs_per_sec": 12.8, "speedup": 3.2},
+            ],
+        },
+    }
+
+
+def valid_quantum_document() -> dict:
+    return {
+        "bench": "quantum_scaling",
+        "schema_version": 1,
+        "smoke": False,
+        "mode": "full",
+        "hardware_threads": 8,
+        "cases": [
+            {
+                "name": "gates",
+                "qubits": 22,
+                "ops": 152,
+                "checksum": "0xb93a75acf3f0d53f",
+                "results": [
+                    {"threads": 1, "seconds": 2.0,
+                     "ops_per_sec": 76.0, "speedup": 1.0},
+                    {"threads": 4, "seconds": 0.6,
+                     "ops_per_sec": 253.3, "speedup": 3.3},
+                ],
+            }
+        ],
+        "sweep": {
+            "jobs": 16,
+            "job_qubits": 11,
+            "checksum": "0xf6c218ab83041fd3",
             "results": [
                 {"workers": 1, "seconds": 4.0,
                  "jobs_per_sec": 4.0, "speedup": 1.0},
@@ -163,6 +199,83 @@ class CheckDocumentTest(unittest.TestCase):
         doc = valid_document()
         doc["sweep"]["results"][0]["jobs_per_sec"] = -1.0
         self.assert_violation(doc, "jobs_per_sec must be positive")
+
+
+class QuantumDocumentTest(unittest.TestCase):
+    def check(self, doc) -> list[str]:
+        return check_bench_schema.check_document(doc)
+
+    def assert_violation(self, doc, fragment: str) -> None:
+        errors = self.check(doc)
+        self.assertTrue(any(fragment in e for e in errors),
+                        f"expected a violation containing {fragment!r}, "
+                        f"got {errors!r}")
+
+    def test_valid_document_passes(self):
+        self.assertEqual(self.check(valid_quantum_document()), [])
+
+    def test_quantum_requires_schema_version_1(self):
+        doc = valid_quantum_document()
+        doc["schema_version"] = 2
+        self.assert_violation(doc, "unsupported schema_version 2")
+
+    def test_missing_checksum(self):
+        doc = valid_quantum_document()
+        del doc["cases"][0]["checksum"]
+        self.assert_violation(doc, "missing key 'checksum'")
+
+    def test_malformed_checksum(self):
+        doc = valid_quantum_document()
+        doc["cases"][0]["checksum"] = "0xZZ"
+        self.assert_violation(doc, "checksum must be 0x")
+
+    def test_qubits_beyond_simulator_cap(self):
+        doc = valid_quantum_document()
+        doc["cases"][0]["qubits"] = 25
+        self.assert_violation(doc, "qubits must be in [1, 24]")
+
+    def test_nonpositive_ops(self):
+        doc = valid_quantum_document()
+        doc["cases"][0]["ops"] = 0
+        self.assert_violation(doc, "ops must be positive")
+
+    def test_missing_threads_baseline(self):
+        doc = valid_quantum_document()
+        doc["cases"][0]["results"] = [
+            {"threads": 4, "seconds": 0.6,
+             "ops_per_sec": 253.3, "speedup": 3.3}]
+        self.assert_violation(doc, "no threads=1 baseline")
+
+    def test_nonpositive_rate(self):
+        doc = valid_quantum_document()
+        doc["cases"][0]["results"][0]["ops_per_sec"] = 0
+        self.assert_violation(doc, "ops_per_sec must be positive")
+
+    def test_sweep_checksum_required(self):
+        doc = valid_quantum_document()
+        del doc["sweep"]["checksum"]
+        self.assert_violation(doc, "missing key 'checksum'")
+
+    def test_sweep_job_qubits_range(self):
+        doc = valid_quantum_document()
+        doc["sweep"]["job_qubits"] = 0
+        self.assert_violation(doc, "job_qubits must be in [1, 24]")
+
+    def test_sweep_missing_workers_baseline(self):
+        doc = valid_quantum_document()
+        doc["sweep"]["results"] = [
+            {"workers": 2, "seconds": 2.0,
+             "jobs_per_sec": 8.0, "speedup": 2.0}]
+        self.assert_violation(doc, "no workers=1 baseline")
+
+    def test_main_accepts_valid_quantum_file(self):
+        import json
+        import tempfile
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".json", delete=False) as f:
+            json.dump(valid_quantum_document(), f)
+            path = f.name
+        self.assertEqual(check_bench_schema.main([path]), 0)
 
 
 class MainEntryTest(unittest.TestCase):
