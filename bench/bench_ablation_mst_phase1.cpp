@@ -10,10 +10,13 @@
 
 #include <cstdio>
 
+#include "congest/network.hpp"
 #include "dist/mst.hpp"
+#include "dist/tree.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
 #include "graph/mst.hpp"
+#include "util/rng.hpp"
 
 int main(int argc, char** argv) {
   using namespace qdc;

@@ -30,6 +30,7 @@
 #include "congest/network.hpp"
 #include "core/lb_network.hpp"
 #include "graph/generators.hpp"
+#include "graph/graph.hpp"
 #include "util/rng.hpp"
 #include "util/sweep.hpp"
 #include "util/thread_pool.hpp"

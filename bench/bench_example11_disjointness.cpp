@@ -9,6 +9,8 @@
 
 #include "core/bounds.hpp"
 #include "core/disjointness.hpp"
+#include "util/bitstring.hpp"
+#include "util/rng.hpp"
 
 namespace {
 

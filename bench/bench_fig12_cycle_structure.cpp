@@ -11,6 +11,8 @@
 #include "comm/problems.hpp"
 #include "gadgets/ham_gadgets.hpp"
 #include "graph/algorithms.hpp"
+#include "util/bitstring.hpp"
+#include "util/rng.hpp"
 
 int main(int argc, char** argv) {
   using namespace qdc;

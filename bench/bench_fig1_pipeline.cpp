@@ -18,11 +18,16 @@
 
 #include "comm/lemma32.hpp"
 #include "comm/problems.hpp"
+#include "comm/server_model.hpp"
+#include "congest/network.hpp"
 #include "core/bounds.hpp"
+#include "core/lb_network.hpp"
 #include "core/simulation.hpp"
 #include "dist/tree.hpp"
 #include "gadgets/ham_gadgets.hpp"
 #include "nonlocal/xor_game.hpp"
+#include "util/bitstring.hpp"
+#include "util/rng.hpp"
 
 int main(int argc, char** argv) {
   using namespace qdc;

@@ -14,11 +14,16 @@
 #include <vector>
 
 #include "comm/codes.hpp"
+#include "congest/network.hpp"
 #include "core/bounds.hpp"
+#include "dist/tree.hpp"
 #include "dist/verify.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
+#include "graph/graph.hpp"
 #include "harness.hpp"
+#include "util/rng.hpp"
+#include "util/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace qdc;

@@ -28,11 +28,16 @@
 #include <string>
 #include <vector>
 
+#include "congest/network.hpp"
 #include "core/bounds.hpp"
 #include "dist/mst.hpp"
+#include "dist/tree.hpp"
 #include "graph/generators.hpp"
+#include "graph/graph.hpp"
 #include "graph/mst.hpp"
 #include "harness.hpp"
+#include "util/rng.hpp"
+#include "util/sweep.hpp"
 
 namespace {
 

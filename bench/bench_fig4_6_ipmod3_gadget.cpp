@@ -9,6 +9,8 @@
 #include "comm/problems.hpp"
 #include "gadgets/ham_gadgets.hpp"
 #include "graph/algorithms.hpp"
+#include "util/bitstring.hpp"
+#include "util/rng.hpp"
 
 namespace {
 

@@ -22,10 +22,14 @@
 #include <utility>
 #include <vector>
 
+#include "congest/network.hpp"
+#include "core/lb_network.hpp"
 #include "core/simulation.hpp"
 #include "dist/tree.hpp"
 #include "graph/algorithms.hpp"
+#include "graph/graph.hpp"
 #include "harness.hpp"
+#include "util/sweep.hpp"
 
 namespace {
 

@@ -14,8 +14,11 @@
 
 #include "comm/lemma32.hpp"
 #include "comm/problems.hpp"
+#include "comm/server_model.hpp"
 #include "nonlocal/xor_game.hpp"
 #include "quantum/protocols.hpp"
+#include "util/bitstring.hpp"
+#include "util/rng.hpp"
 
 int main(int argc, char** argv) {
   using namespace qdc;

@@ -23,12 +23,18 @@
 #include <utility>
 #include <vector>
 
+#include "congest/network.hpp"
 #include "core/bounds.hpp"
 #include "core/lb_network.hpp"
 #include "dist/sssp.hpp"
+#include "dist/tree.hpp"
 #include "dist/verify.hpp"
 #include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/shortest_paths.hpp"
 #include "harness.hpp"
+#include "util/rng.hpp"
+#include "util/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace qdc;

@@ -13,13 +13,18 @@
 #include <string>
 #include <vector>
 
+#include "congest/network.hpp"
 #include "core/bounds.hpp"
 #include "dist/mst.hpp"
 #include "dist/sssp.hpp"
+#include "dist/tree.hpp"
 #include "graph/generators.hpp"
+#include "graph/graph.hpp"
 #include "graph/mincut.hpp"
 #include "graph/mst.hpp"
 #include "harness.hpp"
+#include "util/rng.hpp"
+#include "util/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace qdc;

@@ -18,6 +18,8 @@
 #include "comm/degree.hpp"
 #include "comm/problems.hpp"
 #include "comm/server_model.hpp"
+#include "util/bitstring.hpp"
+#include "util/rng.hpp"
 
 int main(int argc, char** argv) {
   using namespace qdc;

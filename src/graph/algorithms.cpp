@@ -63,6 +63,8 @@ bool is_connected(const Graph& g) {
 }
 
 bool st_connected(const Graph& g, NodeId u, NodeId v) {
+  QDC_EXPECT(g.valid_node(u), "st_connected: bad node u");
+  QDC_EXPECT(g.valid_node(v), "st_connected: bad node v");
   const auto labels = connected_components(g);
   return labels[static_cast<std::size_t>(u)] ==
          labels[static_cast<std::size_t>(v)];

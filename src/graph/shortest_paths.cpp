@@ -62,6 +62,7 @@ ShortestPathTree bellman_ford(const WeightedGraph& g, NodeId source) {
 }
 
 double st_distance(const WeightedGraph& g, NodeId s, NodeId t) {
+  QDC_EXPECT(g.topology().valid_node(t), "st_distance: bad target t");
   return dijkstra(g, s).distance[static_cast<std::size_t>(t)];
 }
 

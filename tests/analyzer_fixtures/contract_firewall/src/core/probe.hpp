@@ -1,0 +1,10 @@
+#pragma once
+
+namespace qdc::core {
+
+class BenchProbe {
+ public:
+  static int peek();
+};
+
+}  // namespace qdc::core

@@ -1,0 +1,18 @@
+// FIXTURE: friend declarations that cross the module firewall — one names
+// a class declared in another module, one a class declared nowhere.
+#pragma once
+
+namespace qdc::quantum {
+
+class Register {
+ public:
+  int size() const { return size_; }
+
+ private:
+  friend class BenchPeeker;        // declared nowhere in the corpus
+  friend class core::BenchProbe;   // declared in src/core
+
+  int size_ = 0;
+};
+
+}  // namespace qdc::quantum

@@ -1,0 +1,21 @@
+// FIXTURE (clean): the only friend is this module's own testing accessor —
+// the sanctioned firewall crossing.
+#pragma once
+
+namespace qdc::quantum {
+
+namespace testing {
+class RegisterTestAccess;
+}  // namespace testing
+
+class Register {
+ public:
+  int size() const { return size_; }
+
+ private:
+  friend class testing::RegisterTestAccess;
+
+  int size_ = 0;
+};
+
+}  // namespace qdc::quantum

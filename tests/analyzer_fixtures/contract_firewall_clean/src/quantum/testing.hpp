@@ -1,0 +1,13 @@
+// FIXTURE (clean): test-only tamper surface for quantum/register.hpp.
+#pragma once
+
+#include "quantum/register.hpp"
+
+namespace qdc::quantum::testing {
+
+class RegisterTestAccess {
+ public:
+  static int raw_size(const Register& r);
+};
+
+}  // namespace qdc::quantum::testing

@@ -1,0 +1,18 @@
+#include "graph/lookup.hpp"
+
+#include <cstddef>
+
+#include "util/expect.hpp"
+
+namespace qdc::graph {
+
+LabelStore::LabelStore(int node_count)
+    : labels_(static_cast<std::size_t>(node_count), 0) {}
+
+int LabelStore::label_of(NodeId u) const {
+  QDC_EXPECT(u >= 0 && static_cast<std::size_t>(u) < labels_.size(),
+             "label_of: bad node");
+  return labels_[static_cast<std::size_t>(u)];
+}
+
+}  // namespace qdc::graph

@@ -1,0 +1,20 @@
+// FIXTURE (clean): the index-like parameter reaches a QDC_EXPECT before
+// its first dangerous use.
+#pragma once
+
+#include <vector>
+
+namespace qdc::graph {
+
+using NodeId = int;
+
+class LabelStore {
+ public:
+  explicit LabelStore(int node_count);
+  int label_of(NodeId u) const;
+
+ private:
+  std::vector<int> labels_;
+};
+
+}  // namespace qdc::graph

@@ -1,0 +1,15 @@
+#include "graph/lookup.hpp"
+
+#include <cstddef>
+
+namespace qdc::graph {
+
+LabelStore::LabelStore(int node_count)
+    : labels_(static_cast<std::size_t>(node_count), 0) {}
+
+// The subscript is reached without any QDC_EXPECT on u.
+int LabelStore::label_of(NodeId u) const {
+  return labels_[static_cast<std::size_t>(u)];
+}
+
+}  // namespace qdc::graph

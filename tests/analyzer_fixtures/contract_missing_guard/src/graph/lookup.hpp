@@ -1,0 +1,19 @@
+// FIXTURE: public function takes a NodeId and indexes with it unguarded.
+#pragma once
+
+#include <vector>
+
+namespace qdc::graph {
+
+using NodeId = int;
+
+class LabelStore {
+ public:
+  explicit LabelStore(int node_count);
+  int label_of(NodeId u) const;
+
+ private:
+  std::vector<int> labels_;
+};
+
+}  // namespace qdc::graph

@@ -1,0 +1,12 @@
+// FIXTURE: an atomic floating-point accumulator. Atomic FP adds commit in
+// scheduling order, so the total depends on thread interleaving.
+#include <atomic>
+
+namespace qdc::congest {
+
+struct RoundTotals {
+  std::atomic<double> latency_sum{0.0};
+  std::atomic<long> messages{0};
+};
+
+}  // namespace qdc::congest

@@ -1,0 +1,20 @@
+// FIXTURE (clean): integer atomics are order-free; FP totals live in
+// per-shard slots merged serially.
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+namespace qdc::congest {
+
+struct RoundTotals {
+  std::atomic<long> messages{0};
+  std::vector<double> latency_partial;  // one slot per shard, merged serially
+
+  double latency_sum() const {
+    double total = 0.0;
+    for (const double v : latency_partial) total += v;
+    return total;
+  }
+};
+
+}  // namespace qdc::congest

@@ -1,0 +1,21 @@
+// FIXTURE: two shared-write findings; the baseline suppresses exactly one
+// (the fingerprint is line-independent, so the suppression survives edits).
+#include <cstddef>
+
+namespace qdc::quantum {
+
+template <typename Body>
+void for_shards(std::size_t items, Body body);
+
+double tally(std::size_t items) {
+  double total = 0.0;
+  long hits = 0;
+  for_shards(items, [&](int s, std::size_t begin, std::size_t end) {
+    (void)s;
+    total += static_cast<double>(end - begin);
+    hits += 1;
+  });
+  return total + static_cast<double>(hits);
+}
+
+}  // namespace qdc::quantum

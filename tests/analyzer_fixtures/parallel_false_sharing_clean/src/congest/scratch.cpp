@@ -1,0 +1,27 @@
+// FIXTURE (clean): the per-shard slot struct is cache-line aligned, so
+// adjacent shards never contend.
+#include <cstddef>
+#include <vector>
+
+namespace qdc::congest {
+
+struct alignas(64) ShardTotals {
+  long sends = 0;
+  long receives = 0;
+};
+
+class Engine {
+ public:
+  void tally(int shard, long sends, long receives);
+
+ private:
+  std::vector<ShardTotals> shard_totals_;
+};
+
+void Engine::tally(int shard, long sends, long receives) {
+  auto& slot = shard_totals_[static_cast<std::size_t>(shard)];
+  slot.sends += sends;
+  slot.receives += receives;
+}
+
+}  // namespace qdc::congest

@@ -1,0 +1,47 @@
+// FIXTURE: closures passed to parallel entry points write shared state
+// without a shard-indexed slot — a local accumulator, a shared counter,
+// and a by-reference-captured member.
+#include <cstddef>
+#include <vector>
+
+namespace qdc::quantum {
+
+struct Plan {};
+
+template <typename Pool, typename Body>
+void run_sharded(Pool& pool, const Plan& plan, Body body);
+
+template <typename Body>
+void for_shards(std::size_t items, Body body);
+
+template <typename Pool>
+double reduce(Pool& pool, const Plan& plan,
+              const std::vector<double>& values) {
+  double total = 0.0;
+  std::size_t done = 0;
+  run_sharded(pool, plan, [&](int shard, std::size_t begin, std::size_t end) {
+    (void)shard;
+    for (std::size_t k = begin; k < end; ++k) {
+      total += values[k];
+    }
+    done++;
+  });
+  return total + static_cast<double>(done);
+}
+
+class Norm {
+ public:
+  void accumulate(int items);
+
+ private:
+  double sum_ = 0.0;
+};
+
+void Norm::accumulate(int items) {
+  for_shards(static_cast<std::size_t>(items),
+             [this](int s, std::size_t begin, std::size_t end) {
+               sum_ += static_cast<double>(end - begin) * s;
+             });
+}
+
+}  // namespace qdc::quantum

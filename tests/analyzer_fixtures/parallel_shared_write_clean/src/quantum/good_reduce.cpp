@@ -1,0 +1,33 @@
+// FIXTURE (clean): the blessed partial-sum-slot idiom — every shard writes
+// its own slot indexed by the shard number, the merge happens serially in
+// shard order, and the shared counter is an integer atomic.
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+namespace qdc::quantum {
+
+struct Plan {};
+
+template <typename Pool, typename Body>
+void run_sharded(Pool& pool, const Plan& plan, Body body);
+
+template <typename Pool>
+double reduce(Pool& pool, const Plan& plan,
+              const std::vector<double>& values, int shard_count) {
+  std::vector<double> partial(static_cast<std::size_t>(shard_count), 0.0);
+  std::atomic<long> done{0};
+  run_sharded(pool, plan, [&](int s, std::size_t begin, std::size_t end) {
+    double sum = 0.0;
+    for (std::size_t k = begin; k < end; ++k) {
+      sum += values[k];
+    }
+    partial[static_cast<std::size_t>(s)] = sum;
+    ++done;
+  });
+  double total = 0.0;
+  for (const double v : partial) total += v;
+  return total + static_cast<double>(done.load());
+}
+
+}  // namespace qdc::quantum

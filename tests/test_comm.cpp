@@ -10,6 +10,8 @@
 #include "comm/lemma32.hpp"
 #include "comm/problems.hpp"
 #include "comm/server_model.hpp"
+#include "util/bitstring.hpp"
+#include "util/rng.hpp"
 
 namespace qdc::comm {
 namespace {

@@ -6,9 +6,13 @@
 #include <gtest/gtest.h>
 
 #include "congest/network.hpp"
+#include "congest/stats.hpp"
 #include "congest/testing.hpp"
 #include "core/lb_network.hpp"
 #include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "util/expect.hpp"
+#include "util/rng.hpp"
 
 namespace qdc::congest {
 namespace {

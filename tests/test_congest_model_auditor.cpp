@@ -5,8 +5,11 @@
 
 #include "congest/model_auditor.hpp"
 #include "congest/network.hpp"
+#include "congest/stats.hpp"
 #include "congest/testing.hpp"
 #include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "util/expect.hpp"
 
 namespace qdc::congest {
 namespace {

@@ -3,7 +3,11 @@
 #include <gtest/gtest.h>
 
 #include "congest/network.hpp"
+#include "congest/stats.hpp"
 #include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "util/expect.hpp"
+#include "util/rng.hpp"
 
 namespace qdc::congest {
 namespace {

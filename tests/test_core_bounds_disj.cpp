@@ -5,7 +5,9 @@
 #include "comm/problems.hpp"
 #include "core/bounds.hpp"
 #include "core/disjointness.hpp"
+#include "util/bitstring.hpp"
 #include "util/expect.hpp"
+#include "util/rng.hpp"
 
 namespace qdc::core {
 namespace {

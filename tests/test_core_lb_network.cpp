@@ -6,6 +6,9 @@
 #include "core/lb_network.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "util/expect.hpp"
+#include "util/rng.hpp"
 
 namespace qdc::core {
 namespace {

@@ -4,8 +4,11 @@
 // charged (Appendix D's case analysis).
 #include <gtest/gtest.h>
 
+#include "congest/network.hpp"
+#include "core/lb_network.hpp"
 #include "core/simulation.hpp"
 #include "dist/tree.hpp"
+#include "util/expect.hpp"
 
 namespace qdc::core {
 namespace {

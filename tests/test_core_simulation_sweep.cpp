@@ -4,6 +4,8 @@
 // Appendix D's case analysis, checked on real message traces.
 #include <gtest/gtest.h>
 
+#include "congest/network.hpp"
+#include "core/lb_network.hpp"
 #include "core/simulation.hpp"
 #include "dist/tree.hpp"
 #include "util/rng.hpp"

@@ -1,8 +1,11 @@
 // Tests for leader election and the census.
 #include <gtest/gtest.h>
 
+#include "congest/network.hpp"
 #include "dist/leader.hpp"
 #include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
 
 namespace qdc::dist {
 namespace {

@@ -5,10 +5,15 @@
 
 #include <set>
 
+#include "congest/network.hpp"
 #include "dist/mst.hpp"
+#include "dist/tree.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
+#include "graph/graph.hpp"
 #include "graph/mst.hpp"
+#include "util/expect.hpp"
+#include "util/rng.hpp"
 
 namespace qdc::dist {
 namespace {

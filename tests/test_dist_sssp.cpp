@@ -2,9 +2,13 @@
 // the sampling min-cut estimator.
 #include <gtest/gtest.h>
 
+#include "congest/network.hpp"
 #include "dist/sssp.hpp"
+#include "dist/tree.hpp"
 #include "graph/generators.hpp"
-#include "graph/mincut.hpp"
+#include "graph/graph.hpp"
+#include "graph/shortest_paths.hpp"
+#include "util/rng.hpp"
 
 namespace qdc::dist {
 namespace {

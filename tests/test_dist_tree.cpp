@@ -1,9 +1,13 @@
 // Tests for distributed BFS-tree construction, aggregation and broadcast.
 #include <gtest/gtest.h>
 
+#include "congest/network.hpp"
 #include "dist/tree.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "util/expect.hpp"
+#include "util/rng.hpp"
 
 namespace qdc::dist {
 namespace {

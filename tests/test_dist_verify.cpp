@@ -3,10 +3,15 @@
 // the distributed verifiers decide exactly the properties of Section 2.2).
 #include <gtest/gtest.h>
 
+#include "congest/network.hpp"
+#include "dist/tree.hpp"
 #include "dist/verify.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
+#include "graph/graph.hpp"
 #include "graph/mst.hpp"
+#include "util/expect.hpp"
+#include "util/rng.hpp"
 
 namespace qdc::dist {
 namespace {

@@ -6,6 +6,9 @@
 #include "comm/problems.hpp"
 #include "gadgets/ham_gadgets.hpp"
 #include "graph/algorithms.hpp"
+#include "graph/graph.hpp"
+#include "util/bitstring.hpp"
+#include "util/rng.hpp"
 
 #include <numeric>
 

@@ -6,6 +6,8 @@
 
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "util/expect.hpp"
 #include "util/rng.hpp"
 
 namespace qdc::graph {

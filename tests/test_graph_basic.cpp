@@ -3,6 +3,7 @@
 
 #include "graph/dsu.hpp"
 #include "graph/graph.hpp"
+#include "util/expect.hpp"
 
 namespace qdc::graph {
 namespace {

@@ -6,9 +6,11 @@
 
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
+#include "graph/graph.hpp"
 #include "graph/mincut.hpp"
 #include "graph/mst.hpp"
 #include "graph/shortest_paths.hpp"
+#include "util/rng.hpp"
 
 namespace qdc::graph {
 namespace {

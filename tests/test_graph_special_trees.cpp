@@ -3,9 +3,12 @@
 
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
+#include "graph/graph.hpp"
 #include "graph/mst.hpp"
 #include "graph/shortest_paths.hpp"
 #include "graph/special_trees.hpp"
+#include "util/expect.hpp"
+#include "util/rng.hpp"
 
 namespace qdc::graph {
 namespace {

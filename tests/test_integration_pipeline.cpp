@@ -6,11 +6,16 @@
 #include <gtest/gtest.h>
 
 #include "comm/problems.hpp"
+#include "congest/network.hpp"
 #include "core/lb_network.hpp"
+#include "dist/tree.hpp"
 #include "dist/verify.hpp"
 #include "gadgets/ham_gadgets.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "util/bitstring.hpp"
+#include "util/rng.hpp"
 
 namespace qdc {
 namespace {

@@ -7,6 +7,7 @@
 
 #include "nonlocal/xor_game.hpp"
 #include "util/expect.hpp"
+#include "util/rng.hpp"
 
 namespace qdc::nonlocal {
 namespace {

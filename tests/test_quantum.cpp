@@ -12,6 +12,7 @@
 #include "quantum/state.hpp"
 #include "quantum/testing.hpp"
 #include "util/expect.hpp"
+#include "util/rng.hpp"
 
 namespace qdc::quantum {
 namespace {

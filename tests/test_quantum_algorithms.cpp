@@ -6,6 +6,7 @@
 
 #include "quantum/algorithms.hpp"
 #include "quantum/gates.hpp"
+#include "quantum/state.hpp"
 #include "util/expect.hpp"
 #include "util/rng.hpp"
 

@@ -17,6 +17,7 @@
 #include "quantum/grover.hpp"
 #include "quantum/protocols.hpp"
 #include "quantum/state.hpp"
+#include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
 namespace qdc::quantum {

@@ -11,8 +11,10 @@
 #include <vector>
 
 #include "congest/network.hpp"
+#include "congest/stats.hpp"
 #include "graph/generators.hpp"
 #include "util/expect.hpp"
+#include "util/rng.hpp"
 #include "util/sweep.hpp"
 
 namespace qdc::util {

@@ -6,6 +6,7 @@
 // CMake target, add a firing + clean fixture under tests/analyzer_fixtures.
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -23,19 +24,38 @@ struct Diagnostic {
   /// Baseline key. Deliberately excludes the line number so suppressions
   /// survive unrelated edits to the file.
   std::string fingerprint() const { return rule + "|" + file + "|" + detail; }
+
+  /// The "family" half of the rule id ("layering" of "layering/cycle").
+  std::string family() const { return rule.substr(0, rule.find('/')); }
 };
 
 /// Sort by (file, line, rule, detail) for deterministic reports.
 void sort_diagnostics(std::vector<Diagnostic>& diags);
 
 struct AnalysisContext {
+  explicit AnalysisContext(const std::vector<SourceFile>& corpus)
+      : files(&corpus) {
+    for (const SourceFile& f : corpus) index_.emplace(f.rel, &f);
+  }
+
   const std::vector<SourceFile>* files = nullptr;
 
+  /// rel path -> file, via an index built once at construction (the corpus
+  /// is immutable for the lifetime of a run).
   const SourceFile* find(const std::string& rel) const {
-    for (const auto& f : *files)
-      if (f.rel == rel) return &f;
-    return nullptr;
+    auto it = index_.find(rel);
+    return it == index_.end() ? nullptr : it->second;
   }
+
+ private:
+  std::map<std::string, const SourceFile*> index_;
+};
+
+/// Static metadata for one rule, surfaced in the SARIF-lite report so the
+/// CI artifact is navigable without the source of the check.
+struct RuleMeta {
+  const char* id;       ///< "family/rule"
+  const char* summary;  ///< one line: what firing means
 };
 
 class Check {
@@ -43,6 +63,7 @@ class Check {
   virtual ~Check() = default;
   virtual const char* name() const = 0;         ///< family name
   virtual const char* description() const = 0;  ///< one line, for --list-checks
+  virtual std::vector<RuleMeta> rules() const = 0;  ///< all rule ids + summaries
   virtual void run(const AnalysisContext& ctx,
                    std::vector<Diagnostic>& out) const = 0;
 };

@@ -10,15 +10,14 @@
 //       any escape breaks the bit-determinism the engine guarantees.
 //   determinism/fp-accumulation      float/double compound accumulation
 //       inside a lambda handed to the round engine or thread pool
-//       (dispatch/submit/parallel_for), or any std::atomic<float|double>.
-//       Cross-shard FP addition is order-sensitive; merges must happen in
-//       shard-index order outside the parallel region.
+//       (dispatch/submit/parallel_for). Cross-shard FP addition is
+//       order-sensitive; merges must happen in shard-index order outside
+//       the parallel region. (std::atomic<float|double> moved to
+//       parallel/atomic-float.)
 //   determinism/wall-clock           wall-clock or time-seeded calls in
 //       src/ (chrono clocks, time(), random_device, ...). All randomness
 //       and timing must flow through seeded Rng / RunStats.
 
-#include <array>
-#include <cctype>
 #include <set>
 #include <string>
 #include <vector>
@@ -27,57 +26,6 @@
 
 namespace qdc::analyze {
 namespace {
-
-bool is_ident(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/// Whole-token occurrences of `needle` in `hay`, starting at `from`.
-std::size_t find_token(const std::string& hay, const std::string& needle,
-                       std::size_t from = 0) {
-  while (true) {
-    std::size_t pos = hay.find(needle, from);
-    if (pos == std::string::npos) return std::string::npos;
-    bool left_ok = pos == 0 || !is_ident(hay[pos - 1]);
-    std::size_t end = pos + needle.size();
-    bool right_ok = end >= hay.size() || !is_ident(hay[end]);
-    if (left_ok && right_ok) return pos;
-    from = pos + 1;
-  }
-}
-
-/// Offset just past the bracket that matches the opener at `open`.
-std::size_t match_bracket(const std::string& s, std::size_t open, char lhs,
-                          char rhs) {
-  int depth = 0;
-  for (std::size_t i = open; i < s.size(); ++i) {
-    if (s[i] == lhs) ++depth;
-    if (s[i] == rhs && --depth == 0) return i + 1;
-  }
-  return std::string::npos;
-}
-
-std::size_t skip_space(const std::string& s, std::size_t i) {
-  while (i < s.size() &&
-         std::isspace(static_cast<unsigned char>(s[i])) != 0)
-    ++i;
-  return i;
-}
-
-std::string read_ident(const std::string& s, std::size_t i) {
-  std::size_t j = i;
-  while (j < s.size() && is_ident(s[j])) ++j;
-  return s.substr(i, j - i);
-}
-
-/// Identifier ending right before position `end` (skipping trailing space).
-std::string ident_before(const std::string& s, std::size_t end) {
-  while (end > 0 && std::isspace(static_cast<unsigned char>(s[end - 1])) != 0)
-    --end;
-  std::size_t begin = end;
-  while (begin > 0 && is_ident(s[begin - 1])) --begin;
-  return s.substr(begin, end - begin);
-}
 
 /// Names of variables declared with an unordered container type (or an
 /// alias of one) anywhere in the file, plus the aliases themselves.
@@ -113,7 +61,7 @@ void collect_unordered_names(const SourceFile& f, std::set<std::string>& vars,
         i = skip_space(code, i);
         while (i < code.size() && (code[i] == '&' || code[i] == '*'))
           i = skip_space(code, i + 1);
-        std::string var = read_ident(code, i);
+        std::string var = read_ident_at(code, i);
         if (!var.empty()) vars.insert(var);
         pos = i;
       }
@@ -132,6 +80,19 @@ class DeterminismCheck final : public Check {
   const char* description() const override {
     return "unordered iteration escapes, cross-shard FP accumulation, "
            "wall-clock calls";
+  }
+  std::vector<RuleMeta> rules() const override {
+    return {
+        {"determinism/unordered-iteration",
+         "iteration order of a std::unordered_* container escapes into "
+         "engine-visible state"},
+        {"determinism/fp-accumulation",
+         "float/double compound accumulation inside a parallel-region "
+         "lambda: cross-shard FP addition is order-sensitive"},
+        {"determinism/wall-clock",
+         "wall-clock / nondeterministic source in library code; runs must "
+         "be a pure function of (input, seed)"},
+    };
   }
 
   void run(const AnalysisContext& ctx,
@@ -175,25 +136,13 @@ class DeterminismCheck final : public Check {
 
   static void check_fp_accumulation(const SourceFile& f,
                                     std::vector<Diagnostic>& out) {
-    for (const char* atomic_fp :
-         {"std::atomic<double>", "std::atomic<float>"}) {
-      std::size_t pos = f.code.find(atomic_fp);
-      if (pos != std::string::npos) {
-        out.push_back({"determinism/fp-accumulation", f.rel, f.line_of(pos),
-                       "atomic-float",
-                       std::string(atomic_fp) + ": atomic FP accumulation is "
-                       "scheduling-order-sensitive; tally per shard and merge "
-                       "in shard-index order"});
-      }
-    }
-
     // float/double vars declared anywhere in this file.
     std::set<std::string> fp_vars;
     for (const char* ty : {"double", "float"}) {
       std::size_t pos = 0;
       while ((pos = find_token(f.code, ty, pos)) != std::string::npos) {
         std::size_t i = skip_space(f.code, pos + std::string(ty).size());
-        std::string var = read_ident(f.code, i);
+        std::string var = read_ident_at(f.code, i);
         if (!var.empty()) fp_vars.insert(var);
         pos = i == pos ? pos + 1 : i;
       }
@@ -304,7 +253,7 @@ class DeterminismCheck final : public Check {
       for (const char* method : {".begin()", ".cbegin()"}) {
         std::size_t at = code.find(var + method);
         if (at != std::string::npos &&
-            (at == 0 || !is_ident(code[at - 1]))) {
+            (at == 0 || !is_ident_char(code[at - 1]))) {
           out.push_back(
               {"determinism/unordered-iteration", f.rel, f.line_of(at), var,
                "'" + var + method + "' exposes unordered iteration order "

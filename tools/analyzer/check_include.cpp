@@ -14,12 +14,14 @@
 // A .cpp file is credited with its own header's direct includes (the
 // repo convention keeps interface dependencies in the header).
 //
-// Symbol extraction is heuristic: names introduced at namespace scope by
-// class/struct/enum/union/concept, alias and typedef declarations,
-// using-declarations, #define, free functions, and namespace-scope
-// constants. Opaque braces (function bodies, class bodies) are skipped.
+// Include paths resolve against src/ (the compile include dir) first, then
+// against the including file's own directory — bench/ files name
+// "harness.hpp" same-directory style.
+//
+// Symbol extraction lives in the shared per-file symbol table
+// (SourceFile::symbols().namespace_decls + SourceFile::defines); see
+// source.hpp for the heuristics.
 
-#include <cctype>
 #include <map>
 #include <set>
 #include <string>
@@ -30,157 +32,17 @@
 namespace qdc::analyze {
 namespace {
 
-struct Token {
-  std::string text;
-  std::size_t offset = 0;
-  bool ident = false;
-};
-
-bool ident_start(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-std::vector<Token> tokenize(const std::string& code) {
-  std::vector<Token> toks;
-  std::size_t i = 0;
-  bool line_is_directive = false;
-  bool at_line_start = true;
-  while (i < code.size()) {
-    char c = code[i];
-    if (c == '\n') {
-      line_is_directive = false;
-      at_line_start = true;
-      ++i;
-      continue;
-    }
-    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
-      ++i;
-      continue;
-    }
-    if (at_line_start && c == '#') line_is_directive = true;
-    at_line_start = false;
-    if (line_is_directive) {  // directives are handled by the lexer already
-      ++i;
-      continue;
-    }
-    if (ident_start(c)) {
-      std::size_t j = i;
-      while (j < code.size() && ident_char(code[j])) ++j;
-      toks.push_back({code.substr(i, j - i), i, true});
-      i = j;
-    } else if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
-      while (i < code.size() && ident_char(code[i])) ++i;
-    } else {
-      toks.push_back({std::string(1, c), i, false});
-      ++i;
-    }
+/// Rel path of the corpus file an include directive lands on, or "".
+std::string resolve_include(const AnalysisContext& ctx, const std::string& rel,
+                            const std::string& path) {
+  std::string target = "src/" + path;
+  if (ctx.find(target) != nullptr) return target;
+  std::size_t slash = rel.rfind('/');
+  if (slash != std::string::npos) {
+    target = rel.substr(0, slash + 1) + path;
+    if (ctx.find(target) != nullptr) return target;
   }
-  return toks;
-}
-
-bool is_decl_keyword(const std::string& t) {
-  return t == "class" || t == "struct" || t == "enum" || t == "union" ||
-         t == "concept";
-}
-
-/// Names a file introduces at namespace scope (heuristic; see file header).
-std::set<std::string> declared_symbols(const SourceFile& f) {
-  std::set<std::string> out(f.defines.begin(), f.defines.end());
-  std::vector<Token> toks = tokenize(f.code);
-  // Brace stack: true = transparent (namespace/extern), false = opaque.
-  std::vector<bool> braces;
-  auto transparent = [&] {
-    for (bool b : braces)
-      if (!b) return false;
-    return true;
-  };
-  bool next_brace_transparent = false;
-  int paren_depth = 0;  // function parameters are not namespace-scope names
-  for (std::size_t i = 0; i < toks.size(); ++i) {
-    const std::string& t = toks[i].text;
-    if (t == "(") {
-      ++paren_depth;
-      continue;
-    }
-    if (t == ")") {
-      if (paren_depth > 0) --paren_depth;
-      continue;
-    }
-    if (t == "{") {
-      braces.push_back(next_brace_transparent);
-      next_brace_transparent = false;
-      continue;
-    }
-    if (t == "}") {
-      if (!braces.empty()) braces.pop_back();
-      continue;
-    }
-    if (!transparent() || paren_depth > 0) continue;
-    if (t == "namespace" || t == "extern") {
-      next_brace_transparent = true;
-      continue;
-    }
-    if (is_decl_keyword(t)) {
-      std::size_t j = i + 1;
-      if (j < toks.size() &&
-          (toks[j].text == "class" || toks[j].text == "struct"))
-        ++j;  // enum class / enum struct
-      while (j < toks.size() && toks[j].text == "[") {  // [[attributes]]
-        while (j < toks.size() && toks[j].text != "]") ++j;
-        ++j;
-      }
-      if (j < toks.size() && toks[j].ident) out.insert(toks[j].text);
-      continue;
-    }
-    if (t == "using") {
-      // using Alias = ...;   |   using ns::Name;   (skip using namespace)
-      if (i + 1 < toks.size() && toks[i + 1].text == "namespace") continue;
-      std::string last_ident;
-      std::size_t j = i + 1;
-      for (; j < toks.size(); ++j) {
-        if (toks[j].text == "=" || toks[j].text == ";") break;
-        if (toks[j].ident) last_ident = toks[j].text;
-      }
-      if (!last_ident.empty()) out.insert(last_ident);
-      i = j;
-      continue;
-    }
-    if (t == "typedef") {
-      std::string last_ident;
-      std::size_t j = i + 1;
-      for (; j < toks.size() && toks[j].text != ";"; ++j)
-        if (toks[j].ident) last_ident = toks[j].text;
-      if (!last_ident.empty()) out.insert(last_ident);
-      i = j;
-      continue;
-    }
-    // Free function: identifier immediately followed by '(' — unless it is
-    // a qualified out-of-line definition (preceded by "::"), which declares
-    // nothing new.
-    if (toks[i].ident && i + 1 < toks.size() && toks[i + 1].text == "(") {
-      bool qualified = i >= 2 && toks[i - 1].text == ":" &&
-                       toks[i - 2].text == ":";
-      bool preceded_by_type = i > 0 && (toks[i - 1].ident ||
-                                        toks[i - 1].text == ">" ||
-                                        toks[i - 1].text == "&" ||
-                                        toks[i - 1].text == "*");
-      if (!qualified && preceded_by_type) out.insert(t);
-      continue;
-    }
-    // Namespace-scope constant / variable: identifier followed by '=' or
-    // ';' with a type-ish token before it.
-    if (toks[i].ident && i > 0 && i + 1 < toks.size() &&
-        (toks[i + 1].text == "=" || toks[i + 1].text == ";") &&
-        (toks[i - 1].ident || toks[i - 1].text == ">" ||
-         toks[i - 1].text == "&" || toks[i - 1].text == "*")) {
-      out.insert(t);
-      continue;
-    }
-  }
-  return out;
+  return "";
 }
 
 class IncludeHygieneCheck final : public Check {
@@ -189,6 +51,16 @@ class IncludeHygieneCheck final : public Check {
   const char* description() const override {
     return "unused direct includes; symbols reached only transitively";
   }
+  std::vector<RuleMeta> rules() const override {
+    return {
+        {"include/unused",
+         "direct project include whose declared symbols the file never "
+         "mentions"},
+        {"include/transitive",
+         "symbol used here is declared in a header reached only through "
+         "transitive includes"},
+    };
+  }
 
   void run(const AnalysisContext& ctx,
            std::vector<Diagnostic>& out) const override {
@@ -196,7 +68,9 @@ class IncludeHygieneCheck final : public Check {
     std::map<std::string, std::set<std::string>> symbols;
     std::map<std::string, int> header_decl_count;
     for (const SourceFile& f : *ctx.files) {
-      symbols[f.rel] = declared_symbols(f);
+      std::set<std::string> syms = f.symbols().namespace_decls;
+      syms.insert(f.defines.begin(), f.defines.end());
+      symbols[f.rel] = std::move(syms);
       if (f.is_header)
         for (const std::string& s : symbols[f.rel]) ++header_decl_count[s];
     }
@@ -209,9 +83,8 @@ class IncludeHygieneCheck final : public Check {
       std::set<std::string> direct;  // rel paths of directly-named headers
       for (const Include& inc : f.includes) {
         if (inc.angled) continue;
-        std::string target = "src/" + inc.path;
-        const SourceFile* h = ctx.find(target);
-        if (h == nullptr) continue;
+        std::string target = resolve_include(ctx, f.rel, inc.path);
+        if (target.empty()) continue;
         direct.insert(target);
 
         if (inc.cond_depth > 0) continue;       // cannot evaluate #if
@@ -238,9 +111,11 @@ class IncludeHygieneCheck final : public Check {
       if (!own_header.empty()) {
         if (const SourceFile* h = ctx.find(own_header)) {
           credited.insert(own_header);
-          for (const Include& inc : h->includes)
-            if (!inc.angled && ctx.find("src/" + inc.path) != nullptr)
-              credited.insert("src/" + inc.path);
+          for (const Include& inc : h->includes) {
+            if (inc.angled) continue;
+            std::string t = resolve_include(ctx, h->rel, inc.path);
+            if (!t.empty()) credited.insert(t);
+          }
         }
       }
 
@@ -252,9 +127,11 @@ class IncludeHygieneCheck final : public Check {
         queue.pop_back();
         if (!reachable.insert(cur).second) continue;
         if (const SourceFile* h = ctx.find(cur))
-          for (const Include& inc : h->includes)
-            if (!inc.angled && ctx.find("src/" + inc.path) != nullptr)
-              queue.push_back("src/" + inc.path);
+          for (const Include& inc : h->includes) {
+            if (inc.angled) continue;
+            std::string t = resolve_include(ctx, h->rel, inc.path);
+            if (!t.empty()) queue.push_back(t);
+          }
       }
 
       // Symbols available through credited headers or the file itself.
@@ -275,7 +152,8 @@ class IncludeHygieneCheck final : public Check {
         for (std::size_t i = 0; i < hits.size() && i < 3; ++i)
           shown += (i != 0 ? ", " : "") + hits[i];
         if (hits.size() > 3) shown += ", ...";
-        std::string path = h.substr(4);  // drop "src/"
+        std::string path =
+            h.compare(0, 4, "src/") == 0 ? h.substr(4) : h;  // as written
         out.push_back({"include/transitive", f.rel,
                        f.first_use_line(hits.front()), path,
                        "uses " + shown + " declared in \"" + path + "\" but "

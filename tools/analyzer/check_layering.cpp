@@ -55,6 +55,18 @@ class LayeringCheck final : public Check {
   const char* description() const override {
     return "module dependency DAG, cycles, and the testing-header firewall";
   }
+  std::vector<RuleMeta> rules() const override {
+    return {
+        {"layering/illegal-edge",
+         "#include crosses a module edge the dependency DAG forbids"},
+        {"layering/cycle", "derived module graph contains a dependency cycle"},
+        {"layering/unknown-module",
+         "src/ subdirectory missing from the layering DAG table"},
+        {"layering/testing-header",
+         "<module>/testing.hpp included from src/ outside its own "
+         "implementation file"},
+    };
+  }
 
   void run(const AnalysisContext& ctx,
            std::vector<Diagnostic>& out) const override {

@@ -1,0 +1,450 @@
+// Parallel-safety check: lambda-capture analysis for every closure handed
+// to a parallel execution entry point (util::ThreadPool::run via a pool
+// expression, util::run_sharded, StateVector::for_shards, Network::dispatch,
+// SweepRunner::run/try_run, submit/parallel_for). The engine's determinism
+// contract says a shard may write only shard-owned state — typically a slot
+// indexed by the shard/job number, merged serially in shard order
+// (util/shard.hpp documents the idiom). These rules enforce that contract
+// at analysis time instead of sampling it at runtime.
+//
+// Rules:
+//   parallel/shared-write-no-slot  a closure passed to a parallel entry
+//       point writes (=, +=, ++, push_back, ...) through a by-reference
+//       capture or a member, and the write target is not indexed by a
+//       shard-local value (a closure parameter or a body-local variable).
+//       Such writes race and make results depend on thread interleaving.
+//   parallel/atomic-float          any std::atomic<float|double>: atomic FP
+//       accumulation commits in scheduling order, so totals differ run to
+//       run. (Moved here from determinism/fp-accumulation; atomics are a
+//       parallelism construct.) Integer atomics pass — their final value is
+//       order-free.
+//   parallel/false-sharing         a per-shard slot container (a
+//       std::vector/std::array of a corpus-declared struct, either named
+//       *shard* or written via a shard-indexed slot inside a parallel
+//       closure) whose element struct has no alignas annotation or padding
+//       member: adjacent slots share a cache line and the shards ping-pong
+//       it (ROADMAP open item 1).
+//
+// All rules skip extras (files outside src/), mirroring determinism/.
+
+#include <cctype>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "check.hpp"
+
+namespace qdc::analyze {
+namespace {
+
+/// A write's left-hand side: the chain base identifier plus every subscript
+/// expression crossed on the way (`slots[s].sum` -> base "slots", index "s").
+struct WriteTarget {
+  std::string base;
+  std::string index_expr;
+  bool valid = false;
+};
+
+/// Parse a chain ending (exclusive) at `end`: ident, ident[expr],
+/// ident.field, ident->field[expr].field, ...
+WriteTarget parse_chain_back(const std::string& s, std::size_t end) {
+  WriteTarget t;
+  while (true) {
+    while (end > 0 &&
+           std::isspace(static_cast<unsigned char>(s[end - 1])) != 0)
+      --end;
+    if (end == 0) return t;
+    char c = s[end - 1];
+    if (c == ']') {
+      int depth = 0;
+      std::size_t i = end;
+      while (i > 0) {
+        --i;
+        if (s[i] == ']') ++depth;
+        if (s[i] == '[' && --depth == 0) break;
+      }
+      if (s[i] != '[') return t;
+      t.index_expr += s.substr(i + 1, end - 1 - (i + 1)) + " ";
+      end = i;
+      continue;
+    }
+    if (is_ident_char(c)) {
+      std::string name = ident_before(s, end);
+      if (name.empty()) return t;
+      std::size_t start = end - name.size();
+      std::size_t j = start;
+      while (j > 0 &&
+             std::isspace(static_cast<unsigned char>(s[j - 1])) != 0)
+        --j;
+      if (j > 0 && s[j - 1] == '.') {
+        end = j - 1;
+        continue;
+      }
+      if (j > 1 && s[j - 1] == '>' && s[j - 2] == '-') {
+        end = j - 2;
+        continue;
+      }
+      t.base = name;
+      t.valid = true;
+      return t;
+    }
+    return t;  // ')' or operator: a call result or something unanalyzable
+  }
+}
+
+/// Parse a chain starting at `i` (for prefix ++/--).
+WriteTarget parse_chain_fwd(const std::string& s, std::size_t i) {
+  WriteTarget t;
+  i = skip_space(s, i);
+  std::string base = read_ident_at(s, i);
+  if (base.empty()) return t;
+  t.base = base;
+  t.valid = true;
+  i += base.size();
+  while (i < s.size()) {
+    i = skip_space(s, i);
+    if (s[i] == '[') {
+      std::size_t close = match_bracket(s, i, '[', ']');
+      if (close == std::string::npos) break;
+      t.index_expr += s.substr(i + 1, close - 1 - (i + 1)) + " ";
+      i = close;
+    } else if (s[i] == '.') {
+      ++i;
+      i += read_ident_at(s, skip_space(s, i)).size();
+    } else if (s[i] == '-' && i + 1 < s.size() && s[i + 1] == '>') {
+      i += 2;
+      i += read_ident_at(s, skip_space(s, i)).size();
+    } else {
+      break;
+    }
+  }
+  return t;
+}
+
+/// Container mutators that count as writes when called on shared state.
+const char* kMutators[] = {"push_back", "emplace_back", "insert", "emplace",
+                           "erase",     "clear",        "resize", "assign",
+                           "append"};
+
+/// Parallel entry points whose closure arguments get capture-analyzed.
+const char* kEntryTokens[] = {"run_sharded",  "for_shards", "dispatch",
+                              "submit",       "parallel_for", "try_run"};
+
+/// `std::vector<T> name` / `std::array<T, N> name`: element type of the
+/// container variable `var` declared in `f`, or "" when not found / not a
+/// plain (single-identifier) element type.
+std::string element_type_of(const SourceFile& f, const std::string& var) {
+  for (const char* tmpl : {"std::vector<", "std::array<"}) {
+    const std::string needle(tmpl);
+    std::size_t pos = 0;
+    while ((pos = f.code.find(needle, pos)) != std::string::npos) {
+      std::size_t open = pos + needle.size() - 1;
+      std::size_t close = match_bracket(f.code, open, '<', '>');
+      pos = open + 1;
+      if (close == std::string::npos) continue;
+      std::string inner = f.code.substr(open + 1, close - 1 - (open + 1));
+      std::size_t comma = inner.find(',');  // std::array<T, N>
+      if (comma != std::string::npos) inner = inner.substr(0, comma);
+      std::size_t b = skip_space(inner, 0);
+      std::string elem = read_ident_at(inner, b);
+      if (elem.empty() || skip_space(inner, b + elem.size()) != inner.size())
+        continue;  // qualified / template element type: out of scope
+      std::size_t after = skip_space(f.code, close);
+      while (after < f.code.size() && f.code[after] == '&')
+        after = skip_space(f.code, after + 1);
+      if (read_ident_at(f.code, after) == var) return elem;
+    }
+  }
+  return "";
+}
+
+/// Locates the definition of struct/class `type` in the corpus. Returns the
+/// defining file and fills `def_pos` (offset of the name token) or nullptr.
+const SourceFile* find_struct_def(const AnalysisContext& ctx,
+                                  const std::string& type,
+                                  std::size_t* def_pos) {
+  for (const SourceFile& g : *ctx.files) {
+    std::size_t pos = 0;
+    while ((pos = find_token(g.code, type, pos)) != std::string::npos) {
+      std::size_t seg_begin = pos > 80 ? pos - 80 : 0;
+      std::string before = g.code.substr(seg_begin, pos - seg_begin);
+      bool keyworded = find_token(before, "struct") != std::string::npos ||
+                       find_token(before, "class") != std::string::npos;
+      std::size_t after = skip_space(g.code, pos + type.size());
+      bool defines = after < g.code.size() &&
+                     (g.code[after] == '{' || g.code[after] == ':');
+      if (keyworded && defines) {
+        *def_pos = pos;
+        return &g;
+      }
+      pos += type.size();
+    }
+  }
+  return nullptr;
+}
+
+/// True when the struct definition at (file, name offset) carries an
+/// alignas annotation or an explicit padding member.
+bool struct_is_padded(const SourceFile& f, std::size_t name_pos) {
+  std::size_t seg_begin = name_pos > 80 ? name_pos - 80 : 0;
+  std::string head = f.code.substr(seg_begin, name_pos - seg_begin);
+  if (find_token(head, "alignas") != std::string::npos) return true;
+  std::size_t brace = f.code.find('{', name_pos);
+  if (brace == std::string::npos) return false;
+  std::size_t close = match_bracket(f.code, brace, '{', '}');
+  if (close == std::string::npos) return false;
+  std::string body = f.code.substr(brace, close - brace);
+  return find_token(body, "alignas") != std::string::npos ||
+         body.find("pad") != std::string::npos;
+}
+
+class ParallelCheck final : public Check {
+ public:
+  const char* name() const override { return "parallel"; }
+  const char* description() const override {
+    return "shared writes without a shard-indexed slot, atomic FP, "
+           "false-sharing-prone per-shard slot structs";
+  }
+  std::vector<RuleMeta> rules() const override {
+    return {
+        {"parallel/shared-write-no-slot",
+         "closure passed to a parallel entry point writes shared state "
+         "without a shard-/job-indexed slot"},
+        {"parallel/atomic-float",
+         "std::atomic<float|double>: atomic FP accumulation commits in "
+         "scheduling order"},
+        {"parallel/false-sharing",
+         "per-shard slot struct without alignas/padding: adjacent slots "
+         "share a cache line"},
+    };
+  }
+
+  void run(const AnalysisContext& ctx,
+           std::vector<Diagnostic>& out) const override {
+    for (const SourceFile& f : *ctx.files) {
+      if (f.module_name.empty()) continue;
+      check_atomic_float(f, out);
+      check_shard_named_slots(ctx, f, out);
+      check_parallel_closures(ctx, f, out);
+    }
+  }
+
+ private:
+  static void check_atomic_float(const SourceFile& f,
+                                 std::vector<Diagnostic>& out) {
+    for (const char* atomic_fp :
+         {"std::atomic<double>", "std::atomic<float>"}) {
+      std::size_t pos = f.code.find(atomic_fp);
+      if (pos != std::string::npos) {
+        out.push_back({"parallel/atomic-float", f.rel, f.line_of(pos),
+                       atomic_fp,
+                       std::string(atomic_fp) + ": atomic FP accumulation is "
+                       "scheduling-order-sensitive; tally per shard and merge "
+                       "in shard-index order"});
+      }
+    }
+  }
+
+  /// Declaration path of parallel/false-sharing: a vector/array variable
+  /// whose name mentions "shard" and whose element struct has no alignas.
+  static void check_shard_named_slots(const AnalysisContext& ctx,
+                                      const SourceFile& f,
+                                      std::vector<Diagnostic>& out) {
+    std::set<std::string> flagged;
+    for (const auto& [ident, line] : f.identifiers) {
+      std::string lower = ident;
+      for (char& c : lower)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      if (lower.find("shard") == std::string::npos) continue;
+      std::string elem = element_type_of(f, ident);
+      if (elem.empty() || !flagged.insert(elem).second) continue;
+      report_unpadded(ctx, f, line, ident, elem, out);
+    }
+  }
+
+  static void report_unpadded(const AnalysisContext& ctx, const SourceFile& f,
+                              int line, const std::string& var,
+                              const std::string& elem,
+                              std::vector<Diagnostic>& out) {
+    std::size_t def_pos = 0;
+    const SourceFile* def = find_struct_def(ctx, elem, &def_pos);
+    if (def == nullptr || struct_is_padded(*def, def_pos)) return;
+    out.push_back(
+        {"parallel/false-sharing", f.rel, line, var + ":" + elem,
+         "per-shard slots '" + var + "' have element struct '" + elem +
+             "' without alignas/padding; adjacent shard slots share a "
+             "cache line — annotate the struct with alignas(64)"});
+  }
+
+  void check_parallel_closures(const AnalysisContext& ctx,
+                               const SourceFile& f,
+                               std::vector<Diagnostic>& out) const {
+    const std::string& code = f.code;
+    const std::vector<LambdaInfo>& lambdas = f.symbols().lambdas;
+    std::set<std::string> reported;  // base names, for stable fingerprints
+
+    auto analyze_call = [&](std::size_t open, std::size_t close,
+                            const std::string& entry) {
+      for (std::size_t li = 0; li < lambdas.size(); ++li) {
+        const LambdaInfo& l = lambdas[li];
+        if (l.intro <= open || l.intro >= close || l.body_end > close)
+          continue;
+        // Skip closures nested inside another closure of the same call:
+        // the outer analysis owns the whole body region.
+        bool nested = false;
+        for (std::size_t lj = 0; lj < lambdas.size(); ++lj) {
+          const LambdaInfo& o = lambdas[lj];
+          if (lj != li && o.intro > open && o.intro < l.intro &&
+              l.intro < o.body_end && o.body_end <= close)
+            nested = true;
+        }
+        if (!nested)
+          analyze_closure(ctx, f, l, entry, reported, out);
+      }
+    };
+
+    for (const char* entry : kEntryTokens) {
+      std::size_t pos = 0;
+      while ((pos = find_token(code, entry, pos)) != std::string::npos) {
+        std::size_t open = skip_space(code, pos + std::string(entry).size());
+        pos = open;
+        if (open >= code.size() || code[open] != '(') continue;
+        std::size_t close = match_bracket(code, open, '(', ')');
+        if (close == std::string::npos) break;
+        analyze_call(open, close, entry);
+        pos = open + 1;
+      }
+    }
+    // Method-call form: `pool->run(...)`, `runner.run(...)`. Definitions
+    // (`SweepRunner::run`) are preceded by "::" and skipped.
+    std::size_t pos = 0;
+    while ((pos = find_token(code, "run", pos)) != std::string::npos) {
+      std::size_t at = pos;
+      pos += 3;
+      bool method = at > 0 && (code[at - 1] == '.' ||
+                               (at > 1 && code[at - 1] == '>' &&
+                                code[at - 2] == '-'));
+      if (!method) continue;
+      std::size_t open = skip_space(code, at + 3);
+      if (open >= code.size() || code[open] != '(') continue;
+      std::size_t close = match_bracket(code, open, '(', ')');
+      if (close == std::string::npos) break;
+      analyze_call(open, close, "run");
+    }
+  }
+
+  void analyze_closure(const AnalysisContext& ctx, const SourceFile& f,
+                       const LambdaInfo& l, const std::string& entry,
+                       std::set<std::string>& reported,
+                       std::vector<Diagnostic>& out) const {
+    const std::string& code = f.code;
+    std::size_t body_begin = l.body_begin + 1;
+    std::size_t body_end = l.body_end > 0 ? l.body_end - 1 : body_begin;
+
+    // Shard-local names: closure parameters, body-declared variables, and
+    // the parameters of any closure nested in this body (its locals are
+    // covered by the body-wide declaration scan).
+    std::set<std::string> locals = declared_vars_in(code, body_begin,
+                                                    body_end);
+    locals.insert(l.params.begin(), l.params.end());
+    for (const LambdaInfo& o : f.symbols().lambdas)
+      if (o.intro > l.body_begin && o.intro < l.body_end)
+        locals.insert(o.params.begin(), o.params.end());
+
+    auto consider = [&](std::size_t at, const WriteTarget& t,
+                        const char* what) {
+      if (!t.valid || locals.count(t.base) != 0) return;
+      if (f.symbols().atomic_vars.count(t.base) != 0) return;
+      bool member = !t.base.empty() && t.base.back() == '_';
+      bool shared =
+          member ? (l.captures_this || l.captures_default_ref ||
+                    l.captures_default_copy)
+                 : l.captures_by_ref(t.base);
+      if (!shared) return;
+      if (!t.index_expr.empty()) {
+        // A write through a slot indexed by a shard-local value is the
+        // blessed idiom — but if the slot element is an unpadded struct,
+        // adjacent shards still contend on the cache line.
+        std::vector<Token> idx = tokenize_code(t.index_expr);
+        for (const Token& tok : idx) {
+          if (tok.ident && locals.count(tok.text) != 0) {
+            std::string elem = element_type_of(f, t.base);
+            if (!elem.empty() && reported.insert("fs:" + t.base).second)
+              report_unpadded(ctx, f, f.line_of(at), t.base, elem, out);
+            return;
+          }
+        }
+      }
+      if (!reported.insert(t.base).second) return;
+      out.push_back(
+          {"parallel/shared-write-no-slot", f.rel, f.line_of(at), t.base,
+           std::string("closure passed to ") + entry + "() " + what +
+               " '" + t.base + "', which is not shard-local and not a "
+               "shard-indexed slot; give each shard its own slot (indexed "
+               "by the shard/job number) and merge in shard order"});
+    };
+
+    for (std::size_t i = body_begin; i < body_end; ++i) {
+      char c = code[i];
+      char prev = i > 0 ? code[i - 1] : '\0';
+      char next = i + 1 < body_end ? code[i + 1] : '\0';
+      if (c == '=' && next == '=') {
+        ++i;
+        continue;
+      }
+      if (c == '=') {
+        if (prev == '=' || prev == '!' || prev == '<' || prev == '>') {
+          // <= >= == != … except the shift-assigns <<= and >>=.
+          bool shift_assign = (prev == '<' || prev == '>') && i >= 2 &&
+                              code[i - 2] == prev;
+          if (!shift_assign) continue;
+          consider(i, parse_chain_back(code, i - 2), "shift-assigns");
+          continue;
+        }
+        if (prev == '+' || prev == '-' || prev == '*' || prev == '/' ||
+            prev == '%' || prev == '&' || prev == '|' || prev == '^') {
+          consider(i, parse_chain_back(code, i - 1), "accumulates into");
+          continue;
+        }
+        consider(i, parse_chain_back(code, i), "assigns to");
+        continue;
+      }
+      if ((c == '+' && next == '+') || (c == '-' && next == '-')) {
+        std::size_t j = i;
+        while (j > body_begin &&
+               std::isspace(static_cast<unsigned char>(code[j - 1])) != 0)
+          --j;
+        if (j > 0 && (is_ident_char(code[j - 1]) || code[j - 1] == ']')) {
+          consider(i, parse_chain_back(code, j), "increments");  // postfix
+        } else {
+          consider(i, parse_chain_fwd(code, i + 2), "increments");  // prefix
+        }
+        ++i;
+        continue;
+      }
+    }
+
+    // Mutating container calls: `shared.push_back(x)` and friends.
+    for (const char* m : kMutators) {
+      std::size_t pos = body_begin;
+      while ((pos = find_token(code, m, pos)) != std::string::npos &&
+             pos < body_end) {
+        std::size_t at = pos;
+        pos += std::string(m).size();
+        bool via_dot = at > 0 && code[at - 1] == '.';
+        bool via_arrow = at > 1 && code[at - 1] == '>' && code[at - 2] == '-';
+        if (!via_dot && !via_arrow) continue;
+        std::size_t open = skip_space(code, at + std::string(m).size());
+        if (open >= code.size() || code[open] != '(') continue;
+        consider(at,
+                 parse_chain_back(code, via_dot ? at - 1 : at - 2),
+                 "mutates");
+      }
+    }
+  }
+};
+
+QDC_ANALYZE_REGISTER(ParallelCheck)
+
+}  // namespace
+}  // namespace qdc::analyze

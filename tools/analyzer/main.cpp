@@ -3,24 +3,38 @@
 // determinism hazards, include hygiene. See tools/analyzer/README.md.
 //
 // Usage:
-//   qdc_analyze --root DIR [--also REL]... [--baseline FILE]
-//               [--format text|json] [--out FILE] [--show-baselined]
+//   qdc_analyze --root DIR [--also REL]... [--also-dir DIR]...
+//               [--family NAME]... [--baseline FILE] [--format text|json]
+//               [--out FILE] [--show-baselined] [--stats]
 //               [--write-baseline FILE]
 //   qdc_analyze --list-checks
 //   qdc_analyze --selftest FIXTURE_DIR
 //
-// --also (repeatable) adds files outside src/ to the corpus — CI uses it
-// for bench/harness.{hpp,cpp}. Extra files have no module, so layering and
-// determinism checks skip them; include hygiene still applies.
+// --also (repeatable) adds files outside src/ to the corpus; --also-dir
+// (repeatable) adds every *.hpp|*.cpp directly under a directory — CI uses
+// `--also-dir bench --also-dir tests`. Extra files have no module, so the
+// module-scoped checks (layering, determinism, parallel, contract) skip
+// them; include hygiene still applies.
+//
+// --family (repeatable) restricts the run to the named check families —
+// CI uses `--family parallel --family contract` to publish the new
+// families' SARIF-lite report as its own artifact.
+//
+// --stats prints per-check wall time and per-family diagnostic counts to
+// stderr. Timing lives here in the harness: the wall-clock ban
+// (determinism/wall-clock, qdc_lint no-raw-random) covers src/, not tools/.
 //
 // Exit codes: 0 clean (every diagnostic baselined), 1 new diagnostics (or
 // a failed selftest), 2 usage / IO error.
 
 #include <cstddef>
+#include <cstdio>
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -35,14 +49,52 @@ namespace {
 
 namespace fs = std::filesystem;
 
+struct CheckStats {
+  std::string check;
+  double millis = 0.0;
+  std::size_t emitted = 0;
+};
+
+bool family_enabled(const std::vector<std::string>& families,
+                    const char* name) {
+  return families.empty() ||
+         std::find(families.begin(), families.end(), name) != families.end();
+}
+
 std::vector<Diagnostic> analyze(const std::string& root,
-                                const std::vector<std::string>& also = {}) {
-  std::vector<SourceFile> files = load_corpus(root, also);
-  AnalysisContext ctx{&files};
+                                const std::vector<std::string>& also = {},
+                                const std::vector<std::string>& also_dirs = {},
+                                const std::vector<std::string>& families = {},
+                                std::vector<CheckStats>* stats = nullptr) {
+  std::vector<SourceFile> files = load_corpus(root, also, also_dirs);
+  AnalysisContext ctx(files);
   std::vector<Diagnostic> diags;
-  for (const Check* check : check_registry()) check->run(ctx, diags);
+  for (const Check* check : check_registry()) {
+    if (!family_enabled(families, check->name())) continue;
+    auto t0 = std::chrono::steady_clock::now();
+    std::size_t before = diags.size();
+    check->run(ctx, diags);
+    if (stats != nullptr) {
+      auto t1 = std::chrono::steady_clock::now();
+      stats->push_back(
+          {check->name(),
+           std::chrono::duration<double, std::milli>(t1 - t0).count(),
+           diags.size() - before});
+    }
+  }
   sort_diagnostics(diags);
   return diags;
+}
+
+/// Static metadata of every rule the run enables, for the JSON report.
+std::vector<RuleMeta> enabled_rules(const std::vector<std::string>& families) {
+  std::vector<RuleMeta> rules;
+  for (const Check* check : check_registry()) {
+    if (!family_enabled(families, check->name())) continue;
+    std::vector<RuleMeta> r = check->rules();
+    rules.insert(rules.end(), r.begin(), r.end());
+  }
+  return rules;
 }
 
 int run_selftest(const std::string& fixtures_dir) {
@@ -89,6 +141,9 @@ int run_selftest(const std::string& fixtures_dir) {
 int run_main(int argc, char** argv) {
   std::string root;
   std::vector<std::string> also;
+  std::vector<std::string> also_dirs;
+  std::vector<std::string> families;
+  bool want_stats = false;
   std::string baseline_path;
   std::string format = "text";
   std::string out_path;
@@ -106,6 +161,11 @@ int run_main(int argc, char** argv) {
     };
     if (args[i] == "--root") root = need_value("--root");
     else if (args[i] == "--also") also.push_back(need_value("--also"));
+    else if (args[i] == "--also-dir")
+      also_dirs.push_back(need_value("--also-dir"));
+    else if (args[i] == "--family")
+      families.push_back(need_value("--family"));
+    else if (args[i] == "--stats") want_stats = true;
     else if (args[i] == "--baseline") baseline_path = need_value("--baseline");
     else if (args[i] == "--format") format = need_value("--format");
     else if (args[i] == "--out") out_path = need_value("--out");
@@ -128,9 +188,35 @@ int run_main(int argc, char** argv) {
   if (format != "text" && format != "json")
     throw std::runtime_error("--format must be text or json");
 
-  std::vector<Diagnostic> diags = analyze(root, also);
+  for (const std::string& fam : families) {
+    bool known = false;
+    for (const Check* c : check_registry())
+      if (fam == c->name()) known = true;
+    if (!known)
+      throw std::runtime_error("--family " + fam +
+                               " matches no check (see --list-checks)");
+  }
+
+  std::vector<CheckStats> stats;
+  std::vector<Diagnostic> diags =
+      analyze(root, also, also_dirs, families, want_stats ? &stats : nullptr);
   Baseline baseline = baseline_path.empty() ? Baseline{}
                                             : load_baseline(baseline_path);
+
+  if (want_stats) {
+    std::map<std::string, std::size_t> per_family;
+    for (const Diagnostic& d : diags) ++per_family[d.family()];
+    std::cerr << "qdc_analyze: --stats\n";
+    for (const CheckStats& s : stats) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%8.2f", s.millis);
+      std::cerr << "  check " << s.check << ": " << buf << " ms, "
+                << s.emitted << " diagnostic(s)\n";
+    }
+    for (const auto& [family, count] : per_family)
+      std::cerr << "  family " << family << ": " << count
+                << " diagnostic(s)\n";
+  }
 
   if (!write_baseline_path.empty()) {
     std::ofstream out(write_baseline_path);
@@ -144,9 +230,10 @@ int run_main(int argc, char** argv) {
   for (const Diagnostic& d : diags)
     if (!baseline.covers(d)) ++new_count;
 
-  std::string report = format == "json"
-                           ? render_json(diags, baseline)
-                           : render_text(diags, baseline, show_baselined);
+  std::string report =
+      format == "json"
+          ? render_json(diags, baseline, enabled_rules(families))
+          : render_text(diags, baseline, show_baselined);
   if (out_path.empty()) {
     std::cout << report;
   } else {

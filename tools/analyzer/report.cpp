@@ -46,9 +46,18 @@ std::string render_text(const std::vector<Diagnostic>& diags,
 }
 
 std::string render_json(const std::vector<Diagnostic>& diags,
-                        const Baseline& baseline) {
+                        const Baseline& baseline,
+                        const std::vector<RuleMeta>& rules) {
   std::string out = "{\n  \"tool\": {\"name\": \"qdc_analyze\", "
-                    "\"version\": \"1.0\"},\n  \"results\": [";
+                    "\"version\": \"1.1\",\n    \"rules\": [";
+  bool first_rule = true;
+  for (const RuleMeta& r : rules) {
+    out += first_rule ? "\n" : ",\n";
+    first_rule = false;
+    out += "      {\"id\": \"" + json_escape(r.id) + "\", \"summary\": \"" +
+           json_escape(r.summary) + "\"}";
+  }
+  out += "\n    ]},\n  \"results\": [";
   std::size_t baselined = 0;
   bool first = true;
   for (const Diagnostic& d : diags) {

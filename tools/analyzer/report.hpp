@@ -15,9 +15,13 @@ namespace qdc::analyze {
 std::string render_text(const std::vector<Diagnostic>& diags,
                         const Baseline& baseline, bool show_baselined);
 
-/// SARIF-lite: {"tool", "results": [{ruleId, level, message, location,
-/// fingerprint, baselined}], "summary": {total, baselined, new, stale}}.
+/// SARIF-lite: {"tool": {name, version, "rules": [{id, summary}]},
+/// "results": [{ruleId, level, message, location, fingerprint, baselined}],
+/// "summary": {total, baselined, new, stale}}. `rules` lists the static
+/// metadata of every rule the run enabled, so the CI artifact is navigable
+/// without the source of the checks.
 std::string render_json(const std::vector<Diagnostic>& diags,
-                        const Baseline& baseline);
+                        const Baseline& baseline,
+                        const std::vector<RuleMeta>& rules);
 
 }  // namespace qdc::analyze

@@ -78,13 +78,58 @@ int SourceFile::line_of(std::size_t pos) const {
   return static_cast<int>(it - line_starts_.begin());
 }
 
-namespace {
+// ---------------------------------------------------------------------------
+// Expression scanning utilities.
 
 bool is_ident_char(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
 }
 
-bool is_keyword(const std::string& s) {
+std::size_t find_token(const std::string& hay, const std::string& needle,
+                       std::size_t from) {
+  while (true) {
+    std::size_t pos = hay.find(needle, from);
+    if (pos == std::string::npos) return std::string::npos;
+    bool left_ok = pos == 0 || !is_ident_char(hay[pos - 1]);
+    std::size_t end = pos + needle.size();
+    bool right_ok = end >= hay.size() || !is_ident_char(hay[end]);
+    if (left_ok && right_ok) return pos;
+    from = pos + 1;
+  }
+}
+
+std::size_t match_bracket(const std::string& s, std::size_t open, char lhs,
+                          char rhs) {
+  int depth = 0;
+  for (std::size_t i = open; i < s.size(); ++i) {
+    if (s[i] == lhs) ++depth;
+    if (s[i] == rhs && --depth == 0) return i + 1;
+  }
+  return std::string::npos;
+}
+
+std::size_t skip_space(const std::string& s, std::size_t i) {
+  while (i < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[i])) != 0)
+    ++i;
+  return i;
+}
+
+std::string read_ident_at(const std::string& s, std::size_t i) {
+  std::size_t j = i;
+  while (j < s.size() && is_ident_char(s[j])) ++j;
+  return s.substr(i, j - i);
+}
+
+std::string ident_before(const std::string& s, std::size_t end) {
+  while (end > 0 && std::isspace(static_cast<unsigned char>(s[end - 1])) != 0)
+    --end;
+  std::size_t begin = end;
+  while (begin > 0 && is_ident_char(s[begin - 1])) --begin;
+  return s.substr(begin, end - begin);
+}
+
+bool is_cpp_keyword(const std::string& s) {
   static const char* kKeywords[] = {
       "alignas",  "alignof",  "auto",     "bool",     "break",   "case",
       "catch",    "char",     "class",    "const",    "constexpr",
@@ -99,6 +144,399 @@ bool is_keyword(const std::string& s) {
   for (const char* k : kKeywords)
     if (s == k) return true;
   return false;
+}
+
+std::vector<Token> tokenize_code(const std::string& code) {
+  std::vector<Token> toks;
+  std::size_t i = 0;
+  bool line_is_directive = false;
+  bool at_line_start = true;
+  while (i < code.size()) {
+    char c = code[i];
+    if (c == '\n') {
+      line_is_directive = false;
+      at_line_start = true;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    if (at_line_start && c == '#') line_is_directive = true;
+    at_line_start = false;
+    if (line_is_directive) {  // directives are handled by the lexer already
+      ++i;
+      continue;
+    }
+    if (is_ident_char(c) &&
+        std::isdigit(static_cast<unsigned char>(c)) == 0) {
+      std::size_t j = i;
+      while (j < code.size() && is_ident_char(code[j])) ++j;
+      toks.push_back({code.substr(i, j - i), i, true});
+      i = j;
+    } else if (is_ident_char(c)) {  // number: skip the run
+      while (i < code.size() && is_ident_char(code[i])) ++i;
+    } else {
+      toks.push_back({std::string(1, c), i, false});
+      ++i;
+    }
+  }
+  return toks;
+}
+
+std::set<std::string> declared_vars_in(const std::string& code,
+                                       std::size_t begin, std::size_t end) {
+  std::set<std::string> out;
+  if (begin >= code.size() || begin >= end) return out;
+  const std::string region = code.substr(begin, end - begin);
+  std::vector<Token> toks = tokenize_code(region);
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!toks[i].ident || is_cpp_keyword(toks[i].text)) continue;
+    const std::string& nxt = toks[i + 1].text;
+    // `Type name =`, `Type name;`, `Type name{...}`, `Type name(...)` with a
+    // type-ish token (identifier, '>', '&', '*') right before the name.
+    if ((nxt == "=" || nxt == ";" || nxt == "{" || nxt == "(") && i > 0) {
+      const Token& prev = toks[i - 1];
+      bool typeish = (prev.ident && !is_cpp_keyword(prev.text)) ||
+                     prev.text == ">" || prev.text == "&" || prev.text == "*";
+      // `auto`, builtin types and cv-qualifiers are keywords; accept them
+      // as the type position too.
+      bool builtin = prev.ident &&
+                     (prev.text == "auto" || prev.text == "int" ||
+                      prev.text == "bool" || prev.text == "double" ||
+                      prev.text == "float" || prev.text == "char" ||
+                      prev.text == "long" || prev.text == "short" ||
+                      prev.text == "unsigned" || prev.text == "signed" ||
+                      prev.text == "const");
+      if (typeish || builtin) out.insert(toks[i].text);
+      continue;
+    }
+    // Range-for head: `for (decl : range)` declares the ident before ':'.
+    if (nxt == ":" && i + 2 < toks.size() && toks[i + 2].text != ":" &&
+        (i == 0 || toks[i - 1].text != ":"))
+      out.insert(toks[i].text);
+  }
+  // Structured bindings: `auto [a, b] = ...` / `auto& [a, b] = ...`.
+  std::size_t pos = 0;
+  while ((pos = find_token(region, "auto", pos)) != std::string::npos) {
+    std::size_t i = skip_space(region, pos + 4);
+    while (i < region.size() && (region[i] == '&' || region[i] == '*'))
+      i = skip_space(region, i + 1);
+    if (i < region.size() && region[i] == '[') {
+      std::size_t close = match_bracket(region, i, '[', ']');
+      if (close != std::string::npos) {
+        std::size_t j = i + 1;
+        while (j < close - 1) {
+          j = skip_space(region, j);
+          std::string name = read_ident_at(region, j);
+          if (!name.empty()) {
+            out.insert(name);
+            j += name.size();
+          } else {
+            ++j;
+          }
+          while (j < close - 1 && region[j] != ',') ++j;
+          if (j < close - 1) ++j;
+        }
+      }
+    }
+    pos += 4;
+  }
+  return out;
+}
+
+bool LambdaInfo::captures_by_ref(const std::string& name) const {
+  if (std::find(ref_captures.begin(), ref_captures.end(), name) !=
+      ref_captures.end())
+    return true;
+  if (std::find(copy_captures.begin(), copy_captures.end(), name) !=
+      copy_captures.end())
+    return false;
+  return captures_default_ref;
+}
+
+namespace {
+
+/// Split s[begin, end) on commas at bracket depth zero.
+std::vector<std::string> split_top_level(const std::string& s,
+                                         std::size_t begin, std::size_t end) {
+  std::vector<std::string> parts;
+  int depth = 0;
+  std::size_t start = begin;
+  for (std::size_t i = begin; i < end; ++i) {
+    char c = s[i];
+    if (c == '(' || c == '[' || c == '{' || c == '<') ++depth;
+    if (c == ')' || c == ']' || c == '}' || c == '>') --depth;
+    if (c == ',' && depth == 0) {
+      parts.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  if (end > start) parts.push_back(s.substr(start, end - start));
+  return parts;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0)
+    --e;
+  return s.substr(b, e - b);
+}
+
+/// Parse one capture entry ("&", "=", "this", "&x", "x", "x = expr", ...).
+void parse_capture(const std::string& entry, LambdaInfo& info) {
+  std::string cap = trim(entry);
+  if (cap.empty()) return;
+  if (cap == "&") {
+    info.captures_default_ref = true;
+    return;
+  }
+  if (cap == "=") {
+    info.captures_default_copy = true;
+    return;
+  }
+  if (cap == "this" || cap == "*this") {
+    info.captures_this = true;
+    return;
+  }
+  bool by_ref = cap[0] == '&';
+  if (by_ref) cap = trim(cap.substr(1));
+  std::string name = read_ident_at(cap, 0);  // init-captures: name before '='
+  if (name.empty()) return;
+  if (by_ref)
+    info.ref_captures.push_back(name);
+  else
+    info.copy_captures.push_back(name);
+}
+
+/// Parameter names of a lambda/function parameter list (the text between
+/// the parentheses): the last identifier of each top-level chunk, with any
+/// default argument stripped first.
+std::vector<std::string> parse_param_names(const std::string& s,
+                                           std::size_t begin,
+                                           std::size_t end) {
+  std::vector<std::string> names;
+  for (const std::string& raw : split_top_level(s, begin, end)) {
+    std::string chunk = raw;
+    // Strip a default argument at top level.
+    int depth = 0;
+    for (std::size_t i = 0; i < chunk.size(); ++i) {
+      char c = chunk[i];
+      if (c == '(' || c == '[' || c == '{' || c == '<') ++depth;
+      if (c == ')' || c == ']' || c == '}' || c == '>') --depth;
+      if (c == '=' && depth == 0 &&
+          (i + 1 >= chunk.size() || chunk[i + 1] != '=') &&
+          (i == 0 || (chunk[i - 1] != '=' && chunk[i - 1] != '!' &&
+                      chunk[i - 1] != '<' && chunk[i - 1] != '>'))) {
+        chunk = chunk.substr(0, i);
+        break;
+      }
+    }
+    std::vector<Token> toks = tokenize_code(chunk);
+    for (auto it = toks.rbegin(); it != toks.rend(); ++it) {
+      if (it->ident && !is_cpp_keyword(it->text)) {
+        names.push_back(it->text);
+        break;
+      }
+    }
+  }
+  return names;
+}
+
+/// True when the '[' at `pos` begins a lambda introducer (as opposed to a
+/// subscript or an [[attribute]]).
+bool is_lambda_intro(const std::string& code, std::size_t pos) {
+  if (pos + 1 < code.size() && code[pos + 1] == '[') return false;
+  std::size_t i = pos;
+  while (i > 0 &&
+         std::isspace(static_cast<unsigned char>(code[i - 1])) != 0)
+    --i;
+  if (i == 0) return true;
+  char prev = code[i - 1];
+  if (is_ident_char(prev)) {
+    // `return [..]` is a lambda; `name[..]` is a subscript.
+    std::string word = ident_before(code, i);
+    return word == "return" || word == "co_return" || word == "co_yield";
+  }
+  return prev == '(' || prev == ',' || prev == '=' || prev == '{' ||
+         prev == ';' || prev == '<' || prev == '>' || prev == '&' ||
+         prev == '|' || prev == '!' || prev == '?' || prev == ':' ||
+         prev == '+' || prev == '-' || prev == '*' || prev == '/' ||
+         prev == '%';
+}
+
+void scan_lambdas(const std::string& code, SymbolTable& table) {
+  for (std::size_t pos = 0; pos < code.size(); ++pos) {
+    if (code[pos] != '[' || !is_lambda_intro(code, pos)) continue;
+    std::size_t intro_end = match_bracket(code, pos, '[', ']');
+    if (intro_end == std::string::npos) continue;
+
+    LambdaInfo info;
+    info.intro = pos;
+    for (const std::string& cap :
+         split_top_level(code, pos + 1, intro_end - 1))
+      parse_capture(cap, info);
+
+    std::size_t i = skip_space(code, intro_end);
+    if (i < code.size() && code[i] == '(') {
+      std::size_t close = match_bracket(code, i, '(', ')');
+      if (close == std::string::npos) continue;
+      info.params = parse_param_names(code, i + 1, close - 1);
+      i = skip_space(code, close);
+    }
+    // Skip `mutable`, `noexcept(...)`, `-> Type` up to the body brace. Give
+    // up at statement punctuation: then the '[' was not a lambda after all.
+    while (i < code.size() && code[i] != '{') {
+      if (code[i] == ';' || code[i] == ')' || code[i] == ',' ||
+          code[i] == ']' || code[i] == '}') {
+        i = std::string::npos;
+        break;
+      }
+      if (code[i] == '(') {  // noexcept(...)
+        i = match_bracket(code, i, '(', ')');
+        if (i == std::string::npos) break;
+        continue;
+      }
+      if (code[i] == '<') {  // template args of a trailing return type
+        std::size_t close = match_bracket(code, i, '<', '>');
+        if (close == std::string::npos) {
+          ++i;
+          continue;
+        }
+        i = close;
+        continue;
+      }
+      ++i;
+    }
+    if (i == std::string::npos || i >= code.size()) continue;
+    std::size_t body_end = match_bracket(code, i, '{', '}');
+    if (body_end == std::string::npos) continue;
+    info.body_begin = i;
+    info.body_end = body_end;
+    table.lambdas.push_back(info);
+  }
+}
+
+void scan_atomic_vars(const std::string& code, SymbolTable& table) {
+  std::size_t pos = 0;
+  while ((pos = code.find("std::atomic", pos)) != std::string::npos) {
+    std::size_t i = pos + 11;
+    if (i < code.size() && code[i] == '<') {
+      i = match_bracket(code, i, '<', '>');
+      if (i == std::string::npos) break;
+    }
+    i = skip_space(code, i);
+    std::string name = read_ident_at(code, i);
+    if (!name.empty() && !is_cpp_keyword(name)) table.atomic_vars.insert(name);
+    pos += 11;
+  }
+}
+
+bool is_decl_keyword(const std::string& t) {
+  return t == "class" || t == "struct" || t == "enum" || t == "union" ||
+         t == "concept";
+}
+
+/// Names a file introduces at namespace scope (heuristic): class/struct/
+/// enum/union/concept heads, alias and typedef declarations, using-
+/// declarations, free functions and namespace-scope constants. Opaque
+/// braces (function bodies, class bodies) are skipped.
+void scan_namespace_decls(const std::string& code, SymbolTable& table) {
+  std::set<std::string>& out = table.namespace_decls;
+  std::vector<Token> toks = tokenize_code(code);
+  // Brace stack: true = transparent (namespace/extern), false = opaque.
+  std::vector<bool> braces;
+  auto transparent = [&] {
+    for (bool b : braces)
+      if (!b) return false;
+    return true;
+  };
+  bool next_brace_transparent = false;
+  int paren_depth = 0;  // function parameters are not namespace-scope names
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (t == "(") {
+      ++paren_depth;
+      continue;
+    }
+    if (t == ")") {
+      if (paren_depth > 0) --paren_depth;
+      continue;
+    }
+    if (t == "{") {
+      braces.push_back(next_brace_transparent);
+      next_brace_transparent = false;
+      continue;
+    }
+    if (t == "}") {
+      if (!braces.empty()) braces.pop_back();
+      continue;
+    }
+    if (!transparent() || paren_depth > 0) continue;
+    if (t == "namespace" || t == "extern") {
+      next_brace_transparent = true;
+      continue;
+    }
+    if (is_decl_keyword(t)) {
+      std::size_t j = i + 1;
+      if (j < toks.size() &&
+          (toks[j].text == "class" || toks[j].text == "struct"))
+        ++j;  // enum class / enum struct
+      while (j < toks.size() && toks[j].text == "[") {  // [[attributes]]
+        while (j < toks.size() && toks[j].text != "]") ++j;
+        ++j;
+      }
+      if (j < toks.size() && toks[j].ident) out.insert(toks[j].text);
+      continue;
+    }
+    if (t == "using") {
+      // using Alias = ...;   |   using ns::Name;   (skip using namespace)
+      if (i + 1 < toks.size() && toks[i + 1].text == "namespace") continue;
+      std::string last_ident;
+      std::size_t j = i + 1;
+      for (; j < toks.size(); ++j) {
+        if (toks[j].text == "=" || toks[j].text == ";") break;
+        if (toks[j].ident) last_ident = toks[j].text;
+      }
+      if (!last_ident.empty()) out.insert(last_ident);
+      i = j;
+      continue;
+    }
+    if (t == "typedef") {
+      std::string last_ident;
+      std::size_t j = i + 1;
+      for (; j < toks.size() && toks[j].text != ";"; ++j)
+        if (toks[j].ident) last_ident = toks[j].text;
+      if (!last_ident.empty()) out.insert(last_ident);
+      i = j;
+      continue;
+    }
+    // Free function: identifier immediately followed by '(' — unless it is
+    // a qualified out-of-line definition (preceded by "::"), which declares
+    // nothing new.
+    if (toks[i].ident && i + 1 < toks.size() && toks[i + 1].text == "(") {
+      bool qualified = i >= 2 && toks[i - 1].text == ":" &&
+                       toks[i - 2].text == ":";
+      bool preceded_by_type = i > 0 && (toks[i - 1].ident ||
+                                        toks[i - 1].text == ">" ||
+                                        toks[i - 1].text == "&" ||
+                                        toks[i - 1].text == "*");
+      if (!qualified && preceded_by_type) out.insert(t);
+      continue;
+    }
+    // Namespace-scope constant / variable: identifier followed by '=' or
+    // ';' with a type-ish token before it.
+    if (toks[i].ident && i > 0 && i + 1 < toks.size() &&
+        (toks[i + 1].text == "=" || toks[i + 1].text == ";") &&
+        (toks[i - 1].ident || toks[i - 1].text == ">" ||
+         toks[i - 1].text == "&" || toks[i - 1].text == "*")) {
+      out.insert(t);
+      continue;
+    }
+  }
 }
 
 }  // namespace
@@ -168,7 +606,7 @@ SourceFile lex_file(const std::string& rel, const std::string& text) {
         std::size_t j = i;
         while (j < code_line.size() && is_ident_char(code_line[j])) ++j;
         std::string tok = code_line.substr(i, j - i);
-        if (!is_keyword(tok)) f.identifiers.emplace(tok, lineno);
+        if (!is_cpp_keyword(tok)) f.identifiers.emplace(tok, lineno);
         i = j;
       } else if (is_ident_char(code_line[i])) {  // number: skip the run
         while (i < code_line.size() && is_ident_char(code_line[i])) ++i;
@@ -177,12 +615,17 @@ SourceFile lex_file(const std::string& rel, const std::string& text) {
       }
     }
   }
+
+  scan_namespace_decls(f.code, f.symbols_);
+  scan_atomic_vars(f.code, f.symbols_);
+  scan_lambdas(f.code, f.symbols_);
   return f;
 }
 
 std::vector<SourceFile> load_corpus(
     const std::string& root,
-    const std::vector<std::string>& extra_rel_paths) {
+    const std::vector<std::string>& extra_rel_paths,
+    const std::vector<std::string>& extra_dirs) {
   fs::path src = fs::path(root) / "src";
   if (!fs::is_directory(src))
     throw std::runtime_error("qdc_analyze: no src/ directory under " + root);
@@ -198,7 +641,21 @@ std::vector<SourceFile> load_corpus(
       throw std::runtime_error("qdc_analyze: --also file not found: " + rel);
     paths.push_back(p);
   }
+  for (const std::string& rel : extra_dirs) {
+    fs::path dir = fs::path(root) / rel;
+    if (!fs::is_directory(dir))
+      throw std::runtime_error("qdc_analyze: --also-dir not found: " + rel);
+    // Deliberately non-recursive: subdirectories (e.g. the analyzer fixture
+    // corpora under tests/) are separate worlds, not part of this corpus.
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      fs::path p = entry.path();
+      if (p.extension() == ".hpp" || p.extension() == ".cpp")
+        paths.push_back(p);
+    }
+  }
   std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
   std::vector<SourceFile> files;
   files.reserve(paths.size());
   for (const auto& p : paths) {

@@ -1,14 +1,20 @@
-// Corpus loading and the lightweight lexer behind every qdc_analyze check.
+// Corpus loading, the lightweight lexer, and the per-file symbol table
+// behind every qdc_analyze check.
 //
 // A SourceFile is a preprocessor-aware view of one translation-unit
 // fragment: comments and string/char literals are blanked (preserving line
 // structure), #include directives are recorded together with the #if
 // nesting depth they live at, and every identifier token is indexed with
-// its first line of occurrence. Checks work on this view only — the
-// analyzer never runs a real compiler.
+// its first line of occurrence. On top of that view each file carries a
+// SymbolTable — namespace-scope declarations, variables of interesting
+// types (std::atomic), and every lambda expression with its captures,
+// parameters and body range — so checks can reason about closures without
+// re-lexing. Checks work on this view only; the analyzer never runs a real
+// compiler.
 #pragma once
 
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -19,6 +25,85 @@ struct Include {
   bool angled = false;  ///< <...> include (system) vs "..." (project)
   std::string path;     ///< as written inside the delimiters
   int cond_depth = 0;   ///< #if/#ifdef nesting depth at the directive
+};
+
+// ---------------------------------------------------------------------------
+// Expression scanning utilities, shared by every check. All operate on the
+// stripped `code` view (comments/strings blanked) of a SourceFile.
+
+/// True for [A-Za-z0-9_].
+bool is_ident_char(char c);
+
+/// Offset of the next whole-token occurrence of `needle` in `hay` at or
+/// after `from`; npos when absent.
+std::size_t find_token(const std::string& hay, const std::string& needle,
+                       std::size_t from = 0);
+
+/// Offset just past the bracket matching the opener at `open` (`s[open]`
+/// must be `lhs`); npos when unbalanced. Handles nesting of the same pair.
+std::size_t match_bracket(const std::string& s, std::size_t open, char lhs,
+                          char rhs);
+
+/// First non-whitespace offset at or after `i`.
+std::size_t skip_space(const std::string& s, std::size_t i);
+
+/// Identifier starting at `i` ("" when none).
+std::string read_ident_at(const std::string& s, std::size_t i);
+
+/// Identifier ending right before `end` (skipping trailing whitespace).
+std::string ident_before(const std::string& s, std::size_t end);
+
+/// A lexed token: identifier or single punctuation character.
+struct Token {
+  std::string text;
+  std::size_t offset = 0;
+  bool ident = false;
+};
+
+/// Tokenize stripped code into identifier / punctuation tokens. Numbers are
+/// skipped; preprocessor directive lines are skipped (the lexer already
+/// records them).
+std::vector<Token> tokenize_code(const std::string& code);
+
+/// True for C++ keywords the checks must never treat as identifiers.
+bool is_cpp_keyword(const std::string& s);
+
+/// Variable names declared in code[begin, end) — the "ident ident =|;|{|("
+/// heuristic plus range-for heads and structured bindings. Used to build
+/// the set of lambda-local variables.
+std::set<std::string> declared_vars_in(const std::string& code,
+                                       std::size_t begin, std::size_t end);
+
+// ---------------------------------------------------------------------------
+// Per-file symbol table.
+
+/// One lambda expression: capture list, parameter names, body range.
+struct LambdaInfo {
+  std::size_t intro = 0;       ///< offset of the '[' introducer
+  std::size_t body_begin = 0;  ///< offset of the body '{'
+  std::size_t body_end = 0;    ///< offset one past the matching '}'
+  bool captures_default_ref = false;   ///< [&]
+  bool captures_default_copy = false;  ///< [=]
+  bool captures_this = false;          ///< [this] / [*this]
+  std::vector<std::string> ref_captures;   ///< [&x] and [&x = expr]
+  std::vector<std::string> copy_captures;  ///< [x] and [x = expr]
+  std::vector<std::string> params;         ///< declared parameter names
+
+  bool captures_by_ref(const std::string& name) const;
+};
+
+/// Symbols of one file, computed once at load time.
+struct SymbolTable {
+  /// Names introduced at namespace scope: class/struct/enum/union/concept,
+  /// aliases, typedefs, using-declarations, free functions and
+  /// namespace-scope constants. (#defines live in SourceFile::defines.)
+  std::set<std::string> namespace_decls;
+
+  /// Variables declared with a std::atomic<...> type anywhere in the file.
+  std::set<std::string> atomic_vars;
+
+  /// Every lambda expression, in source order.
+  std::vector<LambdaInfo> lambdas;
 };
 
 struct SourceFile {
@@ -42,12 +127,16 @@ struct SourceFile {
     return it == identifiers.end() ? 0 : it->second;
   }
 
+  /// The file's symbol table (built by lex_file, cheap to access).
+  const SymbolTable& symbols() const { return symbols_; }
+
   /// 1-based line number of byte offset `pos` in `code`.
   int line_of(std::size_t pos) const;
 
  private:
   friend SourceFile lex_file(const std::string& rel, const std::string& text);
   std::vector<std::size_t> line_starts_;
+  SymbolTable symbols_;
 };
 
 /// Blank comments and string/char literals with spaces; newlines survive so
@@ -61,13 +150,17 @@ SourceFile lex_file(const std::string& rel, const std::string& text);
 /// Throws std::runtime_error when root/src does not exist.
 ///
 /// `extra_rel_paths` (the --also flag) adds files outside src/ — e.g.
-/// bench/harness.{hpp,cpp} — to the corpus. Extras get an empty
-/// module_name, so the layering and determinism checks skip them (a bench
-/// harness may legitimately read the wall clock) while include hygiene
-/// still applies. Throws std::runtime_error when an extra is missing:
-/// a silently-dropped path would un-lint the file it was meant to cover.
+/// bench/harness.{hpp,cpp}. `extra_dirs` (the --also-dir flag) adds every
+/// *.hpp|*.cpp directly under the named directory (non-recursive, so e.g.
+/// tests/analyzer_fixtures never joins the corpus). Extras get an empty
+/// module_name, so the layering, determinism, parallel and contract checks
+/// skip them (a bench harness may legitimately read the wall clock) while
+/// include hygiene still applies. Throws std::runtime_error when an extra
+/// file or directory is missing: a silently-dropped path would un-lint the
+/// files it was meant to cover.
 std::vector<SourceFile> load_corpus(
     const std::string& root,
-    const std::vector<std::string>& extra_rel_paths = {});
+    const std::vector<std::string>& extra_rel_paths = {},
+    const std::vector<std::string>& extra_dirs = {});
 
 }  // namespace qdc::analyze

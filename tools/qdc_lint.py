@@ -35,7 +35,10 @@ Rules enforced on library code (src/):
                     EXPERIMENTS.md (its run instructions) and in the
                     docs/EXPERIMENT_PIPELINE.md mapping table, so the
                     experiment docs cannot silently rot as benches are
-                    added or renamed.
+                    added or renamed. The same pattern covers the analyzer:
+                    every check family registered in
+                    tools/analyzer/check_*.cpp (its name() string) must be
+                    documented in tools/analyzer/README.md.
 
 Exit status: 0 when clean, 1 when any rule fires. Diagnostics are printed
 one per line as `file:line: [rule] message` so editors can jump to them.
@@ -305,6 +308,37 @@ def check_doc_drift(root: Path) -> list[Diagnostic]:
     return diags
 
 
+ANALYZER_FAMILY = re.compile(
+    r'name\(\)\s*const\s*override\s*\{\s*return\s*"([^"]+)"')
+
+
+def check_analyzer_doc_drift(root: Path) -> list[Diagnostic]:
+    """Every check family registered in the analyzer (the name() string of
+    a Check subclass in tools/analyzer/check_*.cpp) must be documented in
+    tools/analyzer/README.md — same contract as the bench doc-drift rule,
+    so the analyzer docs cannot silently rot as families are added."""
+    analyzer_dir = root / "tools" / "analyzer"
+    if not analyzer_dir.is_dir():
+        return []
+    readme = analyzer_dir / "README.md"
+    diags: list[Diagnostic] = []
+    if not readme.is_file():
+        return [Diagnostic(readme, 1, "doc-drift",
+                           "analyzer README is missing")]
+    readme_text = readme.read_text(encoding="utf-8")
+    for check_cpp in sorted(analyzer_dir.glob("check_*.cpp")):
+        text = check_cpp.read_text(encoding="utf-8")
+        for match in ANALYZER_FAMILY.finditer(text):
+            family = match.group(1)
+            if family not in readme_text:
+                lineno = text.count("\n", 0, match.start()) + 1
+                diags.append(Diagnostic(
+                    check_cpp, lineno, "doc-drift",
+                    f"check family '{family}' is not documented in "
+                    "tools/analyzer/README.md"))
+    return diags
+
+
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--root", type=Path, default=Path("."),
@@ -325,6 +359,7 @@ def main(argv: list[str]) -> int:
     for path in aux_files:
         diags.extend(lint_aux_file(path))
     diags.extend(check_doc_drift(root))
+    diags.extend(check_analyzer_doc_drift(root))
     for d in diags:
         print(d)
     print(f"qdc_lint: {len(files) + len(aux_files)} files checked, "
