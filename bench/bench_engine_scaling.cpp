@@ -5,30 +5,51 @@
 //   ./bench_engine_scaling [--smoke] [--gate] [--out PATH]
 //
 // --smoke shrinks every instance to seconds-scale for CI; --gate runs the
-// medium-size configuration the CI speedup regression gate reads (only the
-// N(Gamma, L) case, threads {1, 4} — see tools/check_engine_speedup.py);
-// --out defaults to BENCH_engine.json in the working directory. Topologies:
-// the paper's lower-bound network N(Gamma, L) at n >= 4096, a path of the
-// same order, and a seeded sparse random graph. Every run keeps the
-// ModelAuditor on — the reported rounds/sec are for fully audited
-// executions, the only kind the experiments trust.
+// medium-size configuration the CI speedup regression gate reads (the
+// N(Gamma, L) case at threads {1, 4} plus the sparse-activity pair — see
+// tools/check_engine_speedup.py); --out defaults to BENCH_engine.json in
+// the working directory.
+//
+// Schema v3 cases (each tagged with the TopologyView kind and whether the
+// active-frontier loop ran):
+//   * lb_network / path / random — materialized dense-mode scaling across
+//     thread counts, as in v2;
+//   * million_path — a 2^20-node PathView: the topology is never
+//     materialized, the round loop and the ModelAuditor both run purely
+//     off the formula (full + smoke modes);
+//   * million_lb — the paper's N(Gamma=1000, L=1025) as an implicit
+//     LbTopologyView: 1,026,033 nodes and ~3.6M edges, audited (full mode);
+//   * sparse_activity_dense / sparse_activity_frontier — the same
+//     token-bouncing workload (~1 active node per round on a 16k path)
+//     under the dense loop and under RunOptions::frontier: the pair the
+//     frontier speedup gate compares. These runs hit max_rounds by design
+//     (the token never stops), so completion is not required of them.
+//
+// Every run keeps the ModelAuditor on — the reported rounds/sec are for
+// fully audited executions, the only kind the experiments trust.
 //
 // Besides the per-run engine scaling ("cases"), the report carries a
-// sweep-level section ("sweep", schema v2): many small independent
-// Network::run jobs driven through util::SweepRunner at increasing worker
-// counts, each job with inner RunOptions::threads = 1 — the batched-sweep
-// axis the figure benches use. Sweep-level scaling is what makes whole
-// parameter grids affordable; see docs/EXPERIMENT_PIPELINE.md.
+// sweep-level section ("sweep"): many small independent Network::run jobs
+// driven through util::SweepRunner at increasing worker counts, each job
+// with inner RunOptions::threads = 1 — the batched-sweep axis the figure
+// benches use. Sweep-level scaling is what makes whole parameter grids
+// affordable; see docs/EXPERIMENT_PIPELINE.md.
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <fstream>
+#include <functional>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "congest/network.hpp"
+#include "congest/topology.hpp"
 #include "core/lb_network.hpp"
+#include "core/lb_topology.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
 #include "util/rng.hpp"
@@ -38,6 +59,7 @@
 namespace {
 
 using qdc::congest::Incoming;
+using qdc::congest::MaterializedView;
 using qdc::congest::Network;
 using qdc::congest::NetworkConfig;
 using qdc::congest::NodeContext;
@@ -45,6 +67,7 @@ using qdc::congest::NodeId;
 using qdc::congest::NodeProgram;
 using qdc::congest::Payload;
 using qdc::congest::RunStats;
+using qdc::congest::TopologyView;
 
 std::uint64_t mix64(std::uint64_t x) {
   x += 0x9e3779b97f4a7c15ULL;
@@ -56,10 +79,13 @@ std::uint64_t mix64(std::uint64_t x) {
 /// Round-synchronous flood with a tunable local-compute knob: every round
 /// each node folds its inbox, burns `work` hash iterations (standing in
 /// for a real program's local computation), and pushes two fields through
-/// every port. Halts after `rounds` rounds.
+/// every port (or the first `port_cap` ports — the million-node cases cap
+/// fan-out so the high-degree clique nodes do not dominate memory).
+/// Halts after `rounds` rounds.
 class ScalingProgram : public NodeProgram {
  public:
-  ScalingProgram(int rounds, int work) : rounds_(rounds), work_(work) {}
+  ScalingProgram(int rounds, int work, int port_cap)
+      : rounds_(rounds), work_(work), port_cap_(port_cap) {}
 
   void on_round(NodeContext& ctx, const std::vector<Incoming>& inbox) override {
     for (const Incoming& msg : inbox) {
@@ -77,7 +103,8 @@ class ScalingProgram : public NodeProgram {
     }
     const Payload out{static_cast<std::int64_t>(acc_ & 0xffff),
                       ctx.round()};
-    for (int p = 0; p < ctx.degree(); ++p) {
+    const int ports = std::min(ctx.degree(), port_cap_);
+    for (int p = 0; p < ports; ++p) {
       ctx.send(p, out);
     }
   }
@@ -85,8 +112,31 @@ class ScalingProgram : public NodeProgram {
  private:
   int rounds_;
   int work_;
+  int port_cap_;
   std::uint64_t acc_ = 0x243f6a8885a308d3ULL;
 };
+
+/// Event-driven token bounce on a path: node 0 launches a token in round 0;
+/// each later round exactly one node holds it and forwards it (reflecting
+/// at the endpoints). No node ever halts, so the run always hits
+/// max_rounds; with the frontier loop only the token holder is touched
+/// each round while the dense loop still visits all n silent nodes.
+class TokenBounceProgram : public NodeProgram {
+ public:
+  void on_round(NodeContext& ctx, const std::vector<Incoming>& inbox) override {
+    if (ctx.round() == 0) {
+      if (ctx.id() == 0) ctx.send(0, {1});
+      return;
+    }
+    for (const Incoming& msg : inbox) {
+      const int out = ctx.degree() == 2 ? 1 - msg.port : msg.port;
+      ctx.send(out, {msg.data[0] + 1});
+    }
+  }
+};
+
+using ProgramFactory =
+    std::function<std::unique_ptr<NodeProgram>(NodeId, const NodeContext&)>;
 
 struct ThreadResult {
   int threads = 0;
@@ -98,6 +148,8 @@ struct ThreadResult {
 struct CaseResult {
   std::string name;
   std::string topology;
+  std::string topology_kind;
+  bool frontier = false;
   int nodes = 0;
   int edges = 0;
   int rounds = 0;
@@ -118,26 +170,37 @@ struct SweepResult {
   std::vector<SweepWorkerResult> results;
 };
 
-CaseResult run_case(const std::string& name, const std::string& kind,
-                    qdc::graph::Graph topology, int rounds, int work,
-                    const std::vector<int>& thread_counts) {
+struct CaseSpec {
+  std::string name;
+  std::string topology;
+  std::shared_ptr<const TopologyView> view;
+  int rounds = 0;
+  bool frontier = false;
+  bool expect_complete = true;
+  ProgramFactory factory;
+  std::vector<int> thread_counts;
+};
+
+CaseResult run_case(const CaseSpec& spec) {
   CaseResult result;
-  result.name = name;
-  result.topology = kind;
-  result.nodes = topology.node_count();
-  result.edges = topology.edge_count();
-  result.rounds = rounds;
-  Network net(std::move(topology), NetworkConfig{.bandwidth = 8});
-  for (const int threads : thread_counts) {
-    net.install([rounds, work](NodeId, const NodeContext&) {
-      return std::make_unique<ScalingProgram>(rounds, work);
-    });
+  result.name = spec.name;
+  result.topology = spec.topology;
+  result.topology_kind = spec.view->kind();
+  result.frontier = spec.frontier;
+  result.nodes = spec.view->node_count();
+  result.edges = spec.view->edge_count();
+  result.rounds = spec.rounds;
+  Network net(spec.view, NetworkConfig{.bandwidth = 8});
+  for (const int threads : spec.thread_counts) {
+    net.install(spec.factory);
     const auto start = std::chrono::steady_clock::now();
-    const RunStats stats = net.run({.max_rounds = rounds + 2,
-                                    .threads = threads});
+    const RunStats stats = net.run({.max_rounds = spec.rounds,
+                                    .threads = threads,
+                                    .frontier = spec.frontier});
     const auto stop = std::chrono::steady_clock::now();
-    if (!stats.completed) {
-      std::cerr << "engine_scaling: case " << name << " did not complete\n";
+    if (spec.expect_complete && !stats.completed) {
+      std::cerr << "engine_scaling: case " << spec.name
+                << " did not complete\n";
       std::exit(1);
     }
     ThreadResult tr;
@@ -153,6 +216,13 @@ CaseResult run_case(const std::string& name, const std::string& kind,
     tr.speedup = base > 0.0 ? tr.rounds_per_sec / base : 1.0;
   }
   return result;
+}
+
+ProgramFactory scaling_factory(int rounds, int work,
+                               int port_cap = std::numeric_limits<int>::max()) {
+  return [rounds, work, port_cap](NodeId, const NodeContext&) {
+    return std::make_unique<ScalingProgram>(rounds, work, port_cap);
+  };
 }
 
 /// The sweep-level axis: `jobs` independent small networks, each run to
@@ -173,9 +243,7 @@ SweepResult run_sweep_section(int jobs, int job_nodes, int job_rounds,
       Network net(qdc::graph::random_connected(job_nodes, 6.0 / job_nodes,
                                                rng),
                   NetworkConfig{.bandwidth = 8});
-      net.install([job_rounds, work](NodeId, const NodeContext&) {
-        return std::make_unique<ScalingProgram>(job_rounds, work);
-      });
+      net.install(scaling_factory(job_rounds, work));
       const RunStats stats = net.run({.max_rounds = job_rounds + 2});
       if (!stats.completed) {
         std::cerr << "engine_scaling: sweep job " << job.index
@@ -208,7 +276,7 @@ void write_json(const std::string& path, const std::vector<CaseResult>& cases,
   }
   out << "{\n";
   out << "  \"bench\": \"engine_scaling\",\n";
-  out << "  \"schema_version\": 2,\n";
+  out << "  \"schema_version\": 3,\n";
   out << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
   out << "  \"mode\": \"" << mode << "\",\n";
   out << "  \"hardware_threads\": "
@@ -219,6 +287,9 @@ void write_json(const std::string& path, const std::vector<CaseResult>& cases,
     out << "    {\n";
     out << "      \"name\": \"" << cr.name << "\",\n";
     out << "      \"topology\": \"" << cr.topology << "\",\n";
+    out << "      \"topology_kind\": \"" << cr.topology_kind << "\",\n";
+    out << "      \"frontier\": " << (cr.frontier ? "true" : "false")
+        << ",\n";
     out << "      \"nodes\": " << cr.nodes << ",\n";
     out << "      \"edges\": " << cr.edges << ",\n";
     out << "      \"rounds\": " << cr.rounds << ",\n";
@@ -294,17 +365,76 @@ int main(int argc, char** argv) {
   std::vector<CaseResult> cases;
   {
     const qdc::core::LbNetwork lbn(gamma, length);
-    cases.push_back(run_case("lb_network", "lb_network", lbn.topology(),
-                             rounds, work, thread_counts));
+    cases.push_back(run_case(
+        {.name = "lb_network",
+         .topology = "lb_network",
+         .view = std::make_shared<MaterializedView>(lbn.topology()),
+         .rounds = rounds + 2,
+         .factory = scaling_factory(rounds, work),
+         .thread_counts = thread_counts}));
   }
   if (!gate) {
-    cases.push_back(run_case("path", "path", qdc::graph::path_graph(n),
-                             rounds, work, thread_counts));
+    cases.push_back(run_case(
+        {.name = "path",
+         .topology = "path",
+         .view = std::make_shared<MaterializedView>(qdc::graph::path_graph(n)),
+         .rounds = rounds + 2,
+         .factory = scaling_factory(rounds, work),
+         .thread_counts = thread_counts}));
     qdc::Rng rng(12345);
     const double p = smoke ? 0.1 : 0.002;
-    cases.push_back(run_case("random", "random",
-                             qdc::graph::random_connected(n, p, rng), rounds,
-                             work, thread_counts));
+    cases.push_back(run_case(
+        {.name = "random",
+         .topology = "random",
+         .view = std::make_shared<MaterializedView>(
+             qdc::graph::random_connected(n, p, rng)),
+         .rounds = rounds + 2,
+         .factory = scaling_factory(rounds, work),
+         .thread_counts = thread_counts}));
+
+    // The million-node implicit cases: topology comes from a formula, the
+    // graph is never materialized, and the audit stays on end to end.
+    const int big_rounds = smoke ? 3 : 6;
+    const int big_work = smoke ? 4 : 16;
+    cases.push_back(run_case(
+        {.name = "million_path",
+         .topology = "path",
+         .view = std::make_shared<qdc::congest::PathView>(1 << 20),
+         .rounds = big_rounds + 2,
+         .factory = scaling_factory(big_rounds, big_work, 2),
+         .thread_counts = smoke ? std::vector<int>{1}
+                                : std::vector<int>{1, 2}}));
+    if (!smoke) {
+      cases.push_back(run_case(
+          {.name = "million_lb",
+           .topology = "lb_network",
+           .view = std::make_shared<qdc::core::LbTopologyView>(1000, 1025),
+           .rounds = big_rounds + 2,
+           .factory = scaling_factory(big_rounds, big_work, 2),
+           .thread_counts = {1, 2}}));
+    }
+  }
+
+  // The sparse-activity pair: identical workload, dense loop vs frontier
+  // loop. The token never halts, so both runs hit max_rounds by design.
+  {
+    const int sparse_n = smoke ? 4096 : 16384;
+    const int sparse_rounds = smoke ? 128 : 512;
+    for (const bool frontier : {false, true}) {
+      cases.push_back(run_case(
+          {.name = frontier ? "sparse_activity_frontier"
+                            : "sparse_activity_dense",
+           .topology = "path",
+           .view = std::make_shared<qdc::congest::PathView>(sparse_n),
+           .rounds = sparse_rounds,
+           .frontier = frontier,
+           .expect_complete = false,
+           .factory =
+               [](NodeId, const NodeContext&) {
+                 return std::make_unique<TokenBounceProgram>();
+               },
+           .thread_counts = {1}}));
+    }
   }
 
   const int sweep_jobs = gate ? 8 : smoke ? 4 : 16;
@@ -315,7 +445,9 @@ int main(int argc, char** argv) {
 
   write_json(out_path, cases, sweep, smoke, mode);
   for (const CaseResult& cr : cases) {
-    std::cout << cr.name << " (n=" << cr.nodes << ", m=" << cr.edges << ")\n";
+    std::cout << cr.name << " (n=" << cr.nodes << ", m=" << cr.edges
+              << ", kind=" << cr.topology_kind
+              << (cr.frontier ? ", frontier" : "") << ")\n";
     for (const ThreadResult& tr : cr.results) {
       std::cout << "  threads=" << tr.threads
                 << "  rounds/sec=" << tr.rounds_per_sec

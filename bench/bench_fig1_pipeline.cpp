@@ -76,10 +76,9 @@ int main(int argc, char** argv) {
   std::printf("\n[4] Quantum Simulation Theorem (Theorem 3.5) on N(Gamma, "
               "L)\n");
   const core::LbNetwork lbn(4, 129);
-  congest::Network net(lbn.topology(),
-                       congest::NetworkConfig{.bandwidth = 8,
-                                              .record_trace = true});
-  const auto tree = dist::build_bfs_tree(net, lbn.path_node(0, 1));
+  congest::Network net(lbn.topology(), congest::NetworkConfig{.bandwidth = 8});
+  const auto tree =
+      dist::build_bfs_tree(net, lbn.path_node(0, 1), {.record_trace = true});
   const auto acc = core::account_three_party_cost(lbn, net);
   std::printf("    BFS on N(4, 129): %d rounds; max charged %lld "
               "fields/round <= 6kB = %lld; highway-only: %s\n",

@@ -81,16 +81,16 @@ int main(int argc, char** argv) {
         const int diam = qdc::graph::diameter(lbn.topology());
 
         congest::Network net(lbn.topology(),
-                             congest::NetworkConfig{.bandwidth = 8,
-                                                    .record_trace = true});
-        const auto tree = dist::build_bfs_tree(net, lbn.path_node(0, 1));
+                             congest::NetworkConfig{.bandwidth = 8});
+        const auto tree = dist::build_bfs_tree(net, lbn.path_node(0, 1),
+                                               {.record_trace = true});
         const auto bfs_acc = core::account_three_party_cost(lbn, net);
 
         const int t = lbn.max_simulated_rounds() - 2;
         net.install([&](congest::NodeId, const congest::NodeContext&) {
           return std::make_unique<Saturate>(t);
         });
-        net.run({.max_rounds = t + 2});
+        net.run({.max_rounds = t + 2, .record_trace = true});
         const auto sat_acc = core::account_three_party_cost(lbn, net);
         (void)tree;
 
@@ -119,13 +119,12 @@ int main(int argc, char** argv) {
         const int b = bandwidths[static_cast<std::size_t>(job.index)];
         const core::LbNetwork lbn(4, 129);
         congest::Network net(lbn.topology(),
-                             congest::NetworkConfig{.bandwidth = b,
-                                                    .record_trace = true});
+                             congest::NetworkConfig{.bandwidth = b});
         const int t = lbn.max_simulated_rounds() - 2;
         net.install([&](congest::NodeId, const congest::NodeContext&) {
           return std::make_unique<Saturate>(t);
         });
-        net.run({.max_rounds = t + 2});
+        net.run({.max_rounds = t + 2, .record_trace = true});
         const auto acc = core::account_three_party_cost(lbn, net);
         return bench::strprintf(
             "%6d %14lld %14lld\n", b,

@@ -49,10 +49,9 @@ int main(int argc, char** argv) {
   }
 
   // Run BFS-tree construction under the three-party harness.
-  congest::Network net(lbn.topology(), congest::NetworkConfig{
-                                           .bandwidth = 8,
-                                           .record_trace = true});
-  const auto tree = dist::build_bfs_tree(net, lbn.path_node(0, 1));
+  congest::Network net(lbn.topology(), congest::NetworkConfig{.bandwidth = 8});
+  const auto tree =
+      dist::build_bfs_tree(net, lbn.path_node(0, 1), {.record_trace = true});
   const auto acc = core::account_three_party_cost(lbn, net);
   std::printf(
       "simulation harness over %d rounds: Carol %lld + David %lld charged "

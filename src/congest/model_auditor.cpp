@@ -1,14 +1,18 @@
 #include "congest/model_auditor.hpp"
 
+#include "graph/graph.hpp"
 #include "util/expect.hpp"
 
 namespace qdc::congest {
 
-ModelAuditor::ModelAuditor(const graph::Graph& topology, int bandwidth)
+ModelAuditor::ModelAuditor(const TopologyView& topology, int bandwidth)
     : topology_(topology),
       bandwidth_(bandwidth),
       round_fields_(static_cast<std::size_t>(topology.edge_count()) * 2, 0),
-      shards_(1) {
+      shards_(1),
+      halted_(static_cast<std::size_t>(topology.node_count()), 0),
+      computed_stamp_(static_cast<std::size_t>(topology.node_count()), -1),
+      received_stamp_(static_cast<std::size_t>(topology.node_count()), -1) {
   QDC_EXPECT(bandwidth >= 1, "ModelAuditor: bandwidth must be >= 1");
 }
 
@@ -19,15 +23,36 @@ void ModelAuditor::set_shard_count(int shards) {
   shards_.resize(static_cast<std::size_t>(shards));
 }
 
-void ModelAuditor::begin_round(int round,
-                               const std::vector<bool>& halted_at_round_start) {
+void ModelAuditor::begin_round(int round, const RoundActivity& activity) {
   QDC_EXPECT(!round_open_, "ModelAuditor::begin_round: round already open");
   QDC_EXPECT(round == rounds_, "ModelAuditor::begin_round: rounds must be "
                                "audited consecutively from 0");
-  QDC_EXPECT(halted_at_round_start.size() ==
-                 static_cast<std::size_t>(topology_.node_count()),
-             "ModelAuditor::begin_round: halt vector size mismatch");
-  halted_at_round_start_ = halted_at_round_start;
+  if (activity.newly_halted != nullptr) {
+    for (const graph::NodeId u : *activity.newly_halted) {
+      QDC_EXPECT(u >= 0 && u < topology_.node_count(),
+                 "ModelAuditor::begin_round: bad halted node id");
+      halted_[static_cast<std::size_t>(u)] = 1;
+    }
+  }
+  frontier_round_ = activity.computed != nullptr;
+  if (frontier_round_) {
+    for (const graph::NodeId u : *activity.computed) {
+      QDC_EXPECT(u >= 0 && u < topology_.node_count(),
+                 "ModelAuditor::begin_round: bad computed node id");
+      QDC_CHECK(halted_[static_cast<std::size_t>(u)] == 0,
+                "[audit] frontier mode scheduled a halted node to compute");
+      computed_stamp_[static_cast<std::size_t>(u)] = round;
+    }
+    // The frontier invariant's receiving half: a message delivered last
+    // round obliges its receiver to run this round — a node with a
+    // nonempty inbox must never be skipped.
+    for (const graph::NodeId v : received_prev_) {
+      QDC_CHECK(computed_stamp_[static_cast<std::size_t>(v)] == round,
+                "[audit] frontier mode skipped a node with a nonempty "
+                "inbox: the computed set was tampered with or the "
+                "scheduler dropped a pending receiver");
+    }
+  }
   round_open_ = true;
 }
 
@@ -39,13 +64,17 @@ void ModelAuditor::on_message(int shard, graph::NodeId from, graph::NodeId to,
              "ModelAuditor::on_message: bad shard index");
   QDC_EXPECT(edge >= 0 && edge < topology_.edge_count(),
              "ModelAuditor::on_message: bad edge id");
-  const graph::Edge& e = topology_.edge(edge);
+  const graph::Edge e = topology_.edge(edge);
   QDC_CHECK((from == e.u && to == e.v) || (from == e.v && to == e.u),
             "[audit] a message was attributed to an edge that does not "
             "connect its sender and receiver");
   QDC_CHECK(fields > 0, "[audit] a delivered message carries zero fields");
-  QDC_CHECK(!halted_at_round_start_[static_cast<std::size_t>(from)],
+  QDC_CHECK(halted_[static_cast<std::size_t>(from)] == 0,
             "[audit] a node that halted in an earlier round sent a message");
+  if (frontier_round_) {
+    QDC_CHECK(computed_stamp_[static_cast<std::size_t>(from)] == rounds_,
+              "[audit] a node outside the computed frontier sent a message");
+  }
   QDC_CHECK(delivered == !receiver_halted,
             "[audit] message delivery disagrees with the receiver's halt "
             "status (halted nodes receive nothing; live nodes miss nothing)");
@@ -56,10 +85,15 @@ void ModelAuditor::on_message(int shard, graph::NodeId from, graph::NodeId to,
   round_fields_[key] += static_cast<std::int64_t>(fields);
   ++tally.messages;
   tally.fields += static_cast<std::int64_t>(fields);
+  if (delivered && received_stamp_[static_cast<std::size_t>(to)] != rounds_) {
+    received_stamp_[static_cast<std::size_t>(to)] = rounds_;
+    tally.received.push_back(to);
+  }
 }
 
 void ModelAuditor::end_round() {
   QDC_EXPECT(round_open_, "ModelAuditor::end_round: no open round");
+  received_prev_.clear();
   for (ShardTally& tally : shards_) {
     for (const std::size_t key : tally.touched) {
       QDC_CHECK(round_fields_[key] <= bandwidth_,
@@ -68,14 +102,27 @@ void ModelAuditor::end_round() {
       round_fields_[key] = 0;
     }
     tally.touched.clear();
+    received_prev_.insert(received_prev_.end(), tally.received.begin(),
+                          tally.received.end());
+    tally.received.clear();
     messages_ += tally.messages;
     fields_ += tally.fields;
     tally.messages = 0;
     tally.fields = 0;
   }
-  fields_per_round_.push_back(fields_);
   round_open_ = false;
   ++rounds_;
+}
+
+void ModelAuditor::fast_forward_silent(int total_rounds) {
+  QDC_EXPECT(!round_open_,
+             "ModelAuditor::fast_forward_silent: a round is still open");
+  QDC_EXPECT(total_rounds >= rounds_,
+             "ModelAuditor::fast_forward_silent: cannot rewind rounds");
+  QDC_CHECK(received_prev_.empty(),
+            "[audit] frontier mode fast-forwarded past a node with a "
+            "nonempty inbox: the silent-remainder claim is false");
+  rounds_ = total_rounds;
 }
 
 void ModelAuditor::verify(const RunStats& stats) const {

@@ -4,22 +4,23 @@
 
 #include "congest/model_auditor.hpp"
 #include "util/expect.hpp"
+#include "util/rng.hpp"
+#include "util/shard.hpp"
 
 namespace qdc::congest {
 
 namespace {
 
-/// SplitMix64: deterministic hash used for the shared random tape.
-std::uint64_t splitmix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
+/// Baseline work of a node beyond its per-edge cost (program dispatch,
+/// halt bookkeeping). Feeds the degree-weighted shard boundaries.
+constexpr std::int64_t kNodeWorkBias = 4;
 
-/// Nodes per engine shard. Sharding depends on n only — never on the
-/// thread count — so shard-order merges are thread-count-invariant.
-constexpr int kNodesPerShard = 32;
+/// Inbox handed to frontier-activated nodes whose buffered inbox is stale
+/// (they were woken, not delivered to).
+const std::vector<Incoming>& empty_inbox() {
+  static const std::vector<Incoming> kEmpty;
+  return kEmpty;
+}
 
 }  // namespace
 
@@ -35,58 +36,51 @@ int NodeContext::bandwidth() const { return attached().config().bandwidth; }
 int NodeContext::round() const { return attached().round(); }
 
 NodeId NodeContext::neighbor(int port) const {
-  QDC_EXPECT(port >= 0 && port < degree(), "NodeContext::neighbor: bad port");
-  return port_peer_[static_cast<std::size_t>(port)];
+  QDC_EXPECT(port >= 0 && port < degree_, "NodeContext::neighbor: bad port");
+  return attached().port_peer_[static_cast<std::size_t>(first_port_ + port)];
 }
 
 int NodeContext::port_to(NodeId v) const {
-  for (int p = 0; p < degree(); ++p) {
-    if (port_peer_[static_cast<std::size_t>(p)] == v) return p;
+  const Network& net = attached();
+  for (int p = 0; p < degree_; ++p) {
+    if (net.port_peer_[static_cast<std::size_t>(first_port_ + p)] == v) {
+      return p;
+    }
   }
   return -1;
 }
 
 double NodeContext::edge_weight(int port) const {
-  QDC_EXPECT(port >= 0 && port < degree(),
+  QDC_EXPECT(port >= 0 && port < degree_,
              "NodeContext::edge_weight: bad port");
-  return attached().edge_weight(ports_[static_cast<std::size_t>(port)]);
+  const Network& net = attached();
+  return net.edge_weight(
+      net.port_edge_[static_cast<std::size_t>(first_port_ + port)]);
 }
 
 bool NodeContext::edge_in_subnetwork(int port) const {
-  QDC_EXPECT(port >= 0 && port < degree(),
+  QDC_EXPECT(port >= 0 && port < degree_,
              "NodeContext::edge_in_subnetwork: bad port");
   const Network& net = attached();
   if (!net.has_subnetwork_) return true;
-  return net.subnetwork_.contains(ports_[static_cast<std::size_t>(port)]);
-}
-
-void NodeContext::stage(int port, const std::int64_t* fields,
-                        std::size_t count) {
-  QDC_EXPECT(port >= 0 && port < degree(), "NodeContext::send: bad port");
-  QDC_EXPECT(!halted_, "NodeContext::send: node already halted");
-  QDC_CHECK(count > 0, "NodeContext::send: empty message");
-  auto& used = staged_fields_[static_cast<std::size_t>(port)];
-  QDC_CHECK(used + static_cast<int>(count) <= bandwidth(),
-            "CONGEST bandwidth exceeded: a node tried to push more than B "
-            "fields through one edge in one round");
-  used += static_cast<int>(count);
-  const auto offset = static_cast<std::uint32_t>(staged_pool_.size());
-  staged_pool_.insert(staged_pool_.end(), fields, fields + count);
-  staged_by_port_[static_cast<std::size_t>(port)].push_back(
-      StagedRef{offset, static_cast<std::uint32_t>(count)});
+  return net.subnetwork_.contains(
+      net.port_edge_[static_cast<std::size_t>(first_port_ + port)]);
 }
 
 void NodeContext::send(int port, const Payload& message) {
-  stage(port, message.data(), message.size());
+  attached();
+  network_->stage_fields(*this, port, message.data(), message.size());
 }
 
 void NodeContext::send(int port, Payload&& message) {
-  stage(port, message.data(), message.size());
+  attached();
+  network_->stage_fields(*this, port, message.data(), message.size());
 }
 
 void NodeContext::send_all(const Payload& message) {
-  for (int p = 0; p < degree(); ++p) {
-    stage(p, message.data(), message.size());
+  attached();
+  for (int p = 0; p < degree_; ++p) {
+    network_->stage_fields(*this, p, message.data(), message.size());
   }
 }
 
@@ -99,68 +93,120 @@ std::uint64_t NodeContext::shared_hash(std::int64_t key) const {
                     splitmix64(static_cast<std::uint64_t>(key)));
 }
 
-Network::Network(graph::Graph topology, NetworkConfig config)
-    : topology_(std::move(topology)),
-      weights_(static_cast<std::size_t>(topology_.edge_count()), 1.0),
-      config_(config) {
+Network::Network(std::shared_ptr<const TopologyView> view, NetworkConfig config)
+    : view_(std::move(view)), config_(config) {
+  QDC_EXPECT(view_ != nullptr, "Network: null TopologyView");
   QDC_EXPECT(config_.bandwidth >= 1, "Network: bandwidth must be >= 1");
-  const int n = topology_.node_count();
-  contexts_.resize(static_cast<std::size_t>(n));
+  n_ = view_->node_count();
+  const int m = view_->edge_count();
+  contexts_.resize(static_cast<std::size_t>(n_));
   for (auto& buffer : inboxes_) {
-    buffer.resize(static_cast<std::size_t>(n));
+    buffer.resize(static_cast<std::size_t>(n_));
   }
-  // Port index of each edge at its two endpoints, for O(1) back-port
-  // lookup during delivery (port_to would be O(degree) per message).
-  std::vector<int> port_at_u(static_cast<std::size_t>(topology_.edge_count()),
-                             -1);
-  std::vector<int> port_at_v(static_cast<std::size_t>(topology_.edge_count()),
-                             -1);
-  for (NodeId u = 0; u < n; ++u) {
+
+  // CSR port tables. Filling them validates the view: every port's edge
+  // must connect the node to the reported peer, and every edge must be
+  // incident to exactly two ports.
+  port_begin_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (NodeId u = 0; u < n_; ++u) {
+    port_begin_[static_cast<std::size_t>(u) + 1] =
+        port_begin_[static_cast<std::size_t>(u)] + view_->degree(u);
+  }
+  const std::int64_t total_ports = port_begin_[static_cast<std::size_t>(n_)];
+  QDC_EXPECT(total_ports == 2 * static_cast<std::int64_t>(m),
+             "Network: TopologyView degree sum disagrees with edge count");
+  port_peer_.resize(static_cast<std::size_t>(total_ports));
+  port_edge_.resize(static_cast<std::size_t>(total_ports));
+  port_back_.assign(static_cast<std::size_t>(total_ports), -1);
+  std::vector<std::int64_t> first_slot(static_cast<std::size_t>(m), -1);
+  for (NodeId u = 0; u < n_; ++u) {
     auto& ctx = contexts_[static_cast<std::size_t>(u)];
     ctx.network_ = this;
     ctx.id_ = u;
-    int port = 0;
-    for (const graph::Adjacency& a : topology_.neighbors(u)) {
-      ctx.ports_.push_back(a.edge);
-      ctx.port_peer_.push_back(a.neighbor);
-      if (topology_.edge(a.edge).u == u) {
-        port_at_u[static_cast<std::size_t>(a.edge)] = port;
+    ctx.first_port_ = port_begin_[static_cast<std::size_t>(u)];
+    ctx.degree_ = view_->degree(u);
+    for (int p = 0; p < ctx.degree_; ++p) {
+      const std::int64_t gp = ctx.first_port_ + p;
+      const EdgeId e = view_->edge_at(u, p);
+      const NodeId peer = view_->neighbor(u, p);
+      const graph::Edge ends = view_->edge(e);
+      QDC_EXPECT((ends.u == u && ends.v == peer) ||
+                     (ends.v == u && ends.u == peer),
+                 "Network: TopologyView port tables disagree with edge "
+                 "endpoints");
+      port_peer_[static_cast<std::size_t>(gp)] = peer;
+      port_edge_[static_cast<std::size_t>(gp)] = e;
+      std::int64_t& slot = first_slot[static_cast<std::size_t>(e)];
+      if (slot == -1) {
+        slot = gp;
       } else {
-        port_at_v[static_cast<std::size_t>(a.edge)] = port;
+        QDC_EXPECT(slot >= 0,
+                   "Network: TopologyView reports an edge on more than two "
+                   "ports");
+        port_back_[static_cast<std::size_t>(gp)] = slot;
+        port_back_[static_cast<std::size_t>(slot)] = gp;
+        slot = -2;
       }
-      ++port;
-    }
-    ctx.staged_by_port_.resize(ctx.ports_.size());
-    ctx.staged_fields_.resize(ctx.ports_.size(), 0);
-  }
-  for (NodeId u = 0; u < n; ++u) {
-    auto& ctx = contexts_[static_cast<std::size_t>(u)];
-    for (std::size_t p = 0; p < ctx.ports_.size(); ++p) {
-      const EdgeId e = ctx.ports_[p];
-      const NodeId peer = ctx.port_peer_[p];
-      ctx.peer_back_port_.push_back(
-          topology_.edge(e).u == peer
-              ? port_at_u[static_cast<std::size_t>(e)]
-              : port_at_v[static_cast<std::size_t>(e)]);
     }
   }
-  const int shard_count =
-      std::max(1, (n + kNodesPerShard - 1) / kNodesPerShard);
+  for (const std::int64_t slot : first_slot) {
+    QDC_EXPECT(slot == -2,
+               "Network: TopologyView reports an edge on fewer than two "
+               "ports");
+  }
+
+  // Work-weighted shard boundaries: pure function of the topology.
+  std::vector<std::int64_t> work(static_cast<std::size_t>(n_));
+  for (NodeId u = 0; u < n_; ++u) {
+    work[static_cast<std::size_t>(u)] =
+        kNodeWorkBias + contexts_[static_cast<std::size_t>(u)].degree_;
+  }
+  const std::vector<std::size_t> bounds =
+      util::WeightedShardPlan::boundaries(work);
+  if (bounds.size() < 2) {
+    shards_.emplace_back(0, 0);
+  } else {
+    for (std::size_t s = 0; s + 1 < bounds.size(); ++s) {
+      shards_.emplace_back(static_cast<NodeId>(bounds[s]),
+                           static_cast<NodeId>(bounds[s + 1]));
+    }
+  }
+  const int shard_count = static_cast<int>(shards_.size());
+  shard_of_.resize(static_cast<std::size_t>(n_));
   for (int s = 0; s < shard_count; ++s) {
-    const NodeId begin = s * kNodesPerShard;
-    const NodeId end = std::min(n, begin + kNodesPerShard);
-    shards_.emplace_back(begin, end);
+    for (NodeId u = shards_[static_cast<std::size_t>(s)].first;
+         u < shards_[static_cast<std::size_t>(s)].second; ++u) {
+      shard_of_[static_cast<std::size_t>(u)] = s;
+    }
   }
   shard_scratch_.resize(static_cast<std::size_t>(shard_count));
+  arenas_.resize(static_cast<std::size_t>(shard_count));
+  staged_head_.assign(static_cast<std::size_t>(total_ports), -1);
+  staged_tail_.assign(static_cast<std::size_t>(total_ports), -1);
+  port_used_.assign(static_cast<std::size_t>(total_ports), 0);
+  active_.resize(static_cast<std::size_t>(shard_count));
+  recv_work_.resize(static_cast<std::size_t>(shard_count));
+  recv_stamp_.assign(static_cast<std::size_t>(n_), -1);
+  inbox_stamp_.assign(static_cast<std::size_t>(n_), -2);
 }
 
+Network::Network(graph::Graph topology, NetworkConfig config)
+    : Network(std::make_shared<MaterializedView>(std::move(topology)),
+              config) {}
+
 Network::Network(const graph::WeightedGraph& topology, NetworkConfig config)
-    : Network(topology.topology(), config) {
-  weights_ = topology.weights();
+    : Network(std::make_shared<MaterializedView>(topology), config) {}
+
+const graph::Graph& Network::topology() const {
+  const graph::Graph* g = view_->materialized();
+  QDC_EXPECT(g != nullptr,
+             "Network::topology: built over an implicit TopologyView; use "
+             "view() instead");
+  return *g;
 }
 
 void Network::set_subnetwork(const graph::EdgeSubset& m) {
-  QDC_EXPECT(m.universe_size() == topology_.edge_count(),
+  QDC_EXPECT(m.universe_size() == view_->edge_count(),
              "Network::set_subnetwork: universe mismatch");
   subnetwork_ = m;
   has_subnetwork_ = true;
@@ -169,7 +215,7 @@ void Network::set_subnetwork(const graph::EdgeSubset& m) {
 void Network::clear_subnetwork() { has_subnetwork_ = false; }
 
 void Network::set_input(NodeId u, Payload input) {
-  QDC_EXPECT(topology_.valid_node(u), "Network::set_input: bad node");
+  QDC_EXPECT(u >= 0 && u < n_, "Network::set_input: bad node");
   contexts_[static_cast<std::size_t>(u)].input_ = std::move(input);
 }
 
@@ -180,13 +226,20 @@ void Network::install(const ProgramFactory& factory) {
   trace_recorded_ = false;
   round_ = 0;
   inbox_cur_ = 0;
-  for (NodeId u = 0; u < topology_.node_count(); ++u) {
+  for (ShardArena& arena : arenas_) {
+    arena.fields.clear();
+    arena.records.clear();
+  }
+  std::fill(staged_head_.begin(), staged_head_.end(), -1);
+  std::fill(staged_tail_.begin(), staged_tail_.end(), -1);
+  std::fill(port_used_.begin(), port_used_.end(), 0);
+  std::fill(recv_stamp_.begin(), recv_stamp_.end(), -1);
+  std::fill(inbox_stamp_.begin(), inbox_stamp_.end(), -2);
+  for (NodeId u = 0; u < n_; ++u) {
     auto& ctx = contexts_[static_cast<std::size_t>(u)];
     ctx.output_.reset();
     ctx.halted_ = false;
-    ctx.staged_pool_.clear();
-    for (auto& q : ctx.staged_by_port_) q.clear();
-    std::fill(ctx.staged_fields_.begin(), ctx.staged_fields_.end(), 0);
+    ctx.wake_ = false;
     for (auto& buffer : inboxes_) {
       buffer[static_cast<std::size_t>(u)].clear();
     }
@@ -208,15 +261,54 @@ void Network::ensure_pool(int threads) {
   }
 }
 
-void Network::dispatch(const std::function<void(int)>& job) {
+void Network::dispatch_all(const std::function<void(int)>& job) {
   const int shard_count = static_cast<int>(shards_.size());
-  if (pool_) {
+  if (pool_ && shard_count > 1) {
     pool_->run(shard_count, job);
     return;
   }
   for (int s = 0; s < shard_count; ++s) {
     job(s);
   }
+}
+
+void Network::dispatch_list(const std::vector<int>& shard_ids,
+                            const std::function<void(int)>& job) {
+  const int count = static_cast<int>(shard_ids.size());
+  if (pool_ && count > 1) {
+    pool_->run(count, [&](int i) { job(shard_ids[static_cast<std::size_t>(i)]); });
+    return;
+  }
+  for (int i = 0; i < count; ++i) {
+    job(shard_ids[static_cast<std::size_t>(i)]);
+  }
+}
+
+void Network::stage_fields(NodeContext& ctx, int port,
+                           const std::int64_t* fields, std::size_t count) {
+  QDC_EXPECT(port >= 0 && port < ctx.degree_, "NodeContext::send: bad port");
+  QDC_EXPECT(!ctx.halted_, "NodeContext::send: node already halted");
+  QDC_CHECK(count > 0, "NodeContext::send: empty message");
+  const std::int64_t gp = ctx.first_port_ + port;
+  int& used = port_used_[static_cast<std::size_t>(gp)];
+  QDC_CHECK(used + static_cast<int>(count) <= config_.bandwidth,
+            "CONGEST bandwidth exceeded: a node tried to push more than B "
+            "fields through one edge in one round");
+  used += static_cast<int>(count);
+  ShardArena& arena =
+      arenas_[static_cast<std::size_t>(shard_of_[static_cast<std::size_t>(ctx.id_)])];
+  const auto offset = static_cast<std::uint32_t>(arena.fields.size());
+  arena.fields.insert(arena.fields.end(), fields, fields + count);
+  const auto rec = static_cast<std::int32_t>(arena.records.size());
+  arena.records.push_back(
+      StagedRec{gp, -1, offset, static_cast<std::uint32_t>(count)});
+  std::int32_t& tail = staged_tail_[static_cast<std::size_t>(gp)];
+  if (tail >= 0) {
+    arena.records[static_cast<std::size_t>(tail)].next = rec;
+  } else {
+    staged_head_[static_cast<std::size_t>(gp)] = rec;
+  }
+  tail = rec;
 }
 
 void Network::compute_shard(int shard) {
@@ -228,73 +320,122 @@ void Network::compute_shard(int shard) {
     if (ctx.halted_) continue;
     programs_[static_cast<std::size_t>(u)]->on_round(
         ctx, inbox[static_cast<std::size_t>(u)]);
-    if (!ctx.halted_) scratch.any_live = true;
+    ctx.wake_ = false;  // dense mode runs every live node anyway
+    if (ctx.halted_) scratch.halted.push_back(u);
   }
+}
+
+void Network::compute_frontier_shard(int shard) {
+  ShardScratch& scratch = shard_scratch_[static_cast<std::size_t>(shard)];
+  const auto& inbox = inboxes_[static_cast<std::size_t>(inbox_cur_)];
+  for (const NodeId u : active_[static_cast<std::size_t>(shard)]) {
+    auto& ctx = contexts_[static_cast<std::size_t>(u)];
+    // A buffered inbox is fresh only if the previous round delivered into
+    // it; wake-only activations must see an empty inbox, not stale bytes.
+    const auto& box =
+        inbox_stamp_[static_cast<std::size_t>(u)] == round_ - 1
+            ? inbox[static_cast<std::size_t>(u)]
+            : empty_inbox();
+    programs_[static_cast<std::size_t>(u)]->on_round(ctx, box);
+    if (ctx.wake_) {
+      ctx.wake_ = false;
+      if (!ctx.halted_) scratch.wake.push_back(u);
+    }
+    if (ctx.halted_) scratch.halted.push_back(u);
+  }
+}
+
+void Network::deliver_node(NodeId v, int shard, bool record_trace,
+                           ModelAuditor* auditor) {
+  ShardScratch& scratch = shard_scratch_[static_cast<std::size_t>(shard)];
+  auto& box = inboxes_[static_cast<std::size_t>(1 - inbox_cur_)]
+                      [static_cast<std::size_t>(v)];
+  const auto& rctx = contexts_[static_cast<std::size_t>(v)];
+  const bool receiver_halted = rctx.halted_;
+  std::size_t used = 0;
+  for (int p = 0; p < rctx.degree_; ++p) {
+    const std::int64_t gp = rctx.first_port_ + p;
+    const std::int64_t back = port_back_[static_cast<std::size_t>(gp)];
+    std::int32_t rec = staged_head_[static_cast<std::size_t>(back)];
+    if (rec < 0) continue;
+    const NodeId u = port_peer_[static_cast<std::size_t>(gp)];
+    const EdgeId e = port_edge_[static_cast<std::size_t>(gp)];
+    const ShardArena& arena = arenas_[static_cast<std::size_t>(
+        shard_of_[static_cast<std::size_t>(u)])];
+    for (; rec >= 0; rec = arena.records[static_cast<std::size_t>(rec)].next) {
+      const StagedRec& m = arena.records[static_cast<std::size_t>(rec)];
+      const bool delivered = !receiver_halted;
+      if (auditor != nullptr) {
+        auditor->on_message(shard, u, v, e, m.size, delivered,
+                            receiver_halted);
+      }
+      ++scratch.messages;
+      scratch.fields += m.size;
+      if (record_trace) {
+        scratch.trace.push_back(
+            TracedMessage{u, v, e, static_cast<int>(m.size)});
+      }
+      if (delivered) {
+        const std::int64_t* first = arena.fields.data() + m.offset;
+        const std::int64_t* last = first + m.size;
+        if (used < box.size()) {
+          box[used].port = p;
+          box[used].data.assign(first, last);
+        } else {
+          box.push_back(Incoming{p, Payload(first, last)});
+        }
+        ++used;
+      }
+    }
+  }
+  box.resize(used);
+  if (used > 0) inbox_stamp_[static_cast<std::size_t>(v)] = round_;
 }
 
 void Network::deliver_shard(int shard, bool record_trace,
                             ModelAuditor* auditor) {
   const auto [begin, end] = shards_[static_cast<std::size_t>(shard)];
-  ShardScratch& scratch = shard_scratch_[static_cast<std::size_t>(shard)];
-  auto& next = inboxes_[static_cast<std::size_t>(1 - inbox_cur_)];
   for (NodeId v = begin; v < end; ++v) {
-    const auto& rctx = contexts_[static_cast<std::size_t>(v)];
-    auto& box = next[static_cast<std::size_t>(v)];
-    std::size_t used = 0;
-    const bool receiver_halted = rctx.halted_;
-    const int deg = rctx.degree();
-    for (int p = 0; p < deg; ++p) {
-      const NodeId u = rctx.port_peer_[static_cast<std::size_t>(p)];
-      const auto& sctx = contexts_[static_cast<std::size_t>(u)];
-      const int back = rctx.peer_back_port_[static_cast<std::size_t>(p)];
-      const auto& staged = sctx.staged_by_port_[static_cast<std::size_t>(back)];
-      if (staged.empty()) continue;
-      const EdgeId e = rctx.ports_[static_cast<std::size_t>(p)];
-      for (const NodeContext::StagedRef& m : staged) {
-        const bool delivered = !receiver_halted;
-        if (auditor != nullptr) {
-          auditor->on_message(shard, u, v, e, m.size, delivered,
-                              receiver_halted);
-        }
-        ++scratch.messages;
-        scratch.fields += m.size;
-        if (record_trace) {
-          scratch.trace.push_back(
-              TracedMessage{u, v, e, static_cast<int>(m.size)});
-        }
-        if (delivered) {
-          const std::int64_t* first = sctx.staged_pool_.data() + m.offset;
-          const std::int64_t* last = first + m.size;
-          if (used < box.size()) {
-            box[used].port = p;
-            box[used].data.assign(first, last);
-          } else {
-            box.push_back(Incoming{p, Payload(first, last)});
-          }
-          ++used;
-        }
-      }
-    }
-    box.resize(used);
+    deliver_node(v, shard, record_trace, auditor);
+  }
+}
+
+void Network::deliver_frontier_shard(int shard, bool record_trace,
+                                     ModelAuditor* auditor) {
+  for (const NodeId v : recv_work_[static_cast<std::size_t>(shard)]) {
+    deliver_node(v, shard, record_trace, auditor);
   }
 }
 
 void Network::clear_staging_shard(int shard) {
-  const auto [begin, end] = shards_[static_cast<std::size_t>(shard)];
-  for (NodeId u = begin; u < end; ++u) {
-    auto& ctx = contexts_[static_cast<std::size_t>(u)];
-    ctx.staged_pool_.clear();
-    for (auto& q : ctx.staged_by_port_) q.clear();
-    std::fill(ctx.staged_fields_.begin(), ctx.staged_fields_.end(), 0);
+  ShardArena& arena = arenas_[static_cast<std::size_t>(shard)];
+  for (const StagedRec& rec : arena.records) {
+    staged_head_[static_cast<std::size_t>(rec.port)] = -1;
+    staged_tail_[static_cast<std::size_t>(rec.port)] = -1;
+    port_used_[static_cast<std::size_t>(rec.port)] = 0;
   }
+  arena.records.clear();
+  arena.fields.clear();
+}
+
+bool Network::frontier_suppressed(NodeId u) const {
+  return std::find(frontier_suppress_for_test_.begin(),
+                   frontier_suppress_for_test_.end(),
+                   u) != frontier_suppress_for_test_.end();
 }
 
 RunStats Network::run(const RunOptions& options) {
   QDC_EXPECT(!programs_.empty(), "Network::run: no programs installed");
-  QDC_EXPECT(options.max_rounds >= 0, "Network::run: negative round budget");
-  QDC_EXPECT(options.threads >= 0, "Network::run: negative thread count");
-  const bool record_trace =
-      options.record_trace.value_or(config_.record_trace);
+  QDC_EXPECT(options.max_rounds >= 0,
+             "RunOptions.max_rounds: negative round budget");
+  QDC_EXPECT(options.threads >= 0,
+             "RunOptions.threads: negative thread count "
+             "(0 means all hardware threads)");
+  QDC_EXPECT(!(options.frontier && options.record_trace && !options.audit),
+             "RunOptions.frontier: recording a trace with RunOptions.audit "
+             "disabled is not allowed — only the ModelAuditor's frontier "
+             "invariant makes a skipped-node trace trustworthy");
+  const bool record_trace = options.record_trace;
   const int threads = options.threads == 0
                           ? util::ThreadPool::hardware_threads()
                           : options.threads;
@@ -306,62 +447,29 @@ RunStats Network::run(const RunOptions& options) {
   }
 
   RunStats stats;
-  ModelAuditor auditor(topology_, config_.bandwidth);
+  ModelAuditor auditor(*view_, config_.bandwidth);
   auditor.set_shard_count(static_cast<int>(shards_.size()));
   ModelAuditor* audit = options.audit ? &auditor : nullptr;
-  const int n = node_count();
-  std::vector<bool> halted_at_start(static_cast<std::size_t>(n), false);
-  for (round_ = 0; round_ < options.max_rounds; ++round_) {
-    if (audit != nullptr) {
-      for (NodeId u = 0; u < n; ++u) {
-        halted_at_start[static_cast<std::size_t>(u)] =
-            contexts_[static_cast<std::size_t>(u)].halted_;
-      }
-      audit->begin_round(round_, halted_at_start);
-    }
-    for (ShardScratch& scratch : shard_scratch_) {
-      scratch.messages = 0;
-      scratch.fields = 0;
-      scratch.any_live = false;
-      scratch.trace.clear();
-    }
-    // Compute phase: every live node processes its inbox and stages sends
-    // into its own arena (shard-local writes only).
-    dispatch([this](int s) { compute_shard(s); });
-    // Delivery phase: sharded by receiver; each shard reads any sender's
-    // (now immutable) staging and writes only its own receivers' inboxes,
-    // tallies and trace slice. The auditor recounts every message.
-    dispatch([this, record_trace, audit](int s) {
-      deliver_shard(s, record_trace, audit);
-    });
-    // Reset phase: sharded by sender, clearing the staging arenas read by
-    // the delivery phase (cannot be fused with it — receivers of several
-    // shards read the same sender).
-    dispatch([this](int s) { clear_staging_shard(s); });
-    // Serial epilogue: merge shard results in shard-index order, which is
-    // node order — independent of how threads picked up the shards.
-    bool all_halted = true;
-    std::vector<TracedMessage> round_trace;
-    for (ShardScratch& scratch : shard_scratch_) {
-      stats.messages += scratch.messages;
-      stats.fields += scratch.fields;
-      if (scratch.any_live) all_halted = false;
-      if (record_trace) {
-        round_trace.insert(round_trace.end(), scratch.trace.begin(),
-                           scratch.trace.end());
-      }
-    }
-    if (record_trace) {
-      trace_.push_back(std::move(round_trace));
-    }
-    if (audit != nullptr) audit->end_round();
-    inbox_cur_ = 1 - inbox_cur_;
-    if (all_halted) {
-      stats.rounds = round_ + 1;
-      stats.completed = true;
-      break;
+
+  // Halt census: the nodes already halted when this run starts are the
+  // auditor's round-0 newly_halted set, and live_count_ drives the
+  // all-halted completion check incrementally from there.
+  newly_halted_.clear();
+  live_count_ = 0;
+  for (NodeId u = 0; u < n_; ++u) {
+    if (contexts_[static_cast<std::size_t>(u)].halted_) {
+      newly_halted_.push_back(u);
+    } else {
+      ++live_count_;
     }
   }
+
+  if (options.frontier) {
+    run_frontier_loop(options, record_trace, audit, stats);
+  } else {
+    run_dense_loop(options, record_trace, audit, stats);
+  }
+
   if (!stats.completed) {
     stats.rounds = options.max_rounds;
   }
@@ -377,13 +485,250 @@ RunStats Network::run(const RunOptions& options) {
   return stats;
 }
 
+void Network::run_dense_loop(const RunOptions& options, bool record_trace,
+                             ModelAuditor* audit, RunStats& stats) {
+  for (round_ = 0; round_ < options.max_rounds; ++round_) {
+    if (audit != nullptr) {
+      audit->begin_round(round_, RoundActivity{&newly_halted_, nullptr});
+    }
+    for (ShardScratch& scratch : shard_scratch_) {
+      scratch.messages = 0;
+      scratch.fields = 0;
+      scratch.trace.clear();
+      scratch.halted.clear();
+      scratch.wake.clear();
+    }
+    // Compute phase: every live node processes its inbox and stages sends
+    // into its shard's arena (shard-local writes only).
+    dispatch_all([this](int s) { compute_shard(s); });
+    // Delivery phase: sharded by receiver; each shard reads any sender's
+    // (now immutable) staging and writes only its own receivers' inboxes,
+    // tallies and trace slice. The auditor recounts every message.
+    dispatch_all([this, record_trace, audit](int s) {
+      deliver_shard(s, record_trace, audit);
+    });
+    // Reset phase: sharded by sender, clearing the staging arenas read by
+    // the delivery phase (cannot be fused with it — receivers of several
+    // shards read the same sender).
+    dispatch_all([this](int s) { clear_staging_shard(s); });
+    // Serial epilogue: merge shard results in shard-index order, which is
+    // node order — independent of how threads picked up the shards.
+    newly_halted_.clear();
+    std::vector<TracedMessage> round_trace;
+    for (ShardScratch& scratch : shard_scratch_) {
+      stats.messages += scratch.messages;
+      stats.fields += scratch.fields;
+      newly_halted_.insert(newly_halted_.end(), scratch.halted.begin(),
+                           scratch.halted.end());
+      if (record_trace) {
+        round_trace.insert(round_trace.end(), scratch.trace.begin(),
+                           scratch.trace.end());
+      }
+    }
+    live_count_ -= static_cast<std::int64_t>(newly_halted_.size());
+    if (record_trace) {
+      trace_.push_back(std::move(round_trace));
+    }
+    if (audit != nullptr) audit->end_round();
+    inbox_cur_ = 1 - inbox_cur_;
+    if (live_count_ == 0) {
+      stats.rounds = round_ + 1;
+      stats.completed = true;
+      break;
+    }
+  }
+}
+
+void Network::run_frontier_loop(const RunOptions& options, bool record_trace,
+                                ModelAuditor* audit, RunStats& stats) {
+  const int shard_count = static_cast<int>(shards_.size());
+  // Reset frontier state (a previous dense run may have left stale
+  // entries) and seed round 0 with every live node: dense and frontier
+  // runs are indistinguishable until the first round's activity is known.
+  std::fill(recv_stamp_.begin(), recv_stamp_.end(), -1);
+  std::fill(inbox_stamp_.begin(), inbox_stamp_.end(), -2);
+  for (int s = 0; s < shard_count; ++s) {
+    active_[static_cast<std::size_t>(s)].clear();
+    recv_work_[static_cast<std::size_t>(s)].clear();
+    ShardScratch& scratch = shard_scratch_[static_cast<std::size_t>(s)];
+    scratch.halted.clear();
+    scratch.wake.clear();
+  }
+  for (NodeId u = 0; u < n_; ++u) {
+    if (!contexts_[static_cast<std::size_t>(u)].halted_ &&
+        !frontier_suppressed(u)) {
+      active_[static_cast<std::size_t>(shard_of_[static_cast<std::size_t>(u)])]
+          .push_back(u);
+    }
+  }
+  for (round_ = 0; round_ < options.max_rounds; ++round_) {
+    active_shards_.clear();
+    computed_flat_.clear();
+    for (int s = 0; s < shard_count; ++s) {
+      const auto& list = active_[static_cast<std::size_t>(s)];
+      if (list.empty()) continue;
+      active_shards_.push_back(s);
+      computed_flat_.insert(computed_flat_.end(), list.begin(), list.end());
+    }
+    if (computed_flat_.empty()) {
+      if (live_count_ == 0) {
+        // Everyone halted before this round: one empty round completes
+        // the run, exactly as the dense loop reports it.
+        if (audit != nullptr) {
+          audit->begin_round(round_,
+                             RoundActivity{&newly_halted_, &computed_flat_});
+          audit->end_round();
+        }
+        if (record_trace) trace_.emplace_back();
+        stats.rounds = round_ + 1;
+        stats.completed = true;
+      } else {
+        // Silent remainder: nothing is staged and no inbox is pending, so
+        // no node can ever act again. Fast-forward to the round budget —
+        // the rounds the dense loop would idle through. The auditor
+        // independently verifies the no-pending-inbox claim.
+        if (record_trace) {
+          while (trace_.size() <
+                 static_cast<std::size_t>(options.max_rounds)) {
+            trace_.emplace_back();
+          }
+        }
+        if (audit != nullptr) {
+          audit->fast_forward_silent(options.max_rounds);
+        }
+      }
+      return;
+    }
+    if (audit != nullptr) {
+      audit->begin_round(round_,
+                         RoundActivity{&newly_halted_, &computed_flat_});
+    }
+    // Compute phase over active shards only.
+    dispatch_list(active_shards_, [this](int s) { compute_frontier_shard(s); });
+    // Serial worklist build: O(staged records). Receivers are deduplicated
+    // with a round stamp and bucketed per shard; sorting restores node
+    // order so the delivery (and trace) order matches the dense loop.
+    touched_shards_.clear();
+    for (const int s : active_shards_) {
+      for (const StagedRec& rec :
+           arenas_[static_cast<std::size_t>(s)].records) {
+        const NodeId v = port_peer_[static_cast<std::size_t>(rec.port)];
+        int& stamp = recv_stamp_[static_cast<std::size_t>(v)];
+        if (stamp == round_) continue;
+        stamp = round_;
+        const int t = shard_of_[static_cast<std::size_t>(v)];
+        if (recv_work_[static_cast<std::size_t>(t)].empty()) {
+          touched_shards_.push_back(t);
+        }
+        recv_work_[static_cast<std::size_t>(t)].push_back(v);
+      }
+    }
+    std::sort(touched_shards_.begin(), touched_shards_.end());
+    for (const int t : touched_shards_) {
+      std::sort(recv_work_[static_cast<std::size_t>(t)].begin(),
+                recv_work_[static_cast<std::size_t>(t)].end());
+      ShardScratch& scratch = shard_scratch_[static_cast<std::size_t>(t)];
+      scratch.messages = 0;
+      scratch.fields = 0;
+      scratch.trace.clear();
+    }
+    // Delivery over the touched receiver shards, then staging reset over
+    // the active sender shards.
+    dispatch_list(touched_shards_, [this, record_trace, audit](int s) {
+      deliver_frontier_shard(s, record_trace, audit);
+    });
+    dispatch_list(active_shards_, [this](int s) { clear_staging_shard(s); });
+    // Serial epilogue, all merges in shard-index order.
+    std::vector<TracedMessage> round_trace;
+    for (const int t : touched_shards_) {
+      const ShardScratch& scratch =
+          shard_scratch_[static_cast<std::size_t>(t)];
+      stats.messages += scratch.messages;
+      stats.fields += scratch.fields;
+      if (record_trace) {
+        round_trace.insert(round_trace.end(), scratch.trace.begin(),
+                           scratch.trace.end());
+      }
+    }
+    if (record_trace) {
+      trace_.push_back(std::move(round_trace));
+    }
+    newly_halted_.clear();
+    for (const int s : active_shards_) {
+      ShardScratch& scratch = shard_scratch_[static_cast<std::size_t>(s)];
+      newly_halted_.insert(newly_halted_.end(), scratch.halted.begin(),
+                           scratch.halted.end());
+      scratch.halted.clear();
+    }
+    live_count_ -= static_cast<std::int64_t>(newly_halted_.size());
+    // Next frontier: per shard, the union of this round's live delivered
+    // receivers and this round's wake requests, both already sorted.
+    for (const int s : active_shards_) {
+      // Shards active this round whose receivers list is empty still need
+      // their wake lists folded in below; clear their old frontier first.
+      active_[static_cast<std::size_t>(s)].clear();
+    }
+    std::size_t ti = 0;
+    std::size_t ai = 0;
+    while (ti < touched_shards_.size() || ai < active_shards_.size()) {
+      int s = 0;
+      if (ti == touched_shards_.size()) {
+        s = active_shards_[ai++];
+      } else if (ai == active_shards_.size()) {
+        s = touched_shards_[ti++];
+      } else if (touched_shards_[ti] < active_shards_[ai]) {
+        s = touched_shards_[ti++];
+      } else if (active_shards_[ai] < touched_shards_[ti]) {
+        s = active_shards_[ai++];
+      } else {
+        s = touched_shards_[ti++];
+        ++ai;
+      }
+      ShardScratch& scratch = shard_scratch_[static_cast<std::size_t>(s)];
+      auto& recv = recv_work_[static_cast<std::size_t>(s)];
+      next_active_tmp_.clear();
+      std::size_t ri = 0;
+      std::size_t wi = 0;
+      while (ri < recv.size() || wi < scratch.wake.size()) {
+        NodeId v = 0;
+        if (ri == recv.size()) {
+          v = scratch.wake[wi++];
+        } else if (wi == scratch.wake.size()) {
+          v = recv[ri++];
+        } else if (recv[ri] < scratch.wake[wi]) {
+          v = recv[ri++];
+        } else if (scratch.wake[wi] < recv[ri]) {
+          v = scratch.wake[wi++];
+        } else {
+          v = recv[ri++];
+          ++wi;
+        }
+        if (contexts_[static_cast<std::size_t>(v)].halted_) continue;
+        if (frontier_suppressed(v)) continue;
+        next_active_tmp_.push_back(v);
+      }
+      active_[static_cast<std::size_t>(s)].assign(next_active_tmp_.begin(),
+                                                  next_active_tmp_.end());
+      recv.clear();
+      scratch.wake.clear();
+    }
+    if (audit != nullptr) audit->end_round();
+    inbox_cur_ = 1 - inbox_cur_;
+    if (live_count_ == 0) {
+      stats.rounds = round_ + 1;
+      stats.completed = true;
+      return;
+    }
+  }
+}
+
 std::optional<std::int64_t> Network::output(NodeId u) const {
-  QDC_EXPECT(topology_.valid_node(u), "Network::output: bad node");
+  QDC_EXPECT(u >= 0 && u < n_, "Network::output: bad node");
   return contexts_[static_cast<std::size_t>(u)].output();
 }
 
 NodeProgram* Network::program(NodeId u) {
-  QDC_EXPECT(topology_.valid_node(u), "Network::program: bad node");
+  QDC_EXPECT(u >= 0 && u < n_, "Network::program: bad node");
   QDC_EXPECT(!programs_.empty(), "Network::program: nothing installed");
   return programs_[static_cast<std::size_t>(u)].get();
 }
@@ -400,29 +745,45 @@ std::vector<std::int64_t> Network::outputs() const {
 }
 
 double Network::edge_weight(EdgeId e) const {
-  QDC_EXPECT(e >= 0 && e < topology_.edge_count(),
+  QDC_EXPECT(e >= 0 && e < view_->edge_count(),
              "Network::edge_weight: bad edge");
-  return weights_[static_cast<std::size_t>(e)];
+  return view_->edge_weight(e);
 }
 
 void Network::stage_unchecked_for_test(NodeId u, int port, Payload message) {
-  QDC_EXPECT(topology_.valid_node(u),
-             "Network::stage_unchecked_for_test: bad node");
+  QDC_EXPECT(u >= 0 && u < n_, "Network::stage_unchecked_for_test: bad node");
   auto& ctx = contexts_[static_cast<std::size_t>(u)];
-  QDC_EXPECT(port >= 0 && port < ctx.degree(),
+  QDC_EXPECT(port >= 0 && port < ctx.degree_,
              "Network::stage_unchecked_for_test: bad port");
   QDC_EXPECT(!message.empty(),
              "Network::stage_unchecked_for_test: empty message");
-  const auto offset = static_cast<std::uint32_t>(ctx.staged_pool_.size());
-  ctx.staged_pool_.insert(ctx.staged_pool_.end(), message.begin(),
-                          message.end());
-  ctx.staged_by_port_[static_cast<std::size_t>(port)].push_back(
-      NodeContext::StagedRef{offset,
-                             static_cast<std::uint32_t>(message.size())});
+  // Deliberately skips the port_used_ budget charge: the next audited run
+  // must catch the resulting under-count.
+  const std::int64_t gp = ctx.first_port_ + port;
+  ShardArena& arena = arenas_[static_cast<std::size_t>(
+      shard_of_[static_cast<std::size_t>(u)])];
+  const auto offset = static_cast<std::uint32_t>(arena.fields.size());
+  arena.fields.insert(arena.fields.end(), message.begin(), message.end());
+  const auto rec = static_cast<std::int32_t>(arena.records.size());
+  arena.records.push_back(
+      StagedRec{gp, -1, offset, static_cast<std::uint32_t>(message.size())});
+  std::int32_t& tail = staged_tail_[static_cast<std::size_t>(gp)];
+  if (tail >= 0) {
+    arena.records[static_cast<std::size_t>(tail)].next = rec;
+  } else {
+    staged_head_[static_cast<std::size_t>(gp)] = rec;
+  }
+  tail = rec;
 }
 
 void Network::set_stats_tamper_for_test(std::function<void(RunStats&)> tamper) {
   stats_tamper_for_test_ = std::move(tamper);
+}
+
+void Network::suppress_frontier_node_for_test(NodeId u) {
+  QDC_EXPECT(u >= 0 && u < n_,
+             "Network::suppress_frontier_node_for_test: bad node");
+  frontier_suppress_for_test_.push_back(u);
 }
 
 }  // namespace qdc::congest

@@ -1,12 +1,15 @@
 // Synchronous CONGEST(B) network simulator (Section 2.1 / Appendix A.1).
 //
-// A Network wraps an undirected topology. Each node runs a NodeProgram:
-// every round the program sees the messages delivered this round and may
-// send at most `bandwidth` fields through each incident edge (per
-// direction). Programs have unbounded local computation, know their own id,
-// their neighbors' ids (and nothing else about the topology), the total
-// node count n, and any per-node problem input. Nodes halt explicitly; the
-// run ends when every node has halted.
+// A Network wraps an undirected topology, described by a TopologyView —
+// either a materialized graph::Graph or an implicit, formula-backed
+// provider (congest/topology.hpp, core/lb_topology.hpp) that scales to
+// 10^6..10^7 nodes. Each node runs a NodeProgram: every round the program
+// sees the messages delivered this round and may send at most `bandwidth`
+// fields through each incident edge (per direction). Programs have
+// unbounded local computation, know their own id, their neighbors' ids
+// (and nothing else about the topology), the total node count n, and any
+// per-node problem input. Nodes halt explicitly; the run ends when every
+// node has halted.
 //
 // Entanglement / shared randomness: the model grants all nodes access to a
 // common random tape that is independent of the input (footnote 2 of the
@@ -21,15 +24,29 @@
 //
 // Parallel execution: rounds are synchronous, so within one round every
 // node's on_round is independent (it reads its own inbox, writes its own
-// staging) and delivery to distinct receivers is independent. run()
-// exploits this with a deterministic sharded engine: nodes are split into
-// contiguous shards (a function of n only, never of the thread count),
-// shards execute on a work-stealing-free thread pool, and every merge —
-// delivered inboxes, RunStats tallies, traces, audit recounts — happens in
-// shard-index order. Outputs, RunStats, and traces are therefore
-// bit-identical for any RunOptions::threads value. Within one receiver's
-// inbox, messages are ordered by the receiver's port index (i.e. by
-// (edge, direction)), then by the sender's staging order on that edge.
+// shard's staging arena) and delivery to distinct receivers is
+// independent. run() exploits this with a deterministic sharded engine:
+// nodes are split into contiguous shards along the cumulative-work curve
+// (degree-weighted — a pure function of the topology, never of the thread
+// count), shards execute on a work-stealing-free thread pool, and every
+// merge — delivered inboxes, RunStats tallies, traces, audit recounts —
+// happens in shard-index order. Outputs, RunStats, and traces are
+// therefore bit-identical for any RunOptions::threads value. Within one
+// receiver's inbox, messages are ordered by the receiver's port index
+// (i.e. by (edge, direction)), then by the sender's staging order on that
+// edge.
+//
+// Frontier mode (RunOptions::frontier): an event-driven variant of the
+// round loop that runs only the *active* nodes — those delivered a
+// message last round or that called request_wake() — and skips everyone
+// else, so a round costs O(activity) instead of O(n + m). The scheduling
+// contract: a program must act only on message arrival or an explicit
+// wake it requested; a silent, unwoken node's on_round must be a no-op.
+// For programs honoring that contract, frontier runs are bit-identical —
+// outputs, RunStats, traces — to dense runs at every thread count. The
+// ModelAuditor independently enforces the checkable half of the contract
+// every round: no node outside the computed frontier sends, and no node
+// with a nonempty inbox is ever skipped.
 //
 // NodePrograms are per-node instances and must not share mutable state
 // with each other if the network is run with threads > 1.
@@ -45,6 +62,7 @@
 
 #include "congest/message.hpp"
 #include "congest/stats.hpp"
+#include "congest/topology.hpp"
 #include "graph/graph.hpp"
 #include "util/thread_pool.hpp"
 
@@ -67,7 +85,7 @@ class NodeContext {
  public:
   NodeId id() const { return id_; }
   int node_count() const;       ///< n is global knowledge (standard).
-  int degree() const { return static_cast<int>(ports_.size()); }
+  int degree() const { return degree_; }
   int bandwidth() const;        ///< fields per edge per direction per round.
   int round() const;            ///< current round number (0-based).
 
@@ -89,7 +107,7 @@ class NodeContext {
 
   /// Queue a message through `port`; throws ModelError if the per-edge
   /// budget for this round is exceeded. The fields are staged in the
-  /// node's flat per-round arena — no per-message allocation.
+  /// node's shard arena — no per-message allocation in steady state.
   void send(int port, const Payload& message);
   void send(int port, Payload&& message);
 
@@ -105,6 +123,11 @@ class NodeContext {
   void halt() { halted_ = true; }
   bool halted() const { return halted_; }
 
+  /// Frontier mode: schedule this node next round even if no message
+  /// arrives (the only way a silent node may act again). A no-op in dense
+  /// mode, where every live node runs every round anyway.
+  void request_wake() { wake_ = true; }
+
   /// Shared random bit / 64-bit hash addressed by a key. Every node gets
   /// the same answer for the same key without any communication.
   bool shared_bit(std::int64_t key) const;
@@ -119,34 +142,17 @@ class NodeContext {
  private:
   friend class Network;
 
-  /// One staged message: `size` fields at `offset` in staged_pool_.
-  struct StagedRef {
-    std::uint32_t offset = 0;
-    std::uint32_t size = 0;
-  };
-
   /// The owning network; throws ContractError on a detached context.
   const Network& attached() const;
 
-  /// Copies `count` fields into the staging arena after the budget check.
-  void stage(int port, const std::int64_t* fields, std::size_t count);
-
-  const Network* network_ = nullptr;
+  Network* network_ = nullptr;
   NodeId id_ = -1;
-  std::vector<EdgeId> ports_;        // port -> global edge id
-  std::vector<NodeId> port_peer_;    // port -> neighbor node id
-  std::vector<int> peer_back_port_;  // port -> the same edge's port index
-                                     //         at the neighbor
+  std::int64_t first_port_ = 0;  // global index of this node's port 0
+  int degree_ = 0;
   Payload input_;
   std::optional<std::int64_t> output_;
   bool halted_ = false;
-
-  // Per-round send staging: one flat field arena per node (reused across
-  // rounds, so steady-state staging performs no allocation at all) plus
-  // per-port references into it, in staging order.
-  std::vector<std::int64_t> staged_pool_;
-  std::vector<std::vector<StagedRef>> staged_by_port_;
-  std::vector<int> staged_fields_;   // fields used per port this round
+  bool wake_ = false;
 };
 
 /// A distributed algorithm, instantiated once per node. `on_round` runs
@@ -164,10 +170,10 @@ using ProgramFactory =
 struct NetworkConfig {
   int bandwidth = 8;              ///< fields per edge per direction per round
   std::uint64_t shared_seed = 0x9e3779b97f4a7c15ULL;
-  bool record_trace = false;      ///< default trace setting for run()
 };
 
-/// Per-run execution options for Network::run.
+/// Per-run execution options for Network::run — the single source of
+/// truth for how a run executes (there are no per-network defaults).
 struct RunOptions {
   int max_rounds = 0;   ///< round budget; the run stops when it elapses
 
@@ -175,24 +181,41 @@ struct RunOptions {
   /// all hardware threads. Results are bit-identical for every value.
   int threads = 1;
 
-  /// Per-run trace override; unset = NetworkConfig::record_trace.
-  std::optional<bool> record_trace;
+  /// Record the per-round message trace (off by default).
+  bool record_trace = false;
 
   /// Run the ModelAuditor second accountant (default on). Disable only
   /// for benchmarking the raw engine; unaudited runs are not trustworthy
   /// evidence for any bound.
   bool audit = true;
+
+  /// Event-driven round loop: run only nodes that were delivered a
+  /// message or requested a wake, skip the rest, and fast-forward silent
+  /// remainders. Requires event-driven programs (see the header comment);
+  /// combining it with record_trace demands audit stay on.
+  bool frontier = false;
 };
 
 /// The synchronous network. Construction freezes the topology; inputs and
 /// programs may be (re)installed between runs.
 class Network {
  public:
+  /// The general constructor: any TopologyView, materialized or implicit.
+  Network(std::shared_ptr<const TopologyView> view, NetworkConfig config);
+
+  /// Convenience adapters wrapping the graph in a MaterializedView.
   Network(graph::Graph topology, NetworkConfig config);
   Network(const graph::WeightedGraph& topology, NetworkConfig config);
 
-  int node_count() const { return topology_.node_count(); }
-  const graph::Graph& topology() const { return topology_; }
+  int node_count() const { return n_; }
+
+  /// The structural view the network was built over.
+  const TopologyView& view() const { return *view_; }
+
+  /// The materialized topology; throws ContractError when the network was
+  /// built over an implicit view (use view() there instead).
+  const graph::Graph& topology() const;
+
   const NetworkConfig& config() const { return config_; }
   int round() const { return round_; }
 
@@ -211,14 +234,8 @@ class Network {
   /// deterministic sharded round engine with `options.threads` threads.
   /// Unless options.audit is off, the whole run is audited by a
   /// ModelAuditor; a model violation or an accounting mismatch throws
-  /// ModelError.
+  /// ModelError. Invalid options throw ContractError up front.
   RunStats run(const RunOptions& options);
-
-  /// Deprecated single-thread entry point, kept as a thin wrapper.
-  [[deprecated("use run(const RunOptions&)")]]
-  RunStats run(int max_rounds) {
-    return run(RunOptions{.max_rounds = max_rounds});
-  }
 
   std::optional<std::int64_t> output(NodeId u) const;
 
@@ -245,35 +262,80 @@ class Network {
   friend class NodeContext;
   friend class testing::NetworkTestAccess;
 
+  /// One staged message: `size` fields at `offset` in the sender shard's
+  /// arena, chained per sender port in staging order.
+  struct StagedRec {
+    std::int64_t port = 0;     // sender's global port index
+    std::int32_t next = -1;    // next record on the same port (-1 = end)
+    std::uint32_t offset = 0;
+    std::uint32_t size = 0;
+  };
+
+  /// Per-shard staging arena. Only the owning shard's compute phase
+  /// writes it; padded so neighboring arenas never share a cache line.
+  struct alignas(64) ShardArena {
+    std::vector<std::int64_t> fields;
+    std::vector<StagedRec> records;
+  };
+
   /// Per-shard scratch for one round, merged in shard-index order. Padded
   /// so threads tallying different shards do not share cache lines.
   struct alignas(64) ShardScratch {
     std::int64_t messages = 0;
     std::int64_t fields = 0;
-    bool any_live = false;
-    std::vector<TracedMessage> trace;  // reused across rounds
+    std::vector<TracedMessage> trace;
+    std::vector<NodeId> halted;  // nodes that halted this round
+    std::vector<NodeId> wake;    // live nodes that requested a wake
   };
+
+  /// Budget-checked staging used by NodeContext::send.
+  void stage_fields(NodeContext& ctx, int port, const std::int64_t* fields,
+                    std::size_t count);
 
   /// Test-only hooks, reachable through congest::testing::NetworkTestAccess.
   void stage_unchecked_for_test(NodeId u, int port, Payload message);
   void set_stats_tamper_for_test(std::function<void(RunStats&)> tamper);
-
-  /// Runs `job(shard)` over all node shards, on the pool when one is
-  /// active, inline (in shard order) otherwise.
-  void dispatch(const std::function<void(int)>& job);
+  void suppress_frontier_node_for_test(NodeId u);
 
   /// (Re)creates the thread pool to match the requested thread count.
   void ensure_pool(int threads);
 
+  /// Runs `job` over all shards / an explicit shard-id list, on the pool
+  /// when one is active, inline (in list order) otherwise.
+  void dispatch_all(const std::function<void(int)>& job);
+  void dispatch_list(const std::vector<int>& shard_ids,
+                     const std::function<void(int)>& job);
+
   void compute_shard(int shard);
+  void compute_frontier_shard(int shard);
+  void deliver_node(NodeId v, int shard, bool record_trace,
+                    ModelAuditor* auditor);
   void deliver_shard(int shard, bool record_trace, ModelAuditor* auditor);
+  void deliver_frontier_shard(int shard, bool record_trace,
+                              ModelAuditor* auditor);
   void clear_staging_shard(int shard);
 
-  graph::Graph topology_;
-  std::vector<double> weights_;
+  void run_dense_loop(const RunOptions& options, bool record_trace,
+                      ModelAuditor* audit, RunStats& stats);
+  void run_frontier_loop(const RunOptions& options, bool record_trace,
+                         ModelAuditor* audit, RunStats& stats);
+
+  bool frontier_suppressed(NodeId u) const;
+
+  std::shared_ptr<const TopologyView> view_;
   NetworkConfig config_;
   graph::EdgeSubset subnetwork_;
   bool has_subnetwork_ = false;
+  int n_ = 0;
+
+  // CSR port tables (struct-of-arrays): node u's ports are the global
+  // slots [port_begin_[u], port_begin_[u+1]). port_back_ maps a slot to
+  // the same edge's slot at the other endpoint, for O(1) reverse lookup.
+  std::vector<std::int64_t> port_begin_;
+  std::vector<NodeId> port_peer_;
+  std::vector<EdgeId> port_edge_;
+  std::vector<std::int64_t> port_back_;
+  std::vector<int> shard_of_;  // node -> owning shard
 
   std::vector<NodeContext> contexts_;
   std::vector<std::unique_ptr<NodeProgram>> programs_;
@@ -285,10 +347,34 @@ class Network {
   std::array<std::vector<std::vector<Incoming>>, 2> inboxes_;
   int inbox_cur_ = 0;
 
-  // Engine sharding: contiguous node ranges, fixed by n alone so that the
-  // shard-order merges are independent of the thread count.
+  // Engine sharding: contiguous node ranges placed along the cumulative
+  // degree-work curve (util::WeightedShardPlan) — fixed by the topology
+  // alone so that shard-order merges are thread-count-invariant.
   std::vector<std::pair<NodeId, NodeId>> shards_;
   std::vector<ShardScratch> shard_scratch_;
+
+  // Message staging: per-shard arenas plus per-global-port chain heads,
+  // budget counters owned by the sender's shard.
+  std::vector<ShardArena> arenas_;
+  std::vector<std::int32_t> staged_head_;
+  std::vector<std::int32_t> staged_tail_;
+  std::vector<int> port_used_;
+
+  // Frontier mode state. active_ holds the sorted per-shard frontier;
+  // recv_work_ the sorted per-shard receivers of the current round;
+  // stamps deduplicate (recv) and invalidate stale inboxes.
+  std::vector<std::vector<NodeId>> active_;
+  std::vector<std::vector<NodeId>> recv_work_;
+  std::vector<int> active_shards_;
+  std::vector<int> touched_shards_;
+  std::vector<int> recv_stamp_;
+  std::vector<int> inbox_stamp_;
+  std::vector<NodeId> computed_flat_;
+  std::vector<NodeId> next_active_tmp_;
+  std::vector<NodeId> newly_halted_;
+  std::int64_t live_count_ = 0;
+  std::vector<NodeId> frontier_suppress_for_test_;
+
   std::unique_ptr<util::ThreadPool> pool_;
   int pool_threads_ = 1;
 

@@ -14,4 +14,8 @@ void NetworkTestAccess::set_stats_tamper(
   net.set_stats_tamper_for_test(std::move(tamper));
 }
 
+void NetworkTestAccess::suppress_frontier_node(Network& net, NodeId u) {
+  net.suppress_frontier_node_for_test(u);
+}
+
 }  // namespace qdc::congest::testing

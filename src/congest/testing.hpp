@@ -25,6 +25,11 @@ class NetworkTestAccess {
   /// bandwidth accounting.
   static void set_stats_tamper(Network& net,
                                std::function<void(RunStats&)> tamper);
+
+  /// Excludes `u` from every frontier the engine builds, simulating a
+  /// scheduler that drops a pending receiver. The next frontier-mode run's
+  /// ModelAuditor must reject the round after a message reaches u.
+  static void suppress_frontier_node(Network& net, NodeId u);
 };
 
 }  // namespace qdc::congest::testing

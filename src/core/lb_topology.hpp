@@ -1,0 +1,84 @@
+// Implicit TopologyView of the lower-bound network N(Gamma, L).
+//
+// LbNetwork (core/lb_network.hpp) materializes N(Gamma, L) as a
+// graph::Graph — fine up to ~10^4 nodes, hopeless at the 10^6..10^7 scale
+// the engine benchmarks target, where adjacency lists alone would cost
+// gigabytes. LbTopologyView answers every TopologyView query from the
+// closed-form structure instead: node ids, edge ids, degrees, ports and
+// endpoints are all arithmetic over (Gamma, L, k), with only O(k) section
+// offsets stored.
+//
+// The numbering is *identical* to LbNetwork's construction order (nodes:
+// paths row-major, then highway levels; edges: path edges, intra-highway
+// edges, column links level by level, left clique, right clique), so a
+// Network built over this view is bit-for-bit interchangeable with one
+// built over LbNetwork(gamma, length).topology() — a property pinned by
+// tests at small sizes and relied on by the million-node benchmarks.
+#pragma once
+
+#include <vector>
+
+#include "congest/topology.hpp"
+#include "graph/graph.hpp"
+
+namespace qdc::core {
+
+class LbTopologyView final : public congest::TopologyView {
+ public:
+  /// Describes N(Gamma, L); L is rounded up to the next 2^k + 1, exactly
+  /// as LbNetwork does.
+  LbTopologyView(int gamma, int length);
+
+  int node_count() const override { return nodes_; }
+  int edge_count() const override { return edges_; }
+  int degree(graph::NodeId u) const override;
+  graph::NodeId neighbor(graph::NodeId u, int port) const override;
+  graph::EdgeId edge_at(graph::NodeId u, int port) const override;
+  graph::Edge edge(graph::EdgeId e) const override;
+  const char* kind() const override { return "lb_network"; }
+
+  int gamma() const { return gamma_; }
+  int length() const { return length_; }          ///< L (after rounding)
+  int highway_count() const { return highways_; } ///< k = log2(L - 1)
+  int line_count() const { return gamma_ + highways_; }
+
+  /// Node id of path node v^i_j (path 0 <= i < gamma, position 1 <= j <= L).
+  graph::NodeId path_node(int i, int j) const;
+
+  /// Node id of highway node h^lvl at index m (position 1 + m 2^lvl).
+  graph::NodeId highway_node_at(int level, int m) const;
+
+ private:
+  /// Resolves port `port` of node `u` to (edge id, peer id) in one walk
+  /// over the node's port sections (ports are in increasing edge-id order).
+  void port_entry(graph::NodeId u, int port, graph::EdgeId* edge,
+                  graph::NodeId* peer) const;
+
+  /// Member `l` (line index; paths first, then highways) of the left or
+  /// right end-column clique.
+  graph::NodeId clique_member(bool right, int l) const;
+
+  /// Lexicographic rank of pair (a, b), a < b, among the line_count()
+  /// endpoints of one clique.
+  int clique_rank(int a, int b) const;
+
+  int gamma_;
+  int length_;
+  int highways_;  // k
+  int nodes_ = 0;
+  int edges_ = 0;
+
+  // Section offsets, all O(k) in size. Highway level lvl (1-based) has
+  // count_[lvl] nodes starting at node_base_[lvl]; its intra edges start
+  // at intra_base_[lvl]; the column links whose upper endpoint is level
+  // lvl start at col_base_[lvl] (level 1 links carry Gamma edges per
+  // highway node, higher levels one each). clique_base_[0] / [1] are the
+  // left / right end-column cliques.
+  std::vector<int> count_;
+  std::vector<int> node_base_;
+  std::vector<int> intra_base_;
+  std::vector<int> col_base_;
+  int clique_base_[2] = {0, 0};
+};
+
+}  // namespace qdc::core

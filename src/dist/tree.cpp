@@ -313,7 +313,8 @@ class GatherProgram : public congest::NodeProgram {
 
 GatherResult run_gather(Network& net, const BfsTreeResult& tree,
                         int item_size,
-                        const std::vector<std::vector<Payload>>& items) {
+                        const std::vector<std::vector<Payload>>& items,
+                        const congest::RunOptions& base) {
   QDC_EXPECT(static_cast<int>(items.size()) == net.node_count(),
              "run_gather: one item list per node required");
   QDC_EXPECT(item_size >= 1, "run_gather: bad item size");
@@ -334,9 +335,10 @@ GatherResult run_gather(Network& net, const BfsTreeResult& tree,
         tree.local[static_cast<std::size_t>(u)], rate,
         items[static_cast<std::size_t>(u)]);
   });
-  const auto stats =
-      net.run({.max_rounds = static_cast<int>(4 * net.node_count() +
-                                              2 * total_items + 20)});
+  congest::RunOptions options = base;
+  options.max_rounds =
+      static_cast<int>(4 * net.node_count() + 2 * total_items + 20);
+  const auto stats = net.run(options);
   QDC_CHECK(stats.completed, "run_gather: did not complete");
   auto* root_prog = dynamic_cast<GatherProgram*>(net.program(tree.root));
   GatherResult result;
@@ -345,12 +347,16 @@ GatherResult run_gather(Network& net, const BfsTreeResult& tree,
   return result;
 }
 
-BfsTreeResult build_bfs_tree(Network& net, NodeId root) {
-  QDC_EXPECT(net.topology().valid_node(root), "build_bfs_tree: bad root");
+BfsTreeResult build_bfs_tree(Network& net, NodeId root,
+                             const congest::RunOptions& base) {
+  QDC_EXPECT(root >= 0 && root < net.node_count(),
+             "build_bfs_tree: bad root");
   net.install([root](NodeId, const NodeContext&) {
     return std::make_unique<BfsTreeProgram>(root);
   });
-  const auto stats = net.run({.max_rounds = 3 * net.node_count() + 10});
+  congest::RunOptions options = base;
+  options.max_rounds = 3 * net.node_count() + 10;
+  const auto stats = net.run(options);
   QDC_CHECK(stats.completed,
             "build_bfs_tree: network is disconnected (tree never finished)");
   BfsTreeResult result;
@@ -369,7 +375,8 @@ BfsTreeResult build_bfs_tree(Network& net, NodeId root) {
 
 AggregateResult run_aggregate(Network& net, const BfsTreeResult& tree,
                               const std::vector<Combiner>& combiners,
-                              const std::vector<Payload>& contributions) {
+                              const std::vector<Payload>& contributions,
+                              const congest::RunOptions& base) {
   QDC_EXPECT(static_cast<int>(contributions.size()) == net.node_count(),
              "run_aggregate: one contribution per node required");
   QDC_EXPECT(static_cast<int>(combiners.size()) + 1 <=
@@ -384,7 +391,9 @@ AggregateResult run_aggregate(Network& net, const BfsTreeResult& tree,
         tree.local[static_cast<std::size_t>(u)], combiners,
         contributions[static_cast<std::size_t>(u)]);
   });
-  const auto stats = net.run({.max_rounds = 3 * net.node_count() + 10});
+  congest::RunOptions options = base;
+  options.max_rounds = 3 * net.node_count() + 10;
+  const auto stats = net.run(options);
   QDC_CHECK(stats.completed, "run_aggregate: did not complete");
   auto* root_prog =
       dynamic_cast<AggregateProgram*>(net.program(tree.root));
@@ -395,14 +404,17 @@ AggregateResult run_aggregate(Network& net, const BfsTreeResult& tree,
 }
 
 BroadcastResult run_broadcast(Network& net, const BfsTreeResult& tree,
-                              Payload value) {
+                              Payload value,
+                              const congest::RunOptions& base) {
   QDC_EXPECT(static_cast<int>(value.size()) + 1 <= net.config().bandwidth,
              "run_broadcast: value does not fit the bandwidth");
   net.install([&](NodeId u, const NodeContext&) {
     return std::make_unique<BroadcastProgram>(
         tree.local[static_cast<std::size_t>(u)], value);
   });
-  const auto stats = net.run({.max_rounds = 3 * net.node_count() + 10});
+  congest::RunOptions options = base;
+  options.max_rounds = 3 * net.node_count() + 10;
+  const auto stats = net.run(options);
   QDC_CHECK(stats.completed, "run_broadcast: did not complete");
   BroadcastResult result;
   result.stats = stats;

@@ -50,7 +50,12 @@ struct BfsTreeResult {
 
 /// Builds a BFS tree rooted at `root` over the (connected) topology.
 /// Throws ModelError if some node is unreachable within the round budget.
-BfsTreeResult build_bfs_tree(Network& net, NodeId root);
+/// `base` carries execution options for the underlying run (threads,
+/// trace recording, frontier mode); its max_rounds is overridden by the
+/// algorithm's own schedule. All tree/aggregation drivers below take the
+/// same trailing parameter.
+BfsTreeResult build_bfs_tree(Network& net, NodeId root,
+                             const congest::RunOptions& base = {});
 
 enum class Combiner : std::int64_t {
   kSum = 0,
@@ -71,7 +76,8 @@ struct AggregateResult {
 /// same length as `combiners`, and length + 1 must fit in the bandwidth.
 AggregateResult run_aggregate(Network& net, const BfsTreeResult& tree,
                               const std::vector<Combiner>& combiners,
-                              const std::vector<Payload>& contributions);
+                              const std::vector<Payload>& contributions,
+                              const congest::RunOptions& base = {});
 
 /// Broadcast `value` (a short payload) from the tree root to every node;
 /// returns per-node received copies (for testing) and stats.
@@ -80,7 +86,8 @@ struct BroadcastResult {
   congest::RunStats stats;
 };
 BroadcastResult run_broadcast(Network& net, const BfsTreeResult& tree,
-                              Payload value);
+                              Payload value,
+                              const congest::RunOptions& base = {});
 
 /// Pipelined gather (upcast): every node contributes zero or more
 /// fixed-size items; all items are streamed up the tree (store-and-forward,
@@ -93,6 +100,7 @@ struct GatherResult {
 };
 GatherResult run_gather(Network& net, const BfsTreeResult& tree,
                         int item_size,
-                        const std::vector<std::vector<Payload>>& items);
+                        const std::vector<std::vector<Payload>>& items,
+                        const congest::RunOptions& base = {});
 
 }  // namespace qdc::dist

@@ -24,4 +24,14 @@ inline bool coin(Rng& rng, double p = 0.5) {
   return std::bernoulli_distribution(p)(rng);
 }
 
+/// SplitMix64 finalizer: the deterministic 64-bit mixer behind the CONGEST
+/// shared random tape and the formula-backed topology generators. Not a
+/// stream — callers derive independent values by hashing distinct keys.
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 }  // namespace qdc

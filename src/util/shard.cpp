@@ -1,0 +1,43 @@
+#include "util/shard.hpp"
+
+#include <algorithm>
+
+namespace qdc::util {
+
+std::vector<std::size_t> WeightedShardPlan::boundaries(
+    const std::vector<std::int64_t>& work) {
+  const std::size_t n = work.size();
+  std::vector<std::size_t> bounds;
+  bounds.push_back(0);
+  if (n == 0) return bounds;
+
+  std::int64_t total = 0;
+  for (const std::int64_t w : work) {
+    total += std::max<std::int64_t>(1, w);
+  }
+  std::int64_t shard_count = total / kMinWorkPerShard;
+  shard_count = std::max<std::int64_t>(1, shard_count);
+  shard_count = std::min<std::int64_t>(shard_count, kMaxShards);
+  shard_count = std::min<std::int64_t>(shard_count, static_cast<std::int64_t>(n));
+
+  // Close shard s at the first item whose cumulative work reaches s/count
+  // of the total (thresholds compared cross-multiplied; total * count stays
+  // far below the int64 range for any realistic work vector). An oversized
+  // item may swallow several thresholds — those shards are simply not
+  // emitted, which keeps every shard nonempty.
+  std::int64_t cum = 0;
+  std::int64_t s = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    cum += std::max<std::int64_t>(1, work[i]);
+    while (s < shard_count && cum * shard_count >= total * s) {
+      if (i + 1 > bounds.back() && i + 1 < n) {
+        bounds.push_back(i + 1);
+      }
+      ++s;
+    }
+  }
+  bounds.push_back(n);
+  return bounds;
+}
+
+}  // namespace qdc::util

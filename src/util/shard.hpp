@@ -16,7 +16,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "util/thread_pool.hpp"
 
@@ -53,6 +55,30 @@ struct ShardPlan {
     return items * (static_cast<std::size_t>(shard) + 1) /
            static_cast<std::size_t>(shards);
   }
+};
+
+/// Contiguous shard boundaries over items with *unequal* per-item work.
+///
+/// ShardPlan splits by item count, which is the wrong geometry when item
+/// cost is skewed (a CONGEST node's round cost scales with its degree: a
+/// clique endpoint in the paper's N(Gamma, L) family costs ~1000x a path
+/// interior node). WeightedShardPlan places the boundaries on the
+/// cumulative-work curve instead, so every shard carries roughly equal
+/// work. Boundaries remain a pure function of the work vector — never of
+/// the thread count — preserving the shard-order-merge determinism
+/// contract above.
+struct WeightedShardPlan {
+  /// Target work per shard; inputs below 2x this stay in one shard.
+  static constexpr std::int64_t kMinWorkPerShard = 256;
+  /// Hard cap on shard count (bounds per-round dispatch overhead and the
+  /// engine's per-shard scratch on 10^6+-item inputs).
+  static constexpr int kMaxShards = 4096;
+
+  /// Returns boundaries b with b.front() == 0, b.back() == work.size();
+  /// shard s spans [b[s], b[s+1]) and is never empty. Each item's work is
+  /// clamped below at 1.
+  static std::vector<std::size_t> boundaries(
+      const std::vector<std::int64_t>& work);
 };
 
 /// Executes body(shard, begin, end) for every shard of `plan`, over `pool`

@@ -5,9 +5,14 @@
 // counts fails loudly instead of averaging out.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
+#include <optional>
+
 #include "congest/network.hpp"
 #include "congest/stats.hpp"
 #include "congest/testing.hpp"
+#include "congest/topology.hpp"
 #include "core/lb_network.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
@@ -135,7 +140,7 @@ TEST(EngineDeterminism, TraceOverrideAndRecordedFlag) {
     return std::make_unique<MixProgram>();
   });
   EXPECT_TRUE(net.run({.max_rounds = 50, .threads = 2}).completed);
-  EXPECT_FALSE(net.trace_recorded());  // config default is off
+  EXPECT_FALSE(net.trace_recorded());  // RunOptions default is off
   EXPECT_TRUE(net.trace().empty());
 
   net.install([](NodeId, const NodeContext&) {
@@ -179,6 +184,176 @@ TEST(EngineDeterminism, ParallelAuditorRejectsUnderchargedSend) {
   });
   testing::NetworkTestAccess::stage_unchecked(net, 0, 0, {1, 2, 3});
   EXPECT_THROW(net.run({.max_rounds = 2, .threads = 8}), ModelError);
+}
+
+/// Event-driven epidemic: sources idle (via request_wake) until their
+/// launch round, then flood; every other node acts only on message
+/// arrival, folding its inbox non-commutatively, forwarding once and
+/// halting. Honors the frontier scheduling contract, so frontier runs
+/// must be bit-identical to dense runs.
+class EpidemicProgram : public NodeProgram {
+ public:
+  explicit EpidemicProgram(int launch) : launch_(launch) {}  // < 0: not a source
+
+  void on_round(NodeContext& ctx, const std::vector<Incoming>& inbox) override {
+    if (launch_ >= 0) {
+      if (ctx.round() < launch_) {
+        ctx.request_wake();
+        return;
+      }
+      if (ctx.round() == launch_) {
+        ctx.send_all({ctx.id(), 1});
+        ctx.set_output(ctx.id());
+        ctx.halt();
+      }
+      return;
+    }
+    if (inbox.empty()) return;  // silent and unwoken: a strict no-op
+    std::uint64_t acc = 1;
+    for (const Incoming& msg : inbox) {
+      acc = acc * 1000003u + static_cast<std::uint64_t>(msg.port);
+      for (const std::int64_t f : msg.data) {
+        acc = acc * 131u + static_cast<std::uint64_t>(f);
+      }
+    }
+    ctx.send_all({static_cast<std::int64_t>(acc & 0xffff),
+                  static_cast<std::int64_t>(ctx.id() & 0xff)});
+    ctx.set_output(static_cast<std::int64_t>(acc >> 1));
+    ctx.halt();
+  }
+
+ private:
+  int launch_;
+};
+
+struct OptRunResult {
+  std::vector<std::optional<std::int64_t>> outputs;
+  RunStats stats;
+  std::vector<std::vector<TracedMessage>> trace;
+};
+
+OptRunResult run_epidemic(Network& net, int threads, bool frontier,
+                          int max_rounds) {
+  net.install([n = net.node_count()](NodeId u, const NodeContext&) {
+    // Two staggered sources: node 0 launches in round 3, the middle node
+    // in round 5 (its wave hits already-halted nodes, exercising the
+    // delivered=false paths).
+    const int launch = u == 0 ? 3 : u == n / 2 ? 5 : -1;
+    return std::make_unique<EpidemicProgram>(launch);
+  });
+  OptRunResult result;
+  result.stats = net.run({.max_rounds = max_rounds,
+                          .threads = threads,
+                          .record_trace = true,
+                          .frontier = frontier});
+  for (NodeId u = 0; u < net.node_count(); ++u) {
+    result.outputs.push_back(net.output(u));
+  }
+  result.trace = net.trace();
+  return result;
+}
+
+void expect_frontier_matches_dense(Network& net, int max_rounds = 400) {
+  const OptRunResult dense = run_epidemic(net, 1, false, max_rounds);
+  EXPECT_TRUE(dense.stats.completed);
+  EXPECT_GT(dense.stats.messages, 0);
+  for (const int threads : {1, 2, 4}) {
+    const OptRunResult frontier = run_epidemic(net, threads, true, max_rounds);
+    EXPECT_EQ(frontier.outputs, dense.outputs) << "threads=" << threads;
+    EXPECT_EQ(frontier.stats, dense.stats) << "threads=" << threads;
+    EXPECT_EQ(frontier.trace, dense.trace) << "threads=" << threads;
+  }
+  // And dense itself is thread-count invariant on this program.
+  const OptRunResult dense4 = run_epidemic(net, 4, false, max_rounds);
+  EXPECT_EQ(dense4.outputs, dense.outputs);
+  EXPECT_EQ(dense4.stats, dense.stats);
+  EXPECT_EQ(dense4.trace, dense.trace);
+}
+
+TEST(EngineDeterminism, FrontierMatchesDenseOnPath) {
+  Network net(graph::path_graph(65), NetworkConfig{.bandwidth = 8});
+  expect_frontier_matches_dense(net);
+}
+
+TEST(EngineDeterminism, FrontierMatchesDenseOnRandomTopology) {
+  Rng rng(23);
+  Network net(graph::random_connected(96, 0.08, rng),
+              NetworkConfig{.bandwidth = 8});
+  expect_frontier_matches_dense(net);
+}
+
+TEST(EngineDeterminism, FrontierMatchesDenseOnLbNetwork) {
+  const core::LbNetwork lbn(4, 9);
+  Network net(lbn.topology(), NetworkConfig{.bandwidth = 8});
+  expect_frontier_matches_dense(net);
+}
+
+TEST(EngineDeterminism, FrontierMatchesDenseOnImplicitView) {
+  // The same bit-identity over a formula-backed view: the implicit
+  // topology must be indistinguishable from the materialized one.
+  Network net(std::make_shared<PathView>(65), NetworkConfig{.bandwidth = 8});
+  expect_frontier_matches_dense(net);
+}
+
+/// A TTL-limited flood that never halts: after the wave dies out, no node
+/// is ever active again, so a frontier run must fast-forward the silent
+/// remainder and still report the same rounds/stats/trace as a dense run
+/// that idles through it.
+class TtlFloodProgram : public NodeProgram {
+ public:
+  explicit TtlFloodProgram(bool source) : source_(source) {}
+
+  void on_round(NodeContext& ctx, const std::vector<Incoming>& inbox) override {
+    if (source_) {
+      if (ctx.round() == 0) {
+        ctx.request_wake();
+        return;
+      }
+      if (ctx.round() == 1) {
+        ctx.send_all({4});  // TTL 4
+        done_ = true;
+      }
+      return;
+    }
+    if (inbox.empty() || done_) return;
+    done_ = true;
+    std::int64_t ttl = 0;
+    for (const Incoming& msg : inbox) {
+      ttl = std::max(ttl, msg.data[0]);
+    }
+    ctx.set_output(ttl);
+    if (ttl > 1) ctx.send_all({ttl - 1});
+  }
+
+ private:
+  bool source_;
+  bool done_ = false;
+};
+
+TEST(EngineDeterminism, FrontierFastForwardsSilentRemainder) {
+  Rng rng(29);
+  Network net(graph::random_connected(60, 0.06, rng),
+              NetworkConfig{.bandwidth = 8});
+  const auto run_ttl = [&net](bool frontier) {
+    net.install([](NodeId u, const NodeContext&) {
+      return std::make_unique<TtlFloodProgram>(u == 0);
+    });
+    OptRunResult result;
+    result.stats = net.run(
+        {.max_rounds = 40, .record_trace = true, .frontier = frontier});
+    for (NodeId u = 0; u < net.node_count(); ++u) {
+      result.outputs.push_back(net.output(u));
+    }
+    result.trace = net.trace();
+    return result;
+  };
+  const OptRunResult dense = run_ttl(false);
+  EXPECT_FALSE(dense.stats.completed);
+  EXPECT_EQ(dense.stats.rounds, 40);
+  const OptRunResult frontier = run_ttl(true);
+  EXPECT_EQ(frontier.outputs, dense.outputs);
+  EXPECT_EQ(frontier.stats, dense.stats);
+  EXPECT_EQ(frontier.trace, dense.trace);
 }
 
 TEST(EngineDeterminism, UnauditedRunStillDelivers) {

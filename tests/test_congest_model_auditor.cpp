@@ -7,6 +7,7 @@
 #include "congest/network.hpp"
 #include "congest/stats.hpp"
 #include "congest/testing.hpp"
+#include "congest/topology.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
 #include "util/expect.hpp"
@@ -179,32 +180,32 @@ TEST(ModelAuditorTest, WithinBudgetInjectionPassesTheRecount) {
 }
 
 TEST(ModelAuditorTest, StandaloneAuditorChecksEdgeEndpoints) {
-  const graph::Graph topo = graph::path_graph(3);  // edges: 0-1, 1-2
-  ModelAuditor auditor(topo, 2);
-  auditor.begin_round(0, std::vector<bool>(3, false));
+  const MaterializedView view(graph::path_graph(3));  // edges: 0-1, 1-2
+  ModelAuditor auditor(view, 2);
+  auditor.begin_round(0, {});
   // Edge 0 connects nodes 0 and 1; claiming it carried 0 -> 2 is a lie.
   EXPECT_THROW(auditor.on_message(0, 2, 0, 1, true, false), ModelError);
 }
 
 TEST(ModelAuditorTest, StandaloneAuditorSeparatesDirections) {
-  const graph::Graph topo = graph::path_graph(2);
-  ModelAuditor auditor(topo, 2);
-  auditor.begin_round(0, std::vector<bool>(2, false));
+  const MaterializedView view(graph::path_graph(2));
+  ModelAuditor auditor(view, 2);
+  auditor.begin_round(0, {});
   // B fields in each direction of the same edge is legal...
   auditor.on_message(0, 1, 0, 2, true, false);
   auditor.on_message(1, 0, 0, 2, true, false);
   auditor.end_round();
   // ...but B+1 in one direction is not.
-  auditor.begin_round(1, std::vector<bool>(2, false));
+  auditor.begin_round(1, {});
   auditor.on_message(0, 1, 0, 2, true, false);
   auditor.on_message(0, 1, 0, 1, true, false);
   EXPECT_THROW(auditor.end_round(), ModelError);
 }
 
 TEST(ModelAuditorTest, StandaloneAuditorCrossChecksStats) {
-  const graph::Graph topo = graph::path_graph(2);
-  ModelAuditor auditor(topo, 4);
-  auditor.begin_round(0, std::vector<bool>(2, false));
+  const MaterializedView view(graph::path_graph(2));
+  ModelAuditor auditor(view, 4);
+  auditor.begin_round(0, {});
   auditor.on_message(0, 1, 0, 3, true, false);
   auditor.end_round();
   EXPECT_EQ(auditor.messages(), 1);
@@ -217,6 +218,144 @@ TEST(ModelAuditorTest, StandaloneAuditorCrossChecksStats) {
   RunStats bad = good;
   bad.fields = 2;
   EXPECT_THROW(auditor.verify(bad), ModelError);
+}
+
+TEST(ModelAuditorTest, StandaloneFrontierRejectsNonComputedSender) {
+  const MaterializedView view(graph::path_graph(2));
+  ModelAuditor auditor(view, 2);
+  std::vector<graph::NodeId> computed = {1};
+  auditor.begin_round(0, {.computed = &computed});
+  // Node 0 is outside the declared frontier, so it must stay silent.
+  EXPECT_THROW(auditor.on_message(0, 1, 0, 1, true, false), ModelError);
+}
+
+TEST(ModelAuditorTest, StandaloneFrontierRejectsComputedHaltedNode) {
+  const MaterializedView view(graph::path_graph(2));
+  ModelAuditor auditor(view, 2);
+  std::vector<graph::NodeId> halted = {0};
+  std::vector<graph::NodeId> computed = {0, 1};
+  const RoundActivity activity{.newly_halted = &halted,
+                               .computed = &computed};
+  EXPECT_THROW(auditor.begin_round(0, activity), ModelError);
+}
+
+TEST(ModelAuditorTest, StandaloneFrontierRequiresReceiversToRun) {
+  const MaterializedView view(graph::path_graph(3));
+  ModelAuditor auditor(view, 2);
+  std::vector<graph::NodeId> all = {0, 1, 2};
+  auditor.begin_round(0, {.computed = &all});
+  auditor.on_message(0, 1, 0, 1, true, false);
+  auditor.end_round();
+  // Node 1 was delivered a message last round; a computed set without it
+  // is a tampered or broken schedule.
+  std::vector<graph::NodeId> skips_receiver = {0, 2};
+  const RoundActivity next{.computed = &skips_receiver};
+  EXPECT_THROW(auditor.begin_round(1, next), ModelError);
+}
+
+TEST(ModelAuditorTest, StandaloneFastForwardRejectsPendingReceiver) {
+  const MaterializedView view(graph::path_graph(2));
+  ModelAuditor auditor(view, 2);
+  std::vector<graph::NodeId> all = {0, 1};
+  auditor.begin_round(0, {.computed = &all});
+  auditor.on_message(0, 1, 0, 1, true, false);
+  auditor.end_round();
+  EXPECT_THROW(auditor.fast_forward_silent(10), ModelError);
+}
+
+TEST(ModelAuditorTest, StandaloneFastForwardAfterSilentRoundIsLegal) {
+  const MaterializedView view(graph::path_graph(2));
+  ModelAuditor auditor(view, 2);
+  std::vector<graph::NodeId> all = {0, 1};
+  auditor.begin_round(0, {.computed = &all});
+  auditor.end_round();
+  auditor.fast_forward_silent(10);
+  EXPECT_EQ(auditor.rounds(), 10);
+}
+
+/// Node 0 messages node 1 in round 0 and halts; every other node halts in
+/// round 0 too, except a ticker (the last node) that stays awake a few
+/// rounds so the frontier loop keeps executing audited rounds.
+class SendToNeighborProgram : public NodeProgram {
+ public:
+  void on_round(NodeContext& ctx, const std::vector<Incoming>& inbox) override {
+    if (ctx.round() == 0) {
+      if (ctx.id() == 0) ctx.send(0, {7});
+      if (ctx.id() == ctx.node_count() - 1) {
+        ctx.request_wake();
+        return;
+      }
+      if (ctx.id() != 1) {
+        ctx.set_output(0);
+        ctx.halt();
+      }
+      return;
+    }
+    if (ctx.id() == ctx.node_count() - 1) {
+      if (ctx.round() < 3) {
+        ctx.request_wake();
+      } else {
+        ctx.set_output(0);
+        ctx.halt();
+      }
+      return;
+    }
+    if (!inbox.empty()) {
+      ctx.set_output(inbox[0].data[0]);
+      ctx.halt();
+    }
+  }
+};
+
+TEST(ModelAuditorTest, FrontierSuppressedReceiverIsRejected) {
+  // Drop node 1 from every frontier even though node 0 messages it: the
+  // auditor must reject the round in which node 1 should have computed.
+  Network net(graph::path_graph(4), NetworkConfig{});
+  net.install([](NodeId, const NodeContext&) {
+    return std::make_unique<SendToNeighborProgram>();
+  });
+  testing::NetworkTestAccess::suppress_frontier_node(net, 1);
+  EXPECT_THROW(net.run({.max_rounds = 8, .frontier = true}), ModelError);
+}
+
+TEST(ModelAuditorTest, FrontierSuppressionCannotHideBehindFastForward) {
+  // Same tampering on a 3-node path, where no ticker keeps the loop busy:
+  // the engine would fast-forward the "silent" remainder, but node 1's
+  // inbox is pending, so the fast-forward claim is rejected too.
+  Network net(graph::path_graph(3), NetworkConfig{});
+  net.install([](NodeId, const NodeContext&) -> std::unique_ptr<NodeProgram> {
+    class Local : public NodeProgram {
+     public:
+      void on_round(NodeContext& ctx,
+                    const std::vector<Incoming>& inbox) override {
+        if (ctx.round() == 0) {
+          if (ctx.id() == 0) ctx.send(0, {7});
+          if (ctx.id() != 1) {
+            ctx.set_output(0);
+            ctx.halt();
+          }
+          return;
+        }
+        if (!inbox.empty()) {
+          ctx.set_output(inbox[0].data[0]);
+          ctx.halt();
+        }
+      }
+    };
+    return std::make_unique<Local>();
+  });
+  testing::NetworkTestAccess::suppress_frontier_node(net, 1);
+  EXPECT_THROW(net.run({.max_rounds = 8, .frontier = true}), ModelError);
+}
+
+TEST(ModelAuditorTest, UnsuppressedFrontierControlRunPasses) {
+  Network net(graph::path_graph(4), NetworkConfig{});
+  net.install([](NodeId, const NodeContext&) {
+    return std::make_unique<SendToNeighborProgram>();
+  });
+  const auto stats = net.run({.max_rounds = 8, .frontier = true});
+  EXPECT_TRUE(stats.completed);
+  EXPECT_EQ(net.output(1).value(), 7);
 }
 
 }  // namespace

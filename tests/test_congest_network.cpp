@@ -4,6 +4,7 @@
 
 #include "congest/network.hpp"
 #include "congest/stats.hpp"
+#include "congest/topology.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
 #include "util/expect.hpp"
@@ -187,12 +188,11 @@ class TalkOnceProgram : public NodeProgram {
 };
 
 TEST(Network, TraceRecordsMessages) {
-  Network net(graph::star_graph(4),
-              NetworkConfig{.bandwidth = 4, .record_trace = true});
+  Network net(graph::star_graph(4), NetworkConfig{.bandwidth = 4});
   net.install([](NodeId, const NodeContext&) {
     return std::make_unique<TalkOnceProgram>();
   });
-  const auto stats = net.run({.max_rounds = 10});
+  const auto stats = net.run({.max_rounds = 10, .record_trace = true});
   EXPECT_TRUE(stats.completed);
   ASSERT_GE(net.trace().size(), 1u);
   EXPECT_EQ(net.trace()[0].size(), 3u);  // hub sent to 3 leaves
@@ -248,17 +248,36 @@ TEST(Network, InputsArePerNode) {
   EXPECT_EQ(net.output(1).value(), 7);
 }
 
-TEST(Network, DeprecatedRunIntWrapperStillWorks) {
+TEST(Network, RejectsInvalidRunOptions) {
   Network net(graph::path_graph(5), NetworkConfig{});
   net.install([](NodeId, const NodeContext&) {
     return std::make_unique<SharedCoinProgram>();
   });
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const auto stats = net.run(3);  // legacy serial entry point
-#pragma GCC diagnostic pop
+  EXPECT_THROW(net.run({.max_rounds = -1}), ContractError);
+  EXPECT_THROW(net.run({.max_rounds = 3, .threads = -2}), ContractError);
+  EXPECT_THROW(net.run({.max_rounds = 3,
+                        .record_trace = true,
+                        .audit = false,
+                        .frontier = true}),
+               ContractError);
+  // The same options with the audit on are legal.
+  const auto stats =
+      net.run({.max_rounds = 3, .record_trace = true, .frontier = true});
   EXPECT_TRUE(stats.completed);
-  EXPECT_EQ(stats.rounds, 1);
+}
+
+TEST(Network, BuiltOverImplicitViewRunsAndRefusesTopology) {
+  Network net(std::make_shared<PathView>(6), NetworkConfig{});
+  EXPECT_EQ(net.node_count(), 6);
+  EXPECT_THROW(net.topology(), ContractError);
+  net.install([](NodeId, const NodeContext&) {
+    return std::make_unique<FloodMaxProgram>();
+  });
+  const auto stats = net.run({.max_rounds = 100});
+  EXPECT_TRUE(stats.completed);
+  for (const auto v : net.outputs()) {
+    EXPECT_EQ(v, 5);
+  }
 }
 
 }  // namespace

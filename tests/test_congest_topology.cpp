@@ -1,0 +1,268 @@
+// TopologyView contract tests: every formula-backed view must be
+// indistinguishable from the materialized graph::Graph built by inserting
+// its edges in edge-id order — same counts, degrees, ports, peers and
+// endpoints — and a Network built over the view must behave bit-for-bit
+// like one built over the graph. Also covers the LbTopologyView /
+// LbNetwork numbering equality and the WeightedShardPlan geometry.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "congest/stats.hpp"
+#include "congest/topology.hpp"
+#include "core/lb_network.hpp"
+#include "core/lb_topology.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "util/expect.hpp"
+#include "util/shard.hpp"
+
+namespace qdc::congest {
+namespace {
+
+/// Materializes any view by inserting its edges in edge-id order — by the
+/// port contract this must reproduce the view exactly.
+graph::Graph materialize(const TopologyView& view) {
+  graph::Graph g(view.node_count());
+  for (EdgeId e = 0; e < view.edge_count(); ++e) {
+    const graph::Edge ends = view.edge(e);
+    g.add_edge(ends.u, ends.v);
+  }
+  return g;
+}
+
+void expect_views_equal(const TopologyView& a, const TopologyView& b) {
+  ASSERT_EQ(a.node_count(), b.node_count());
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  for (NodeId u = 0; u < a.node_count(); ++u) {
+    ASSERT_EQ(a.degree(u), b.degree(u)) << "node " << u;
+    for (int p = 0; p < a.degree(u); ++p) {
+      EXPECT_EQ(a.edge_at(u, p), b.edge_at(u, p))
+          << "node " << u << " port " << p;
+      EXPECT_EQ(a.neighbor(u, p), b.neighbor(u, p))
+          << "node " << u << " port " << p;
+    }
+  }
+  for (EdgeId e = 0; e < a.edge_count(); ++e) {
+    const graph::Edge ea = a.edge(e);
+    const graph::Edge eb = b.edge(e);
+    EXPECT_EQ(ea.u, eb.u) << "edge " << e;
+    EXPECT_EQ(ea.v, eb.v) << "edge " << e;
+    EXPECT_EQ(a.edge_weight(e), b.edge_weight(e)) << "edge " << e;
+  }
+}
+
+void expect_self_consistent(const TopologyView& view) {
+  const MaterializedView mat(materialize(view));
+  expect_views_equal(view, mat);
+}
+
+TEST(TopologyView, PathMatchesPathGraph) {
+  const PathView view(9);
+  expect_views_equal(view, MaterializedView(graph::path_graph(9)));
+  expect_self_consistent(PathView(2));
+}
+
+TEST(TopologyView, CycleMatchesCycleGraph) {
+  const CycleView view(9);
+  expect_views_equal(view, MaterializedView(graph::cycle_graph(9)));
+  expect_self_consistent(CycleView(3));
+}
+
+TEST(TopologyView, BalancedTreeIsSelfConsistent) {
+  expect_self_consistent(BalancedTreeView(1, 2));
+  expect_self_consistent(BalancedTreeView(2, 2));
+  expect_self_consistent(BalancedTreeView(15, 2));   // perfect binary
+  expect_self_consistent(BalancedTreeView(22, 3));   // ragged ternary
+}
+
+TEST(TopologyView, GnmIsSelfConsistent) {
+  expect_self_consistent(GnmView(12, 11, 7));   // backbone only
+  expect_self_consistent(GnmView(12, 30, 7));   // with hashed extras
+  expect_self_consistent(GnmView(40, 95, 123456789));
+}
+
+TEST(TopologyView, GnmIsSeedStable) {
+  const GnmView a(30, 70, 42);
+  const GnmView b(30, 70, 42);
+  expect_views_equal(a, b);
+}
+
+TEST(TopologyView, LbTopologyMatchesLbNetwork) {
+  for (const auto& [gamma, length] : std::vector<std::pair<int, int>>{
+           {1, 3}, {2, 5}, {3, 9}, {4, 17}, {2, 33}}) {
+    const core::LbTopologyView view(gamma, length);
+    const core::LbNetwork lbn(gamma, length);
+    SCOPED_TRACE(::testing::Message()
+                 << "gamma=" << gamma << " length=" << length);
+    expect_views_equal(view, MaterializedView(lbn.topology()));
+  }
+}
+
+TEST(TopologyView, LbTopologyNodeHelpersMatchLbNetwork) {
+  const core::LbTopologyView view(3, 9);
+  const core::LbNetwork lbn(3, 9);
+  EXPECT_EQ(view.length(), lbn.length());
+  EXPECT_EQ(view.highway_count(), lbn.highway_count());
+  EXPECT_EQ(view.line_count(), lbn.line_count());
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 1; j <= view.length(); ++j) {
+      EXPECT_EQ(view.path_node(i, j), lbn.path_node(i, j));
+    }
+  }
+  for (int lvl = 1; lvl <= view.highway_count(); ++lvl) {
+    const int step = 1 << lvl;
+    for (int j = 1, m = 0; j <= view.length(); j += step, ++m) {
+      EXPECT_EQ(view.highway_node_at(lvl, m), lbn.highway_node(lvl, j));
+    }
+  }
+}
+
+TEST(TopologyView, GuardsRejectBadArguments) {
+  const PathView view(5);
+  EXPECT_THROW(view.degree(-1), ContractError);
+  EXPECT_THROW(view.degree(5), ContractError);
+  EXPECT_THROW(view.neighbor(0, 1), ContractError);  // endpoint: degree 1
+  EXPECT_THROW(view.edge_at(2, 2), ContractError);
+  EXPECT_THROW(view.edge(4), ContractError);
+  EXPECT_THROW(PathView(0), ContractError);
+  EXPECT_THROW(CycleView(2), ContractError);
+  EXPECT_THROW(BalancedTreeView(3, 0), ContractError);
+  EXPECT_THROW(GnmView(5, 3, 1), ContractError);  // below spanning backbone
+}
+
+/// Order-sensitive mixing probe (same shape as the determinism suite's).
+class MixProgram : public NodeProgram {
+ public:
+  void on_round(NodeContext& ctx, const std::vector<Incoming>& inbox) override {
+    for (const Incoming& msg : inbox) {
+      acc_ = acc_ * 1000003u + static_cast<std::uint64_t>(msg.port);
+      for (const std::int64_t f : msg.data) {
+        acc_ = acc_ * 131u + static_cast<std::uint64_t>(f);
+      }
+    }
+    if (ctx.round() >= 6) {
+      ctx.set_output(static_cast<std::int64_t>(acc_ >> 1));
+      ctx.halt();
+      return;
+    }
+    for (int p = 0; p < ctx.degree(); ++p) {
+      if (((ctx.id() + p + ctx.round()) & 3) == 0) continue;
+      ctx.send(p, {ctx.id(), p});
+    }
+  }
+
+ private:
+  std::uint64_t acc_ = 1;
+};
+
+struct ProbeResult {
+  std::vector<std::int64_t> outputs;
+  RunStats stats;
+  std::vector<std::vector<TracedMessage>> trace;
+};
+
+ProbeResult run_probe(Network& net, int threads) {
+  net.install([](NodeId, const NodeContext&) {
+    return std::make_unique<MixProgram>();
+  });
+  ProbeResult result;
+  result.stats =
+      net.run({.max_rounds = 20, .threads = threads, .record_trace = true});
+  EXPECT_TRUE(result.stats.completed);
+  result.outputs = net.outputs();
+  result.trace = net.trace();
+  return result;
+}
+
+void expect_network_over_view_matches_graph(
+    std::shared_ptr<const TopologyView> view) {
+  Network over_graph(materialize(*view), NetworkConfig{.bandwidth = 8});
+  Network over_view(std::move(view), NetworkConfig{.bandwidth = 8});
+  const ProbeResult expected = run_probe(over_graph, 1);
+  for (const int threads : {1, 4}) {
+    const ProbeResult got = run_probe(over_view, threads);
+    EXPECT_EQ(got.outputs, expected.outputs) << "threads=" << threads;
+    EXPECT_EQ(got.stats, expected.stats) << "threads=" << threads;
+    EXPECT_EQ(got.trace, expected.trace) << "threads=" << threads;
+  }
+}
+
+TEST(NetworkOverViews, PathViewIsBitIdenticalToGraph) {
+  expect_network_over_view_matches_graph(std::make_shared<PathView>(33));
+}
+
+TEST(NetworkOverViews, CycleViewIsBitIdenticalToGraph) {
+  expect_network_over_view_matches_graph(std::make_shared<CycleView>(32));
+}
+
+TEST(NetworkOverViews, TreeViewIsBitIdenticalToGraph) {
+  expect_network_over_view_matches_graph(
+      std::make_shared<BalancedTreeView>(40, 3));
+}
+
+TEST(NetworkOverViews, GnmViewIsBitIdenticalToGraph) {
+  expect_network_over_view_matches_graph(std::make_shared<GnmView>(48, 110, 99));
+}
+
+TEST(NetworkOverViews, LbViewIsBitIdenticalToGraph) {
+  expect_network_over_view_matches_graph(
+      std::make_shared<core::LbTopologyView>(3, 9));
+}
+
+TEST(WeightedShardPlanTest, BoundariesCoverEveryItemOnce) {
+  std::vector<std::int64_t> work;
+  for (int i = 0; i < 5000; ++i) {
+    work.push_back(1 + (i * 37) % 23);
+  }
+  const auto bounds = util::WeightedShardPlan::boundaries(work);
+  ASSERT_GE(bounds.size(), 2u);
+  EXPECT_EQ(bounds.front(), 0u);
+  EXPECT_EQ(bounds.back(), work.size());
+  for (std::size_t s = 0; s + 1 < bounds.size(); ++s) {
+    EXPECT_LT(bounds[s], bounds[s + 1]);  // shards nonempty, contiguous
+  }
+  EXPECT_LE(static_cast<int>(bounds.size()) - 1,
+            util::WeightedShardPlan::kMaxShards);
+}
+
+TEST(WeightedShardPlanTest, BalancesSkewedWork) {
+  // One heavy item among many light ones: the heavy item's shard must not
+  // also swallow a large share of the light items.
+  std::vector<std::int64_t> work(20000, 1);
+  work[0] = 100000;
+  const auto bounds = util::WeightedShardPlan::boundaries(work);
+  ASSERT_GE(bounds.size(), 3u);
+  // First shard: the heavy item (plus at most a few light ones).
+  EXPECT_LE(bounds[1], 16u);
+}
+
+TEST(WeightedShardPlanTest, SmallInputsStaySingleShard) {
+  EXPECT_EQ(util::WeightedShardPlan::boundaries({}),
+            (std::vector<std::size_t>{0}));
+  EXPECT_EQ(util::WeightedShardPlan::boundaries({5, 5, 5}),
+            (std::vector<std::size_t>{0, 3}));
+}
+
+TEST(WeightedShardPlanTest, ClampsNonPositiveWorkToOne) {
+  std::vector<std::int64_t> work(4096, 0);
+  const auto bounds = util::WeightedShardPlan::boundaries(work);
+  ASSERT_GE(bounds.size(), 2u);
+  EXPECT_EQ(bounds.back(), work.size());
+  // 4096 items of clamped work 1 = 16 shards of ~256.
+  EXPECT_GT(bounds.size(), 8u);
+}
+
+TEST(WeightedShardPlanTest, PureFunctionOfWork) {
+  std::vector<std::int64_t> work;
+  for (int i = 0; i < 3000; ++i) {
+    work.push_back(1 + i % 7);
+  }
+  EXPECT_EQ(util::WeightedShardPlan::boundaries(work),
+            util::WeightedShardPlan::boundaries(work));
+}
+
+}  // namespace
+}  // namespace qdc::congest

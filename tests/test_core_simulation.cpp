@@ -13,16 +13,18 @@
 namespace qdc::core {
 namespace {
 
-congest::Network make_traced_net(const LbNetwork& lbn, int bandwidth = 8) {
-  return congest::Network(
-      lbn.topology(),
-      congest::NetworkConfig{.bandwidth = bandwidth, .record_trace = true});
+congest::Network make_net(const LbNetwork& lbn, int bandwidth = 8) {
+  return congest::Network(lbn.topology(),
+                          congest::NetworkConfig{.bandwidth = bandwidth});
 }
+
+/// Execution options for runs the accountant will read: it needs a trace.
+constexpr congest::RunOptions kTraced{.record_trace = true};
 
 TEST(SimulationTheorem, BfsTreeConstructionWithinBound) {
   const LbNetwork lbn(3, 129);
-  auto net = make_traced_net(lbn);
-  const auto tree = dist::build_bfs_tree(net, lbn.path_node(0, 1));
+  auto net = make_net(lbn);
+  const auto tree = dist::build_bfs_tree(net, lbn.path_node(0, 1), kTraced);
   ASSERT_LE(tree.stats.rounds, lbn.max_simulated_rounds())
       << "BFS must fit in the schedule for the harness to apply";
   const auto acc = account_three_party_cost(lbn, net);
@@ -34,11 +36,12 @@ TEST(SimulationTheorem, BfsTreeConstructionWithinBound) {
 
 TEST(SimulationTheorem, AggregationWithinBound) {
   const LbNetwork lbn(4, 65);
-  auto net = make_traced_net(lbn);
-  const auto tree = dist::build_bfs_tree(net, lbn.path_node(0, 1));
+  auto net = make_net(lbn);
+  const auto tree = dist::build_bfs_tree(net, lbn.path_node(0, 1), kTraced);
   std::vector<dist::Payload> contrib(
       static_cast<std::size_t>(net.node_count()), dist::Payload{1});
-  const auto agg = run_aggregate(net, tree, {dist::Combiner::kSum}, contrib);
+  const auto agg =
+      run_aggregate(net, tree, {dist::Combiner::kSum}, contrib, kTraced);
   EXPECT_EQ(agg.values[0], net.node_count());
   ASSERT_LE(agg.stats.rounds, lbn.max_simulated_rounds());
   const auto acc = account_three_party_cost(lbn, net);
@@ -73,12 +76,12 @@ class FloodEverything : public congest::NodeProgram {
 
 TEST(SimulationTheorem, WorstCaseTrafficStillWithinBound) {
   const LbNetwork lbn(3, 65);
-  auto net = make_traced_net(lbn, /*bandwidth=*/4);
+  auto net = make_net(lbn, /*bandwidth=*/4);
   const int t = lbn.max_simulated_rounds() - 2;
   net.install([&](congest::NodeId, const congest::NodeContext&) {
     return std::make_unique<FloodEverything>(t);
   });
-  const auto stats = net.run({.max_rounds = t + 2});
+  const auto stats = net.run({.max_rounds = t + 2, .record_trace = true});
   ASSERT_TRUE(stats.completed);
   const auto acc = account_three_party_cost(lbn, net);
   EXPECT_LE(acc.max_charged_per_round, acc.per_round_bound);
@@ -90,11 +93,11 @@ TEST(SimulationTheorem, WorstCaseTrafficStillWithinBound) {
 
 TEST(SimulationTheorem, RefusesRunsBeyondTheSchedule) {
   const LbNetwork lbn(2, 9);  // max_simulated_rounds = 2
-  auto net = make_traced_net(lbn);
+  auto net = make_net(lbn);
   net.install([&](congest::NodeId, const congest::NodeContext&) {
     return std::make_unique<FloodEverything>(10);
   });
-  net.run({.max_rounds = 12});
+  net.run({.max_rounds = 12, .record_trace = true});
   EXPECT_THROW(account_three_party_cost(lbn, net), ModelError);
 }
 

@@ -20,15 +20,15 @@ TEST_P(HarnessSweep, BfsFromAnyRootRespectsTheBound) {
   const int length = 129 << (GetParam() % 2);
   const int bandwidth = 4 << (GetParam() % 3);
   const LbNetwork lbn(gamma, length);
-  congest::Network net(
-      lbn.topology(),
-      congest::NetworkConfig{.bandwidth = bandwidth, .record_trace = true});
+  congest::Network net(lbn.topology(),
+                       congest::NetworkConfig{.bandwidth = bandwidth});
   // Root anywhere: a path node or a highway node.
   const graph::NodeId root =
       GetParam() % 3 == 0
           ? lbn.highway_node(1, 1 + 2 * (GetParam() % (length / 2)))
           : lbn.path_node(GetParam() % gamma, 1 + GetParam() % length);
-  const auto tree = dist::build_bfs_tree(net, root);
+  const auto tree =
+      dist::build_bfs_tree(net, root, {.record_trace = true});
   ASSERT_LE(tree.stats.rounds, lbn.max_simulated_rounds());
   const auto acc = account_three_party_cost(lbn, net);
   EXPECT_LE(acc.max_charged_per_round, acc.per_round_bound)
@@ -40,16 +40,16 @@ TEST_P(HarnessSweep, AggregationRespectsTheBound) {
   Rng rng(static_cast<unsigned>(100 + GetParam()));
   const int gamma = 2 + GetParam() % 3;
   const LbNetwork lbn(gamma, 129);
-  congest::Network net(lbn.topology(),
-                       congest::NetworkConfig{.bandwidth = 8,
-                                              .record_trace = true});
-  const auto tree = dist::build_bfs_tree(net, lbn.path_node(0, 1));
+  congest::Network net(lbn.topology(), congest::NetworkConfig{.bandwidth = 8});
+  const auto tree = dist::build_bfs_tree(net, lbn.path_node(0, 1),
+                                         {.record_trace = true});
   std::vector<dist::Payload> contrib;
   for (int u = 0; u < net.node_count(); ++u) {
     contrib.push_back({uniform_int(rng, 0, 100), 1});
   }
-  const auto agg = run_aggregate(
-      net, tree, {dist::Combiner::kMax, dist::Combiner::kSum}, contrib);
+  const auto agg =
+      run_aggregate(net, tree, {dist::Combiner::kMax, dist::Combiner::kSum},
+                    contrib, {.record_trace = true});
   EXPECT_EQ(agg.values[1], net.node_count());
   ASSERT_LE(agg.stats.rounds, lbn.max_simulated_rounds());
   const auto acc = account_three_party_cost(lbn, net);

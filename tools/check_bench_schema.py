@@ -8,8 +8,11 @@ Usage:
 
 Dispatches on the document's "bench" key:
 
-  * "engine_scaling" (schema v2, bench_engine_scaling): topology cases with
-    rounds_per_sec results plus the batched-sweep section.
+  * "engine_scaling" (schema v3, bench_engine_scaling): topology cases with
+    rounds_per_sec results plus the batched-sweep section. v3 adds two
+    per-case keys: "topology_kind" (the TopologyView kind string — e.g.
+    "materialized", "path", "lb_network") and "frontier" (whether the run
+    used the active-frontier round loop).
   * "quantum_scaling" (schema v1, bench_quantum_scaling): statevector
     kernel cases with ops_per_sec results, a per-case payload checksum
     (0x + 16 hex digits — the amplitude-bit fold the bench asserts equal
@@ -92,6 +95,10 @@ def check_checksum(obj: dict, where: str) -> None:
 def check_engine_case(case: dict, where: str) -> None:
     expect_key(case, "name", str, where)
     expect_key(case, "topology", str, where)
+    kind = expect_key(case, "topology_kind", str, where)
+    if kind is not None and not kind:
+        fail(f"{where}: topology_kind must be non-empty")
+    expect_key(case, "frontier", bool, where)
     nodes = expect_key(case, "nodes", int, where)
     edges = expect_key(case, "edges", int, where)
     rounds = expect_key(case, "rounds", int, where)
@@ -157,7 +164,7 @@ def check_quantum_sweep(sweep: dict, where: str) -> None:
 
 
 SCHEMAS = {
-    "engine_scaling": (2, check_engine_case, check_engine_sweep),
+    "engine_scaling": (3, check_engine_case, check_engine_sweep),
     "quantum_scaling": (1, check_quantum_case, check_quantum_sweep),
 }
 

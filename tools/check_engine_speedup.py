@@ -1,16 +1,25 @@
 #!/usr/bin/env python3
-"""CI regression gate: N(Gamma, L) engine speedup at 4 threads >= 1.5x.
+"""CI regression gates for the round engine's perf report.
 
 Usage:
 
     python3 tools/check_engine_speedup.py BENCH_engine.json [--min-speedup X]
 
 Reads the report written by `bench_engine_scaling --gate` (any mode works,
-as long as the lb_network case carries threads 1 and 4) and asserts the
-4-thread speedup. When the report says the machine has fewer than 4
-hardware threads, the gate SKIPS with a visible notice instead of failing:
-a 1-core runner cannot measure parallel speedup, and a silent pass would
-be indistinguishable from a real one. Exit status: 0 pass or skip, 1
+as long as the gated cases are present) and asserts two properties:
+
+  * parallel speedup: the lb_network case's 4-thread speedup must reach
+    the threshold (default 1.5x);
+  * frontier speedup (schema v3 reports only): on the sparse-activity
+    workload (~1 active node per round), the active-frontier loop
+    (sparse_activity_frontier) must process rounds at least 2x faster than
+    the dense loop (sparse_activity_dense) at threads=1 — skipping silent
+    nodes is the whole point of the frontier mode.
+
+When the report says the machine has fewer than 4 hardware threads, both
+gates SKIP with a visible notice instead of failing: a 1-core runner gives
+noisy, scheduling-bound timings, and a silent pass would be
+indistinguishable from a real one. Exit status: 0 pass or skip, 1
 regression or malformed report.
 """
 
@@ -22,6 +31,77 @@ from pathlib import Path
 
 MIN_SPEEDUP = 1.5
 GATE_THREADS = 4
+MIN_FRONTIER_SPEEDUP = 2.0
+FRONTIER_DENSE_CASE = "sparse_activity_dense"
+FRONTIER_CASE = "sparse_activity_frontier"
+
+
+def rounds_per_sec(doc: dict, case_name: str, threads: int) -> float | None:
+    for case in doc.get("cases", []):
+        if case.get("name") != case_name:
+            continue
+        for res in case.get("results", []):
+            if res.get("threads") == threads:
+                rate = res.get("rounds_per_sec")
+                if isinstance(rate, (int, float)):
+                    return float(rate)
+    return None
+
+
+def check_parallel_speedup(doc: dict, min_speedup: float) -> int:
+    for case in doc.get("cases", []):
+        if case.get("name") != "lb_network":
+            continue
+        for res in case.get("results", []):
+            if res.get("threads") == GATE_THREADS:
+                speedup = res.get("speedup")
+                if not isinstance(speedup, (int, float)):
+                    print("check_engine_speedup: lb_network has no speedup "
+                          f"value at threads={GATE_THREADS}", file=sys.stderr)
+                    return 1
+                if speedup < min_speedup:
+                    print(f"check_engine_speedup: REGRESSION — lb_network "
+                          f"speedup at {GATE_THREADS} threads is "
+                          f"{speedup:.2f}x, gate requires >= "
+                          f"{min_speedup}x")
+                    return 1
+                print(f"check_engine_speedup: OK — lb_network speedup at "
+                      f"{GATE_THREADS} threads is {speedup:.2f}x "
+                      f"(>= {min_speedup}x)")
+                return 0
+    print(f"check_engine_speedup: report has no lb_network result at "
+          f"threads={GATE_THREADS}", file=sys.stderr)
+    return 1
+
+
+def check_frontier_speedup(doc: dict) -> int:
+    """Gate the frontier loop on the sparse-activity pair (schema v3+)."""
+    version = doc.get("schema_version")
+    if not isinstance(version, int) or version < 3:
+        print("check_engine_speedup: frontier gate SKIPPED — report is "
+              f"schema v{version}, the sparse-activity pair needs v3")
+        return 0
+    dense = rounds_per_sec(doc, FRONTIER_DENSE_CASE, 1)
+    frontier = rounds_per_sec(doc, FRONTIER_CASE, 1)
+    if dense is None or frontier is None:
+        print(f"check_engine_speedup: schema v{version} report is missing "
+              f"the {FRONTIER_DENSE_CASE}/{FRONTIER_CASE} pair at threads=1",
+              file=sys.stderr)
+        return 1
+    if dense <= 0:
+        print(f"check_engine_speedup: {FRONTIER_DENSE_CASE} has no positive "
+              "rounds_per_sec", file=sys.stderr)
+        return 1
+    ratio = frontier / dense
+    if ratio < MIN_FRONTIER_SPEEDUP:
+        print(f"check_engine_speedup: REGRESSION — frontier loop is only "
+              f"{ratio:.2f}x the dense loop on the sparse-activity "
+              f"workload, gate requires >= {MIN_FRONTIER_SPEEDUP}x")
+        return 1
+    print(f"check_engine_speedup: OK — frontier loop is {ratio:.2f}x the "
+          f"dense loop on the sparse-activity workload "
+          f"(>= {MIN_FRONTIER_SPEEDUP}x)")
+    return 0
 
 
 def main(argv: list[str]) -> int:
@@ -55,33 +135,15 @@ def main(argv: list[str]) -> int:
         return 1
     if hw < GATE_THREADS:
         print(f"check_engine_speedup: SKIPPED — runner has only {hw} "
-              f"hardware thread(s), needs >= {GATE_THREADS} to measure "
-              f"parallel speedup. The >= {min_speedup}x gate did NOT run.")
+              f"hardware thread(s), needs >= {GATE_THREADS} for stable "
+              f"timings. Neither the >= {min_speedup}x parallel gate nor "
+              f"the >= {MIN_FRONTIER_SPEEDUP}x frontier gate ran.")
         return 0
 
-    for case in doc.get("cases", []):
-        if case.get("name") != "lb_network":
-            continue
-        for res in case.get("results", []):
-            if res.get("threads") == GATE_THREADS:
-                speedup = res.get("speedup")
-                if not isinstance(speedup, (int, float)):
-                    print("check_engine_speedup: lb_network has no speedup "
-                          f"value at threads={GATE_THREADS}", file=sys.stderr)
-                    return 1
-                if speedup < min_speedup:
-                    print(f"check_engine_speedup: REGRESSION — lb_network "
-                          f"speedup at {GATE_THREADS} threads is "
-                          f"{speedup:.2f}x, gate requires >= "
-                          f"{min_speedup}x")
-                    return 1
-                print(f"check_engine_speedup: OK — lb_network speedup at "
-                      f"{GATE_THREADS} threads is {speedup:.2f}x "
-                      f"(>= {min_speedup}x)")
-                return 0
-    print(f"check_engine_speedup: {path} has no lb_network result at "
-          f"threads={GATE_THREADS}", file=sys.stderr)
-    return 1
+    status = check_parallel_speedup(doc, min_speedup)
+    if status != 0:
+        return status
+    return check_frontier_speedup(doc)
 
 
 if __name__ == "__main__":

@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
 """Unit tests for tools/check_bench_schema.py (run as CTest lint.bench_schema_unit).
 
-Covers: a valid engine schema-v2 document, a valid quantum schema-v1
-document, missing keys, wrong types, value-sanity rules, the checksum
-format, and the sweep-section rules — so schema edits cannot silently
-break the CI validation step.
+Covers: a valid engine schema-v3 document, a valid quantum schema-v1
+document, missing keys, wrong types, value-sanity rules, the v3
+topology_kind / frontier case keys, the checksum format, and the
+sweep-section rules — so schema edits cannot silently break the CI
+validation step.
 """
 
 from __future__ import annotations
@@ -22,7 +23,7 @@ import check_bench_schema  # noqa: E402
 def valid_document() -> dict:
     return {
         "bench": "engine_scaling",
-        "schema_version": 2,
+        "schema_version": 3,
         "smoke": False,
         "mode": "full",
         "hardware_threads": 8,
@@ -30,6 +31,8 @@ def valid_document() -> dict:
             {
                 "name": "lb_network",
                 "topology": "lb_network",
+                "topology_kind": "materialized",
+                "frontier": False,
                 "nodes": 4161,
                 "edges": 8385,
                 "rounds": 24,
@@ -124,6 +127,33 @@ class CheckDocumentTest(unittest.TestCase):
         doc = valid_document()
         doc["schema_version"] = 1
         self.assert_violation(doc, "unsupported schema_version 1")
+
+    def test_v2_schema_version_rejected(self):
+        # v2 documents lack topology_kind/frontier; the version bump forces
+        # regeneration rather than silently accepting stale reports.
+        doc = valid_document()
+        doc["schema_version"] = 2
+        self.assert_violation(doc, "unsupported schema_version 2")
+
+    def test_case_missing_topology_kind(self):
+        doc = valid_document()
+        del doc["cases"][0]["topology_kind"]
+        self.assert_violation(doc, "missing key 'topology_kind'")
+
+    def test_case_empty_topology_kind(self):
+        doc = valid_document()
+        doc["cases"][0]["topology_kind"] = ""
+        self.assert_violation(doc, "topology_kind must be non-empty")
+
+    def test_case_missing_frontier(self):
+        doc = valid_document()
+        del doc["cases"][0]["frontier"]
+        self.assert_violation(doc, "missing key 'frontier'")
+
+    def test_case_frontier_wrong_type(self):
+        doc = valid_document()
+        doc["cases"][0]["frontier"] = "yes"
+        self.assert_violation(doc, "key 'frontier' must be")
 
     def test_schema_version_wrong_type(self):
         doc = valid_document()
