@@ -178,6 +178,8 @@ VerifyResult verify_e_cycle_containment(Network& net,
 VerifyResult verify_st_connectivity(Network& net, const BfsTreeResult& tree,
                                     const graph::EdgeSubset& m, NodeId s,
                                     NodeId t) {
+  QDC_EXPECT(s >= 0 && s < net.node_count() && t >= 0 && t < net.node_count(),
+             "verify_st_connectivity: s/t out of range");
   VerifyResult result;
   const auto facts = component_facts(net, tree, m, result);
   result.accepted = labels_equal(net, tree, facts.components, s, t, result);
@@ -196,6 +198,8 @@ VerifyResult verify_cut(Network& net, const BfsTreeResult& tree,
 
 VerifyResult verify_st_cut(Network& net, const BfsTreeResult& tree,
                            const graph::EdgeSubset& m, NodeId s, NodeId t) {
+  QDC_EXPECT(s >= 0 && s < net.node_count() && t >= 0 && t < net.node_count(),
+             "verify_st_cut: s/t out of range");
   VerifyResult result;
   const auto facts = component_facts(net, tree, complement_of(net, m), result);
   result.accepted =
@@ -208,6 +212,8 @@ VerifyResult verify_edge_on_all_paths(Network& net, const BfsTreeResult& tree,
                                       const graph::EdgeSubset& m, NodeId u,
                                       NodeId v, graph::EdgeId e) {
   QDC_EXPECT(m.contains(e), "verify_edge_on_all_paths: e not in M");
+  QDC_EXPECT(u >= 0 && u < net.node_count() && v >= 0 && v < net.node_count(),
+             "verify_edge_on_all_paths: u/v out of range");
   VerifyResult result;
   graph::EdgeSubset without = m;
   without.erase(e);

@@ -124,6 +124,8 @@ double StateVector::probability_one(int qubit) const {
 }
 
 bool StateVector::measure(int qubit, Rng& rng) {
+  QDC_EXPECT(qubit >= 0 && qubit < qubit_count_,
+             "StateVector::measure: bad qubit");
   return collapse_qubit(qubit, uniform_real(rng));
 }
 

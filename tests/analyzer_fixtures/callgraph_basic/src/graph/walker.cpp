@@ -1,0 +1,36 @@
+#include "graph/walker.hpp"
+
+#include <cstddef>
+
+#include "util/expect.hpp"
+
+namespace qdc::graph {
+
+template <typename Body>
+void for_shards(std::size_t items, Body body);
+
+Walker::Walker(std::size_t n) : marks_(n, 0) {}
+
+int Walker::visit(NodeId u) {
+  QDC_EXPECT(u >= 0 && static_cast<std::size_t>(u) < marks_.size(),
+             "visit: bad node");
+  return marks_[static_cast<std::size_t>(u)];
+}
+
+int Walker::operator()(NodeId u) { return visit(u); }
+
+// Out-of-line template member definition.
+template <typename T>
+T Walker::scaled(T v) const {
+  return v * static_cast<T>(marks_.size());
+}
+
+void sweep(Walker& w, std::size_t items) {
+  std::vector<int> slots(items, 0);
+  for_shards(items, [&](int s, std::size_t begin, std::size_t end) {
+    (void)end;
+    slots[static_cast<std::size_t>(s)] = w.visit(static_cast<NodeId>(begin));
+  });
+}
+
+}  // namespace qdc::graph

@@ -1,0 +1,26 @@
+// FIXTURE: exercises the call-graph discovery corners — a constructor, a
+// method, an operator() definition, an out-of-line template member, a
+// method call, external calls, and a closure handed to a pool entry point.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace qdc::graph {
+
+using NodeId = int;
+
+struct Walker {
+  explicit Walker(std::size_t n);
+  int visit(NodeId u);
+  int operator()(NodeId u);
+
+  template <typename T>
+  T scaled(T v) const;
+
+  std::vector<int> marks_;
+};
+
+void sweep(Walker& w, std::size_t items);
+
+}  // namespace qdc::graph

@@ -1,0 +1,41 @@
+// FIXTURE: all three flow rules fire here and are suppressed by the
+// committed baseline with per-entry justifications.
+#include "core/legacy.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <random>
+
+namespace qdc::core {
+
+using Rng = std::mt19937_64;
+
+template <typename Body>
+void for_shards(std::size_t items, Body body);
+
+namespace {
+
+void tally(double& acc, double v) { acc += v; }
+
+int pick_at(const std::vector<int>& table, NodeId u) {
+  return table[static_cast<std::size_t>(u)];
+}
+
+}  // namespace
+
+double fold(const std::vector<double>& values) {
+  double total = 0.0;
+  for_shards(values.size(), [&](int s, std::size_t begin, std::size_t end) {
+    (void)s;
+    for (std::size_t k = begin; k < end; ++k) tally(total, values[k]);
+  });
+  return total;
+}
+
+int legacy_pick(const std::vector<int>& table, NodeId u) {
+  return pick_at(table, u);
+}
+
+Rng legacy_stream(std::uint64_t base) { return Rng(base * 2654435761ULL); }
+
+}  // namespace qdc::core

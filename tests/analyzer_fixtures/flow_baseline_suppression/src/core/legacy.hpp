@@ -1,0 +1,12 @@
+// FIXTURE: public surface for the suppressed flow findings.
+#pragma once
+
+#include <vector>
+
+namespace qdc::core {
+
+using NodeId = int;
+
+int legacy_pick(const std::vector<int>& table, NodeId u);
+
+}  // namespace qdc::core

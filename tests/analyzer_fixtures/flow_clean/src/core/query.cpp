@@ -1,0 +1,22 @@
+#include "core/query.hpp"
+
+#include <cstddef>
+
+#include "util/expect.hpp"
+
+namespace qdc::core {
+namespace {
+
+int raw_weight(const std::vector<int>& weights, NodeId u) {
+  return weights[static_cast<std::size_t>(u)];
+}
+
+}  // namespace
+
+int weight_at(const std::vector<int>& weights, NodeId u) {
+  QDC_EXPECT(u >= 0 && static_cast<std::size_t>(u) < weights.size(),
+             "weight_at: bad node");
+  return raw_weight(weights, u);
+}
+
+}  // namespace qdc::core

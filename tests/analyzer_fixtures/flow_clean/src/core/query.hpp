@@ -1,0 +1,13 @@
+// FIXTURE (clean): the index-like parameter is guarded before it is
+// forwarded into the subscripting helper.
+#pragma once
+
+#include <vector>
+
+namespace qdc::core {
+
+using NodeId = int;
+
+int weight_at(const std::vector<int>& weights, NodeId u);
+
+}  // namespace qdc::core

@@ -1,0 +1,27 @@
+// FIXTURE (clean): the helper-mediated shard write done right — the
+// closure hands the helper both the slot container and the shard index,
+// and the helper writes only the shard-indexed slot.
+#include <cstddef>
+#include <vector>
+
+namespace qdc::core {
+
+template <typename Body>
+void for_shards(std::size_t items, Body body);
+
+// Writes only the shard-indexed slot it is handed.
+void add_to_slot(std::vector<double>& slots, int shard, double v) {
+  slots[static_cast<std::size_t>(shard)] += v;
+}
+
+double reduce(const std::vector<double>& values) {
+  std::vector<double> slots(8, 0.0);
+  for_shards(values.size(), [&](int s, std::size_t begin, std::size_t end) {
+    for (std::size_t k = begin; k < end; ++k) add_to_slot(slots, s, values[k]);
+  });
+  double total = 0.0;
+  for (double v : slots) total += v;  // serial merge, shard order
+  return total;
+}
+
+}  // namespace qdc::core

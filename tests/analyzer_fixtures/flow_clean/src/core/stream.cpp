@@ -1,0 +1,26 @@
+// FIXTURE (clean): each shard derives its own engine inside the closure
+// through the pinned splitmix64 path.
+#include <cstddef>
+#include <cstdint>
+#include <random>
+
+namespace qdc::core {
+
+using Rng = std::mt19937_64;
+
+std::uint64_t splitmix64(std::uint64_t x);
+
+template <typename Body>
+void for_shards(std::size_t items, Body body);
+
+double shard_draws(std::size_t items, std::uint64_t seed) {
+  for_shards(items, [seed](int s, std::size_t begin, std::size_t end) {
+    Rng rng(splitmix64(seed + static_cast<std::uint64_t>(s)));
+    for (std::size_t k = begin; k < end; ++k) (void)rng();
+    (void)begin;
+    (void)end;
+  });
+  return 0.0;
+}
+
+}  // namespace qdc::core

@@ -1,0 +1,32 @@
+// FIXTURE: both halves of flow/rng-escape. One engine declared outside a
+// pool closure is drawn from inside it (shards would share the stream),
+// and a second engine is seeded with raw arithmetic instead of the
+// splitmix64 derivation path. The bare-literal seed is fine and must stay
+// quiet.
+#include <cstddef>
+#include <cstdint>
+#include <random>
+
+namespace qdc::core {
+
+using Rng = std::mt19937_64;
+
+template <typename Body>
+void for_shards(std::size_t items, Body body);
+
+double sample_mean(std::size_t items) {
+  Rng rng(12345);  // bare literal seed: reproducible as-is, no diagnostic
+  for_shards(items, [&](int s, std::size_t begin, std::size_t end) {
+    (void)s;
+    for (std::size_t k = begin; k < end; ++k) (void)rng();
+  });
+  return 0.0;
+}
+
+Rng make_stream(std::uint64_t base, int job) {
+  // Nearby mt19937 seeds give correlated streams; this must go through
+  // splitmix64.
+  return Rng(base + static_cast<std::uint64_t>(job));
+}
+
+}  // namespace qdc::core

@@ -1,0 +1,28 @@
+// FIXTURE: by-ref captured state escapes through two call hops into a
+// helper that writes it without a shard-indexed slot. The closure itself
+// never writes, so the intraprocedural parallel/shared-write-no-slot rule
+// stays quiet — only the interprocedural flow walk sees the hazard.
+#include <cstddef>
+#include <vector>
+
+namespace qdc::quantum {
+
+template <typename Body>
+void for_shards(std::size_t items, Body body);
+
+// Writes its by-ref parameter: the end of the escape path.
+void bump(double& acc, double v) { acc += v; }
+
+// One hop deeper: forwards the by-ref parameter again.
+void bump_twice(double& acc, double v) { bump(acc, v); }
+
+double reduce(const std::vector<double>& values) {
+  double total = 0.0;
+  for_shards(values.size(), [&](int s, std::size_t begin, std::size_t end) {
+    (void)s;
+    for (std::size_t k = begin; k < end; ++k) bump_twice(total, values[k]);
+  });
+  return total;
+}
+
+}  // namespace qdc::quantum

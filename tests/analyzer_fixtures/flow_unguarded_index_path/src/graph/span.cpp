@@ -1,0 +1,23 @@
+#include "graph/span.hpp"
+
+#include <cstddef>
+
+namespace qdc::graph {
+namespace {
+
+// Subscripts its parameter with no guard of its own: it trusts callers.
+int gap_at(const std::vector<int>& offsets, NodeId u) {
+  return offsets[static_cast<std::size_t>(u + 1)] -
+         offsets[static_cast<std::size_t>(u)];
+}
+
+}  // namespace
+
+// The public entry point forwards `u` verbatim without guarding it first —
+// contract/missing-guard cannot see this (no direct subscript here), the
+// interprocedural flow rule can.
+int degree_of(const std::vector<int>& offsets, NodeId u) {
+  return gap_at(offsets, u);
+}
+
+}  // namespace qdc::graph

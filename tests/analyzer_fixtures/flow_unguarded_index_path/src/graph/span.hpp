@@ -1,0 +1,13 @@
+// FIXTURE: public API forwards an index-like parameter into a private
+// helper that subscripts it; no QDC_EXPECT/QDC_CHECK anywhere on the path.
+#pragma once
+
+#include <vector>
+
+namespace qdc::graph {
+
+using NodeId = int;
+
+int degree_of(const std::vector<int>& offsets, NodeId u);
+
+}  // namespace qdc::graph

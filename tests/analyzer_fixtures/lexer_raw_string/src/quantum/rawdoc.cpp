@@ -1,0 +1,27 @@
+// FIXTURE (clean): a raw string literal inside a pool closure contains
+// text that looks exactly like an unsynchronized shared write. With
+// R"(...)" stripped correctly nothing fires; a lexer that misses the raw
+// delimiter would leak `total +=` into the code view and raise
+// parallel/shared-write-no-slot.
+#include <cstddef>
+#include <string>
+
+namespace qdc::quantum {
+
+template <typename Body>
+void for_shards(std::size_t items, Body body);
+
+void log_line(const std::string& s);
+
+void document(std::size_t items) {
+  double total = 0.0;
+  for_shards(items, [&](int s, std::size_t begin, std::size_t end) {
+    (void)s;
+    (void)begin;
+    (void)end;
+    log_line(R"(example: total += values[k]; // merged in shard order)");
+  });
+  (void)total;
+}
+
+}  // namespace qdc::quantum

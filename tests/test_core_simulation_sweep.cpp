@@ -37,7 +37,7 @@ TEST_P(HarnessSweep, BfsFromAnyRootRespectsTheBound) {
 }
 
 TEST_P(HarnessSweep, AggregationRespectsTheBound) {
-  Rng rng(static_cast<unsigned>(100 + GetParam()));
+  Rng rng(splitmix64(100 + static_cast<std::uint64_t>(GetParam())));
   const int gamma = 2 + GetParam() % 3;
   const LbNetwork lbn(gamma, 129);
   congest::Network net(lbn.topology(), congest::NetworkConfig{.bandwidth = 8});

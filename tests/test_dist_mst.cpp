@@ -68,7 +68,7 @@ TEST_P(DistMstProperty, MatchesKruskalOnRandomGraphs) {
 }
 
 TEST_P(DistMstProperty, PurePipelinedVariantAgrees) {
-  Rng rng(static_cast<unsigned>(100 + GetParam()));
+  Rng rng(splitmix64(100 + static_cast<std::uint64_t>(GetParam())));
   const int n = 2 + GetParam() % 30;
   const auto topo = graph::random_connected(n, 0.2, rng);
   const auto g = graph::randomly_weighted(topo, 1.0, 9.0, rng);
@@ -81,7 +81,7 @@ TEST_P(DistMstProperty, PurePipelinedVariantAgrees) {
 }
 
 TEST_P(DistMstProperty, ComponentsMatchSequential) {
-  Rng rng(static_cast<unsigned>(200 + GetParam()));
+  Rng rng(splitmix64(200 + static_cast<std::uint64_t>(GetParam())));
   const int n = 3 + GetParam() % 40;
   const auto topo = graph::random_connected(n, 0.12, rng);
   auto net = make_net(topo);
@@ -106,7 +106,7 @@ TEST_P(DistMstProperty, ComponentsMatchSequential) {
 }
 
 TEST_P(DistMstProperty, BucketedApproxWithinFactor) {
-  Rng rng(static_cast<unsigned>(300 + GetParam()));
+  Rng rng(splitmix64(300 + static_cast<std::uint64_t>(GetParam())));
   const int n = 4 + GetParam() % 25;
   const auto g = graph::random_weighted_aspect(n, 0.25, 32.0, rng);
   auto net = make_net(g);

@@ -54,7 +54,7 @@ TEST_P(SsspProperty, MatchesSequentialOnRandomGraphs) {
 }
 
 TEST_P(SsspProperty, LeListVerificationAcceptsTruthRejectsCorruption) {
-  Rng rng(static_cast<unsigned>(50 + GetParam()));
+  Rng rng(splitmix64(50 + static_cast<std::uint64_t>(GetParam())));
   const int n = 4 + GetParam() % 20;
   const auto topo = graph::random_connected(n, 0.25, rng);
   const auto g = graph::randomly_weighted(topo, 1.0, 9.0, rng);

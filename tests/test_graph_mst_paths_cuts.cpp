@@ -81,7 +81,7 @@ TEST_P(MstProperty, ThreeAlgorithmsAgreeOnRandomGraphs) {
 }
 
 TEST_P(MstProperty, MstEdgesFormSpanningTree) {
-  Rng rng(static_cast<unsigned>(1000 + GetParam()));
+  Rng rng(splitmix64(1000 + static_cast<std::uint64_t>(GetParam())));
   const int n = 3 + GetParam() % 30;
   const Graph topo = random_connected(n, 0.3, rng);
   const WeightedGraph g = randomly_weighted(topo, 1.0, 10.0, rng);
@@ -124,7 +124,7 @@ TEST_P(ShortestPathProperty, BellmanFordMatchesDijkstra) {
 }
 
 TEST_P(ShortestPathProperty, DijkstraParentEdgesFormShortestPathTree) {
-  Rng rng(static_cast<unsigned>(500 + GetParam()));
+  Rng rng(splitmix64(500 + static_cast<std::uint64_t>(GetParam())));
   const int n = 3 + GetParam() % 30;
   const Graph topo = random_connected(n, 0.25, rng);
   const WeightedGraph g = randomly_weighted(topo, 1.0, 9.0, rng);

@@ -10,14 +10,18 @@ const char kSep[] = " — ";  // " — "
 }
 
 bool Baseline::covers(const Diagnostic& d) const {
+  return find(d) != nullptr;
+}
+
+const BaselineEntry* Baseline::find(const Diagnostic& d) const {
   const std::string fp = d.fingerprint();
   for (const BaselineEntry& e : entries) {
     if (e.fingerprint == fp) {
       e.matched = true;
-      return true;
+      return &e;
     }
   }
-  return false;
+  return nullptr;
 }
 
 std::vector<const BaselineEntry*> Baseline::stale() const {

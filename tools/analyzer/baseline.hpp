@@ -28,6 +28,10 @@ struct Baseline {
   /// Marks the entry as matched and returns true when `d` is baselined.
   bool covers(const Diagnostic& d) const;
 
+  /// The entry covering `d` (marked matched), or nullptr. The SARIF
+  /// renderer uses this to attach the justification as a suppression.
+  const BaselineEntry* find(const Diagnostic& d) const;
+
   /// Entries that matched no diagnostic in this run (stale suppressions).
   std::vector<const BaselineEntry*> stale() const;
 };

@@ -1,0 +1,155 @@
+#include "cache.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace qdc::analyze {
+namespace {
+
+constexpr const char* kMagic = "qdc-analyze-cache v1";
+
+std::string hex64(std::uint64_t v) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string s(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    s[static_cast<std::size_t>(i)] = kDigits[v & 0xF];
+    v >>= 4;
+  }
+  return s;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(const std::string& text) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  for (char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;  // FNV prime
+  }
+  return h;
+}
+
+std::string cache_entry_path(const std::string& cache_dir,
+                             const std::string& rel) {
+  std::string flat = rel;
+  for (char& c : flat)
+    if (c == '/' || c == '\\') c = '_';
+  return cache_dir + "/" + flat + ".lex";
+}
+
+bool load_cache_entry(const std::string& cache_dir, const std::string& rel,
+                      std::uint64_t hash, LexCache* out) {
+  std::ifstream in(cache_entry_path(cache_dir, rel));
+  if (!in) return false;
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) return false;
+  if (!std::getline(in, line) || line != "hash " + hex64(hash)) return false;
+
+  LexCache cache;
+  LambdaInfo* lambda = nullptr;
+  bool ended = false;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "end") {
+      ended = true;
+      break;
+    }
+    if (tag == "include") {
+      Include inc;
+      int angled = 0;
+      if (!(ls >> inc.line >> angled >> inc.cond_depth)) return false;
+      inc.angled = angled != 0;
+      ls >> std::ws;
+      std::getline(ls, inc.path);
+      cache.includes.push_back(std::move(inc));
+    } else if (tag == "define") {
+      std::string name;
+      if (!(ls >> name)) return false;
+      cache.defines.push_back(std::move(name));
+    } else if (tag == "ident") {
+      int first_line = 0;
+      std::string name;
+      if (!(ls >> first_line >> name)) return false;
+      cache.identifiers.emplace(std::move(name), first_line);
+    } else if (tag == "nsdecl") {
+      std::string name;
+      if (!(ls >> name)) return false;
+      cache.symbols.namespace_decls.insert(std::move(name));
+    } else if (tag == "atomic") {
+      std::string name;
+      if (!(ls >> name)) return false;
+      cache.symbols.atomic_vars.insert(std::move(name));
+    } else if (tag == "rng") {
+      std::string name;
+      if (!(ls >> name)) return false;
+      cache.symbols.rng_vars.insert(std::move(name));
+    } else if (tag == "lambda") {
+      LambdaInfo l;
+      int dref = 0;
+      int dcopy = 0;
+      int dthis = 0;
+      if (!(ls >> l.intro >> l.body_begin >> l.body_end >> dref >> dcopy >>
+            dthis))
+        return false;
+      l.captures_default_ref = dref != 0;
+      l.captures_default_copy = dcopy != 0;
+      l.captures_this = dthis != 0;
+      cache.symbols.lambdas.push_back(std::move(l));
+      lambda = &cache.symbols.lambdas.back();
+    } else if (tag == "lref" || tag == "lcopy" || tag == "lparam") {
+      std::string name;
+      if (lambda == nullptr || !(ls >> name)) return false;
+      if (tag == "lref")
+        lambda->ref_captures.push_back(std::move(name));
+      else if (tag == "lcopy")
+        lambda->copy_captures.push_back(std::move(name));
+      else
+        lambda->params.push_back(std::move(name));
+    } else {
+      return false;  // unknown tag: written by a future version
+    }
+  }
+  if (!ended) return false;  // truncated entry
+  *out = std::move(cache);
+  return true;
+}
+
+void store_cache_entry(const std::string& cache_dir, const std::string& rel,
+                       std::uint64_t hash, const LexCache& entry) {
+  std::error_code ec;
+  std::filesystem::create_directories(cache_dir, ec);
+  if (ec) return;
+  std::ofstream out(cache_entry_path(cache_dir, rel),
+                    std::ios::trunc | std::ios::binary);
+  if (!out) return;
+  out << kMagic << "\n";
+  out << "hash " << hex64(hash) << "\n";
+  for (const Include& inc : entry.includes)
+    out << "include " << inc.line << " " << (inc.angled ? 1 : 0) << " "
+        << inc.cond_depth << " " << inc.path << "\n";
+  for (const std::string& d : entry.defines) out << "define " << d << "\n";
+  for (const auto& [name, first_line] : entry.identifiers)
+    out << "ident " << first_line << " " << name << "\n";
+  for (const std::string& s : entry.symbols.namespace_decls)
+    out << "nsdecl " << s << "\n";
+  for (const std::string& s : entry.symbols.atomic_vars)
+    out << "atomic " << s << "\n";
+  for (const std::string& s : entry.symbols.rng_vars)
+    out << "rng " << s << "\n";
+  for (const LambdaInfo& l : entry.symbols.lambdas) {
+    out << "lambda " << l.intro << " " << l.body_begin << " " << l.body_end
+        << " " << (l.captures_default_ref ? 1 : 0) << " "
+        << (l.captures_default_copy ? 1 : 0) << " "
+        << (l.captures_this ? 1 : 0) << "\n";
+    for (const std::string& n : l.ref_captures) out << "lref " << n << "\n";
+    for (const std::string& n : l.copy_captures) out << "lcopy " << n << "\n";
+    for (const std::string& n : l.params) out << "lparam " << n << "\n";
+  }
+  out << "end\n";
+}
+
+}  // namespace qdc::analyze

@@ -1,0 +1,54 @@
+// Incremental analysis cache: persists the expensive lex products of each
+// corpus file (includes, defines, identifier index, symbol table) keyed by
+// (rel path, 64-bit FNV-1a content hash). On a warm run a file whose text
+// is unchanged skips lexing entirely — rehydrate_file rebuilds the cheap
+// fields (stripped code, line table) from the raw text, so a cache entry
+// can never desynchronize from the bytes on disk: a stale entry is simply
+// never loaded (hash mismatch), and everything derived from `code` is
+// recomputed every run.
+//
+// Entries are one text file per corpus member under the --cache-dir
+// directory (slashes in the rel path become '_'), self-describing and
+// versioned; any parse failure or version/hash mismatch is a clean miss.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "source.hpp"
+
+namespace qdc::analyze {
+
+/// Hit/miss tally for one run, surfaced by --stats and gated in CI by
+/// --min-cache-hit-rate.
+struct CacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  double hit_rate() const {
+    std::size_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+/// 64-bit FNV-1a over the raw file bytes.
+std::uint64_t fnv1a64(const std::string& text);
+
+/// Cache-file path for one corpus member ("src/util/rng.hpp" ->
+/// "<dir>/src_util_rng.hpp.lex").
+std::string cache_entry_path(const std::string& cache_dir,
+                             const std::string& rel);
+
+/// Loads the entry for (rel, hash). Returns false — a miss — when the file
+/// is absent, has a different format version, was written for different
+/// content, or fails to parse.
+bool load_cache_entry(const std::string& cache_dir, const std::string& rel,
+                      std::uint64_t hash, LexCache* out);
+
+/// Writes the entry for (rel, hash), creating the cache directory if
+/// needed. Best-effort: failure to write is not an error (the next run
+/// just misses).
+void store_cache_entry(const std::string& cache_dir, const std::string& rel,
+                       std::uint64_t hash, const LexCache& entry);
+
+}  // namespace qdc::analyze

@@ -1,15 +1,21 @@
 // Check interface and registry for qdc_analyze.
 //
-// A check is a stateless object that inspects the whole corpus and emits
-// diagnostics. Checks self-register through QDC_ANALYZE_REGISTER so adding
-// one is: write a .cpp in tools/analyzer/, register it, list it in the
-// CMake target, add a firing + clean fixture under tests/analyzer_fixtures.
+// A check is a stateless object that inspects the corpus and emits
+// diagnostics. File-scoped work goes in run_file (called once per file;
+// the --jobs driver fans these calls out across worker threads, so they
+// must only read the AnalysisContext); whole-corpus work goes in
+// run_corpus (called once, serially). Checks self-register through
+// QDC_ANALYZE_REGISTER so adding one is: write a .cpp in tools/analyzer/,
+// register it, list it in the CMake target, add a firing + clean fixture
+// under tests/analyzer_fixtures.
 #pragma once
 
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "callgraph.hpp"
 #include "source.hpp"
 
 namespace qdc::analyze {
@@ -32,10 +38,20 @@ struct Diagnostic {
 /// Sort by (file, line, rule, detail) for deterministic reports.
 void sort_diagnostics(std::vector<Diagnostic>& diags);
 
+/// Everything a check may consult: the corpus, per-file symbol maps, and
+/// the cross-TU call graph. Built once, read-only afterward — the --jobs
+/// fan-out shares one context across workers without locks.
 struct AnalysisContext {
   explicit AnalysisContext(const std::vector<SourceFile>& corpus)
-      : files(&corpus) {
-    for (const SourceFile& f : corpus) index_.emplace(f.rel, &f);
+      : files(&corpus), graph_(corpus) {
+    for (const SourceFile& f : corpus) {
+      index_.emplace(f.rel, &f);
+      std::set<std::string> syms = f.symbols().namespace_decls;
+      syms.insert(f.defines.begin(), f.defines.end());
+      if (f.is_header)
+        for (const std::string& s : syms) ++header_decl_count_[s];
+      file_symbols_.emplace(f.rel, std::move(syms));
+    }
   }
 
   const std::vector<SourceFile>* files = nullptr;
@@ -47,12 +63,32 @@ struct AnalysisContext {
     return it == index_.end() ? nullptr : it->second;
   }
 
+  /// The cross-TU symbol index and call graph.
+  const CallGraph& graph() const { return graph_; }
+
+  /// rel path -> symbols the file declares (namespace_decls + defines).
+  const std::set<std::string>& symbols_of(const std::string& rel) const {
+    static const std::set<std::string> kEmpty;
+    auto it = file_symbols_.find(rel);
+    return it == file_symbols_.end() ? kEmpty : it->second;
+  }
+
+  /// symbol -> number of corpus headers declaring it (include-hygiene's
+  /// "declared in exactly one header" test).
+  int header_decl_count(const std::string& symbol) const {
+    auto it = header_decl_count_.find(symbol);
+    return it == header_decl_count_.end() ? 0 : it->second;
+  }
+
  private:
   std::map<std::string, const SourceFile*> index_;
+  std::map<std::string, std::set<std::string>> file_symbols_;
+  std::map<std::string, int> header_decl_count_;
+  CallGraph graph_;
 };
 
-/// Static metadata for one rule, surfaced in the SARIF-lite report so the
-/// CI artifact is navigable without the source of the check.
+/// Static metadata for one rule, surfaced in the SARIF report so the CI
+/// artifact is navigable without the source of the check.
 struct RuleMeta {
   const char* id;       ///< "family/rule"
   const char* summary;  ///< one line: what firing means
@@ -64,8 +100,23 @@ class Check {
   virtual const char* name() const = 0;         ///< family name
   virtual const char* description() const = 0;  ///< one line, for --list-checks
   virtual std::vector<RuleMeta> rules() const = 0;  ///< all rule ids + summaries
-  virtual void run(const AnalysisContext& ctx,
-                   std::vector<Diagnostic>& out) const = 0;
+
+  /// Per-file analysis. MUST be safe to call concurrently for different
+  /// files (read ctx, write only `out`); the parallel driver merges the
+  /// per-file outputs in corpus order before sorting.
+  virtual void run_file(const AnalysisContext& ctx, const SourceFile& file,
+                        std::vector<Diagnostic>& out) const {
+    (void)ctx;
+    (void)file;
+    (void)out;
+  }
+
+  /// Whole-corpus analysis (cycles, cross-file aggregation). Serial.
+  virtual void run_corpus(const AnalysisContext& ctx,
+                          std::vector<Diagnostic>& out) const {
+    (void)ctx;
+    (void)out;
+  }
 };
 
 /// All registered checks, in registration order (link order of the .cpps).

@@ -5,6 +5,13 @@
 // util/expect.hpp gives every module QDC_EXPECT/QDC_CHECK; these rules make
 // reaching one of them a checked property instead of a convention.
 //
+// The function definitions, their parameter records, and the public-name
+// sets all come from the shared CallGraph; the guard/danger predicates
+// (dangerous_use_pos / guard_pos in callgraph.hpp) are shared with flow/,
+// whose flow/unguarded-index-path is the interprocedural closure of
+// contract/missing-guard (this rule: danger in the function itself; flow/:
+// danger in a callee the parameter is forwarded to).
+//
 // Rules:
 //   contract/missing-guard   a public function (declared in a module header,
 //       outside <module>/testing.hpp) takes an index-like parameter — a
@@ -22,9 +29,6 @@
 //
 // Both rules skip extras (files outside src/) and test-only headers.
 
-#include <cctype>
-#include <map>
-#include <set>
 #include <string>
 #include <vector>
 
@@ -32,91 +36,6 @@
 
 namespace qdc::analyze {
 namespace {
-
-bool is_all_caps(const std::string& s) {
-  for (char c : s)
-    if (std::islower(static_cast<unsigned char>(c)) != 0) return false;
-  return true;
-}
-
-bool is_testing_header(const SourceFile& f) {
-  return f.rel.size() >= 11 &&
-         f.rel.compare(f.rel.size() - 11, 11, "testing.hpp") == 0;
-}
-
-/// Integral carrier types whose parameters may index into storage.
-bool is_integral_type(const std::string& t) {
-  static const std::set<std::string> kTypes = {
-      "int",      "unsigned", "long",     "short",   "size_t",
-      "int32_t",  "int64_t",  "uint32_t", "uint64_t", "ptrdiff_t"};
-  return kTypes.count(t) != 0;
-}
-
-/// Strong id types that are index-like regardless of the parameter name.
-bool is_id_type(const std::string& t) {
-  return t == "NodeId" || t == "EdgeId";
-}
-
-/// Parameter names that mark an integral parameter as an index or size.
-bool is_indexy_name(const std::string& n) {
-  static const std::set<std::string> kExact = {
-      "qubit", "control", "target", "basis", "index", "idx",
-      "shard", "node",    "port",   "size",  "count"};
-  if (kExact.count(n) != 0) return true;
-  for (const char* suffix : {"_id", "_idx", "_index", "_count", "_size"}) {
-    std::string s(suffix);
-    if (n.size() > s.size() &&
-        n.compare(n.size() - s.size(), s.size(), s) == 0)
-      return true;
-  }
-  return false;
-}
-
-struct Param {
-  std::string name;
-  std::string type;  ///< the identifier token right before the name
-};
-
-/// Split `(...)` parameter text at top-level commas and pull (type, name)
-/// per chunk. Default arguments are cut at the top-level '='.
-std::vector<Param> parse_params(const std::string& text) {
-  std::vector<Param> out;
-  std::vector<std::string> chunks;
-  int depth = 0;
-  std::string cur;
-  for (char c : text) {
-    if (c == '(' || c == '<' || c == '[' || c == '{') ++depth;
-    if (c == ')' || c == '>' || c == ']' || c == '}') --depth;
-    if (c == ',' && depth == 0) {
-      chunks.push_back(cur);
-      cur.clear();
-    } else {
-      cur += c;
-    }
-  }
-  chunks.push_back(cur);
-  for (std::string chunk : chunks) {
-    int d = 0;
-    for (std::size_t i = 0; i < chunk.size(); ++i) {
-      char c = chunk[i];
-      if (c == '(' || c == '<' || c == '[' || c == '{') ++d;
-      if (c == ')' || c == '>' || c == ']' || c == '}') --d;
-      if (c == '=' && d == 0) {
-        chunk.resize(i);
-        break;
-      }
-    }
-    std::vector<Token> toks = tokenize_code(chunk);
-    Param p;
-    for (const Token& t : toks) {
-      if (!t.ident) continue;
-      p.type = p.name;
-      p.name = t.text;
-    }
-    if (!p.name.empty() && !is_cpp_keyword(p.name)) out.push_back(p);
-  }
-  return out;
-}
 
 class ContractCheck final : public Check {
  public:
@@ -137,252 +56,39 @@ class ContractCheck final : public Check {
     };
   }
 
-  void run(const AnalysisContext& ctx,
-           std::vector<Diagnostic>& out) const override {
-    // module -> names declared public in that module's non-testing headers.
-    std::map<std::string, std::set<std::string>> public_names;
-    for (const SourceFile& f : *ctx.files) {
-      if (f.module_name.empty() || !f.is_header || is_testing_header(f))
-        continue;
-      collect_public_names(f, public_names[f.module_name]);
-    }
-    for (const SourceFile& f : *ctx.files) {
-      if (f.module_name.empty() || is_testing_header(f)) continue;
-      check_definitions(f, public_names[f.module_name], out);
-      if (f.is_header) check_friends(ctx, f, out);
-    }
+  void run_file(const AnalysisContext& ctx, const SourceFile& f,
+                std::vector<Diagnostic>& out) const override {
+    if (f.module_name.empty() || is_testing_header(f)) return;
+    check_definitions(ctx, f, out);
+    if (f.is_header) check_friends(ctx, f, out);
   }
 
  private:
-  /// Scope-stack scan of a header: names of functions declared at namespace
-  /// scope or at public class scope.
-  static void collect_public_names(const SourceFile& f,
-                                   std::set<std::string>& names) {
-    std::vector<Token> toks = tokenize_code(f.code);
-    // 'n' namespace (transparent), 'c' class (access-tracked), 'o' opaque
-    // (function bodies, enums, initializers).
-    struct Scope {
-      char kind;
-      bool pub;
-    };
-    std::vector<Scope> stack;
-    std::string pending;  // keyword governing the next '{'
-    for (std::size_t i = 0; i < toks.size(); ++i) {
-      const Token& t = toks[i];
-      if (t.ident) {
-        if (t.text == "namespace") pending = "namespace";
-        if (t.text == "enum") pending = "enum";
-        if ((t.text == "class" || t.text == "struct") && pending != "enum")
-          pending = t.text;
-        bool at_class = !stack.empty() && stack.back().kind == 'c';
-        if (at_class && i + 1 < toks.size() && toks[i + 1].text == ":" &&
-            (t.text == "public" || t.text == "private" ||
-             t.text == "protected")) {
-          stack.back().pub = t.text == "public";
-          continue;
-        }
-        bool visible = stack.empty() || stack.back().kind == 'n' ||
-                       (at_class && stack.back().pub);
-        if (visible && pending.empty() && i + 1 < toks.size() &&
-            toks[i + 1].text == "(" && !is_cpp_keyword(t.text) &&
-            !is_all_caps(t.text)) {
-          names.insert(t.text);
-        }
-        continue;
-      }
-      if (t.text == "{") {
-        if (pending == "namespace")
-          stack.push_back({'n', true});
-        else if (pending == "class")
-          stack.push_back({'c', false});
-        else if (pending == "struct")
-          stack.push_back({'c', true});
-        else
-          stack.push_back({'o', false});
-        pending.clear();
-      } else if (t.text == "}") {
-        if (!stack.empty()) stack.pop_back();
-      } else if (t.text == ";") {
-        pending.clear();
-      }
-    }
-  }
-
-  /// Find function definitions `name(params) [quals] [: init] { body }` and
-  /// demand a guard before the first dangerous use of index-like params.
-  static void check_definitions(const SourceFile& f,
-                                const std::set<std::string>& public_names,
+  /// Walk this file's definitions (from the call graph) and demand a guard
+  /// before the first dangerous use of every index-like parameter.
+  static void check_definitions(const AnalysisContext& ctx,
+                                const SourceFile& f,
                                 std::vector<Diagnostic>& out) {
     const std::string& code = f.code;
-    std::vector<Token> toks = tokenize_code(code);
-    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
-      const Token& t = toks[i];
-      if (!t.ident || toks[i + 1].text != "(") continue;
-      if (is_cpp_keyword(t.text) || is_all_caps(t.text)) continue;
-      if (public_names.count(t.text) == 0) continue;
-      std::size_t open = toks[i + 1].offset;
-      std::size_t close = match_bracket(code, open, '(', ')');
-      if (close == std::string::npos) continue;
-      std::size_t body = find_body(code, close, f);
-      if (body == std::string::npos) continue;
-      std::size_t body_end = match_bracket(code, body, '{', '}');
-      if (body_end == std::string::npos) continue;
-      std::vector<Param> params =
-          parse_params(code.substr(open + 1, close - 1 - (open + 1)));
-      for (const Param& p : params) {
-        bool indexy = is_id_type(p.type) ||
-                      (is_integral_type(p.type) && is_indexy_name(p.name));
-        if (!indexy) continue;
+    for (const FunctionDef* d : ctx.graph().functions_in_file(f.rel)) {
+      if (d->is_lambda || !d->is_public) continue;
+      for (const ParamRecord& p : d->params) {
+        if (!p.index_like) continue;
         std::size_t danger =
-            first_dangerous_use(f, p.name, body + 1, body_end - 1);
+            dangerous_use_pos(f, p.name, d->body_begin + 1, d->body_end - 1);
         if (danger == std::string::npos) continue;
-        std::size_t guard = first_guard(code, p.name, body + 1, body_end - 1);
+        std::size_t guard =
+            guard_pos(code, p.name, d->body_begin + 1, d->body_end - 1);
         if (guard != std::string::npos && guard < danger) continue;
         out.push_back(
-            {"contract/missing-guard", f.rel, f.line_of(t.offset),
-             t.text + "(" + p.name + ")",
-             "public function '" + t.text + "' uses index-like parameter '" +
+            {"contract/missing-guard", f.rel, d->line(),
+             d->name + "(" + p.name + ")",
+             "public function '" + d->name + "' uses index-like parameter '" +
                  p.name + "' as a subscript/shift operand before any "
                  "QDC_EXPECT/QDC_CHECK mentions it; guard the parameter "
                  "first (util/expect.hpp)"});
       }
     }
-  }
-
-  /// Position of the definition body '{' after the parameter list at
-  /// `close`, skipping cv/ref qualifiers, noexcept(...), trailing return
-  /// types and constructor initializer lists. npos when this is a
-  /// declaration, a call, or anything else.
-  static std::size_t find_body(const std::string& code, std::size_t close,
-                               const SourceFile& f) {
-    std::size_t j = skip_space(code, close);
-    while (j < code.size()) {
-      std::string q = read_ident_at(code, j);
-      if (q == "const" || q == "override" || q == "final" ||
-          q == "mutable") {
-        j = skip_space(code, j + q.size());
-        continue;
-      }
-      if (q == "noexcept") {
-        j = skip_space(code, j + q.size());
-        if (j < code.size() && code[j] == '(') {
-          j = match_bracket(code, j, '(', ')');
-          if (j == std::string::npos) return std::string::npos;
-          j = skip_space(code, j);
-        }
-        continue;
-      }
-      break;
-    }
-    if (j + 1 < code.size() && code[j] == '-' && code[j + 1] == '>') {
-      // Trailing return type: take whichever of '{' / ';' comes first.
-      std::size_t brace = code.find('{', j);
-      std::size_t semi = code.find(';', j);
-      if (brace == std::string::npos || semi < brace)
-        return std::string::npos;
-      return brace;
-    }
-    if (j < code.size() && code[j] == ':' &&
-        !(j + 1 < code.size() && code[j + 1] == ':')) {
-      // Constructor initializer list: `: member_(expr), base(expr) {`.
-      ++j;
-      while (j < code.size()) {
-        j = skip_space(code, j);
-        std::string id = read_ident_at(code, j);
-        if (id.empty()) return std::string::npos;
-        j += id.size();
-        j = skip_space(code, j);
-        while (j + 1 < code.size() && code[j] == ':' && code[j + 1] == ':') {
-          j = skip_space(code, j + 2);
-          j += read_ident_at(code, j).size();
-          j = skip_space(code, j);
-        }
-        if (j >= code.size() || (code[j] != '(' && code[j] != '{'))
-          return std::string::npos;
-        j = match_bracket(code, j, code[j], code[j] == '(' ? ')' : '}');
-        if (j == std::string::npos) return std::string::npos;
-        j = skip_space(code, j);
-        if (j < code.size() && code[j] == ',') {
-          ++j;
-          continue;
-        }
-        break;
-      }
-      (void)f;
-      return j < code.size() && code[j] == '{' ? j : std::string::npos;
-    }
-    return j < code.size() && code[j] == '{' ? j : std::string::npos;
-  }
-
-  /// First offset in [begin, end) where `param` is used as a subscript
-  /// component or a shift operand; npos when it is only forwarded.
-  static std::size_t first_dangerous_use(const SourceFile& f,
-                                         const std::string& param,
-                                         std::size_t begin, std::size_t end) {
-    const std::string& code = f.code;
-    // Lambda capture lists are bracketed but are not subscripts.
-    std::vector<std::pair<std::size_t, std::size_t>> intro_ranges;
-    for (const LambdaInfo& l : f.symbols().lambdas) {
-      std::size_t r = match_bracket(code, l.intro, '[', ']');
-      if (r != std::string::npos) intro_ranges.emplace_back(l.intro, r);
-    }
-    auto in_intro = [&](std::size_t pos) {
-      for (const auto& [lo, hi] : intro_ranges)
-        if (pos >= lo && pos < hi) return true;
-      return false;
-    };
-    std::size_t pos = begin;
-    while ((pos = find_token(code, param, pos)) != std::string::npos &&
-           pos < end) {
-      std::size_t at = pos;
-      pos += param.size();
-      if (in_intro(at)) continue;
-      // Subscript: any unclosed '[' between body begin and the use.
-      int depth = 0;
-      for (std::size_t k = begin; k < at; ++k) {
-        if (in_intro(k)) continue;
-        if (code[k] == '[') ++depth;
-        if (code[k] == ']' && depth > 0) --depth;
-      }
-      if (depth > 0) return at;
-      // Shift operand: `x << param`, `param << x` (and >>).
-      std::size_t b = at;
-      while (b > begin &&
-             std::isspace(static_cast<unsigned char>(code[b - 1])) != 0)
-        --b;
-      if (b >= begin + 2 && ((code[b - 1] == '<' && code[b - 2] == '<') ||
-                             (code[b - 1] == '>' && code[b - 2] == '>')))
-        return at;
-      std::size_t a = skip_space(code, at + param.size());
-      if (a + 1 < end && ((code[a] == '<' && code[a + 1] == '<') ||
-                          (code[a] == '>' && code[a + 1] == '>')))
-        return at;
-    }
-    return std::string::npos;
-  }
-
-  /// First QDC_EXPECT/QDC_CHECK in [begin, end) whose argument list
-  /// mentions `param`; npos when none does.
-  static std::size_t first_guard(const std::string& code,
-                                 const std::string& param, std::size_t begin,
-                                 std::size_t end) {
-    std::size_t best = std::string::npos;
-    for (const char* macro : {"QDC_EXPECT", "QDC_CHECK"}) {
-      std::size_t pos = begin;
-      while ((pos = find_token(code, macro, pos)) != std::string::npos &&
-             pos < end) {
-        std::size_t at = pos;
-        pos += std::string(macro).size();
-        std::size_t open = skip_space(code, pos);
-        if (open >= code.size() || code[open] != '(') continue;
-        std::size_t close = match_bracket(code, open, '(', ')');
-        if (close == std::string::npos) continue;
-        std::string args = code.substr(open + 1, close - 1 - (open + 1));
-        if (find_token(args, param) != std::string::npos && at < best)
-          best = at;
-      }
-    }
-    return best;
   }
 
   /// contract/firewall: friend declarations must stay inside the module.

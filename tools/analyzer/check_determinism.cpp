@@ -95,17 +95,16 @@ class DeterminismCheck final : public Check {
     };
   }
 
-  void run(const AnalysisContext& ctx,
-           std::vector<Diagnostic>& out) const override {
-    for (const SourceFile& f : *ctx.files) {
-      if (f.module_name.empty()) continue;
-      check_wall_clock(f, out);
-      check_fp_accumulation(f, out);
-      static const std::set<std::string> kOrderSensitive = {
-          "congest", "dist", "graph", "core"};
-      if (kOrderSensitive.count(f.module_name) != 0)
-        check_unordered_iteration(f, out);
-    }
+  void run_file(const AnalysisContext& ctx, const SourceFile& f,
+                std::vector<Diagnostic>& out) const override {
+    (void)ctx;
+    if (f.module_name.empty()) return;
+    check_wall_clock(f, out);
+    check_fp_accumulation(f, out);
+    static const std::set<std::string> kOrderSensitive = {
+        "congest", "dist", "graph", "core"};
+    if (kOrderSensitive.count(f.module_name) != 0)
+      check_unordered_iteration(f, out);
   }
 
  private:

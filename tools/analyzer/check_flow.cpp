@@ -1,0 +1,417 @@
+// Interprocedural flow checks: the call-graph closure of the parallel/ and
+// contract/ invariants, plus the RNG-discipline escape hatch. Where
+// parallel/shared-write-no-slot sees only writes spelled inside a pool
+// closure and contract/missing-guard only dangerous uses spelled inside the
+// public function itself, these rules walk CallGraph edges, so a by-ref
+// capture laundered through one helper call or an index forwarded unguarded
+// into a callee no longer hides the hazard.
+//
+// Rules:
+//   flow/shared-write-escape   a closure passed to a pool entry point
+//       passes by-ref-captured (or member) state into a callee — possibly
+//       through several by-ref parameter hops — and some function on that
+//       path writes it without a shard-indexed slot. Writes indexed by a
+//       callee-local variable or by a parameter bound to a shard-local
+//       argument at the call site are the blessed slot idiom and pass
+//       (mirroring the intraprocedural rule's treatment of body locals).
+//   flow/unguarded-index-path  a public function forwards an index-like
+//       parameter (NodeId/EdgeId, or integral + index-ish name — the same
+//       predicate as contract/missing-guard) into a corpus callee, no
+//       QDC_EXPECT/QDC_CHECK mentions it before the call, and the callee
+//       (or a further callee) uses the forwarded value as a subscript or
+//       shift operand with no guard of its own. The guard may live on
+//       either side of the call; it must exist on the path.
+//   flow/rng-escape            an RNG engine declared outside a pool
+//       closure is used inside one (shards would share one engine — the
+//       determinism contract requires a per-shard engine derived with
+//       splitmix64), or an RNG is seeded/constructed from inline literal
+//       or arithmetic seed material that bypasses the pinned
+//       splitmix64/job_seed derivation path (util/rng.hpp).
+//
+// Unresolved calls (std::, system) terminate every walk; recursion is
+// cycle-guarded by a visited set per walk.
+
+#include <cctype>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "check.hpp"
+
+namespace qdc::analyze {
+namespace {
+
+bool is_param_of(const FunctionDef& fn, const std::string& name) {
+  for (const ParamRecord& p : fn.params)
+    if (p.name == name) return true;
+  return false;
+}
+
+/// True when the subscript expression `index_expr` is shard-safe inside
+/// `fn`: it mentions a body-local variable (non-parameter — mirrors the
+/// intraprocedural rule) or a parameter listed in `safe` (bound to a
+/// shard-local argument at the call site being walked).
+bool index_is_safe(const FunctionDef& fn, const std::set<std::string>& safe,
+                   const std::string& index_expr) {
+  for (const Token& tok : tokenize_code(index_expr)) {
+    if (!tok.ident) continue;
+    if (safe.count(tok.text) != 0) return true;
+    if (fn.locals.count(tok.text) != 0 && !is_param_of(fn, tok.text))
+      return true;
+  }
+  return false;
+}
+
+struct EscapeHit {
+  const FunctionDef* fn = nullptr;
+  std::size_t at = 0;
+  const char* verb = "";
+};
+
+/// Does `taint` (a by-ref parameter of `fn`) reach an unsafe write in `fn`
+/// or any transitive callee it is forwarded to by reference?
+bool find_escape_write(const FunctionDef* fn, const std::string& taint,
+                       const std::set<std::string>& safe,
+                       std::set<std::string>& visited, EscapeHit* hit) {
+  if (!visited.insert(fn->qname + "|" + taint).second) return false;
+  const std::string& code = fn->file->code;
+  bool found = false;
+  scan_writes(code, fn->body_begin + 1, fn->body_end - 1,
+              [&](std::size_t at, const WriteTarget& t, const char* verb) {
+                if (found || !t.valid || t.base != taint) return;
+                if (!t.index_expr.empty() &&
+                    index_is_safe(*fn, safe, t.index_expr))
+                  return;  // shard-indexed slot: the blessed idiom
+                found = true;
+                *hit = {fn, at, verb};
+              });
+  if (found) return true;
+
+  for (const CallSite& cs : fn->calls) {
+    for (std::size_t ai = 0; ai < cs.args.size(); ++ai) {
+      const CallArg& a = cs.args[ai];
+      if (a.base != taint) continue;
+      if (a.indexed) {
+        // Forwarding an element of the tainted container: safe when the
+        // subscript is shard-safe (same test as for a direct write).
+        WriteTarget wt =
+            parse_chain_fwd(a.text, a.address_of ? 1 : 0);
+        if (wt.valid && index_is_safe(*fn, safe, wt.index_expr)) continue;
+      }
+      for (const FunctionDef* callee : cs.resolved) {
+        if (ai >= callee->params.size()) continue;
+        if (!callee->params[ai].by_ref) continue;
+        std::set<std::string> callee_safe;
+        for (std::size_t aj = 0;
+             aj < cs.args.size() && aj < callee->params.size(); ++aj) {
+          const std::string& b = cs.args[aj].base;
+          if (b.empty()) continue;
+          if (safe.count(b) != 0 ||
+              (fn->locals.count(b) != 0 && !is_param_of(*fn, b)))
+            callee_safe.insert(callee->params[aj].name);
+        }
+        if (find_escape_write(callee, callee->params[ai].name, callee_safe,
+                              visited, hit))
+          return true;
+      }
+    }
+  }
+  return false;
+}
+
+struct GuardHit {
+  const FunctionDef* fn = nullptr;
+  std::string param;
+};
+
+/// Does `param` of `fn` reach a subscript/shift (in `fn` or a callee it is
+/// forwarded to verbatim) with no QDC_EXPECT/QDC_CHECK on the path?
+bool find_unguarded_danger(const FunctionDef* fn, const std::string& param,
+                           std::set<std::string>& visited, GuardHit* hit) {
+  if (!visited.insert(fn->qname + "|" + param).second) return false;
+  const std::string& code = fn->file->code;
+  std::size_t begin = fn->body_begin + 1;
+  std::size_t end = fn->body_end - 1;
+  std::size_t guard = guard_pos(code, param, begin, end);
+  std::size_t danger = dangerous_use_pos(*fn->file, param, begin, end);
+  if (danger != std::string::npos &&
+      (guard == std::string::npos || danger < guard)) {
+    *hit = {fn, param};
+    return true;
+  }
+  for (const CallSite& cs : fn->calls) {
+    if (guard != std::string::npos && guard < cs.offset)
+      continue;  // guarded before the forward: path is covered
+    for (std::size_t ai = 0; ai < cs.args.size(); ++ai) {
+      if (cs.args[ai].text != param) continue;  // only verbatim forwards
+      for (const FunctionDef* callee : cs.resolved) {
+        if (ai >= callee->params.size()) continue;
+        if (find_unguarded_danger(callee, callee->params[ai].name, visited,
+                                  hit))
+          return true;
+      }
+    }
+  }
+  return false;
+}
+
+/// Seed-expression vetting for flow/rng-escape: `text` is the argument of
+/// an RNG constructor or .seed() call. Fires when the expression derives
+/// seed material with inline arithmetic instead of going through
+/// splitmix64/job_seed. A bare value (literal constant, plain variable) is
+/// fine — it is reproducible as-is; arithmetic like `base + i` is the
+/// correlated-streams bug the splitmix64 finalizer exists to prevent
+/// (nearby mt19937 seeds yield correlated streams).
+bool is_raw_seed_derivation(const std::string& text) {
+  if (find_token(text, "splitmix64") != std::string::npos ||
+      find_token(text, "job_seed") != std::string::npos)
+    return false;
+  // Two adjacent identifier tokens = a parameter declaration (`uint64_t
+  // seed`), not a seed expression; this scan saw a function signature.
+  std::vector<Token> toks = tokenize_code(text);
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i)
+    if (toks[i].ident && toks[i + 1].ident) return false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '-' && i + 1 < text.size() && text[i + 1] == '>') {
+      ++i;  // member access, not subtraction
+      continue;
+    }
+    if (c == '+' || c == '-' || c == '*' || c == '/' || c == '%' ||
+        c == '^')
+      return true;
+  }
+  return false;
+}
+
+class FlowCheck final : public Check {
+ public:
+  const char* name() const override { return "flow"; }
+  const char* description() const override {
+    return "interprocedural closures of the sharding, guard and RNG "
+           "contracts over the cross-TU call graph";
+  }
+  std::vector<RuleMeta> rules() const override {
+    return {
+        {"flow/shared-write-escape",
+         "by-ref captured state reaches a write without a shard-indexed "
+         "slot in a function transitively called from a pool closure"},
+        {"flow/unguarded-index-path",
+         "index-like parameter of a public function reaches a subscript/"
+         "shift in a callee with no QDC_EXPECT/QDC_CHECK on the path"},
+        {"flow/rng-escape",
+         "RNG engine crosses into a sharded region, or a seed is derived "
+         "outside the pinned splitmix64/job_seed path"},
+    };
+  }
+
+  void run_file(const AnalysisContext& ctx, const SourceFile& f,
+                std::vector<Diagnostic>& out) const override {
+    check_shared_write_escape(ctx, f, out);
+    if (!f.module_name.empty() && !is_testing_header(f))
+      check_unguarded_index_path(ctx, f, out);
+    check_rng_escape(ctx, f, out);
+  }
+
+ private:
+  /// Call sites lexically inside the closure's body region, regardless of
+  /// which nested lambda they were attributed to: the closure analysis owns
+  /// the whole region, mirroring parallel/shared-write-no-slot.
+  static std::vector<const CallSite*> region_calls(const AnalysisContext& ctx,
+                                                   const SourceFile& f,
+                                                   const FunctionDef& cl) {
+    std::vector<const CallSite*> calls;
+    for (const FunctionDef* d : ctx.graph().functions_in_file(f.rel))
+      for (const CallSite& cs : d->calls)
+        if (cs.offset > cl.body_begin && cs.offset < cl.body_end)
+          calls.push_back(&cs);
+    return calls;
+  }
+
+  static void check_shared_write_escape(const AnalysisContext& ctx,
+                                        const SourceFile& f,
+                                        std::vector<Diagnostic>& out) {
+    std::set<std::string> reported;
+    for (const PoolClosure& pc : ctx.graph().pool_closures()) {
+      if (pc.closure->file != &f) continue;
+      const FunctionDef& cl = *pc.closure;
+      const LambdaInfo& l = *cl.lambda;
+      for (const CallSite* cs : region_calls(ctx, f, cl)) {
+        for (std::size_t ai = 0; ai < cs->args.size(); ++ai) {
+          const CallArg& a = cs->args[ai];
+          if (a.base.empty() || cl.locals.count(a.base) != 0) continue;
+          if (f.symbols().atomic_vars.count(a.base) != 0) continue;
+          bool member = a.base.back() == '_';
+          bool shared = member ? (l.captures_this || l.captures_default_ref ||
+                                  l.captures_default_copy)
+                               : l.captures_by_ref(a.base);
+          if (!shared) continue;
+          if (a.indexed) {
+            // Passing one element of a shard-slot container: blessed when
+            // the subscript mentions a closure-local value.
+            WriteTarget wt = parse_chain_fwd(a.text, a.address_of ? 1 : 0);
+            bool slot = false;
+            if (wt.valid)
+              for (const Token& tok : tokenize_code(wt.index_expr))
+                if (tok.ident && cl.locals.count(tok.text) != 0) slot = true;
+            if (slot) continue;
+          }
+          for (const FunctionDef* callee : cs->resolved) {
+            if (ai >= callee->params.size() || !callee->params[ai].by_ref)
+              continue;
+            std::set<std::string> safe;
+            for (std::size_t aj = 0;
+                 aj < cs->args.size() && aj < callee->params.size(); ++aj)
+              if (!cs->args[aj].base.empty() &&
+                  cl.locals.count(cs->args[aj].base) != 0)
+                safe.insert(callee->params[aj].name);
+            std::set<std::string> visited;
+            EscapeHit hit;
+            if (!find_escape_write(callee, callee->params[ai].name, safe,
+                                   visited, &hit))
+              continue;
+            if (!reported.insert(a.base + "->" + hit.fn->qname).second)
+              continue;
+            out.push_back(
+                {"flow/shared-write-escape", f.rel, f.line_of(cs->offset),
+                 a.base + "->" + hit.fn->qname,
+                 "closure passed to " + pc.entry + "() passes captured '" +
+                     a.base + "' into '" + hit.fn->qname + "' (via " +
+                     cs->callee + "()), which " + hit.verb + " it without "
+                     "a shard-indexed slot; give each shard its own slot "
+                     "and merge in shard order"});
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  static void check_unguarded_index_path(const AnalysisContext& ctx,
+                                         const SourceFile& f,
+                                         std::vector<Diagnostic>& out) {
+    for (const FunctionDef* d : ctx.graph().functions_in_file(f.rel)) {
+      if (d->is_lambda || !d->is_public) continue;
+      std::size_t begin = d->body_begin + 1;
+      std::size_t end = d->body_end - 1;
+      for (std::size_t pi = 0; pi < d->params.size(); ++pi) {
+        const ParamRecord& p = d->params[pi];
+        if (!p.index_like) continue;
+        std::size_t guard = guard_pos(f.code, p.name, begin, end);
+        std::size_t danger = dangerous_use_pos(f, p.name, begin, end);
+        if (danger != std::string::npos &&
+            (guard == std::string::npos || danger < guard))
+          continue;  // contract/missing-guard already owns this finding
+        bool fired = false;
+        for (const CallSite& cs : d->calls) {
+          if (fired) break;
+          if (guard != std::string::npos && guard < cs.offset) continue;
+          for (std::size_t ai = 0; ai < cs.args.size(); ++ai) {
+            if (cs.args[ai].text != p.name) continue;
+            for (const FunctionDef* callee : cs.resolved) {
+              if (ai >= callee->params.size()) continue;
+              std::set<std::string> visited;
+              GuardHit hit;
+              if (!find_unguarded_danger(callee, callee->params[ai].name,
+                                         visited, &hit))
+                continue;
+              out.push_back(
+                  {"flow/unguarded-index-path", f.rel, d->line(),
+                   d->name + "(" + p.name + ")->" + hit.fn->name,
+                   "public function '" + d->name +
+                       "' forwards index-like parameter '" + p.name +
+                       "' into '" + hit.fn->qname + "', which uses it as a "
+                       "subscript/shift operand with no QDC_EXPECT/"
+                       "QDC_CHECK anywhere on the path; guard it before "
+                       "forwarding (util/expect.hpp)"});
+              fired = true;
+              break;
+            }
+            if (fired) break;
+          }
+        }
+      }
+    }
+  }
+
+  static void check_rng_escape(const AnalysisContext& ctx,
+                               const SourceFile& f,
+                               std::vector<Diagnostic>& out) {
+    const std::string& code = f.code;
+    // (a) an engine declared outside a pool closure, used inside one.
+    std::set<std::string> reported;
+    for (const PoolClosure& pc : ctx.graph().pool_closures()) {
+      if (pc.closure->file != &f) continue;
+      const FunctionDef& cl = *pc.closure;
+      for (const std::string& r : f.symbols().rng_vars) {
+        if (cl.locals.count(r) != 0) continue;  // per-shard engine: fine
+        std::size_t use = find_token(code, r, cl.body_begin);
+        if (use == std::string::npos || use >= cl.body_end) continue;
+        if (!reported.insert(r + "->" + pc.entry).second) continue;
+        out.push_back(
+            {"flow/rng-escape", f.rel, f.line_of(use), r + "->" + pc.entry,
+             "RNG engine '" + r + "' declared outside the closure passed "
+             "to " + pc.entry + "() is used inside it; shards sharing one "
+             "engine race and break seeded determinism — derive a "
+             "per-shard engine with splitmix64 (util/rng.hpp)"});
+      }
+    }
+
+    // (b) seeds derived inline instead of through splitmix64/job_seed.
+    auto report_seed = [&](std::size_t at, const std::string& expr) {
+      std::string condensed;
+      for (char c : expr)
+        if (std::isspace(static_cast<unsigned char>(c)) == 0) condensed += c;
+      out.push_back(
+          {"flow/rng-escape", f.rel, f.line_of(at), "seed:" + condensed,
+           "RNG seeded with '" + trim_spaces(expr) + "', which derives "
+           "seed material outside the pinned splitmix64 path; use "
+           "splitmix64/job_seed (util/rng.hpp) so streams are "
+           "decorrelated and reproducible"});
+    };
+    for (const char* ty : {"Rng", "std::mt19937_64", "std::mt19937"}) {
+      std::size_t pos = 0;
+      const std::string needle(ty);
+      while ((pos = find_token(code, needle, pos)) != std::string::npos) {
+        std::size_t at = pos;
+        pos += needle.size();
+        std::size_t i = skip_space(code, at + needle.size());
+        while (i < code.size() && (code[i] == '&' || code[i] == '*'))
+          i = skip_space(code, i + 1);
+        std::string name = read_ident_at(code, i);
+        i = skip_space(code, i + name.size());
+        if (i >= code.size() || (code[i] != '(' && code[i] != '{')) continue;
+        char open_ch = code[i];
+        std::size_t close =
+            match_bracket(code, i, open_ch, open_ch == '(' ? ')' : '}');
+        if (close == std::string::npos) continue;
+        std::string inner = code.substr(i + 1, close - 1 - (i + 1));
+        if (trim_spaces(inner).empty()) continue;  // default-constructed
+        if (is_raw_seed_derivation(inner)) report_seed(at, inner);
+      }
+    }
+    // `engine.seed(expr)` re-seeding of a known RNG variable.
+    std::size_t pos = 0;
+    while ((pos = find_token(code, "seed", pos)) != std::string::npos) {
+      std::size_t at = pos;
+      pos += 4;
+      bool via_dot = at > 0 && code[at - 1] == '.';
+      bool via_arrow = at > 1 && code[at - 1] == '>' && code[at - 2] == '-';
+      if (!via_dot && !via_arrow) continue;
+      WriteTarget base =
+          parse_chain_back(code, via_dot ? at - 1 : at - 2);
+      if (!base.valid || f.symbols().rng_vars.count(base.base) == 0) continue;
+      std::size_t open = skip_space(code, at + 4);
+      if (open >= code.size() || code[open] != '(') continue;
+      std::size_t close = match_bracket(code, open, '(', ')');
+      if (close == std::string::npos) continue;
+      std::string inner = code.substr(open + 1, close - 1 - (open + 1));
+      if (is_raw_seed_derivation(inner)) report_seed(at, inner);
+    }
+  }
+};
+
+QDC_ANALYZE_REGISTER(FlowCheck)
+
+}  // namespace
+}  // namespace qdc::analyze

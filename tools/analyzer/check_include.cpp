@@ -62,103 +62,94 @@ class IncludeHygieneCheck final : public Check {
     };
   }
 
-  void run(const AnalysisContext& ctx,
-           std::vector<Diagnostic>& out) const override {
-    // Symbol tables per file, and symbol -> number of headers declaring it.
-    std::map<std::string, std::set<std::string>> symbols;
-    std::map<std::string, int> header_decl_count;
-    for (const SourceFile& f : *ctx.files) {
-      std::set<std::string> syms = f.symbols().namespace_decls;
-      syms.insert(f.defines.begin(), f.defines.end());
-      symbols[f.rel] = std::move(syms);
-      if (f.is_header)
-        for (const std::string& s : symbols[f.rel]) ++header_decl_count[s];
+  void run_file(const AnalysisContext& ctx, const SourceFile& f,
+                std::vector<Diagnostic>& out) const override {
+    // Per-file symbol sets and the headers-declaring counts live on the
+    // context (built once, shared read-only by every worker).
+    std::string own_header;
+    if (!f.is_header)
+      own_header = f.rel.substr(0, f.rel.size() - 4) + ".hpp";
+
+    std::set<std::string> direct;  // rel paths of directly-named headers
+    for (const Include& inc : f.includes) {
+      if (inc.angled) continue;
+      std::string target = resolve_include(ctx, f.rel, inc.path);
+      if (target.empty()) continue;
+      direct.insert(target);
+
+      if (inc.cond_depth > 0) continue;       // cannot evaluate #if
+      if (target == own_header) continue;     // never "unused"
+      const std::set<std::string>& syms = ctx.symbols_of(target);
+      if (syms.empty()) continue;             // nothing extracted: skip
+      bool used = false;
+      for (const std::string& s : syms)
+        if (f.uses(s)) {
+          used = true;
+          break;
+        }
+      if (!used) {
+        out.push_back({"include/unused", f.rel, inc.line, inc.path,
+                       "no symbol declared in \"" + inc.path + "\" is "
+                       "mentioned here; drop the include (or baseline it "
+                       "with a justification if it is a deliberate "
+                       "re-export)"});
+      }
     }
 
-    for (const SourceFile& f : *ctx.files) {
-      std::string own_header;
-      if (!f.is_header)
-        own_header = f.rel.substr(0, f.rel.size() - 4) + ".hpp";
-
-      std::set<std::string> direct;  // rel paths of directly-named headers
-      for (const Include& inc : f.includes) {
-        if (inc.angled) continue;
-        std::string target = resolve_include(ctx, f.rel, inc.path);
-        if (target.empty()) continue;
-        direct.insert(target);
-
-        if (inc.cond_depth > 0) continue;       // cannot evaluate #if
-        if (target == own_header) continue;     // never "unused"
-        const std::set<std::string>& syms = symbols[target];
-        if (syms.empty()) continue;             // nothing extracted: skip
-        bool used = false;
-        for (const std::string& s : syms)
-          if (f.uses(s)) {
-            used = true;
-            break;
-          }
-        if (!used) {
-          out.push_back({"include/unused", f.rel, inc.line, inc.path,
-                         "no symbol declared in \"" + inc.path + "\" is "
-                         "mentioned here; drop the include (or baseline it "
-                         "with a justification if it is a deliberate "
-                         "re-export)"});
+    // Credit a .cpp with its own header's direct includes.
+    std::set<std::string> credited = direct;
+    if (!own_header.empty()) {
+      if (const SourceFile* h = ctx.find(own_header)) {
+        credited.insert(own_header);
+        for (const Include& inc : h->includes) {
+          if (inc.angled) continue;
+          std::string t = resolve_include(ctx, h->rel, inc.path);
+          if (!t.empty()) credited.insert(t);
         }
       }
+    }
 
-      // Credit a .cpp with its own header's direct includes.
-      std::set<std::string> credited = direct;
-      if (!own_header.empty()) {
-        if (const SourceFile* h = ctx.find(own_header)) {
-          credited.insert(own_header);
-          for (const Include& inc : h->includes) {
-            if (inc.angled) continue;
-            std::string t = resolve_include(ctx, h->rel, inc.path);
-            if (!t.empty()) credited.insert(t);
-          }
+    // Reachable closure over project includes.
+    std::set<std::string> reachable;
+    std::vector<std::string> queue(credited.begin(), credited.end());
+    while (!queue.empty()) {
+      std::string cur = queue.back();
+      queue.pop_back();
+      if (!reachable.insert(cur).second) continue;
+      if (const SourceFile* h = ctx.find(cur))
+        for (const Include& inc : h->includes) {
+          if (inc.angled) continue;
+          std::string t = resolve_include(ctx, h->rel, inc.path);
+          if (!t.empty()) queue.push_back(t);
         }
-      }
+    }
 
-      // Reachable closure over project includes.
-      std::set<std::string> reachable;
-      std::vector<std::string> queue(credited.begin(), credited.end());
-      while (!queue.empty()) {
-        std::string cur = queue.back();
-        queue.pop_back();
-        if (!reachable.insert(cur).second) continue;
-        if (const SourceFile* h = ctx.find(cur))
-          for (const Include& inc : h->includes) {
-            if (inc.angled) continue;
-            std::string t = resolve_include(ctx, h->rel, inc.path);
-            if (!t.empty()) queue.push_back(t);
-          }
-      }
+    // Symbols available through credited headers or the file itself.
+    std::set<std::string> provided = ctx.symbols_of(f.rel);
+    for (const std::string& h : credited) {
+      const std::set<std::string>& syms = ctx.symbols_of(h);
+      provided.insert(syms.begin(), syms.end());
+    }
 
-      // Symbols available through credited headers or the file itself.
-      std::set<std::string> provided = symbols[f.rel];
-      for (const std::string& h : credited)
-        provided.insert(symbols[h].begin(), symbols[h].end());
-
-      for (const std::string& h : reachable) {
-        if (credited.count(h) != 0 || h == f.rel) continue;
-        std::vector<std::string> hits;
-        for (const std::string& s : symbols[h]) {
-          if (header_decl_count[s] != 1) continue;  // ambiguous name
-          if (provided.count(s) != 0) continue;
-          if (f.uses(s)) hits.push_back(s);
-        }
-        if (hits.empty()) continue;
-        std::string shown;
-        for (std::size_t i = 0; i < hits.size() && i < 3; ++i)
-          shown += (i != 0 ? ", " : "") + hits[i];
-        if (hits.size() > 3) shown += ", ...";
-        std::string path =
-            h.compare(0, 4, "src/") == 0 ? h.substr(4) : h;  // as written
-        out.push_back({"include/transitive", f.rel,
-                       f.first_use_line(hits.front()), path,
-                       "uses " + shown + " declared in \"" + path + "\" but "
-                       "reaches it only transitively; include it directly"});
+    for (const std::string& h : reachable) {
+      if (credited.count(h) != 0 || h == f.rel) continue;
+      std::vector<std::string> hits;
+      for (const std::string& s : ctx.symbols_of(h)) {
+        if (ctx.header_decl_count(s) != 1) continue;  // ambiguous name
+        if (provided.count(s) != 0) continue;
+        if (f.uses(s)) hits.push_back(s);
       }
+      if (hits.empty()) continue;
+      std::string shown;
+      for (std::size_t i = 0; i < hits.size() && i < 3; ++i)
+        shown += (i != 0 ? ", " : "") + hits[i];
+      if (hits.size() > 3) shown += ", ...";
+      std::string path =
+          h.compare(0, 4, "src/") == 0 ? h.substr(4) : h;  // as written
+      out.push_back({"include/transitive", f.rel,
+                     f.first_use_line(hits.front()), path,
+                     "uses " + shown + " declared in \"" + path + "\" but "
+                     "reaches it only transitively; include it directly"});
     }
   }
 };

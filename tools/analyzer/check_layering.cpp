@@ -68,8 +68,8 @@ class LayeringCheck final : public Check {
     };
   }
 
-  void run(const AnalysisContext& ctx,
-           std::vector<Diagnostic>& out) const override {
+  void run_corpus(const AnalysisContext& ctx,
+                  std::vector<Diagnostic>& out) const override {
     const auto& allowed = allowed_deps();
     // module -> module -> representative include site.
     std::map<std::string, std::map<std::string, Edge>> edges;

@@ -7,6 +7,12 @@
 // (util/shard.hpp documents the idiom). These rules enforce that contract
 // at analysis time instead of sampling it at runtime.
 //
+// Closure discovery and write-target parsing are shared infrastructure now:
+// the CallGraph finds the closures (CallGraph::pool_closures), source.hpp
+// owns WriteTarget/scan_writes. This check analyzes the closure body itself;
+// writes that escape through a call into a helper are flow/'s job
+// (flow/shared-write-escape walks the graph from the same PoolClosure list).
+//
 // Rules:
 //   parallel/shared-write-no-slot  a closure passed to a parallel entry
 //       point writes (=, +=, ++, push_back, ...) through a by-reference
@@ -36,99 +42,6 @@
 
 namespace qdc::analyze {
 namespace {
-
-/// A write's left-hand side: the chain base identifier plus every subscript
-/// expression crossed on the way (`slots[s].sum` -> base "slots", index "s").
-struct WriteTarget {
-  std::string base;
-  std::string index_expr;
-  bool valid = false;
-};
-
-/// Parse a chain ending (exclusive) at `end`: ident, ident[expr],
-/// ident.field, ident->field[expr].field, ...
-WriteTarget parse_chain_back(const std::string& s, std::size_t end) {
-  WriteTarget t;
-  while (true) {
-    while (end > 0 &&
-           std::isspace(static_cast<unsigned char>(s[end - 1])) != 0)
-      --end;
-    if (end == 0) return t;
-    char c = s[end - 1];
-    if (c == ']') {
-      int depth = 0;
-      std::size_t i = end;
-      while (i > 0) {
-        --i;
-        if (s[i] == ']') ++depth;
-        if (s[i] == '[' && --depth == 0) break;
-      }
-      if (s[i] != '[') return t;
-      t.index_expr += s.substr(i + 1, end - 1 - (i + 1)) + " ";
-      end = i;
-      continue;
-    }
-    if (is_ident_char(c)) {
-      std::string name = ident_before(s, end);
-      if (name.empty()) return t;
-      std::size_t start = end - name.size();
-      std::size_t j = start;
-      while (j > 0 &&
-             std::isspace(static_cast<unsigned char>(s[j - 1])) != 0)
-        --j;
-      if (j > 0 && s[j - 1] == '.') {
-        end = j - 1;
-        continue;
-      }
-      if (j > 1 && s[j - 1] == '>' && s[j - 2] == '-') {
-        end = j - 2;
-        continue;
-      }
-      t.base = name;
-      t.valid = true;
-      return t;
-    }
-    return t;  // ')' or operator: a call result or something unanalyzable
-  }
-}
-
-/// Parse a chain starting at `i` (for prefix ++/--).
-WriteTarget parse_chain_fwd(const std::string& s, std::size_t i) {
-  WriteTarget t;
-  i = skip_space(s, i);
-  std::string base = read_ident_at(s, i);
-  if (base.empty()) return t;
-  t.base = base;
-  t.valid = true;
-  i += base.size();
-  while (i < s.size()) {
-    i = skip_space(s, i);
-    if (s[i] == '[') {
-      std::size_t close = match_bracket(s, i, '[', ']');
-      if (close == std::string::npos) break;
-      t.index_expr += s.substr(i + 1, close - 1 - (i + 1)) + " ";
-      i = close;
-    } else if (s[i] == '.') {
-      ++i;
-      i += read_ident_at(s, skip_space(s, i)).size();
-    } else if (s[i] == '-' && i + 1 < s.size() && s[i + 1] == '>') {
-      i += 2;
-      i += read_ident_at(s, skip_space(s, i)).size();
-    } else {
-      break;
-    }
-  }
-  return t;
-}
-
-/// Container mutators that count as writes when called on shared state.
-const char* kMutators[] = {"push_back", "emplace_back", "insert", "emplace",
-                           "erase",     "clear",        "resize", "assign",
-                           "append"};
-
-/// Parallel entry points whose closure arguments get capture-analyzed.
-const char* kEntryTokens[] = {"run_sharded",  "for_shards", "dispatch",
-                              "submit",       "parallel_for", "try_run"};
 
 /// `std::vector<T> name` / `std::array<T, N> name`: element type of the
 /// container variable `var` declared in `f`, or "" when not found / not a
@@ -219,13 +132,17 @@ class ParallelCheck final : public Check {
     };
   }
 
-  void run(const AnalysisContext& ctx,
-           std::vector<Diagnostic>& out) const override {
-    for (const SourceFile& f : *ctx.files) {
-      if (f.module_name.empty()) continue;
-      check_atomic_float(f, out);
-      check_shard_named_slots(ctx, f, out);
-      check_parallel_closures(ctx, f, out);
+  void run_file(const AnalysisContext& ctx, const SourceFile& f,
+                std::vector<Diagnostic>& out) const override {
+    if (f.module_name.empty()) return;
+    check_atomic_float(f, out);
+    check_shard_named_slots(ctx, f, out);
+    // The call graph already found every closure handed to a pool entry
+    // point (including the method-call `.run(` form).
+    std::set<std::string> reported;  // base names, for stable fingerprints
+    for (const PoolClosure& pc : ctx.graph().pool_closures()) {
+      if (pc.closure->file != &f) continue;
+      analyze_closure(ctx, f, *pc.closure->lambda, pc.entry, reported, out);
     }
   }
 
@@ -274,63 +191,6 @@ class ParallelCheck final : public Check {
          "per-shard slots '" + var + "' have element struct '" + elem +
              "' without alignas/padding; adjacent shard slots share a "
              "cache line — annotate the struct with alignas(64)"});
-  }
-
-  void check_parallel_closures(const AnalysisContext& ctx,
-                               const SourceFile& f,
-                               std::vector<Diagnostic>& out) const {
-    const std::string& code = f.code;
-    const std::vector<LambdaInfo>& lambdas = f.symbols().lambdas;
-    std::set<std::string> reported;  // base names, for stable fingerprints
-
-    auto analyze_call = [&](std::size_t open, std::size_t close,
-                            const std::string& entry) {
-      for (std::size_t li = 0; li < lambdas.size(); ++li) {
-        const LambdaInfo& l = lambdas[li];
-        if (l.intro <= open || l.intro >= close || l.body_end > close)
-          continue;
-        // Skip closures nested inside another closure of the same call:
-        // the outer analysis owns the whole body region.
-        bool nested = false;
-        for (std::size_t lj = 0; lj < lambdas.size(); ++lj) {
-          const LambdaInfo& o = lambdas[lj];
-          if (lj != li && o.intro > open && o.intro < l.intro &&
-              l.intro < o.body_end && o.body_end <= close)
-            nested = true;
-        }
-        if (!nested)
-          analyze_closure(ctx, f, l, entry, reported, out);
-      }
-    };
-
-    for (const char* entry : kEntryTokens) {
-      std::size_t pos = 0;
-      while ((pos = find_token(code, entry, pos)) != std::string::npos) {
-        std::size_t open = skip_space(code, pos + std::string(entry).size());
-        pos = open;
-        if (open >= code.size() || code[open] != '(') continue;
-        std::size_t close = match_bracket(code, open, '(', ')');
-        if (close == std::string::npos) break;
-        analyze_call(open, close, entry);
-        pos = open + 1;
-      }
-    }
-    // Method-call form: `pool->run(...)`, `runner.run(...)`. Definitions
-    // (`SweepRunner::run`) are preceded by "::" and skipped.
-    std::size_t pos = 0;
-    while ((pos = find_token(code, "run", pos)) != std::string::npos) {
-      std::size_t at = pos;
-      pos += 3;
-      bool method = at > 0 && (code[at - 1] == '.' ||
-                               (at > 1 && code[at - 1] == '>' &&
-                                code[at - 2] == '-'));
-      if (!method) continue;
-      std::size_t open = skip_space(code, at + 3);
-      if (open >= code.size() || code[open] != '(') continue;
-      std::size_t close = match_bracket(code, open, '(', ')');
-      if (close == std::string::npos) break;
-      analyze_call(open, close, "run");
-    }
   }
 
   void analyze_closure(const AnalysisContext& ctx, const SourceFile& f,
@@ -384,63 +244,7 @@ class ParallelCheck final : public Check {
                "by the shard/job number) and merge in shard order"});
     };
 
-    for (std::size_t i = body_begin; i < body_end; ++i) {
-      char c = code[i];
-      char prev = i > 0 ? code[i - 1] : '\0';
-      char next = i + 1 < body_end ? code[i + 1] : '\0';
-      if (c == '=' && next == '=') {
-        ++i;
-        continue;
-      }
-      if (c == '=') {
-        if (prev == '=' || prev == '!' || prev == '<' || prev == '>') {
-          // <= >= == != … except the shift-assigns <<= and >>=.
-          bool shift_assign = (prev == '<' || prev == '>') && i >= 2 &&
-                              code[i - 2] == prev;
-          if (!shift_assign) continue;
-          consider(i, parse_chain_back(code, i - 2), "shift-assigns");
-          continue;
-        }
-        if (prev == '+' || prev == '-' || prev == '*' || prev == '/' ||
-            prev == '%' || prev == '&' || prev == '|' || prev == '^') {
-          consider(i, parse_chain_back(code, i - 1), "accumulates into");
-          continue;
-        }
-        consider(i, parse_chain_back(code, i), "assigns to");
-        continue;
-      }
-      if ((c == '+' && next == '+') || (c == '-' && next == '-')) {
-        std::size_t j = i;
-        while (j > body_begin &&
-               std::isspace(static_cast<unsigned char>(code[j - 1])) != 0)
-          --j;
-        if (j > 0 && (is_ident_char(code[j - 1]) || code[j - 1] == ']')) {
-          consider(i, parse_chain_back(code, j), "increments");  // postfix
-        } else {
-          consider(i, parse_chain_fwd(code, i + 2), "increments");  // prefix
-        }
-        ++i;
-        continue;
-      }
-    }
-
-    // Mutating container calls: `shared.push_back(x)` and friends.
-    for (const char* m : kMutators) {
-      std::size_t pos = body_begin;
-      while ((pos = find_token(code, m, pos)) != std::string::npos &&
-             pos < body_end) {
-        std::size_t at = pos;
-        pos += std::string(m).size();
-        bool via_dot = at > 0 && code[at - 1] == '.';
-        bool via_arrow = at > 1 && code[at - 1] == '>' && code[at - 2] == '-';
-        if (!via_dot && !via_arrow) continue;
-        std::size_t open = skip_space(code, at + std::string(m).size());
-        if (open >= code.size() || code[open] != '(') continue;
-        consider(at,
-                 parse_chain_back(code, via_dot ? at - 1 : at - 2),
-                 "mutates");
-      }
-    }
+    scan_writes(code, body_begin, body_end, consider);
   }
 };
 

@@ -1,0 +1,42 @@
+# Byte-identity harness for the parallel driver: run qdc_analyze over the
+# same corpus at --jobs 1 and --jobs 4 and fail unless the two --out files
+# (text report) and the two SARIF reports are identical.
+#
+# Invoked by the analysis.qdc_analyze_jobs CTest with:
+#   -DANALYZER=<path> -DROOT=<repo root> -DBASELINE=<baseline.txt>
+#   -DWORKDIR=<scratch dir>
+
+set(common_args --root ${ROOT} --also-dir bench --also-dir tests
+    --baseline ${BASELINE})
+
+foreach(fmt text sarif)
+  set(fmt_flag "")
+  if(fmt STREQUAL "sarif")
+    set(fmt_flag --format sarif)
+  endif()
+  execute_process(
+    COMMAND ${ANALYZER} ${common_args} ${fmt_flag} --jobs 1
+            --out ${WORKDIR}/jobs1.${fmt}
+    RESULT_VARIABLE rc1)
+  execute_process(
+    COMMAND ${ANALYZER} ${common_args} ${fmt_flag} --jobs 4
+            --out ${WORKDIR}/jobs4.${fmt}
+    RESULT_VARIABLE rc4)
+  # Exit codes must agree (0 = clean modulo baseline on both).
+  if(NOT rc1 STREQUAL rc4)
+    message(FATAL_ERROR
+            "exit codes differ for ${fmt}: jobs1=${rc1} jobs4=${rc4}")
+  endif()
+  if(NOT rc1 EQUAL 0)
+    message(FATAL_ERROR "qdc_analyze (${fmt}, --jobs 1) exited ${rc1}")
+  endif()
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${WORKDIR}/jobs1.${fmt} ${WORKDIR}/jobs4.${fmt}
+    RESULT_VARIABLE same)
+  if(NOT same EQUAL 0)
+    message(FATAL_ERROR
+            "--jobs 1 and --jobs 4 ${fmt} reports differ "
+            "(${WORKDIR}/jobs1.${fmt} vs ${WORKDIR}/jobs4.${fmt})")
+  endif()
+endforeach()

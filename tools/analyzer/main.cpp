@@ -1,45 +1,73 @@
 // qdc_analyze — compile-time enforcement of the invariants the runtime
 // ModelAuditor / EngineDeterminism suite can only sample: module layering,
-// determinism hazards, include hygiene. See tools/analyzer/README.md.
+// determinism hazards, include hygiene, parallel-safety, contract coverage,
+// and their interprocedural closures (flow/). See tools/analyzer/README.md.
 //
 // Usage:
 //   qdc_analyze --root DIR [--also REL]... [--also-dir DIR]...
-//               [--family NAME]... [--baseline FILE] [--format text|json]
-//               [--out FILE] [--show-baselined] [--stats]
-//               [--write-baseline FILE]
+//               [--family NAME]... [--baseline FILE]
+//               [--format text|sarif|lite] [--out FILE] [--show-baselined]
+//               [--stats] [--jobs N] [--cache-dir DIR]
+//               [--min-cache-hit-rate F] [--write-baseline FILE]
+//   qdc_analyze --root DIR --dump-callgraph
 //   qdc_analyze --list-checks
 //   qdc_analyze --selftest FIXTURE_DIR
+//   qdc_analyze --selftest-cache FIXTURE_ROOT
 //
 // --also (repeatable) adds files outside src/ to the corpus; --also-dir
 // (repeatable) adds every *.hpp|*.cpp directly under a directory — CI uses
 // `--also-dir bench --also-dir tests`. Extra files have no module, so the
 // module-scoped checks (layering, determinism, parallel, contract) skip
-// them; include hygiene still applies.
+// them; include hygiene and flow/shared-write-escape still apply.
 //
-// --family (repeatable) restricts the run to the named check families —
-// CI uses `--family parallel --family contract` to publish the new
-// families' SARIF-lite report as its own artifact.
+// --family (repeatable) restricts the run to the named check families.
 //
-// --stats prints per-check wall time and per-family diagnostic counts to
-// stderr. Timing lives here in the harness: the wall-clock ban
-// (determinism/wall-clock, qdc_lint no-raw-random) covers src/, not tools/.
+// --jobs N fans the per-file phases (loading/lexing and every
+// Check::run_file) out across N worker threads. Reports are byte-identical
+// at any job count: per-file outputs merge in corpus order and the final
+// sort is a total order. Corpus-level checks (layering) stay serial.
+//
+// --cache-dir DIR enables the incremental lex cache: per-file entries
+// keyed by content hash, so a warm run re-lexes only changed files.
+// --min-cache-hit-rate F (0..1) fails the run when the observed hit rate
+// is below F — CI's warm-run regression gate.
+//
+// --stats prints per-phase wall time, cache hit rate, per-check CPU time
+// and per-family diagnostic counts to stderr (never into --out, which must
+// stay byte-comparable across runs). Timing lives here in the harness: the
+// wall-clock ban (determinism/wall-clock, qdc_lint no-raw-random) covers
+// src/, not tools/.
+//
+// --dump-callgraph prints the deterministic CallGraph::dump() of the
+// corpus and exits; the call-graph fixtures golden-test this output.
+//
+// --selftest runs the golden fixtures (expected.txt per fixture dir, plus
+// optional expected_callgraph.txt and baseline.txt). --selftest-cache
+// copies a fixture tree to a temp dir and proves the cache contract:
+// cold run misses everything, warm run hits everything byte-identically,
+// editing one file re-lexes exactly that file and matches a fresh run.
 //
 // Exit codes: 0 clean (every diagnostic baselined), 1 new diagnostics (or
-// a failed selftest), 2 usage / IO error.
+// a failed selftest / hit-rate gate), 2 usage / IO error.
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdio>
-#include <algorithm>
-#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <mutex>
 #include <sstream>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "baseline.hpp"
+#include "cache.hpp"
 #include "check.hpp"
 #include "report.hpp"
 #include "source.hpp"
@@ -49,11 +77,34 @@ namespace {
 
 namespace fs = std::filesystem;
 
+struct AnalyzeOptions {
+  std::string root;
+  std::vector<std::string> also;
+  std::vector<std::string> also_dirs;
+  std::vector<std::string> families;
+  int jobs = 1;
+  std::string cache_dir;  ///< "" disables the incremental cache
+};
+
 struct CheckStats {
   std::string check;
-  double millis = 0.0;
+  double millis = 0.0;  ///< CPU time summed across workers
   std::size_t emitted = 0;
 };
+
+struct PhaseStats {
+  double load_ms = 0.0;    ///< discovery + read + hash + lex/rehydrate
+  double graph_ms = 0.0;   ///< AnalysisContext (symbol index + call graph)
+  double checks_ms = 0.0;  ///< run_file fan-out + serial run_corpus
+  CacheStats cache;
+  std::vector<CheckStats> checks;
+};
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
 
 bool family_enabled(const std::vector<std::string>& families,
                     const char* name) {
@@ -61,96 +112,283 @@ bool family_enabled(const std::vector<std::string>& families,
          std::find(families.begin(), families.end(), name) != families.end();
 }
 
-std::vector<Diagnostic> analyze(const std::string& root,
-                                const std::vector<std::string>& also = {},
-                                const std::vector<std::string>& also_dirs = {},
-                                const std::vector<std::string>& families = {},
-                                std::vector<CheckStats>* stats = nullptr) {
-  std::vector<SourceFile> files = load_corpus(root, also, also_dirs);
+std::vector<const Check*> enabled_checks(
+    const std::vector<std::string>& families) {
+  std::vector<const Check*> checks;
+  for (const Check* c : check_registry())
+    if (family_enabled(families, c->name())) checks.push_back(c);
+  return checks;
+}
+
+/// fn(i) for every i in [0, n), fanned out over `jobs` worker threads.
+/// fn must be safe to call concurrently for different indices. The first
+/// exception a worker throws is rethrown on the calling thread.
+void parallel_for_indices(std::size_t n, int jobs,
+                          const std::function<void(std::size_t)>& fn) {
+  if (jobs <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::mutex err_mu;
+  std::string err;
+  auto work = [&] {
+    std::size_t i = 0;
+    while ((i = next.fetch_add(1)) < n) {
+      try {
+        fn(i);
+      } catch (const std::exception& e) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (err.empty()) err = e.what();
+      }
+    }
+  };
+  std::size_t threads =
+      std::min(static_cast<std::size_t>(jobs), n);
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(work);
+  for (std::thread& t : pool) t.join();
+  if (!err.empty()) throw std::runtime_error(err);
+}
+
+/// Discovery + read + (cached) lex of the corpus, parallel over files.
+std::vector<SourceFile> load_corpus_cached(const AnalyzeOptions& opts,
+                                           PhaseStats* stats) {
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<CorpusEntry> entries =
+      list_corpus(opts.root, opts.also, opts.also_dirs);
+  std::vector<SourceFile> files(entries.size());
+  std::atomic<std::size_t> hits{0};
+  std::atomic<std::size_t> misses{0};
+  parallel_for_indices(
+      entries.size(), opts.jobs, [&](std::size_t i) {
+        const CorpusEntry& e = entries[i];
+        std::string text = read_file_text(e.path);
+        if (opts.cache_dir.empty()) {
+          files[i] = lex_file(e.rel, text);
+          return;
+        }
+        std::uint64_t hash = fnv1a64(text);
+        LexCache cache;
+        if (load_cache_entry(opts.cache_dir, e.rel, hash, &cache)) {
+          hits.fetch_add(1);
+          files[i] = rehydrate_file(e.rel, text, std::move(cache));
+        } else {
+          misses.fetch_add(1);
+          files[i] = lex_file(e.rel, text);
+          store_cache_entry(opts.cache_dir, e.rel, hash,
+                            extract_lex_cache(files[i]));
+        }
+      });
+  if (stats != nullptr) {
+    stats->cache.hits = hits.load();
+    stats->cache.misses = misses.load();
+    stats->load_ms = ms_since(t0);
+  }
+  return files;
+}
+
+std::vector<Diagnostic> analyze(const AnalyzeOptions& opts,
+                                PhaseStats* stats = nullptr) {
+  std::vector<SourceFile> files = load_corpus_cached(opts, stats);
+
+  auto t_graph = std::chrono::steady_clock::now();
   AnalysisContext ctx(files);
+  if (stats != nullptr) stats->graph_ms = ms_since(t_graph);
+
+  auto t_checks = std::chrono::steady_clock::now();
+  std::vector<const Check*> checks = enabled_checks(opts.families);
+  std::vector<double> check_ms(checks.size(), 0.0);
+  std::vector<std::size_t> check_emitted(checks.size(), 0);
+  std::mutex stats_mu;
+
+  // Per-file fan-out: each file gets its own output slot, merged in corpus
+  // order below, so the report is byte-identical at any --jobs value.
+  std::vector<std::vector<Diagnostic>> slots(files.size());
+  parallel_for_indices(files.size(), opts.jobs, [&](std::size_t i) {
+    for (std::size_t ci = 0; ci < checks.size(); ++ci) {
+      auto t0 = std::chrono::steady_clock::now();
+      std::size_t before = slots[i].size();
+      checks[ci]->run_file(ctx, files[i], slots[i]);
+      double ms = ms_since(t0);
+      std::lock_guard<std::mutex> lock(stats_mu);
+      check_ms[ci] += ms;
+      check_emitted[ci] += slots[i].size() - before;
+    }
+  });
+
   std::vector<Diagnostic> diags;
-  for (const Check* check : check_registry()) {
-    if (!family_enabled(families, check->name())) continue;
+  for (std::vector<Diagnostic>& slot : slots)
+    diags.insert(diags.end(), std::make_move_iterator(slot.begin()),
+                 std::make_move_iterator(slot.end()));
+
+  // Corpus-level passes are serial by contract.
+  for (std::size_t ci = 0; ci < checks.size(); ++ci) {
     auto t0 = std::chrono::steady_clock::now();
     std::size_t before = diags.size();
-    check->run(ctx, diags);
-    if (stats != nullptr) {
-      auto t1 = std::chrono::steady_clock::now();
-      stats->push_back(
-          {check->name(),
-           std::chrono::duration<double, std::milli>(t1 - t0).count(),
-           diags.size() - before});
-    }
+    checks[ci]->run_corpus(ctx, diags);
+    check_ms[ci] += ms_since(t0);
+    check_emitted[ci] += diags.size() - before;
+  }
+
+  if (stats != nullptr) {
+    stats->checks_ms = ms_since(t_checks);
+    for (std::size_t ci = 0; ci < checks.size(); ++ci)
+      stats->checks.push_back(
+          {checks[ci]->name(), check_ms[ci], check_emitted[ci]});
   }
   sort_diagnostics(diags);
   return diags;
 }
 
-/// Static metadata of every rule the run enables, for the JSON report.
+/// Static metadata of every rule the run enables, for the SARIF report.
 std::vector<RuleMeta> enabled_rules(const std::vector<std::string>& families) {
   std::vector<RuleMeta> rules;
-  for (const Check* check : check_registry()) {
-    if (!family_enabled(families, check->name())) continue;
+  for (const Check* check : enabled_checks(families)) {
     std::vector<RuleMeta> r = check->rules();
     rules.insert(rules.end(), r.begin(), r.end());
   }
   return rules;
 }
 
+std::string read_text_file_or_empty(const fs::path& p) {
+  std::ifstream in(p);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
 int run_selftest(const std::string& fixtures_dir) {
   std::vector<fs::path> cases;
   for (const auto& entry : fs::directory_iterator(fixtures_dir))
     if (entry.is_directory() &&
-        fs::exists(entry.path() / "expected.txt"))
+        (fs::exists(entry.path() / "expected.txt") ||
+         fs::exists(entry.path() / "expected_callgraph.txt")))
       cases.push_back(entry.path());
   std::sort(cases.begin(), cases.end());
   if (cases.empty()) {
-    std::cerr << "qdc_analyze: no fixtures (dirs with expected.txt) under "
-              << fixtures_dir << "\n";
+    std::cerr << "qdc_analyze: no fixtures (dirs with expected.txt or "
+              << "expected_callgraph.txt) under " << fixtures_dir << "\n";
     return 2;
   }
   std::size_t failures = 0;
-  for (const fs::path& dir : cases) {
-    std::string got;
-    try {
-      // A fixture may ship its own baseline.txt; this is how the
-      // suppression path itself gets golden-tested.
-      Baseline baseline = load_baseline((dir / "baseline.txt").string());
-      got = render_text(analyze(dir.string()), baseline, false);
-    } catch (const std::exception& e) {
-      got = std::string("error: ") + e.what() + "\n";
-    }
-    std::ifstream in(dir / "expected.txt");
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    std::string want = buf.str();
+  auto compare = [&](const fs::path& dir, const char* what,
+                     const std::string& want, const std::string& got) {
     if (got == want) {
-      std::cout << "PASS " << dir.filename().string() << "\n";
-    } else {
-      ++failures;
-      std::cout << "FAIL " << dir.filename().string()
-                << "\n--- expected ---\n" << want
-                << "--- actual ---\n" << got << "---\n";
+      std::cout << "PASS " << dir.filename().string() << " (" << what
+                << ")\n";
+      return;
+    }
+    ++failures;
+    std::cout << "FAIL " << dir.filename().string() << " (" << what
+              << ")\n--- expected ---\n" << want << "--- actual ---\n"
+              << got << "---\n";
+  };
+  for (const fs::path& dir : cases) {
+    if (fs::exists(dir / "expected.txt")) {
+      std::string got;
+      try {
+        // A fixture may ship its own baseline.txt; this is how the
+        // suppression path itself gets golden-tested.
+        Baseline baseline = load_baseline((dir / "baseline.txt").string());
+        AnalyzeOptions opts;
+        opts.root = dir.string();
+        got = render_text(analyze(opts), baseline, false);
+      } catch (const std::exception& e) {
+        got = std::string("error: ") + e.what() + "\n";
+      }
+      compare(dir, "diagnostics", read_text_file_or_empty(dir / "expected.txt"),
+              got);
+    }
+    if (fs::exists(dir / "expected_callgraph.txt")) {
+      std::string got;
+      try {
+        std::vector<SourceFile> files = load_corpus(dir.string());
+        got = CallGraph(files).dump();
+      } catch (const std::exception& e) {
+        got = std::string("error: ") + e.what() + "\n";
+      }
+      compare(dir, "callgraph",
+              read_text_file_or_empty(dir / "expected_callgraph.txt"), got);
     }
   }
-  std::cout << cases.size() - failures << "/" << cases.size()
-            << " fixtures passed\n";
+  std::cout << (failures == 0 ? "all" : "some") << " fixture checks done, "
+            << failures << " failure(s)\n";
+  return failures == 0 ? 0 : 1;
+}
+
+/// Cache-contract selftest: cold run misses everything, warm run hits
+/// everything and renders byte-identically, editing one file re-lexes
+/// exactly that file and matches a from-scratch run of the edited tree.
+int run_selftest_cache(const std::string& fixture_root) {
+  fs::path tmp = fs::temp_directory_path() / "qdc-analyze-cache-selftest";
+  std::error_code ec;
+  fs::remove_all(tmp, ec);
+  fs::create_directories(tmp);
+  fs::copy(fixture_root, tmp, fs::copy_options::recursive);
+  std::string cache_dir = (tmp / ".lexcache").string();
+
+  auto run = [&](bool cached, PhaseStats* ps) {
+    AnalyzeOptions opts;
+    opts.root = tmp.string();
+    opts.jobs = 2;
+    if (cached) opts.cache_dir = cache_dir;
+    return analyze(opts, ps);
+  };
+  Baseline no_baseline;
+  std::size_t n = list_corpus(tmp.string()).size();
+  std::size_t failures = 0;
+  auto expect = [&](bool ok, const std::string& what) {
+    std::cout << (ok ? "PASS " : "FAIL ") << what << "\n";
+    if (!ok) ++failures;
+  };
+
+  PhaseStats cold;
+  std::string cold_report = render_text(run(true, &cold), no_baseline, false);
+  expect(cold.cache.hits == 0 && cold.cache.misses == n,
+         "cold run misses all " + std::to_string(n) + " file(s)");
+
+  PhaseStats warm;
+  std::string warm_report = render_text(run(true, &warm), no_baseline, false);
+  expect(warm.cache.hits == n && warm.cache.misses == 0,
+         "warm run hits all " + std::to_string(n) + " file(s)");
+  expect(warm_report == cold_report, "warm report byte-identical to cold");
+
+  // Append a comment to one corpus file: its hash changes, nothing else's.
+  std::vector<CorpusEntry> entries = list_corpus(tmp.string());
+  {
+    std::ofstream touch(entries.front().path, std::ios::app);
+    touch << "\n// cache-selftest touch\n";
+  }
+  PhaseStats edited;
+  std::string edited_report =
+      render_text(run(true, &edited), no_baseline, false);
+  expect(edited.cache.misses == 1 && edited.cache.hits == n - 1,
+         "edited run re-lexes exactly one file");
+  std::string fresh_report = render_text(run(false, nullptr), no_baseline,
+                                         false);
+  expect(edited_report == fresh_report,
+         "edited run byte-identical to a from-scratch run");
+
+  fs::remove_all(tmp, ec);
+  std::cout << (5 - failures) << "/5 cache checks passed\n";
   return failures == 0 ? 0 : 1;
 }
 
 int run_main(int argc, char** argv) {
-  std::string root;
-  std::vector<std::string> also;
-  std::vector<std::string> also_dirs;
-  std::vector<std::string> families;
+  AnalyzeOptions opts;
   bool want_stats = false;
   std::string baseline_path;
   std::string format = "text";
   std::string out_path;
   std::string write_baseline_path;
   std::string selftest_dir;
+  std::string selftest_cache_dir;
+  double min_cache_hit_rate = -1.0;
   bool show_baselined = false;
   bool list_checks = false;
+  bool dump_callgraph = false;
 
   std::vector<std::string> args(argv + 1, argv + argc);
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -159,12 +397,19 @@ int run_main(int argc, char** argv) {
         throw std::runtime_error(flag + " requires a value");
       return args[++i];
     };
-    if (args[i] == "--root") root = need_value("--root");
-    else if (args[i] == "--also") also.push_back(need_value("--also"));
+    if (args[i] == "--root") opts.root = need_value("--root");
+    else if (args[i] == "--also") opts.also.push_back(need_value("--also"));
     else if (args[i] == "--also-dir")
-      also_dirs.push_back(need_value("--also-dir"));
+      opts.also_dirs.push_back(need_value("--also-dir"));
     else if (args[i] == "--family")
-      families.push_back(need_value("--family"));
+      opts.families.push_back(need_value("--family"));
+    else if (args[i] == "--jobs") {
+      opts.jobs = std::stoi(need_value("--jobs"));
+      if (opts.jobs < 1) throw std::runtime_error("--jobs must be >= 1");
+    } else if (args[i] == "--cache-dir")
+      opts.cache_dir = need_value("--cache-dir");
+    else if (args[i] == "--min-cache-hit-rate")
+      min_cache_hit_rate = std::stod(need_value("--min-cache-hit-rate"));
     else if (args[i] == "--stats") want_stats = true;
     else if (args[i] == "--baseline") baseline_path = need_value("--baseline");
     else if (args[i] == "--format") format = need_value("--format");
@@ -172,8 +417,11 @@ int run_main(int argc, char** argv) {
     else if (args[i] == "--write-baseline")
       write_baseline_path = need_value("--write-baseline");
     else if (args[i] == "--selftest") selftest_dir = need_value("--selftest");
+    else if (args[i] == "--selftest-cache")
+      selftest_cache_dir = need_value("--selftest-cache");
     else if (args[i] == "--show-baselined") show_baselined = true;
     else if (args[i] == "--list-checks") list_checks = true;
+    else if (args[i] == "--dump-callgraph") dump_callgraph = true;
     else throw std::runtime_error("unknown argument: " + args[i]);
   }
 
@@ -183,12 +431,18 @@ int run_main(int argc, char** argv) {
     return 0;
   }
   if (!selftest_dir.empty()) return run_selftest(selftest_dir);
-  if (root.empty())
-    throw std::runtime_error("--root is required (or --selftest/--list-checks)");
-  if (format != "text" && format != "json")
-    throw std::runtime_error("--format must be text or json");
+  if (!selftest_cache_dir.empty())
+    return run_selftest_cache(selftest_cache_dir);
+  if (opts.root.empty())
+    throw std::runtime_error(
+        "--root is required (or --selftest/--selftest-cache/--list-checks)");
+  if (format == "json") format = "sarif";  // historical alias
+  if (format != "text" && format != "sarif" && format != "lite")
+    throw std::runtime_error("--format must be text, sarif or lite");
+  if (min_cache_hit_rate >= 0.0 && opts.cache_dir.empty())
+    throw std::runtime_error("--min-cache-hit-rate requires --cache-dir");
 
-  for (const std::string& fam : families) {
+  for (const std::string& fam : opts.families) {
     bool known = false;
     for (const Check* c : check_registry())
       if (fam == c->name()) known = true;
@@ -197,25 +451,60 @@ int run_main(int argc, char** argv) {
                                " matches no check (see --list-checks)");
   }
 
-  std::vector<CheckStats> stats;
-  std::vector<Diagnostic> diags =
-      analyze(root, also, also_dirs, families, want_stats ? &stats : nullptr);
+  if (dump_callgraph) {
+    std::vector<SourceFile> files = load_corpus_cached(opts, nullptr);
+    std::string text = CallGraph(files).dump();
+    if (out_path.empty()) {
+      std::cout << text;
+    } else {
+      std::ofstream out(out_path);
+      out << text;
+    }
+    return 0;
+  }
+
+  PhaseStats phase_stats;
+  std::vector<Diagnostic> diags = analyze(opts, &phase_stats);
   Baseline baseline = baseline_path.empty() ? Baseline{}
                                             : load_baseline(baseline_path);
 
   if (want_stats) {
     std::map<std::string, std::size_t> per_family;
     for (const Diagnostic& d : diags) ++per_family[d.family()];
-    std::cerr << "qdc_analyze: --stats\n";
-    for (const CheckStats& s : stats) {
-      char buf[32];
+    char buf[64];
+    std::cerr << "qdc_analyze: --stats (jobs " << opts.jobs << ")\n";
+    std::snprintf(buf, sizeof(buf), "%8.2f", phase_stats.load_ms);
+    std::cerr << "  phase load:   " << buf << " ms\n";
+    std::snprintf(buf, sizeof(buf), "%8.2f", phase_stats.graph_ms);
+    std::cerr << "  phase graph:  " << buf << " ms\n";
+    std::snprintf(buf, sizeof(buf), "%8.2f", phase_stats.checks_ms);
+    std::cerr << "  phase checks: " << buf << " ms\n";
+    if (!opts.cache_dir.empty()) {
+      std::snprintf(buf, sizeof(buf), "%.1f",
+                    phase_stats.cache.hit_rate() * 100.0);
+      std::cerr << "  cache: " << phase_stats.cache.hits << " hit(s), "
+                << phase_stats.cache.misses << " miss(es), " << buf
+                << "% hit rate\n";
+    }
+    for (const CheckStats& s : phase_stats.checks) {
       std::snprintf(buf, sizeof(buf), "%8.2f", s.millis);
-      std::cerr << "  check " << s.check << ": " << buf << " ms, "
+      std::cerr << "  check " << s.check << ": " << buf << " ms (cpu), "
                 << s.emitted << " diagnostic(s)\n";
     }
     for (const auto& [family, count] : per_family)
       std::cerr << "  family " << family << ": " << count
                 << " diagnostic(s)\n";
+  }
+
+  if (min_cache_hit_rate >= 0.0 &&
+      phase_stats.cache.hit_rate() < min_cache_hit_rate) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1f%% < %.1f%%",
+                  phase_stats.cache.hit_rate() * 100.0,
+                  min_cache_hit_rate * 100.0);
+    std::cerr << "qdc_analyze: cache hit rate " << buf
+              << " (--min-cache-hit-rate)\n";
+    return 1;
   }
 
   if (!write_baseline_path.empty()) {
@@ -230,10 +519,13 @@ int run_main(int argc, char** argv) {
   for (const Diagnostic& d : diags)
     if (!baseline.covers(d)) ++new_count;
 
-  std::string report =
-      format == "json"
-          ? render_json(diags, baseline, enabled_rules(families))
-          : render_text(diags, baseline, show_baselined);
+  std::string report;
+  if (format == "sarif")
+    report = render_sarif(diags, baseline, enabled_rules(opts.families));
+  else if (format == "lite")
+    report = render_json_lite(diags, baseline, enabled_rules(opts.families));
+  else
+    report = render_text(diags, baseline, show_baselined);
   if (out_path.empty()) {
     std::cout << report;
   } else {

@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <cstdio>
+#include <map>
 
 namespace qdc::analyze {
 
@@ -45,9 +46,80 @@ std::string render_text(const std::vector<Diagnostic>& diags,
   return out;
 }
 
-std::string render_json(const std::vector<Diagnostic>& diags,
-                        const Baseline& baseline,
-                        const std::vector<RuleMeta>& rules) {
+std::string render_sarif(const std::vector<Diagnostic>& diags,
+                         const Baseline& baseline,
+                         const std::vector<RuleMeta>& rules) {
+  std::map<std::string, std::size_t> rule_index;
+  for (std::size_t i = 0; i < rules.size(); ++i)
+    rule_index.emplace(rules[i].id, i);
+
+  std::string out =
+      "{\n"
+      "  \"$schema\": "
+      "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"qdc_analyze\",\n"
+      "          \"version\": \"2.0\",\n"
+      "          \"rules\": [";
+  bool first = true;
+  for (const RuleMeta& r : rules) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "            {\"id\": \"" + json_escape(r.id) +
+           "\", \"shortDescription\": {\"text\": \"" +
+           json_escape(r.summary) + "\"}}";
+  }
+  out += rules.empty() ? "]\n" : "\n          ]\n";
+  out +=
+      "        }\n"
+      "      },\n"
+      "      \"columnKind\": \"utf16CodeUnits\",\n"
+      "      \"results\": [";
+  first = true;
+  for (const Diagnostic& d : diags) {
+    const BaselineEntry* entry = baseline.find(d);
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "        {\"ruleId\": \"" + json_escape(d.rule) + "\"";
+    auto it = rule_index.find(d.rule);
+    if (it != rule_index.end())
+      out += ", \"ruleIndex\": " + std::to_string(it->second);
+    out += ", \"level\": \"error\", \"message\": {\"text\": \"" +
+           json_escape(d.message) + "\"}";
+    // Corpus-level diagnostics (file "") legitimately have no location;
+    // SARIF allows locations to be absent.
+    if (!d.file.empty()) {
+      out += ", \"locations\": [{\"physicalLocation\": "
+             "{\"artifactLocation\": {\"uri\": \"" +
+             json_escape(d.file) + "\", \"uriBaseId\": \"SRCROOT\"}";
+      if (d.line > 0)
+        out += ", \"region\": {\"startLine\": " + std::to_string(d.line) +
+               "}";
+      out += "}}]";
+    }
+    out += ", \"partialFingerprints\": {\"qdcAnalyzeFingerprint/v1\": \"" +
+           json_escape(d.fingerprint()) + "\"}";
+    if (entry != nullptr)
+      out += ", \"suppressions\": [{\"kind\": \"external\", "
+             "\"justification\": \"" +
+             json_escape(entry->justification) + "\"}]";
+    out += "}";
+  }
+  out += diags.empty() ? "]\n" : "\n      ]\n";
+  out +=
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  return out;
+}
+
+std::string render_json_lite(const std::vector<Diagnostic>& diags,
+                             const Baseline& baseline,
+                             const std::vector<RuleMeta>& rules) {
   std::string out = "{\n  \"tool\": {\"name\": \"qdc_analyze\", "
                     "\"version\": \"1.1\",\n    \"rules\": [";
   bool first_rule = true;

@@ -1,4 +1,6 @@
-// Report rendering: editor-friendly text and SARIF-lite JSON.
+// Report rendering: editor-friendly text, SARIF 2.1.0 (the default JSON
+// format, consumable by GitHub code scanning), and the legacy SARIF-lite
+// JSON kept behind --format=lite for existing consumers.
 #pragma once
 
 #include <string>
@@ -15,13 +17,20 @@ namespace qdc::analyze {
 std::string render_text(const std::vector<Diagnostic>& diags,
                         const Baseline& baseline, bool show_baselined);
 
-/// SARIF-lite: {"tool": {name, version, "rules": [{id, summary}]},
-/// "results": [{ruleId, level, message, location, fingerprint, baselined}],
-/// "summary": {total, baselined, new, stale}}. `rules` lists the static
-/// metadata of every rule the run enabled, so the CI artifact is navigable
-/// without the source of the checks.
-std::string render_json(const std::vector<Diagnostic>& diags,
-                        const Baseline& baseline,
-                        const std::vector<RuleMeta>& rules);
+/// SARIF 2.1.0: one run, tool.driver.rules from `rules`, one result per
+/// diagnostic with ruleId/ruleIndex/level/message/locations and a
+/// partialFingerprints entry carrying the baseline fingerprint. Baselined
+/// diagnostics stay in the report but carry a suppression of kind
+/// "external" with the baseline justification, which is how SARIF
+/// consumers (GitHub code scanning included) mark accepted findings.
+std::string render_sarif(const std::vector<Diagnostic>& diags,
+                         const Baseline& baseline,
+                         const std::vector<RuleMeta>& rules);
+
+/// The pre-SARIF "lite" JSON shape ({"tool": ..., "results": [...],
+/// "summary": ...}), kept verbatim for consumers written against it.
+std::string render_json_lite(const std::vector<Diagnostic>& diags,
+                             const Baseline& baseline,
+                             const std::vector<RuleMeta>& rules);
 
 }  // namespace qdc::analyze

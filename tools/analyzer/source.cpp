@@ -11,6 +11,23 @@ namespace qdc::analyze {
 
 namespace fs = std::filesystem;
 
+namespace {
+
+/// True when the '"' at `quote` opens a raw string literal (R"...", with an
+/// optional u8/u/U/L encoding prefix, itself not glued to an identifier).
+bool is_raw_string_open(const std::string& text, std::size_t quote) {
+  if (quote == 0 || text[quote - 1] != 'R') return false;
+  std::size_t r = quote - 1;
+  if (r >= 2 && text[r - 1] == '8' && text[r - 2] == 'u')
+    r -= 2;
+  else if (r >= 1 &&
+           (text[r - 1] == 'u' || text[r - 1] == 'U' || text[r - 1] == 'L'))
+    r -= 1;
+  return r == 0 || !is_ident_char(text[r - 1]);
+}
+
+}  // namespace
+
 std::string strip_comments_and_strings(const std::string& text) {
   std::string out;
   out.reserve(text.size());
@@ -29,6 +46,25 @@ std::string strip_comments_and_strings(const std::string& text) {
           state = State::kBlockComment;
           out += "  ";
           ++i;
+        } else if (c == '"' && is_raw_string_open(text, i)) {
+          // Raw string literal R"delim(...)delim": no escapes apply; blank
+          // everything through the matching close (newlines survive). An
+          // unterminated raw string blanks to end of file.
+          std::size_t open = text.find('(', i + 1);
+          std::string delim =
+              open == std::string::npos ? "" : text.substr(i + 1, open - i - 1);
+          if (open == std::string::npos || delim.size() > 16 ||
+              delim.find_first_of(" )\\\n") != std::string::npos) {
+            state = State::kString;  // not a well-formed raw string after all
+            out += ' ';
+            break;
+          }
+          const std::string close = ")" + delim + "\"";
+          std::size_t end = text.find(close, open + 1);
+          std::size_t stop =
+              end == std::string::npos ? text.size() : end + close.size();
+          for (; i < stop; ++i) out += text[i] == '\n' ? '\n' : ' ';
+          --i;  // the outer loop increments past the close quote
         } else if (c == '"') {
           state = State::kString;
           out += ' ';
@@ -256,9 +292,6 @@ bool LambdaInfo::captures_by_ref(const std::string& name) const {
   return captures_default_ref;
 }
 
-namespace {
-
-/// Split s[begin, end) on commas at bracket depth zero.
 std::vector<std::string> split_top_level(const std::string& s,
                                          std::size_t begin, std::size_t end) {
   std::vector<std::string> parts;
@@ -277,7 +310,7 @@ std::vector<std::string> split_top_level(const std::string& s,
   return parts;
 }
 
-std::string trim(const std::string& s) {
+std::string trim_spaces(const std::string& s) {
   std::size_t b = 0;
   std::size_t e = s.size();
   while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
@@ -286,9 +319,154 @@ std::string trim(const std::string& s) {
   return s.substr(b, e - b);
 }
 
+WriteTarget parse_chain_back(const std::string& s, std::size_t end) {
+  WriteTarget t;
+  while (true) {
+    while (end > 0 &&
+           std::isspace(static_cast<unsigned char>(s[end - 1])) != 0)
+      --end;
+    if (end == 0) return t;
+    char c = s[end - 1];
+    if (c == ']') {
+      int depth = 0;
+      std::size_t i = end;
+      while (i > 0) {
+        --i;
+        if (s[i] == ']') ++depth;
+        if (s[i] == '[' && --depth == 0) break;
+      }
+      if (s[i] != '[') return t;
+      t.index_expr += s.substr(i + 1, end - 1 - (i + 1)) + " ";
+      end = i;
+      continue;
+    }
+    if (is_ident_char(c)) {
+      std::string name = ident_before(s, end);
+      if (name.empty()) return t;
+      std::size_t start = end - name.size();
+      std::size_t j = start;
+      while (j > 0 &&
+             std::isspace(static_cast<unsigned char>(s[j - 1])) != 0)
+        --j;
+      if (j > 0 && s[j - 1] == '.') {
+        end = j - 1;
+        continue;
+      }
+      if (j > 1 && s[j - 1] == '>' && s[j - 2] == '-') {
+        end = j - 2;
+        continue;
+      }
+      t.base = name;
+      t.valid = true;
+      return t;
+    }
+    return t;  // ')' or operator: a call result or something unanalyzable
+  }
+}
+
+WriteTarget parse_chain_fwd(const std::string& s, std::size_t i) {
+  WriteTarget t;
+  i = skip_space(s, i);
+  std::string base = read_ident_at(s, i);
+  if (base.empty()) return t;
+  t.base = base;
+  t.valid = true;
+  i += base.size();
+  while (i < s.size()) {
+    i = skip_space(s, i);
+    if (s[i] == '[') {
+      std::size_t close = match_bracket(s, i, '[', ']');
+      if (close == std::string::npos) break;
+      t.index_expr += s.substr(i + 1, close - 1 - (i + 1)) + " ";
+      i = close;
+    } else if (s[i] == '.') {
+      ++i;
+      i += read_ident_at(s, skip_space(s, i)).size();
+    } else if (s[i] == '-' && i + 1 < s.size() && s[i + 1] == '>') {
+      i += 2;
+      i += read_ident_at(s, skip_space(s, i)).size();
+    } else {
+      break;
+    }
+  }
+  return t;
+}
+
+namespace {
+
+/// Container mutators that count as writes when called on a chain.
+const char* kMutators[] = {"push_back", "emplace_back", "insert", "emplace",
+                           "erase",     "clear",        "resize", "assign",
+                           "append"};
+
+}  // namespace
+
+void scan_writes(
+    const std::string& code, std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, const WriteTarget&, const char*)>&
+        fn) {
+  for (std::size_t i = begin; i < end; ++i) {
+    char c = code[i];
+    char prev = i > 0 ? code[i - 1] : '\0';
+    char next = i + 1 < end ? code[i + 1] : '\0';
+    if (c == '=' && next == '=') {
+      ++i;
+      continue;
+    }
+    if (c == '=') {
+      if (prev == '=' || prev == '!' || prev == '<' || prev == '>') {
+        // <= >= == != … except the shift-assigns <<= and >>=.
+        bool shift_assign = (prev == '<' || prev == '>') && i >= 2 &&
+                            code[i - 2] == prev;
+        if (!shift_assign) continue;
+        fn(i, parse_chain_back(code, i - 2), "shift-assigns");
+        continue;
+      }
+      if (prev == '+' || prev == '-' || prev == '*' || prev == '/' ||
+          prev == '%' || prev == '&' || prev == '|' || prev == '^') {
+        fn(i, parse_chain_back(code, i - 1), "accumulates into");
+        continue;
+      }
+      fn(i, parse_chain_back(code, i), "assigns to");
+      continue;
+    }
+    if ((c == '+' && next == '+') || (c == '-' && next == '-')) {
+      std::size_t j = i;
+      while (j > begin &&
+             std::isspace(static_cast<unsigned char>(code[j - 1])) != 0)
+        --j;
+      if (j > 0 && (is_ident_char(code[j - 1]) || code[j - 1] == ']')) {
+        fn(i, parse_chain_back(code, j), "increments");  // postfix
+      } else {
+        fn(i, parse_chain_fwd(code, i + 2), "increments");  // prefix
+      }
+      ++i;
+      continue;
+    }
+  }
+
+  // Mutating container calls: `shared.push_back(x)` and friends.
+  for (const char* m : kMutators) {
+    std::size_t pos = begin;
+    while ((pos = find_token(code, m, pos)) != std::string::npos &&
+           pos < end) {
+      std::size_t at = pos;
+      pos += std::string(m).size();
+      bool via_dot = at > 0 && code[at - 1] == '.';
+      bool via_arrow = at > 1 && code[at - 1] == '>' && code[at - 2] == '-';
+      if (!via_dot && !via_arrow) continue;
+      std::size_t open = skip_space(code, at + std::string(m).size());
+      if (open >= code.size() || code[open] != '(') continue;
+      fn(at, parse_chain_back(code, via_dot ? at - 1 : at - 2), "mutates");
+    }
+  }
+}
+
+namespace {
+
 /// Parse one capture entry ("&", "=", "this", "&x", "x", "x = expr", ...).
 void parse_capture(const std::string& entry, LambdaInfo& info) {
-  std::string cap = trim(entry);
+  std::string cap = trim_spaces(entry);
   if (cap.empty()) return;
   if (cap == "&") {
     info.captures_default_ref = true;
@@ -303,7 +481,7 @@ void parse_capture(const std::string& entry, LambdaInfo& info) {
     return;
   }
   bool by_ref = cap[0] == '&';
-  if (by_ref) cap = trim(cap.substr(1));
+  if (by_ref) cap = trim_spaces(cap.substr(1));
   std::string name = read_ident_at(cap, 0);  // init-captures: name before '='
   if (name.empty()) return;
   if (by_ref)
@@ -432,6 +610,24 @@ void scan_atomic_vars(const std::string& code, SymbolTable& table) {
     std::string name = read_ident_at(code, i);
     if (!name.empty() && !is_cpp_keyword(name)) table.atomic_vars.insert(name);
     pos += 11;
+  }
+}
+
+/// `Rng name`, `Rng& name`, `std::mt19937_64 name`: RNG-engine variables
+/// and parameters. The declarator may carry &/*; `Rng(expr)` temporaries
+/// yield no name and are skipped (flow/rng-escape scans those separately).
+void scan_rng_vars(const std::string& code, SymbolTable& table) {
+  for (const char* ty : {"Rng", "std::mt19937_64", "std::mt19937"}) {
+    const std::string needle(ty);
+    std::size_t pos = 0;
+    while ((pos = find_token(code, needle, pos)) != std::string::npos) {
+      std::size_t i = skip_space(code, pos + needle.size());
+      pos += needle.size();
+      while (i < code.size() && (code[i] == '&' || code[i] == '*'))
+        i = skip_space(code, i + 1);
+      std::string name = read_ident_at(code, i);
+      if (!name.empty() && !is_cpp_keyword(name)) table.rng_vars.insert(name);
+    }
   }
 }
 
@@ -618,11 +814,41 @@ SourceFile lex_file(const std::string& rel, const std::string& text) {
 
   scan_namespace_decls(f.code, f.symbols_);
   scan_atomic_vars(f.code, f.symbols_);
+  scan_rng_vars(f.code, f.symbols_);
   scan_lambdas(f.code, f.symbols_);
   return f;
 }
 
-std::vector<SourceFile> load_corpus(
+LexCache extract_lex_cache(const SourceFile& f) {
+  LexCache c;
+  c.includes = f.includes;
+  c.defines = f.defines;
+  c.identifiers = f.identifiers;
+  c.symbols = f.symbols();
+  return c;
+}
+
+SourceFile rehydrate_file(const std::string& rel, const std::string& text,
+                          LexCache&& cache) {
+  SourceFile f;
+  f.rel = rel;
+  f.is_header = rel.size() > 4 && rel.compare(rel.size() - 4, 4, ".hpp") == 0;
+  if (rel.rfind("src/", 0) == 0) {
+    std::size_t slash = rel.find('/', 4);
+    if (slash != std::string::npos) f.module_name = rel.substr(4, slash - 4);
+  }
+  f.code = strip_comments_and_strings(text);
+  f.line_starts_.push_back(0);
+  for (std::size_t i = 0; i < f.code.size(); ++i)
+    if (f.code[i] == '\n') f.line_starts_.push_back(i + 1);
+  f.includes = std::move(cache.includes);
+  f.defines = std::move(cache.defines);
+  f.identifiers = std::move(cache.identifiers);
+  f.symbols_ = std::move(cache.symbols);
+  return f;
+}
+
+std::vector<CorpusEntry> list_corpus(
     const std::string& root,
     const std::vector<std::string>& extra_rel_paths,
     const std::vector<std::string>& extra_dirs) {
@@ -656,15 +882,30 @@ std::vector<SourceFile> load_corpus(
   }
   std::sort(paths.begin(), paths.end());
   paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+  std::vector<CorpusEntry> out;
+  out.reserve(paths.size());
+  for (const auto& p : paths)
+    out.push_back({fs::relative(p, root).generic_string(), p.string()});
+  return out;
+}
+
+std::string read_file_text(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::vector<SourceFile> load_corpus(
+    const std::string& root,
+    const std::vector<std::string>& extra_rel_paths,
+    const std::vector<std::string>& extra_dirs) {
   std::vector<SourceFile> files;
-  files.reserve(paths.size());
-  for (const auto& p : paths) {
-    std::ifstream in(p, std::ios::binary);
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    files.push_back(
-        lex_file(fs::relative(p, root).generic_string(), buf.str()));
-  }
+  std::vector<CorpusEntry> entries =
+      list_corpus(root, extra_rel_paths, extra_dirs);
+  files.reserve(entries.size());
+  for (const CorpusEntry& e : entries)
+    files.push_back(lex_file(e.rel, read_file_text(e.path)));
   return files;
 }
 

@@ -13,6 +13,8 @@
 // compiler.
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <map>
 #include <set>
 #include <string>
@@ -74,6 +76,43 @@ bool is_cpp_keyword(const std::string& s);
 std::set<std::string> declared_vars_in(const std::string& code,
                                        std::size_t begin, std::size_t end);
 
+/// Split s[begin, end) on commas at bracket depth zero (argument and
+/// parameter lists, capture lists).
+std::vector<std::string> split_top_level(const std::string& s,
+                                         std::size_t begin, std::size_t end);
+
+/// Strip leading/trailing whitespace.
+std::string trim_spaces(const std::string& s);
+
+// ---------------------------------------------------------------------------
+// Write-target parsing, shared by the parallel/ and flow/ checks and the
+// call graph's parameter-flow records.
+
+/// A write's left-hand side: the chain base identifier plus every subscript
+/// expression crossed on the way (`slots[s].sum` -> base "slots", index "s").
+struct WriteTarget {
+  std::string base;
+  std::string index_expr;
+  bool valid = false;
+};
+
+/// Parse a chain ending (exclusive) at `end`: ident, ident[expr],
+/// ident.field, ident->field[expr].field, ...
+WriteTarget parse_chain_back(const std::string& s, std::size_t end);
+
+/// Parse a chain starting at `i` (for prefix ++/--).
+WriteTarget parse_chain_fwd(const std::string& s, std::size_t i);
+
+/// Invokes fn(offset, target, verb) for every write in code[begin, end):
+/// plain/compound/shift assignment, ++/--, and mutating container calls
+/// (push_back, insert, resize, ...). `verb` is a human-readable phrase
+/// ("assigns to", "accumulates into", ...). Comparison operators are not
+/// writes.
+void scan_writes(
+    const std::string& code, std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, const WriteTarget&, const char*)>&
+        fn);
+
 // ---------------------------------------------------------------------------
 // Per-file symbol table.
 
@@ -101,6 +140,11 @@ struct SymbolTable {
 
   /// Variables declared with a std::atomic<...> type anywhere in the file.
   std::set<std::string> atomic_vars;
+
+  /// Variables (and parameters) declared with an RNG engine type — Rng,
+  /// std::mt19937_64, std::mt19937 — anywhere in the file. Feeds
+  /// flow/rng-escape.
+  std::set<std::string> rng_vars;
 
   /// Every lambda expression, in source order.
   std::vector<LambdaInfo> lambdas;
@@ -135,9 +179,31 @@ struct SourceFile {
 
  private:
   friend SourceFile lex_file(const std::string& rel, const std::string& text);
+  friend SourceFile rehydrate_file(const std::string& rel,
+                                   const std::string& text, struct LexCache&&);
   std::vector<std::size_t> line_starts_;
   SymbolTable symbols_;
 };
+
+/// The lex-derived fields of a SourceFile that are expensive to recompute —
+/// exactly what the incremental cache persists per (rel path, content hash).
+/// `code` and the line table are cheap single passes and are always rebuilt
+/// from the raw text, so a cache entry can never desynchronize them.
+struct LexCache {
+  std::vector<Include> includes;
+  std::vector<std::string> defines;
+  std::map<std::string, int> identifiers;
+  SymbolTable symbols;
+};
+
+/// Copy the cacheable fields out of a freshly-lexed file.
+LexCache extract_lex_cache(const SourceFile& f);
+
+/// Rebuild a SourceFile from raw text plus a cache entry: identical to
+/// lex_file(rel, text) whenever the entry was extracted from that exact
+/// text (the content hash guarantees it).
+SourceFile rehydrate_file(const std::string& rel, const std::string& text,
+                          LexCache&& cache);
 
 /// Blank comments and string/char literals with spaces; newlines survive so
 /// line numbers in the result match the original text.
@@ -162,5 +228,23 @@ std::vector<SourceFile> load_corpus(
     const std::string& root,
     const std::vector<std::string>& extra_rel_paths = {},
     const std::vector<std::string>& extra_dirs = {});
+
+/// One corpus member before lexing: rel path (posix, relative to root) and
+/// the absolute path to read it from.
+struct CorpusEntry {
+  std::string rel;
+  std::string path;
+};
+
+/// The file-discovery half of load_corpus: every corpus member sorted by
+/// path, without reading or lexing anything. The parallel driver fans the
+/// result out across worker threads.
+std::vector<CorpusEntry> list_corpus(
+    const std::string& root,
+    const std::vector<std::string>& extra_rel_paths = {},
+    const std::vector<std::string>& extra_dirs = {});
+
+/// Whole file as a string (binary read; empty when unreadable).
+std::string read_file_text(const std::string& path);
 
 }  // namespace qdc::analyze

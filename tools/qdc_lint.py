@@ -353,9 +353,13 @@ def main(argv: list[str]) -> int:
     diags: list[Diagnostic] = []
     for path in files:
         diags.extend(lint_file(path, root))
+    # tests/analyzer_fixtures holds synthetic inputs for qdc_analyze and
+    # must be free to contain the very hazards the analyzer detects.
+    fixtures = root / "tests" / "analyzer_fixtures"
     aux_files = sorted(
         p for sub in ("tests", "bench") if (root / sub).is_dir()
-        for p in (root / sub).rglob("*") if p.suffix in (".hpp", ".cpp"))
+        for p in (root / sub).rglob("*")
+        if p.suffix in (".hpp", ".cpp") and fixtures not in p.parents)
     for path in aux_files:
         diags.extend(lint_aux_file(path))
     diags.extend(check_doc_drift(root))
