@@ -1,0 +1,192 @@
+#include "service/client.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "util/expect.hpp"
+
+namespace qdc::service {
+namespace {
+
+constexpr std::uint8_t kSubmitFlagWait = 0x01;
+
+/// Shared tail of every typed call: classify the response frame.
+/// Returns None when `type` is the expected response; fills the error
+/// fields otherwise (ErrorResponse is decoded, anything else is a
+/// protocol violation by the server).
+ErrorCode classify(MessageType type, const std::vector<std::uint8_t>& payload,
+                   MessageType expected, std::string* message) {
+  if (type == expected) return ErrorCode::None;
+  if (type == MessageType::ErrorResponse) {
+    try {
+      WireReader r(payload);
+      ErrorBody body = ErrorBody::decode(r);
+      *message = body.message;
+      return body.code;
+    } catch (const std::exception& e) {
+      *message = e.what();
+      return ErrorCode::MalformedPayload;
+    }
+  }
+  *message = std::string("unexpected response type: ") +
+             message_type_name(type);
+  return ErrorCode::UnknownMessageType;
+}
+
+}  // namespace
+
+ServiceClient::ServiceClient(const std::string& socket_path)
+    : fd_(connect_unix(socket_path)) {}
+
+ErrorCode ServiceClient::transact(MessageType request,
+                                  const std::vector<std::uint8_t>& payload,
+                                  MessageType* out_type,
+                                  std::vector<std::uint8_t>* out_payload) {
+  if (!fd_.valid() || !write_frame(fd_, request, payload)) {
+    fd_.reset();
+    return ErrorCode::TruncatedFrame;
+  }
+  ReadFrameResult frame = read_frame(fd_);
+  if (frame.status != ReadStatus::Ok) {
+    fd_.reset();
+    return frame.status == ReadStatus::Malformed ? frame.error
+                                                 : ErrorCode::TruncatedFrame;
+  }
+  *out_type = frame.header.type;
+  *out_payload = std::move(frame.payload);
+  return ErrorCode::None;
+}
+
+SubmitResult ServiceClient::submit(const JobSpec& spec,
+                                   const SubmitOptions& options) {
+  WireWriter w;
+  w.u8(options.wait ? kSubmitFlagWait : 0);
+  w.u64(options.timeout_us);
+  const std::vector<std::uint8_t> spec_bytes = spec.encode_canonical();
+  w.bytes(spec_bytes.data(), spec_bytes.size());
+
+  SubmitResult result;
+  MessageType type{};
+  std::vector<std::uint8_t> payload;
+  result.error = transact(MessageType::SubmitRequest, w.take(), &type,
+                          &payload);
+  if (result.error != ErrorCode::None) {
+    result.error_message = "connection closed";
+    return result;
+  }
+  result.error = classify(type, payload, MessageType::SubmitResponse,
+                          &result.error_message);
+  if (result.error != ErrorCode::None) return result;
+  try {
+    WireReader r(payload);
+    result.status = JobStatus::decode(r);
+  } catch (const std::exception& e) {
+    result.error = ErrorCode::MalformedPayload;
+    result.error_message = e.what();
+  }
+  return result;
+}
+
+PollResult ServiceClient::poll(std::uint64_t job_id) {
+  // Id 0 is the inline cache-hit sentinel; the server never registers it.
+  QDC_EXPECT(job_id != 0, "poll: job id 0 is never a registered job");
+  WireWriter w;
+  w.u64(job_id);
+
+  PollResult result;
+  MessageType type{};
+  std::vector<std::uint8_t> payload;
+  result.error =
+      transact(MessageType::PollRequest, w.take(), &type, &payload);
+  if (result.error != ErrorCode::None) {
+    result.error_message = "connection closed";
+    return result;
+  }
+  result.error = classify(type, payload, MessageType::PollResponse,
+                          &result.error_message);
+  if (result.error != ErrorCode::None) return result;
+  try {
+    WireReader r(payload);
+    result.status = JobStatus::decode(r);
+  } catch (const std::exception& e) {
+    result.error = ErrorCode::MalformedPayload;
+    result.error_message = e.what();
+  }
+  return result;
+}
+
+CancelResult ServiceClient::cancel(std::uint64_t job_id) {
+  QDC_EXPECT(job_id != 0, "cancel: job id 0 is never a registered job");
+  WireWriter w;
+  w.u64(job_id);
+
+  CancelResult result;
+  MessageType type{};
+  std::vector<std::uint8_t> payload;
+  result.error =
+      transact(MessageType::CancelRequest, w.take(), &type, &payload);
+  if (result.error != ErrorCode::None) {
+    result.error_message = "connection closed";
+    return result;
+  }
+  result.error = classify(type, payload, MessageType::CancelResponse,
+                          &result.error_message);
+  return result;
+}
+
+AdminResult ServiceClient::admin() {
+  AdminResult result;
+  MessageType type{};
+  std::vector<std::uint8_t> payload;
+  result.error = transact(MessageType::AdminRequest, {}, &type, &payload);
+  if (result.error != ErrorCode::None) {
+    result.error_message = "connection closed";
+    return result;
+  }
+  result.error = classify(type, payload, MessageType::AdminResponse,
+                          &result.error_message);
+  if (result.error != ErrorCode::None) return result;
+  try {
+    WireReader r(payload);
+    result.stats = AdminStats::decode(r);
+  } catch (const std::exception& e) {
+    result.error = ErrorCode::MalformedPayload;
+    result.error_message = e.what();
+  }
+  return result;
+}
+
+ShutdownResult ServiceClient::shutdown_server(bool drain) {
+  WireWriter w;
+  w.u8(drain ? 1 : 0);
+
+  ShutdownResult result;
+  MessageType type{};
+  std::vector<std::uint8_t> payload;
+  result.error =
+      transact(MessageType::ShutdownRequest, w.take(), &type, &payload);
+  if (result.error != ErrorCode::None) {
+    result.error_message = "connection closed";
+    return result;
+  }
+  result.error = classify(type, payload, MessageType::ShutdownResponse,
+                          &result.error_message);
+  if (result.error != ErrorCode::None) return result;
+  try {
+    WireReader r(payload);
+    result.drain = r.u8() != 0;
+  } catch (const std::exception& e) {
+    result.error = ErrorCode::MalformedPayload;
+    result.error_message = e.what();
+  }
+  return result;
+}
+
+bool ServiceClient::send_raw(const std::vector<std::uint8_t>& bytes) {
+  if (!fd_.valid()) return false;
+  return write_bytes(fd_, bytes.data(), bytes.size());
+}
+
+ReadFrameResult ServiceClient::read_raw() { return read_frame(fd_); }
+
+}  // namespace qdc::service

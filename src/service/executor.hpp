@@ -1,0 +1,55 @@
+// Deterministic job execution: canonical JobSpec -> canonical result bytes.
+//
+// execute_job builds the requested topology view, wraps it in a
+// congest::Network, runs the requested algorithm with serial inner
+// RunOptions (the service parallelizes *across* jobs, like the sweep
+// layer — see docs/EXPERIMENT_PIPELINE.md for why two-level fan-out is
+// counterproductive), and serializes the outcome into the fixed
+// little-endian result layout of docs/SERVICE.md. Equal specs yield
+// byte-identical payloads on every execution, which is the whole basis
+// of the content-addressed result cache; ServiceServer.CacheHitByteIdentical
+// pins it end to end.
+//
+// This file contains no clocks, no randomness beyond the seeds in the
+// spec, and no I/O: it is the pure core the server wraps.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "service/job_spec.hpp"
+
+namespace qdc::service {
+
+inline constexpr std::uint8_t kResultVersion = 1;
+
+/// Per-node detail vectors (MST component labels) are folded into the
+/// payload always, but inlined verbatim only up to this many entries.
+inline constexpr std::uint32_t kInlineDetailLimit = 4096;
+
+/// Decoded form of a result payload (the wire layout is the canonical
+/// artifact; this struct is a convenience for clients, tests and the
+/// CLI).
+struct ResultSummary {
+  AlgorithmKind algorithm = AlgorithmKind::Census;
+  std::uint32_t nodes = 0;
+  std::uint32_t edges = 0;
+  std::uint32_t rounds = 0;
+  std::uint64_t messages = 0;  ///< 0 when the driver reports rounds only
+  std::uint64_t fields = 0;
+  std::int64_t value0 = 0;  ///< per-algorithm; see docs/SERVICE.md
+  std::int64_t value1 = 0;
+  std::int64_t value2 = 0;
+  std::uint64_t detail_fold = 0;  ///< FNV-1a over the full detail vector
+  std::vector<std::int64_t> details;  ///< inlined iff small enough
+};
+
+/// Runs the (already validated) spec to completion and returns the
+/// canonical result payload. Throws ContractError/ModelError on
+/// violations; the server maps those to ExecutionFailed.
+std::vector<std::uint8_t> execute_job(const JobSpec& spec);
+
+/// Parses a canonical result payload; throws ModelError when malformed.
+ResultSummary decode_result(const std::vector<std::uint8_t>& payload);
+
+}  // namespace qdc::service

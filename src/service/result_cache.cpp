@@ -1,0 +1,71 @@
+#include "service/result_cache.hpp"
+
+#include <utility>
+
+#include "util/expect.hpp"
+
+namespace qdc::service {
+
+ResultCache::ResultCache(std::uint64_t capacity_bytes)
+    : capacity_(capacity_bytes) {}
+
+ResultBytes ResultCache::lookup(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->payload;
+}
+
+void ResultCache::insert(std::uint64_t key, ResultBytes payload) {
+  QDC_EXPECT(payload != nullptr, "ResultCache: null payload");
+  const auto size = static_cast<std::uint64_t>(payload->size());
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (size > capacity_) {
+    ++rejected_;
+    return;
+  }
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Replace = remove + fresh insert, so the entry can never be chosen
+    // as its own eviction victim while it is being refreshed.
+    bytes_ -= it->second->payload->size();
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  evict_until_fits_locked(size);
+  lru_.push_front(Entry{key, std::move(payload)});
+  index_.emplace(key, lru_.begin());
+  bytes_ += size;
+  ++insertions_;
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.insertions = insertions_;
+  s.rejected = rejected_;
+  s.bytes = bytes_;
+  s.entries = static_cast<std::uint64_t>(index_.size());
+  s.capacity_bytes = capacity_;
+  return s;
+}
+
+void ResultCache::evict_until_fits_locked(std::uint64_t incoming_size) {
+  while (!lru_.empty() && bytes_ + incoming_size > capacity_) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.payload->size();
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+}  // namespace qdc::service

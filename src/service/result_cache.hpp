@@ -1,0 +1,77 @@
+// Content-addressed LRU result cache, bounded by payload bytes.
+//
+// Keys are cache_key(spec) content addresses (job_spec.hpp); values are
+// the immutable result payloads the executor produced. Because the
+// engine is deterministic, an entry never goes stale — eviction exists
+// only to bound memory, and it is strictly LRU over (lookup-hit |
+// insert) recency, so the eviction sequence is a pure function of the
+// operation sequence (pinned by ServiceCache.LruEvictionDeterminism).
+//
+// Thread safety: all operations take an internal mutex; payloads are
+// handed out as shared_ptr<const ...> so a hit stays valid after the
+// entry is evicted. Counters (hits/misses/evictions/...) are part of the
+// admin surface.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace qdc::service {
+
+using ResultBytes = std::shared_ptr<const std::vector<std::uint8_t>>;
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t rejected = 0;  ///< entries larger than the whole budget
+  std::uint64_t bytes = 0;     ///< payload bytes currently resident
+  std::uint64_t entries = 0;
+  std::uint64_t capacity_bytes = 0;
+};
+
+class ResultCache {
+ public:
+  /// `capacity_bytes` bounds the sum of resident payload sizes. Zero is
+  /// legal and makes every insert a rejection (a cache-off switch).
+  explicit ResultCache(std::uint64_t capacity_bytes);
+
+  /// Returns the payload for `key` and refreshes its recency, or null.
+  /// Counts a hit or a miss.
+  ResultBytes lookup(std::uint64_t key);
+
+  /// Inserts (or refreshes) `key`. Evicts least-recently-used entries
+  /// until the new entry fits; an entry bigger than the whole budget is
+  /// counted `rejected` and not stored. Re-inserting an existing key
+  /// refreshes recency and replaces the payload (a no-op for a
+  /// deterministic engine, but the cache does not assume it).
+  void insert(std::uint64_t key, ResultBytes payload);
+
+  CacheStats stats() const;
+
+ private:
+  struct Entry {
+    std::uint64_t key = 0;
+    ResultBytes payload;
+  };
+
+  void evict_until_fits_locked(std::uint64_t incoming_size);
+
+  mutable std::mutex mutex_;
+  std::uint64_t capacity_;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t insertions_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::list<Entry> lru_;  // front = most recent, back = eviction victim
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace qdc::service

@@ -1,0 +1,164 @@
+#include "service/socket_io.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/expect.hpp"
+
+namespace qdc::service {
+namespace {
+
+/// Reads exactly `size` bytes. Returns the byte count actually read:
+/// `size` on success, 0 on clean EOF before the first byte, anything
+/// else means the stream ended (or errored) mid-read.
+std::size_t read_exact(int fd, std::uint8_t* out, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    ssize_t got = ::read(fd, out + done, size - done);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (got == 0) break;
+    done += static_cast<std::size_t>(got);
+  }
+  return done;
+}
+
+bool write_all(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    ssize_t sent = ::send(fd, data + done, size - done, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(sent);
+  }
+  return true;
+}
+
+sockaddr_un make_unix_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  QDC_CHECK(path.size() + 1 <= sizeof(addr.sun_path),
+            "unix socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+Fd& Fd::operator=(Fd&& other) noexcept {
+  if (this != &other) {
+    reset();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+int Fd::release() {
+  int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void Fd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Fd listen_unix(const std::string& path, int backlog) {
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  QDC_CHECK(fd.valid(), "socket(AF_UNIX) failed");
+  sockaddr_un addr = make_unix_address(path);
+  ::unlink(path.c_str());  // replace a stale socket file from a dead server
+  int rc = ::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr));
+  QDC_CHECK(rc == 0, "bind(" + path + ") failed: " +
+                         std::string(std::strerror(errno)));
+  rc = ::listen(fd.get(), backlog);
+  QDC_CHECK(rc == 0, "listen(" + path + ") failed: " +
+                         std::string(std::strerror(errno)));
+  return fd;
+}
+
+Fd connect_unix(const std::string& path) {
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  QDC_CHECK(fd.valid(), "socket(AF_UNIX) failed");
+  sockaddr_un addr = make_unix_address(path);
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  QDC_CHECK(rc == 0, "connect(" + path + ") failed: " +
+                         std::string(std::strerror(errno)));
+  return fd;
+}
+
+Fd accept_connection(const Fd& listener) {
+  for (;;) {
+    int fd = ::accept(listener.get(), nullptr, nullptr);
+    if (fd >= 0) return Fd(fd);
+    if (errno == EINTR) continue;
+    return Fd();  // listener shut down (EBADF/EINVAL) or fatal
+  }
+}
+
+void shutdown_socket(const Fd& fd) {
+  if (fd.valid()) ::shutdown(fd.get(), SHUT_RDWR);
+}
+
+ReadFrameResult read_frame(const Fd& fd) {
+  ReadFrameResult result;
+  std::uint8_t header[kFrameHeaderSize];
+  std::size_t got = read_exact(fd.get(), header, kFrameHeaderSize);
+  if (got == 0) {
+    result.status = ReadStatus::Eof;
+    return result;
+  }
+  if (got < kFrameHeaderSize) {
+    result.status = ReadStatus::Malformed;
+    result.error = ErrorCode::TruncatedFrame;
+    return result;
+  }
+  ErrorCode code = parse_frame_header(header, &result.header);
+  if (code != ErrorCode::None) {
+    result.status = ReadStatus::Malformed;
+    result.error = code;
+    return result;
+  }
+  result.payload.resize(result.header.payload_size);
+  if (result.header.payload_size > 0) {
+    got = read_exact(fd.get(), result.payload.data(),
+                     result.payload.size());
+    if (got < result.payload.size()) {
+      result.status = ReadStatus::Malformed;
+      result.error = ErrorCode::TruncatedFrame;
+      result.payload.clear();
+      return result;
+    }
+  }
+  result.status = ReadStatus::Ok;
+  return result;
+}
+
+bool write_frame(const Fd& fd, MessageType type,
+                 const std::vector<std::uint8_t>& payload) {
+  const std::vector<std::uint8_t> frame = encode_frame(type, payload);
+  return write_all(fd.get(), frame.data(), frame.size());
+}
+
+bool write_bytes(const Fd& fd, const std::uint8_t* data, std::size_t size) {
+  return write_all(fd.get(), data, size);
+}
+
+}  // namespace qdc::service

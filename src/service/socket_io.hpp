@@ -1,0 +1,88 @@
+// Minimal POSIX socket plumbing for the experiment service.
+//
+// One RAII fd wrapper plus the four operations the server and client
+// share: listen on / connect to a unix-domain socket path, and move one
+// whole frame (service/wire.hpp layout) across a stream socket. All
+// writes use MSG_NOSIGNAL so a peer that disconnected mid-job surfaces
+// as an error return, never as SIGPIPE. Frame reads distinguish "clean
+// EOF before any byte" (ReadStatus::Eof — the peer simply hung up
+// between requests) from every malformed-frame condition, which carries
+// the precise ErrorCode the server echoes back before closing.
+//
+// This is the only file in src/service/ that talks to the OS; everything
+// above it (wire encoding, cache, queue, executor, server logic) is
+// testable without a socket.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/wire.hpp"
+
+namespace qdc::service {
+
+/// Owning file descriptor (closes on destruction; move-only).
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release();
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on a unix-domain stream socket at `path`, replacing
+/// any stale socket file. Throws ModelError on any syscall failure.
+Fd listen_unix(const std::string& path, int backlog);
+
+/// Connects to the unix-domain socket at `path`. Throws ModelError when
+/// the server is not there.
+Fd connect_unix(const std::string& path);
+
+/// Accepts one connection; invalid Fd when the listener was shut down.
+Fd accept_connection(const Fd& listener);
+
+/// Half-closes + closes a socket so a blocked peer read wakes up.
+void shutdown_socket(const Fd& fd);
+
+enum class ReadStatus {
+  Ok,        ///< header + payload read completely
+  Eof,       ///< clean close before the first header byte
+  Malformed, ///< header invalid or stream ended mid-frame; see error
+};
+
+struct ReadFrameResult {
+  ReadStatus status = ReadStatus::Eof;
+  ErrorCode error = ErrorCode::None;  ///< set when status == Malformed
+  FrameHeader header;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Reads exactly one frame. Blocks until the frame is complete, the peer
+/// closes, or the fd is shut down.
+ReadFrameResult read_frame(const Fd& fd);
+
+/// Writes header + payload; false when the peer is gone (EPIPE and
+/// friends), which callers treat as a disconnect, never an error to
+/// propagate.
+bool write_frame(const Fd& fd, MessageType type,
+                 const std::vector<std::uint8_t>& payload);
+
+/// Writes raw bytes with no framing. Exists for protocol tests that
+/// must put deliberately malformed frames on the wire; everything else
+/// goes through write_frame.
+bool write_bytes(const Fd& fd, const std::uint8_t* data, std::size_t size);
+
+}  // namespace qdc::service

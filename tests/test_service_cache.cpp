@@ -1,0 +1,125 @@
+// Result-cache unit tests: hit/miss/eviction counters, byte-bounded LRU
+// eviction determinism, oversize rejection, and payload lifetime across
+// eviction.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "service/result_cache.hpp"
+
+namespace qdc::service {
+namespace {
+
+ResultBytes payload_of(std::size_t size, std::uint8_t fill) {
+  return std::make_shared<const std::vector<std::uint8_t>>(size, fill);
+}
+
+TEST(ServiceCache, HitAndMissCounters) {
+  ResultCache cache(1024);
+  EXPECT_EQ(cache.lookup(1), nullptr);
+  cache.insert(1, payload_of(10, 0xAA));
+  const ResultBytes hit = cache.lookup(1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->size(), 10u);
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.bytes, 10u);
+  EXPECT_EQ(stats.capacity_bytes, 1024u);
+}
+
+TEST(ServiceCache, EvictsLeastRecentlyUsedByBytes) {
+  ResultCache cache(25);  // room for two 10-byte entries, never three
+  cache.insert(1, payload_of(10, 1));
+  cache.insert(2, payload_of(10, 2));
+  ASSERT_NE(cache.lookup(1), nullptr);  // refresh 1 => 2 is now LRU
+
+  cache.insert(3, payload_of(10, 3));   // must evict 2
+  EXPECT_NE(cache.lookup(1), nullptr);
+  EXPECT_EQ(cache.lookup(2), nullptr);
+  EXPECT_NE(cache.lookup(3), nullptr);
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.bytes, 20u);
+}
+
+// The eviction sequence must be a pure function of the operation
+// sequence: replaying the same operations yields identical counters and
+// identical survivors. This is what makes cache behaviour reproducible
+// in bug reports and in the serving-mode experiment logs.
+TEST(ServiceCache, LruEvictionDeterminism) {
+  auto run_sequence = [] {
+    ResultCache cache(64);
+    for (std::uint64_t round = 0; round < 4; ++round) {
+      for (std::uint64_t key = 1; key <= 8; ++key) {
+        if (cache.lookup(key) == nullptr) {
+          cache.insert(key, payload_of(16, static_cast<std::uint8_t>(key)));
+        }
+      }
+    }
+    return cache.stats();
+  };
+
+  const CacheStats a = run_sequence();
+  const CacheStats b = run_sequence();
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_EQ(a.misses, b.misses);
+  EXPECT_EQ(a.evictions, b.evictions);
+  EXPECT_EQ(a.insertions, b.insertions);
+  EXPECT_EQ(a.bytes, b.bytes);
+  EXPECT_EQ(a.entries, b.entries);
+  EXPECT_GT(a.evictions, 0u);  // the sequence actually exercised eviction
+}
+
+TEST(ServiceCache, ReinsertingExistingKeyDoesNotSelfEvict) {
+  ResultCache cache(10);  // exactly one 10-byte entry fits
+  cache.insert(7, payload_of(10, 1));
+  cache.insert(7, payload_of(10, 2));  // replace: must not evict itself
+
+  const ResultBytes hit = cache.lookup(7);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ((*hit)[0], 2);
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.bytes, 10u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(ServiceCache, RejectsEntriesLargerThanBudget) {
+  ResultCache cache(100);
+  cache.insert(1, payload_of(101, 0));
+  EXPECT_EQ(cache.lookup(1), nullptr);
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+}
+
+TEST(ServiceCache, ZeroCapacityIsACacheOffSwitch) {
+  ResultCache cache(0);
+  cache.insert(1, payload_of(1, 0));
+  EXPECT_EQ(cache.lookup(1), nullptr);
+  EXPECT_EQ(cache.stats().rejected, 1u);
+}
+
+TEST(ServiceCache, EvictedPayloadSurvivesThroughSharedPtr) {
+  ResultCache cache(10);
+  cache.insert(1, payload_of(10, 0xEE));
+  const ResultBytes held = cache.lookup(1);
+  ASSERT_NE(held, nullptr);
+
+  cache.insert(2, payload_of(10, 0xFF));  // evicts key 1
+  EXPECT_EQ(cache.lookup(1), nullptr);
+  EXPECT_EQ(held->size(), 10u);  // the handed-out payload is still alive
+  EXPECT_EQ((*held)[0], 0xEE);
+}
+
+}  // namespace
+}  // namespace qdc::service

@@ -1,0 +1,294 @@
+// Wire-protocol unit tests: frame encode/parse, payload round-trips,
+// defensive decoding, and the canonical JobSpec encoding + cache key —
+// including the worked example pinned in docs/SERVICE.md.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "service/job_spec.hpp"
+#include "service/wire.hpp"
+
+namespace qdc::service {
+namespace {
+
+TEST(ServiceWire, WriterReaderRoundTrip) {
+  WireWriter w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEFu);
+  w.u64(0x0123456789ABCDEFULL);
+  w.i64(-42);
+  w.str("hello");
+  const std::vector<std::uint8_t> payload = w.take();
+
+  WireReader r(payload);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ServiceWire, LittleEndianOnTheWire) {
+  WireWriter w;
+  w.u32(0x01020304u);
+  const std::vector<std::uint8_t>& bytes = w.data();
+  ASSERT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(bytes[0], 0x04);
+  EXPECT_EQ(bytes[1], 0x03);
+  EXPECT_EQ(bytes[2], 0x02);
+  EXPECT_EQ(bytes[3], 0x01);
+}
+
+TEST(ServiceWire, ReaderThrowsOnTruncation) {
+  const std::vector<std::uint8_t> three = {1, 2, 3};
+  WireReader r(three);
+  EXPECT_THROW(r.u32(), std::runtime_error);
+
+  WireReader s(three);
+  s.u16();
+  EXPECT_THROW(s.u16(), std::runtime_error);
+}
+
+TEST(ServiceWire, ReaderThrowsOnOversizedStringLength) {
+  WireWriter w;
+  w.u32(1000);  // claims 1000 bytes follow; none do
+  const std::vector<std::uint8_t> payload = w.take();
+  WireReader r(payload);
+  EXPECT_THROW(r.str(), std::runtime_error);
+}
+
+TEST(ServiceWire, FrameRoundTrip) {
+  const std::vector<std::uint8_t> payload = {9, 8, 7};
+  const std::vector<std::uint8_t> frame =
+      encode_frame(MessageType::PollRequest, payload);
+  ASSERT_EQ(frame.size(), kFrameHeaderSize + payload.size());
+
+  FrameHeader header;
+  ASSERT_EQ(parse_frame_header(frame.data(), &header), ErrorCode::None);
+  EXPECT_EQ(header.version, kWireVersion);
+  EXPECT_EQ(header.type, MessageType::PollRequest);
+  EXPECT_EQ(header.payload_size, payload.size());
+}
+
+TEST(ServiceWire, FrameHeaderRejectsEachRule) {
+  const std::vector<std::uint8_t> good =
+      encode_frame(MessageType::AdminRequest, {});
+  FrameHeader header;
+
+  std::vector<std::uint8_t> bad_magic = good;
+  bad_magic[0] = 'X';
+  EXPECT_EQ(parse_frame_header(bad_magic.data(), &header),
+            ErrorCode::BadMagic);
+
+  std::vector<std::uint8_t> bad_version = good;
+  bad_version[4] = kWireVersion + 1;
+  EXPECT_EQ(parse_frame_header(bad_version.data(), &header),
+            ErrorCode::UnsupportedVersion);
+
+  std::vector<std::uint8_t> oversized = good;
+  oversized[8] = 0xFF;
+  oversized[9] = 0xFF;
+  oversized[10] = 0xFF;
+  oversized[11] = 0xFF;
+  EXPECT_EQ(parse_frame_header(oversized.data(), &header),
+            ErrorCode::OversizedFrame);
+}
+
+TEST(ServiceWire, RequestResponseClassification) {
+  EXPECT_TRUE(is_request(MessageType::SubmitRequest));
+  EXPECT_TRUE(is_request(MessageType::ShutdownRequest));
+  EXPECT_FALSE(is_request(MessageType::SubmitResponse));
+  EXPECT_FALSE(is_request(MessageType::ErrorResponse));
+}
+
+TEST(ServiceWire, TerminalStates) {
+  EXPECT_FALSE(is_terminal(JobState::Queued));
+  EXPECT_FALSE(is_terminal(JobState::Running));
+  EXPECT_TRUE(is_terminal(JobState::Done));
+  EXPECT_TRUE(is_terminal(JobState::Cancelled));
+  EXPECT_TRUE(is_terminal(JobState::Expired));
+  EXPECT_TRUE(is_terminal(JobState::Failed));
+}
+
+TEST(ServiceWire, JobStatusRoundTrip) {
+  JobStatus status;
+  status.job_id = 77;
+  status.state = JobState::Failed;
+  status.cached = true;
+  status.error = ErrorCode::ExecutionFailed;
+  status.error_message = "boom";
+  status.wall_us = 123;
+  status.compute_us = 45;
+  status.result = {1, 2, 3, 4};
+
+  const std::vector<std::uint8_t> bytes = status.encode();
+  WireReader r(bytes);
+  const JobStatus back = JobStatus::decode(r);
+  EXPECT_EQ(back.job_id, 77u);
+  EXPECT_EQ(back.state, JobState::Failed);
+  EXPECT_TRUE(back.cached);
+  EXPECT_EQ(back.error, ErrorCode::ExecutionFailed);
+  EXPECT_EQ(back.error_message, "boom");
+  EXPECT_EQ(back.wall_us, 123u);
+  EXPECT_EQ(back.compute_us, 45u);
+  EXPECT_EQ(back.result, (std::vector<std::uint8_t>{1, 2, 3, 4}));
+}
+
+TEST(ServiceWire, JobStatusRejectsUnknownState) {
+  JobStatus status;
+  std::vector<std::uint8_t> payload = status.encode();
+  payload[8] = 99;  // state byte follows the u64 job id
+  WireReader r(payload);
+  EXPECT_THROW(JobStatus::decode(r), std::runtime_error);
+}
+
+TEST(ServiceWire, ErrorBodyRoundTrip) {
+  ErrorBody body;
+  body.code = ErrorCode::QueueFull;
+  body.message = "job queue is at capacity";
+  const std::vector<std::uint8_t> bytes = body.encode();
+  WireReader r(bytes);
+  const ErrorBody back = ErrorBody::decode(r);
+  EXPECT_EQ(back.code, ErrorCode::QueueFull);
+  EXPECT_EQ(back.message, "job queue is at capacity");
+}
+
+TEST(ServiceWire, AdminStatsRoundTripAndForwardCompat) {
+  AdminStats stats;
+  stats.queue_depth = 1;
+  stats.jobs_submitted = 2;
+  stats.cache_hits = 3;
+  stats.max_compute_us = 4;
+
+  // A future server may append counters; today's decoder must ignore
+  // them (the protocol's forward-compat rule).
+  std::vector<std::uint8_t> payload = stats.encode();
+  WireWriter extra;
+  extra.u64(0xFFFFFFFFFFFFFFFFULL);
+  payload.insert(payload.end(), extra.data().begin(), extra.data().end());
+
+  WireReader r(payload);
+  const AdminStats back = AdminStats::decode(r);
+  EXPECT_EQ(back.queue_depth, 1u);
+  EXPECT_EQ(back.jobs_submitted, 2u);
+  EXPECT_EQ(back.cache_hits, 3u);
+  EXPECT_EQ(back.max_compute_us, 4u);
+}
+
+TEST(ServiceSpec, CanonicalEncodingHasPinnedSize) {
+  const JobSpec spec;
+  EXPECT_EQ(spec.encode_canonical().size(), kJobSpecEncodedSize);
+}
+
+TEST(ServiceSpec, CanonicalRoundTrip) {
+  JobSpec spec;
+  spec.topology = TopologyKind::Gnm;
+  spec.algorithm = AlgorithmKind::Mst;
+  spec.nodes = 128;
+  spec.edges = 300;
+  spec.bandwidth = 6;
+  spec.max_rounds = 5000;
+  spec.topology_seed = 0x1234;
+  spec.shared_seed = 0x5678;
+
+  const std::vector<std::uint8_t> bytes = spec.encode_canonical();
+  WireReader r(bytes);
+  const JobSpec back = JobSpec::decode(r);
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(back, spec);
+}
+
+TEST(ServiceSpec, ValidateEnforcesCanonicalZeroes) {
+  JobSpec spec;  // path topology
+  spec.nodes = 8;
+  EXPECT_TRUE(spec.validate().empty());
+
+  spec.gamma = 1;  // unused by path: must be 0
+  EXPECT_FALSE(spec.validate().empty());
+  spec.gamma = 0;
+
+  spec.arity = 2;  // unused by path: must be 0
+  EXPECT_FALSE(spec.validate().empty());
+}
+
+TEST(ServiceSpec, ValidateEnforcesTopologyMinimums) {
+  JobSpec spec;
+  spec.topology = TopologyKind::Cycle;
+  spec.nodes = 2;  // a cycle needs >= 3
+  EXPECT_FALSE(spec.validate().empty());
+  spec.nodes = 3;
+  EXPECT_TRUE(spec.validate().empty());
+
+  JobSpec gnm;
+  gnm.topology = TopologyKind::Gnm;
+  gnm.nodes = 10;
+  gnm.edges = 5;  // below the n-1 connectivity floor
+  EXPECT_FALSE(gnm.validate().empty());
+  gnm.edges = 9;
+  EXPECT_TRUE(gnm.validate().empty());
+}
+
+TEST(ServiceSpec, ValidateEnforcesMstBandwidthFloor) {
+  JobSpec spec;
+  spec.topology = TopologyKind::Path;
+  spec.algorithm = AlgorithmKind::Mst;
+  spec.nodes = 8;
+  spec.bandwidth = 5;  // run_mst needs >= 6 fields per edge per round
+  EXPECT_FALSE(spec.validate().empty());
+  spec.bandwidth = 6;
+  EXPECT_TRUE(spec.validate().empty());
+}
+
+TEST(ServiceSpec, CacheKeyIsInvariantToExecutionDetails) {
+  JobSpec a;
+  a.nodes = 64;
+  const JobSpec b = a;
+  EXPECT_EQ(cache_key(a), cache_key(b));
+
+  // Any result-determining field changes the key.
+  JobSpec c = a;
+  c.shared_seed ^= 1;
+  EXPECT_NE(cache_key(a), cache_key(c));
+  JobSpec d = a;
+  d.bandwidth += 1;
+  EXPECT_NE(cache_key(a), cache_key(d));
+}
+
+// The worked example in docs/SERVICE.md: path topology, census
+// algorithm, 64 nodes, everything else at its canonical default. The
+// pinned constant keeps the document, the encoder, and the FNV-1a +
+// splitmix64 key derivation in lockstep — if any of the three drifts,
+// this test names the exact contract that broke.
+TEST(ServiceSpec, CacheKeyWorkedExampleFromServiceDoc) {
+  JobSpec spec;
+  spec.topology = TopologyKind::Path;
+  spec.algorithm = AlgorithmKind::Census;
+  spec.nodes = 64;
+  EXPECT_EQ(cache_key(spec), 0x4375090169cdfc93ULL);
+}
+
+TEST(ServiceSpec, NameRoundTrips) {
+  for (TopologyKind kind :
+       {TopologyKind::Path, TopologyKind::Cycle, TopologyKind::Tree,
+        TopologyKind::Gnm, TopologyKind::LbNetwork}) {
+    TopologyKind back{};
+    ASSERT_TRUE(parse_topology_kind(topology_kind_name(kind), &back));
+    EXPECT_EQ(back, kind);
+  }
+  for (AlgorithmKind kind : {AlgorithmKind::Census, AlgorithmKind::Leader,
+                             AlgorithmKind::Mst}) {
+    AlgorithmKind back{};
+    ASSERT_TRUE(parse_algorithm_kind(algorithm_kind_name(kind), &back));
+    EXPECT_EQ(back, kind);
+  }
+  TopologyKind out{};
+  EXPECT_FALSE(parse_topology_kind("torus", &out));
+}
+
+}  // namespace
+}  // namespace qdc::service

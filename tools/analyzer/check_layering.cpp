@@ -40,6 +40,9 @@ const std::map<std::string, std::set<std::string>>& allowed_deps() {
       {"core",
        {"util", "graph", "congest", "dist", "quantum", "nonlocal", "comm",
         "gadgets"}},
+      {"service",
+       {"util", "graph", "congest", "dist", "quantum", "nonlocal", "comm",
+        "gadgets", "core"}},
   };
   return kAllowed;
 }

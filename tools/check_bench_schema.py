@@ -5,6 +5,7 @@ Usage:
 
     python3 tools/check_bench_schema.py BENCH_engine.json
     python3 tools/check_bench_schema.py BENCH_quantum.json
+    python3 tools/check_bench_schema.py BENCH_service.json
 
 Dispatches on the document's "bench" key:
 
@@ -17,6 +18,10 @@ Dispatches on the document's "bench" key:
     kernel cases with ops_per_sec results, a per-case payload checksum
     (0x + 16 hex digits — the amplitude-bit fold the bench asserts equal
     across thread counts), and a Grover sweep section.
+  * "service_throughput" (schema v1, bench_service_throughput):
+    end-to-end daemon throughput — fresh-execution cases with
+    jobs_per_sec across server worker counts, plus a cache-hit serving
+    sweep (requests_per_sec across client counts, hit_rate in [0, 1]).
 
 Both share the value-sanity core (positive timings, threads=1 / workers=1
 baseline present, no duplicate thread counts) so CI catches a bench that
@@ -163,9 +168,48 @@ def check_quantum_sweep(sweep: dict, where: str) -> None:
     check_results(results, f"{where}.results", "workers", "jobs_per_sec")
 
 
+def check_service_case(case: dict, where: str) -> None:
+    expect_key(case, "name", str, where)
+    topology = expect_key(case, "topology", str, where)
+    if topology is not None and not topology:
+        fail(f"{where}: topology must be non-empty")
+    algorithm = expect_key(case, "algorithm", str, where)
+    if algorithm is not None and not algorithm:
+        fail(f"{where}: algorithm must be non-empty")
+    nodes = expect_key(case, "nodes", int, where)
+    jobs = expect_key(case, "jobs", int, where)
+    if nodes is not None and nodes <= 0:
+        fail(f"{where}: nodes must be positive")
+    if jobs is not None and jobs <= 0:
+        fail(f"{where}: jobs must be positive")
+    results = expect_key(case, "results", list, where)
+    if not results:
+        fail(f"{where}: results must be a non-empty list")
+        return
+    check_results(results, f"{where}.results", "workers", "jobs_per_sec")
+
+
+def check_service_sweep(sweep: dict, where: str) -> None:
+    requests = expect_key(sweep, "requests", int, where)
+    payload_bytes = expect_key(sweep, "payload_bytes", int, where)
+    hit_rate = expect_key(sweep, "hit_rate", (int, float), where)
+    if requests is not None and requests <= 0:
+        fail(f"{where}: requests must be positive")
+    if payload_bytes is not None and payload_bytes <= 0:
+        fail(f"{where}: payload_bytes must be positive")
+    if hit_rate is not None and not 0.0 <= hit_rate <= 1.0:
+        fail(f"{where}: hit_rate must be in [0, 1]")
+    results = expect_key(sweep, "results", list, where)
+    if not results:
+        fail(f"{where}: results must be a non-empty list")
+        return
+    check_results(results, f"{where}.results", "clients", "requests_per_sec")
+
+
 SCHEMAS = {
     "engine_scaling": (3, check_engine_case, check_engine_sweep),
     "quantum_scaling": (1, check_quantum_case, check_quantum_sweep),
+    "service_throughput": (1, check_service_case, check_service_sweep),
 }
 
 
@@ -178,8 +222,8 @@ def check_document(doc) -> list[str]:
 
     bench = expect_key(doc, "bench", str, "$")
     if bench is not None and bench not in SCHEMAS:
-        fail(f"$: bench must be 'engine_scaling' or 'quantum_scaling', "
-             f"got '{bench}'")
+        known = ", ".join(sorted(SCHEMAS))
+        fail(f"$: bench must be one of {known}, got '{bench}'")
     expected_version, check_case, check_sweep = SCHEMAS.get(
         bench, SCHEMAS["engine_scaling"])
     version = expect_key(doc, "schema_version", int, "$")
@@ -210,7 +254,7 @@ def check_document(doc) -> list[str]:
 
 def main(argv: list[str]) -> int:
     if len(argv) != 1:
-        print("usage: check_bench_schema.py BENCH_engine.json|BENCH_quantum.json",
+        print("usage: check_bench_schema.py BENCH_<engine|quantum|service>.json",
               file=sys.stderr)
         return 2
     path = Path(argv[0])

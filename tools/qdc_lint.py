@@ -38,7 +38,10 @@ Rules enforced on library code (src/):
                     added or renamed. The same pattern covers the analyzer:
                     every check family registered in
                     tools/analyzer/check_*.cpp (its name() string) must be
-                    documented in tools/analyzer/README.md.
+                    documented in tools/analyzer/README.md. And the wire
+                    protocol: every MessageType enumerator in
+                    src/service/wire.hpp must have a '#### <Name>' section
+                    in docs/SERVICE.md, the normative spec.
 
 Exit status: 0 when clean, 1 when any rule fires. Diagnostics are printed
 one per line as `file:line: [rule] message` so editors can jump to them.
@@ -308,6 +311,44 @@ def check_doc_drift(root: Path) -> list[Diagnostic]:
     return diags
 
 
+MESSAGE_TYPE_ENUM = re.compile(
+    r"enum\s+class\s+MessageType[^{]*\{([^}]*)\}", re.DOTALL)
+MESSAGE_TYPE_ENUMERATOR = re.compile(r"^\s*([A-Z]\w+)\s*=", re.MULTILINE)
+
+
+def check_service_doc_drift(root: Path) -> list[Diagnostic]:
+    """Every MessageType enumerator in src/service/wire.hpp must have a
+    normative '#### <Name>' section in docs/SERVICE.md — the wire header
+    and the protocol spec are required to change together."""
+    wire = root / "src" / "service" / "wire.hpp"
+    if not wire.is_file():
+        return []
+    doc = root / "docs" / "SERVICE.md"
+    if not doc.is_file():
+        return [Diagnostic(doc, 1, "doc-drift",
+                           "wire-protocol spec docs/SERVICE.md is missing")]
+    wire_text = wire.read_text(encoding="utf-8")
+    enum = MESSAGE_TYPE_ENUM.search(wire_text)
+    if not enum:
+        return [Diagnostic(wire, 1, "doc-drift",
+                           "cannot find the MessageType enum")]
+    doc_sections = {
+        m.group(1)
+        for m in re.finditer(r"^####\s+(\w+)\s*$", doc.read_text(
+            encoding="utf-8"), re.MULTILINE)}
+    diags: list[Diagnostic] = []
+    for match in MESSAGE_TYPE_ENUMERATOR.finditer(enum.group(1)):
+        name = match.group(1)
+        if name not in doc_sections:
+            lineno = wire_text.count(
+                "\n", 0, enum.start(1) + match.start()) + 1
+            diags.append(Diagnostic(
+                wire, lineno, "doc-drift",
+                f"message type '{name}' has no '#### {name}' section in "
+                "docs/SERVICE.md"))
+    return diags
+
+
 ANALYZER_FAMILY = re.compile(
     r'name\(\)\s*const\s*override\s*\{\s*return\s*"([^"]+)"')
 
@@ -363,6 +404,7 @@ def main(argv: list[str]) -> int:
     for path in aux_files:
         diags.extend(lint_aux_file(path))
     diags.extend(check_doc_drift(root))
+    diags.extend(check_service_doc_drift(root))
     diags.extend(check_analyzer_doc_drift(root))
     for d in diags:
         print(d)

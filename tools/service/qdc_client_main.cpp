@@ -1,0 +1,238 @@
+// qdc_client — command-line client for the experiment service.
+//
+// Speaks the docs/SERVICE.md wire protocol through service::ServiceClient
+// and prints machine-greppable key=value lines (the service-smoke CI job
+// and tools/service_smoke.py parse them). `result_hex` is the canonical
+// result payload verbatim, so two invocations can be compared for the
+// byte-identity guarantee without a separate tool.
+//
+// Usage:
+//   qdc_client --socket PATH submit --topology KIND --algo KIND --nodes N
+//              [--arity N] [--edges N] [--gamma N] [--length N]
+//              [--bandwidth N] [--max-rounds N] [--topology-seed N]
+//              [--shared-seed N] [--no-wait] [--timeout-us N]
+//   qdc_client --socket PATH poll --job ID
+//   qdc_client --socket PATH cancel --job ID
+//   qdc_client --socket PATH admin
+//   qdc_client --socket PATH shutdown [--drain]
+//
+// Exit codes: 0 success, 1 server answered an error, 2 usage/connect.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "service/client.hpp"
+#include "service/executor.hpp"
+#include "service/job_spec.hpp"
+
+namespace {
+
+using qdc::service::ErrorCode;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: qdc_client --socket PATH "
+               "(submit|poll|cancel|admin|shutdown) [options]\n"
+               "  submit: --topology path|cycle|tree|gnm|lb_network --algo"
+               "census|leader|mst --nodes N\n"
+               "          [--arity N] [--edges N] [--gamma N] [--length N] "
+               "[--bandwidth N]\n"
+               "          [--max-rounds N] [--topology-seed N] "
+               "[--shared-seed N] [--no-wait] [--timeout-us N]\n"
+               "  poll|cancel: --job ID\n"
+               "  shutdown: [--drain]\n");
+  return 2;
+}
+
+void print_status(const qdc::service::JobStatus& status) {
+  std::printf("job_id=%llu\n",
+              static_cast<unsigned long long>(status.job_id));
+  std::printf("state=%s\n", qdc::service::job_state_name(status.state));
+  std::printf("cached=%d\n", status.cached ? 1 : 0);
+  std::printf("wall_us=%llu\n",
+              static_cast<unsigned long long>(status.wall_us));
+  std::printf("compute_us=%llu\n",
+              static_cast<unsigned long long>(status.compute_us));
+  if (status.state == qdc::service::JobState::Failed) {
+    std::printf("error=%s\n", qdc::service::error_code_name(status.error));
+    std::printf("error_message=%s\n", status.error_message.c_str());
+  }
+  if (status.state != qdc::service::JobState::Done) return;
+
+  std::string hex;
+  hex.reserve(status.result.size() * 2);
+  for (std::uint8_t b : status.result) {
+    static const char kDigits[] = "0123456789abcdef";
+    hex.push_back(kDigits[b >> 4]);
+    hex.push_back(kDigits[b & 0xF]);
+  }
+  std::printf("result_hex=%s\n", hex.c_str());
+  try {
+    const qdc::service::ResultSummary s =
+        qdc::service::decode_result(status.result);
+    std::printf("rounds=%u\nmessages=%llu\nfields=%llu\n", s.rounds,
+                static_cast<unsigned long long>(s.messages),
+                static_cast<unsigned long long>(s.fields));
+    std::printf("value0=%lld\nvalue1=%lld\nvalue2=%lld\n",
+                static_cast<long long>(s.value0),
+                static_cast<long long>(s.value1),
+                static_cast<long long>(s.value2));
+    std::printf("detail_fold=%016llx\n",
+                static_cast<unsigned long long>(s.detail_fold));
+  } catch (const std::exception& e) {
+    std::printf("result_decode_error=%s\n", e.what());
+  }
+}
+
+int print_error(ErrorCode code, const std::string& message) {
+  std::printf("error=%s\nerror_message=%s\n",
+              qdc::service::error_code_name(code), message.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::string command;
+  qdc::service::JobSpec spec;
+  qdc::service::SubmitOptions submit_options;
+  std::uint64_t job_id = 0;
+  bool drain = false;
+  bool topology_set = false;
+  bool algo_set = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    auto next_u64 = [&]() -> std::uint64_t {
+      return static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr, 0));
+    };
+    if (arg == "--socket" && has_value) {
+      socket_path = argv[++i];
+    } else if (arg == "submit" || arg == "poll" || arg == "cancel" ||
+               arg == "admin" || arg == "shutdown") {
+      command = arg;
+    } else if (arg == "--topology" && has_value) {
+      topology_set =
+          qdc::service::parse_topology_kind(argv[++i], &spec.topology);
+      if (!topology_set) return usage();
+    } else if (arg == "--algo" && has_value) {
+      algo_set =
+          qdc::service::parse_algorithm_kind(argv[++i], &spec.algorithm);
+      if (!algo_set) return usage();
+    } else if (arg == "--nodes" && has_value) {
+      spec.nodes = static_cast<std::uint32_t>(next_u64());
+    } else if (arg == "--arity" && has_value) {
+      spec.arity = static_cast<std::uint32_t>(next_u64());
+    } else if (arg == "--edges" && has_value) {
+      spec.edges = static_cast<std::uint32_t>(next_u64());
+    } else if (arg == "--gamma" && has_value) {
+      spec.gamma = static_cast<std::uint32_t>(next_u64());
+    } else if (arg == "--length" && has_value) {
+      spec.length = static_cast<std::uint32_t>(next_u64());
+    } else if (arg == "--bandwidth" && has_value) {
+      spec.bandwidth = static_cast<std::uint32_t>(next_u64());
+    } else if (arg == "--max-rounds" && has_value) {
+      spec.max_rounds = static_cast<std::uint32_t>(next_u64());
+    } else if (arg == "--topology-seed" && has_value) {
+      spec.topology_seed = next_u64();
+    } else if (arg == "--shared-seed" && has_value) {
+      spec.shared_seed = next_u64();
+    } else if (arg == "--no-wait") {
+      submit_options.wait = false;
+    } else if (arg == "--timeout-us" && has_value) {
+      submit_options.timeout_us = next_u64();
+    } else if (arg == "--job" && has_value) {
+      job_id = next_u64();
+    } else if (arg == "--drain") {
+      drain = true;
+    } else {
+      return usage();
+    }
+  }
+  if (socket_path.empty() || command.empty()) return usage();
+  if (command == "submit" && (!topology_set || !algo_set)) return usage();
+
+  try {
+    qdc::service::ServiceClient client(socket_path);
+
+    if (command == "submit") {
+      const qdc::service::SubmitResult r = client.submit(spec, submit_options);
+      if (r.error != ErrorCode::None) {
+        return print_error(r.error, r.error_message);
+      }
+      std::printf("cache_key=%016llx\n",
+                  static_cast<unsigned long long>(
+                      qdc::service::cache_key(spec)));
+      print_status(r.status);
+      return 0;
+    }
+    if (command == "poll") {
+      const qdc::service::PollResult r = client.poll(job_id);
+      if (r.error != ErrorCode::None) {
+        return print_error(r.error, r.error_message);
+      }
+      print_status(r.status);
+      return 0;
+    }
+    if (command == "cancel") {
+      const qdc::service::CancelResult r = client.cancel(job_id);
+      if (r.error != ErrorCode::None) {
+        return print_error(r.error, r.error_message);
+      }
+      std::printf("cancelled=1\n");
+      return 0;
+    }
+    if (command == "admin") {
+      const qdc::service::AdminResult r = client.admin();
+      if (r.error != ErrorCode::None) {
+        return print_error(r.error, r.error_message);
+      }
+      const qdc::service::AdminStats& s = r.stats;
+      const struct {
+        const char* name;
+        std::uint64_t value;
+      } rows[] = {
+          {"queue_depth", s.queue_depth},
+          {"queue_capacity", s.queue_capacity},
+          {"in_flight", s.in_flight},
+          {"jobs_submitted", s.jobs_submitted},
+          {"jobs_completed", s.jobs_completed},
+          {"jobs_cancelled", s.jobs_cancelled},
+          {"jobs_expired", s.jobs_expired},
+          {"jobs_failed", s.jobs_failed},
+          {"cache_hits", s.cache_hits},
+          {"cache_misses", s.cache_misses},
+          {"cache_evictions", s.cache_evictions},
+          {"cache_bytes", s.cache_bytes},
+          {"cache_capacity_bytes", s.cache_capacity_bytes},
+          {"cache_entries", s.cache_entries},
+          {"total_wall_us", s.total_wall_us},
+          {"total_compute_us", s.total_compute_us},
+          {"max_wall_us", s.max_wall_us},
+          {"max_compute_us", s.max_compute_us},
+      };
+      for (const auto& row : rows) {
+        std::printf("%s=%llu\n", row.name,
+                    static_cast<unsigned long long>(row.value));
+      }
+      return 0;
+    }
+    if (command == "shutdown") {
+      const qdc::service::ShutdownResult r = client.shutdown_server(drain);
+      if (r.error != ErrorCode::None) {
+        return print_error(r.error, r.error_message);
+      }
+      std::printf("shutdown=1\ndrain=%d\n", r.drain ? 1 : 0);
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "qdc_client: %s\n", e.what());
+    return 2;
+  }
+  return usage();
+}
