@@ -1,0 +1,209 @@
+// Gate fusion: coalesce runs of single- and two-qubit gates that touch a
+// small window of qubits into one dense unitary, applied in a single
+// cache-blocked pass over the statevector.
+//
+// Why: every StateVector::apply is a memory-bound sweep over all 2^n
+// amplitudes, so a circuit of G gates costs G full passes. Fusing gates
+// into windows of w qubits costs one pass per *window* instead — on the
+// out-of-cache states the paper's Grover / simulation workloads need
+// (2^21+ amplitudes), that traffic reduction is the whole speedup.
+//
+// Two kernels share the cache-blocked pass (gather a 2^w-amplitude group
+// into a contiguous panel, transform, scatter back):
+//
+//  * exact (FusedCircuit::run, StateVector::apply_fused): replays the
+//    window's recorded gates inside the panel with the same pair-update
+//    expressions as the classic kernels. Gather and scatter are pure
+//    copies and every pair update sees exactly the operands the unfused
+//    kernel would, so the result is BIT-IDENTICAL to gate-by-gate
+//    application — the fused path's documented contract, pinned by the
+//    QuantumFusion tests and asserted in-bench by bench_quantum_scaling.
+//  * dense (run_dense, apply_fused_dense): multiplies each panel by the
+//    window's dense 2^w x 2^w matrix. One matvec regardless of gate
+//    count, but the changed floating-point association means it matches
+//    the exact kernel only to ~1e-12. Use when windows pack more gates
+//    than their dimension.
+//
+// Both kernels shard groups with ShardPlan::over_aligned, so the
+// determinism contract of state.hpp carries over unchanged: groups are
+// disjoint, no cross-group reductions exist, and results are
+// bit-identical for a null pool and pools of 1, 2 or N threads.
+//
+// The fused path is opt-in (StateVector::set_fusion_window, or the
+// fusion_window parameters on grover_search & friends); the classic
+// per-gate kernels remain the oracle the fused path is checked against.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "quantum/state.hpp"
+
+namespace qdc::quantum {
+
+/// Default fusion window when a caller opts in without a preference:
+/// 2^5 = 32-amplitude panels. Wide enough to absorb the H / rotation /
+/// CNOT-chain runs the repo's circuits are made of (a Hadamard layer over
+/// n qubits packs into ceil(n/5) passes), small enough that a panel plus
+/// its dense matrix stay comfortably L1-resident; measured fastest of the
+/// legal windows on the gates workload of bench_quantum_scaling.
+inline constexpr int kDefaultFusionWindow = 5;
+
+/// One recorded gate inside a fused window, with qubits resolved to bit
+/// positions local to the window (window qubits sorted ascending; local
+/// bit j corresponds to FusedGate::qubits()[j]).
+struct WindowOp {
+  Gate1 g;
+  int local0 = 0;   ///< target's local bit
+  int local1 = -1;  ///< control's local bit; -1 for single-qubit gates
+};
+
+/// A fused window: an ordered list of gates on a fixed set of at most
+/// kMaxFusionWindow qubits, together with the precomputed machinery both
+/// kernels need — gather offsets, local-index ops, and the dense window
+/// unitary (maintained incrementally as gates are pushed). Built by
+/// FusedCircuit::seal(); usable directly in tests.
+class FusedGate {
+ public:
+  /// Window over `qubits` (distinct, each in [0, kMaxQubits)). Qubits are
+  /// sorted internally; the window starts as the identity.
+  explicit FusedGate(std::vector<int> qubits);
+
+  /// Appends a single-qubit gate on `qubit` (must be a window qubit).
+  void push_gate(const Gate1& g, int qubit);
+
+  /// Appends a controlled single-qubit gate (both window qubits,
+  /// control != target).
+  void push_controlled(const Gate1& g, int control, int target);
+
+  /// Window qubits, sorted ascending.
+  const std::vector<int>& qubits() const { return qubits_; }
+  int window() const { return static_cast<int>(qubits_.size()); }
+  /// Panel size: 2^window().
+  std::size_t dim() const { return std::size_t{1} << qubits_.size(); }
+  int gate_count() const { return static_cast<int>(ops_.size()); }
+  const std::vector<WindowOp>& ops() const { return ops_; }
+
+  /// Dense row-major dim() x dim() unitary equal to the pushed sequence
+  /// (in push order), over the local bit convention above.
+  const std::vector<Amplitude>& matrix() const { return matrix_; }
+
+  /// Gather table: offsets()[m] = sum over set bits j of m of
+  /// 1 << qubits()[j]. Group amplitude m lives at group_base(g) +
+  /// offsets()[m] in the full statevector.
+  const std::vector<std::size_t>& offsets() const { return offsets_; }
+
+  /// Base index of gather group `group`: the group-th basis index whose
+  /// window-qubit bits are all clear.
+  std::size_t group_base(std::size_t group) const {
+    for (const int q : qubits_) {
+      group = detail::insert_zero_bit(group, q);
+    }
+    return group;
+  }
+
+ private:
+  int local_index(int qubit) const;
+
+  std::vector<int> qubits_;
+  std::vector<WindowOp> ops_;
+  std::vector<Amplitude> matrix_;
+  std::vector<std::size_t> offsets_;
+};
+
+/// Records a gate sequence and packs it into fused windows online, with
+/// frontier-only packing: each incoming gate joins the MOST RECENT window
+/// when its qubits fit (they are already window qubits, or adding them
+/// keeps the window within its size budget), and opens a new window
+/// otherwise. Only the frontier may absorb a gate on purpose: hoisting
+/// into any earlier window would execute the gate before gates it was
+/// recorded after. That reordering is mathematically sound when the
+/// skipped gates act on disjoint qubits — but it reassociates the
+/// floating-point arithmetic, so the amplitudes drift at the last ulp and
+/// the bit-identity contract breaks. Frontier-only packing keeps
+/// execution order literally equal to record order, which is what makes
+/// run() bit-identical by construction. Oracles are barriers: the window
+/// open when oracle() is called never absorbs gates recorded after it.
+///
+/// Usage: record with gate()/controlled()/cnot()/cz()/swap()/oracle(),
+/// then seal() once, then run() (exact, bit-identical to the unfused
+/// sequence) or run_dense() any number of times against states of the
+/// matching qubit count.
+class FusedCircuit {
+ public:
+  explicit FusedCircuit(int qubit_count, int window = kDefaultFusionWindow);
+
+  void gate(const Gate1& g, int qubit);
+  void controlled(const Gate1& g, int control, int target);
+
+  /// Conveniences mirroring StateVector: same matrices, same expansion
+  /// (swap = 3 CNOTs; swap(a, a) is a no-op), so fused runs stay
+  /// bit-identical to the unfused call sequence.
+  void cnot(int control, int target);
+  void cz(int control, int target);
+  void swap(int a, int b);
+
+  /// Records a phase oracle (StateVector::oracle_phase) at this point in
+  /// the sequence. Oracles see full basis indices and act as fusion
+  /// barriers.
+  void oracle(std::function<bool(std::size_t)> marked);
+
+  /// Freezes the circuit and builds the FusedGate for every window.
+  /// Recording past seal() is a contract error; run() before it is too.
+  void seal();
+  bool sealed() const { return sealed_; }
+
+  /// Replays the sequence on `state` through the exact fused kernel
+  /// (single-gate windows pass through to the classic kernels — a fused
+  /// pass only pays for itself once a window holds >= 2 gates).
+  /// Bit-identical to issuing the recorded calls directly on `state`.
+  void run(StateVector& state) const;
+
+  /// Same pass structure through the dense matvec kernel (~1e-12 of
+  /// run(); see header comment).
+  void run_dense(StateVector& state) const;
+
+  int qubit_count() const { return qubit_count_; }
+  int window() const { return window_; }
+
+  /// Packing introspection: number of fused windows, number of recorded
+  /// gates across them, and the number of full-state passes a run() costs
+  /// (windows + oracles) versus the unfused sequence (gates + oracles).
+  int window_count() const { return static_cast<int>(windows_.size()); }
+  int recorded_gate_count() const;
+  int pass_count() const { return static_cast<int>(ops_.size()); }
+
+ private:
+  /// A recorded gate before sealing: q1 = -1 for single-qubit gates,
+  /// otherwise q0 = target and q1 = control.
+  struct Recorded {
+    Gate1 g;
+    int q0;
+    int q1;
+  };
+  struct WindowBuild {
+    std::vector<int> qubits;
+    std::vector<Recorded> gates;
+  };
+  /// One step of the sealed execution order: a window index, or an oracle
+  /// (window < 0).
+  struct Step {
+    int window = -1;
+    std::function<bool(std::size_t)> oracle;
+  };
+
+  int open_window(std::vector<int> qubits);
+  void expect_recording(const char* fn) const;
+  void expect_qubit(int qubit, const char* fn) const;
+
+  int qubit_count_;
+  int window_;
+  std::vector<WindowBuild> windows_;
+  std::vector<Step> ops_;
+  int barrier_floor_ = 0;  // windows below this predate the last oracle
+  bool sealed_ = false;
+  std::vector<FusedGate> fused_;  // by window index, built by seal()
+};
+
+}  // namespace qdc::quantum

@@ -8,18 +8,7 @@
 
 namespace qdc::quantum {
 
-namespace {
-
-/// Spreads a packed pair index back into a basis index by inserting a 0 at
-/// `bit_pos`: the k-th basis index whose `bit_pos` bit is clear. Gate
-/// kernels enumerate pairs directly through this instead of scanning the
-/// whole range and skipping half of it, so shard workloads are balanced.
-inline std::size_t insert_zero_bit(std::size_t k, int bit_pos) {
-  const std::size_t low_mask = (std::size_t{1} << bit_pos) - 1;
-  return ((k >> bit_pos) << (bit_pos + 1)) | (k & low_mask);
-}
-
-}  // namespace
+using detail::insert_zero_bit;
 
 StateVector::StateVector(int qubit_count, util::ThreadPool* pool)
     : qubit_count_(qubit_count), pool_(pool) {
@@ -123,6 +112,14 @@ double StateVector::probability_one(int qubit) const {
   return p;
 }
 
+void StateVector::set_fusion_window(int window) {
+  QDC_EXPECT(window == 0 || (window >= 2 && window <= kMaxFusionWindow),
+             "StateVector::set_fusion_window: window must be 0 (unfused) or "
+             "in [2, kMaxFusionWindow] (window = " +
+                 std::to_string(window) + ")");
+  fusion_window_ = window;
+}
+
 bool StateVector::measure(int qubit, Rng& rng) {
   QDC_EXPECT(qubit >= 0 && qubit < qubit_count_,
              "StateVector::measure: bad qubit");
@@ -130,6 +127,18 @@ bool StateVector::measure(int qubit, Rng& rng) {
 }
 
 bool StateVector::collapse_qubit(int qubit, double r) {
+  QDC_EXPECT(qubit >= 0 && qubit < qubit_count_,
+             "StateVector::collapse_qubit: qubit out of range (qubit = " +
+                 std::to_string(qubit) + ", qubit_count = " +
+                 std::to_string(qubit_count_) + ")");
+  QDC_EXPECT(r >= 0.0 && r < 1.0,
+             "StateVector::collapse_qubit: uniform draw outside [0, 1) "
+             "(r = " +
+                 std::to_string(r) + ")");
+  return collapse_qubit_unchecked(qubit, r);
+}
+
+bool StateVector::collapse_qubit_unchecked(int qubit, double r) {
   const double p1 = probability_one(qubit);
   const bool outcome = r < p1;
   const std::size_t bit = std::size_t{1} << qubit;
@@ -156,6 +165,14 @@ std::size_t StateVector::measure_all(Rng& rng) {
 }
 
 std::size_t StateVector::collapse_all(double r) {
+  QDC_EXPECT(r >= 0.0 && r < 1.0,
+             "StateVector::collapse_all: uniform draw outside [0, 1) "
+             "(r = " +
+                 std::to_string(r) + ")");
+  return collapse_all_unchecked(r);
+}
+
+std::size_t StateVector::collapse_all_unchecked(double r) {
   const std::size_t dim = amplitudes_.size();
   const int shards = shard_count_for(dim);
   // Per-shard measure mass and highest nonzero-probability index, tallied
@@ -219,7 +236,10 @@ std::size_t StateVector::collapse_all(double r) {
 
 double StateVector::probability_of(std::size_t basis) const {
   QDC_EXPECT(basis < amplitudes_.size(),
-             "StateVector::probability_of: bad basis");
+             "StateVector::probability_of: basis index out of range "
+             "(basis = " +
+                 std::to_string(basis) + ", dimension = " +
+                 std::to_string(amplitudes_.size()) + ")");
   return std::norm(amplitudes_[basis]);
 }
 
@@ -240,8 +260,10 @@ double StateVector::norm_squared() const {
 }
 
 double StateVector::fidelity(const StateVector& other) const {
-  QDC_EXPECT(dimension() == other.dimension(),
-             "StateVector::fidelity: dimension mismatch");
+  QDC_EXPECT(qubit_count_ == other.qubit_count_,
+             "StateVector::fidelity: qubit count mismatch (this = " +
+                 std::to_string(qubit_count_) + ", other = " +
+                 std::to_string(other.qubit_count_) + ")");
   const std::size_t dim = amplitudes_.size();
   std::vector<Amplitude> partial(
       static_cast<std::size_t>(shard_count_for(dim)), Amplitude{0.0, 0.0});

@@ -42,6 +42,12 @@ namespace qdc::quantum {
 /// (grover_search, deutsch_jozsa_is_constant, bernstein_vazirani).
 inline constexpr int kMaxQubits = 24;
 
+/// Hard cap on a fused-gate window (quantum/fusion.hpp): 2^6 = 64 panel
+/// amplitudes, 1 KiB — sized so a gather panel and a dense window matrix
+/// both stay L1-resident. Lives here (not fusion.hpp) because
+/// StateVector::set_fusion_window validates against it.
+inline constexpr int kMaxFusionWindow = 6;
+
 using Amplitude = std::complex<double>;
 
 /// A 2x2 unitary gate in row-major order: {u00, u01, u10, u11}.
@@ -49,7 +55,24 @@ struct Gate1 {
   Amplitude u00, u01, u10, u11;
 };
 
+class FusedGate;
 struct StateVectorTestAccess;
+
+namespace detail {
+
+/// Spreads a packed pair index back into a basis index by inserting a 0 at
+/// `bit_pos`: the k-th basis index whose `bit_pos` bit is clear. Gate
+/// kernels enumerate pairs directly through this instead of scanning the
+/// whole range and skipping half of it, so shard workloads are balanced.
+/// Shared by the classic kernels (state.cpp) and the fused ones
+/// (fusion.cpp) — both must pair amplitudes identically for the fused
+/// path's bitwise-identity contract to hold.
+inline std::size_t insert_zero_bit(std::size_t k, int bit_pos) {
+  const std::size_t low_mask = (std::size_t{1} << bit_pos) - 1;
+  return ((k >> bit_pos) << (bit_pos + 1)) | (k & low_mask);
+}
+
+}  // namespace detail
 
 class StateVector {
  public:
@@ -83,6 +106,28 @@ class StateVector {
   void cnot(int control, int target);
   void cz(int control, int target);
   void swap(int a, int b);
+
+  /// Applies a fused window (quantum/fusion.hpp) in one cache-blocked pass:
+  /// gather each 2^w-amplitude group into a contiguous panel, replay the
+  /// window's recorded gates inside the panel, scatter back. Bit-identical
+  /// to applying the recorded gates one by one through apply /
+  /// apply_controlled — the exact-kernel contract the fused bench and the
+  /// QuantumFusion determinism tests pin. Defined in fusion.cpp.
+  void apply_fused(const FusedGate& fused);
+
+  /// Same pass, but multiplies each panel by the window's dense 2^w x 2^w
+  /// unitary instead of replaying gates. Changes floating-point
+  /// association, so it matches the exact kernel only to ~1e-12 — use when
+  /// a window holds more gates than its dimension. Defined in fusion.cpp.
+  void apply_fused_dense(const FusedGate& fused);
+
+  /// Opt-in knob consulted by the algorithm layers (qft, grover_search,
+  /// make_epr, teleport, ...): 0 (the default) keeps every caller on the
+  /// classic per-gate kernels — the oracle path; w in [2, kMaxFusionWindow]
+  /// asks them to fuse gate runs into windows of up to w qubits. The knob
+  /// changes wall time only, never results (exact-kernel contract above).
+  void set_fusion_window(int window);
+  int fusion_window() const { return fusion_window_; }
 
   /// Phase-flips every basis state whose index satisfies the predicate
   /// (a classical oracle: |x> -> (-1)^{f(x)} |x>). The predicate sees the
@@ -136,18 +181,33 @@ class StateVector {
   int shard_count_for(std::size_t items) const;
 
   /// measure() with the uniform draw injected: collapses `qubit` to the
-  /// branch selected by r < P(qubit = 1). Split out so tests can force the
-  /// zero-probability branch (see quantum/testing.hpp).
+  /// branch selected by r < P(qubit = 1). Guards r against [0, 1) — a draw
+  /// outside the uniform_real contract is caller error, not a model state —
+  /// then forwards to the unchecked core. Tests probe the guard through
+  /// quantum/testing.hpp.
   bool collapse_qubit(int qubit, double r);
+
+  /// collapse_qubit without the r guard: accepts any draw, including ones
+  /// outside [0, 1), which is the only way to force the zero-probability
+  /// branch and its ModelError on a normalized state (see
+  /// quantum/testing.hpp).
+  bool collapse_qubit_unchecked(int qubit, double r);
 
   /// measure_all() with the uniform draw injected: scans the measure mass
   /// until it exceeds r, with the documented highest-nonzero fallback for
-  /// rounding residue. Split out so tests can pin the fallback.
+  /// rounding residue. Guards r against [0, 1) like collapse_qubit, then
+  /// forwards to the unchecked core.
   std::size_t collapse_all(double r);
+
+  /// collapse_all without the r guard: accepts any draw so tests can pin
+  /// the rounding-residue fallback with r past the total measure mass (see
+  /// quantum/testing.hpp).
+  std::size_t collapse_all_unchecked(double r);
 
   int qubit_count_;
   std::vector<Amplitude> amplitudes_;
   util::ThreadPool* pool_ = nullptr;  // non-owning; null = serial
+  int fusion_window_ = 0;  // 0 = unfused; see set_fusion_window
 };
 
 }  // namespace qdc::quantum

@@ -14,19 +14,35 @@
 namespace qdc::quantum {
 
 struct StateVectorTestAccess {
-  /// measure_all() with the uniform draw replaced by `r`: the only way to
-  /// deterministically pin the rounding-residue fallback (r still positive
-  /// after the full scan collapses onto the highest-index basis state with
-  /// nonzero probability).
+  /// measure_all() with the uniform draw replaced by `r`, through the
+  /// guarded path measure_all() itself uses: r outside [0, 1) is a
+  /// ContractError (which is what the guard probes pin).
   static std::size_t collapse_all_with(StateVector& state, double r) {
     return state.collapse_all(r);
   }
 
-  /// measure() with the uniform draw replaced by `r`: forces a branch
-  /// (outcome = r < P(qubit = 1)), which is how the zero-probability-branch
-  /// ModelError and its message are exercised.
+  /// measure() with the uniform draw replaced by `r`, through the guarded
+  /// path: forces a branch (outcome = r < P(qubit = 1)) for any r the
+  /// uniform_real contract allows; r outside [0, 1) is a ContractError.
   static bool collapse_qubit_with(StateVector& state, int qubit, double r) {
     return state.collapse_qubit(qubit, r);
+  }
+
+  /// collapse_all with the r guard bypassed: the only way to
+  /// deterministically pin the rounding-residue fallback (r still positive
+  /// after the full scan collapses onto the highest-index basis state with
+  /// nonzero probability), since no in-contract draw reaches it on a
+  /// normalized state.
+  static std::size_t collapse_all_residue(StateVector& state, double r) {
+    return state.collapse_all_unchecked(r);
+  }
+
+  /// collapse_qubit with the r guard bypassed: forces the
+  /// zero-probability branch (and its ModelError message) that no
+  /// in-contract draw can reach on a normalized state.
+  static bool collapse_qubit_residue(StateVector& state, int qubit,
+                                     double r) {
+    return state.collapse_qubit_unchecked(qubit, r);
   }
 };
 

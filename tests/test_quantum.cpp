@@ -108,7 +108,8 @@ TEST(StateVector, MeasureAllRoundingResidueFallsBackToNonzeroState) {
   // blindly on amplitudes.size() - 1 (index 3, probability zero).
   StateVector s(2);
   s.apply(hadamard(), 0);
-  const std::size_t outcome = StateVectorTestAccess::collapse_all_with(s, 1.25);
+  const std::size_t outcome =
+      StateVectorTestAccess::collapse_all_residue(s, 1.25);
   EXPECT_EQ(outcome, 1u);
   EXPECT_DOUBLE_EQ(s.probability_of(1), 1.0);
 }
@@ -139,7 +140,7 @@ TEST(StateVector, MeasureZeroProbabilityBranchNamesQubitAndBranch) {
   StateVector s(2);
   s.apply(pauli_x(), 0);
   try {
-    StateVectorTestAccess::collapse_qubit_with(s, 0, 1.5);
+    StateVectorTestAccess::collapse_qubit_residue(s, 0, 1.5);
     FAIL() << "expected ModelError";
   } catch (const ModelError& e) {
     const std::string msg = e.what();
@@ -239,6 +240,62 @@ TEST(StateVector, RejectsBadArguments) {
   StateVector s(2);
   EXPECT_THROW(s.apply(hadamard(), 2), ContractError);
   EXPECT_THROW(s.cnot(0, 0), ContractError);
+}
+
+TEST(StateVector, GuardsMeasurementDrawOutsideUnitInterval) {
+  // The collapse kernels take a uniform draw r in [0, 1); a draw outside
+  // that is caller error (ContractError), distinct from the ModelError the
+  // unguarded residue door raises on genuinely impossible branches. The
+  // *_with doors go through the same guarded path measure()/measure_all()
+  // use.
+  StateVector s(2);
+  s.apply(hadamard(), 0);
+  EXPECT_THROW(StateVectorTestAccess::collapse_qubit_with(s, 0, 1.5),
+               ContractError);
+  EXPECT_THROW(StateVectorTestAccess::collapse_qubit_with(s, 0, -0.1),
+               ContractError);
+  EXPECT_THROW(StateVectorTestAccess::collapse_qubit_with(s, 5, 0.5),
+               ContractError);
+  EXPECT_THROW(StateVectorTestAccess::collapse_all_with(s, 1.0),
+               ContractError);
+  EXPECT_THROW(StateVectorTestAccess::collapse_all_with(s, -0.25),
+               ContractError);
+  // The guard message names the offending argument.
+  try {
+    StateVectorTestAccess::collapse_qubit_with(s, 0, 1.5);
+    FAIL() << "expected ContractError";
+  } catch (const ContractError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("r = "), std::string::npos) << msg;
+    EXPECT_NE(msg.find("[0, 1)"), std::string::npos) << msg;
+  }
+  // In-contract draws still pass through the guarded doors.
+  StateVector t(1);
+  t.apply(pauli_x(), 0);
+  EXPECT_TRUE(StateVectorTestAccess::collapse_qubit_with(t, 0, 0.999));
+}
+
+TEST(StateVector, GuardsFidelityAndProbabilityArguments) {
+  StateVector a(2);
+  StateVector b(3);
+  EXPECT_THROW(a.fidelity(b), ContractError);
+  EXPECT_THROW(a.probability_of(4), ContractError);
+  try {
+    a.fidelity(b);
+    FAIL() << "expected ContractError";
+  } catch (const ContractError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("this = 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("other = 3"), std::string::npos) << msg;
+  }
+  try {
+    a.probability_of(4);
+    FAIL() << "expected ContractError";
+  } catch (const ContractError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("basis = 4"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("dimension = 4"), std::string::npos) << msg;
+  }
 }
 
 TEST(Grover, QubitCapMatchesStateVector) {

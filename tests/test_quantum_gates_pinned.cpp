@@ -1,0 +1,165 @@
+// Pinned-matrix tests for every Gate1 factory in quantum/gates.hpp.
+//
+// Each factory is checked element-by-element against the textbook unitary
+// in the repo's row-major convention ({u00, u01, u10, u11}; qubit basis
+// |0>, |1>), with the sign conventions spelled out where they are easy to
+// get wrong (pauli_y's off-diagonal +/-i, rz's e^{-i theta/2} on the |0>
+// branch). The pins are deliberately literal: a transposed matrix, a
+// flipped sign, or a swapped element order in any factory fails here with
+// the offending element named, independent of any circuit-level test that
+// might cancel the error out (HXH-style identities can mask a transposition
+// that single-element pins cannot).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+#include "quantum/gates.hpp"
+#include "quantum/state.hpp"
+
+namespace qdc::quantum {
+namespace {
+
+constexpr double kTol = 1e-15;
+
+void expect_gate_is(const Gate1& g, const Amplitude& u00,
+                    const Amplitude& u01, const Amplitude& u10,
+                    const Amplitude& u11) {
+  EXPECT_NEAR(g.u00.real(), u00.real(), kTol) << "u00 re";
+  EXPECT_NEAR(g.u00.imag(), u00.imag(), kTol) << "u00 im";
+  EXPECT_NEAR(g.u01.real(), u01.real(), kTol) << "u01 re";
+  EXPECT_NEAR(g.u01.imag(), u01.imag(), kTol) << "u01 im";
+  EXPECT_NEAR(g.u10.real(), u10.real(), kTol) << "u10 re";
+  EXPECT_NEAR(g.u10.imag(), u10.imag(), kTol) << "u10 im";
+  EXPECT_NEAR(g.u11.real(), u11.real(), kTol) << "u11 re";
+  EXPECT_NEAR(g.u11.imag(), u11.imag(), kTol) << "u11 im";
+}
+
+void expect_unitary(const Gate1& g) {
+  // U U^dagger = I, written out on the 2x2 elements.
+  const Amplitude r00 = g.u00 * std::conj(g.u00) + g.u01 * std::conj(g.u01);
+  const Amplitude r01 = g.u00 * std::conj(g.u10) + g.u01 * std::conj(g.u11);
+  const Amplitude r11 = g.u10 * std::conj(g.u10) + g.u11 * std::conj(g.u11);
+  EXPECT_NEAR(r00.real(), 1.0, kTol);
+  EXPECT_NEAR(r00.imag(), 0.0, kTol);
+  EXPECT_NEAR(r01.real(), 0.0, kTol);
+  EXPECT_NEAR(r01.imag(), 0.0, kTol);
+  EXPECT_NEAR(r11.real(), 1.0, kTol);
+  EXPECT_NEAR(r11.imag(), 0.0, kTol);
+}
+
+TEST(GatePins, Hadamard) {
+  // H = (1/sqrt(2)) [[1, 1], [1, -1]] — the -1 sits at u11, not u10.
+  const double s = 1.0 / std::numbers::sqrt2;
+  expect_gate_is(hadamard(), {s, 0}, {s, 0}, {s, 0}, {-s, 0});
+  expect_unitary(hadamard());
+}
+
+TEST(GatePins, PauliX) {
+  // X = [[0, 1], [1, 0]].
+  expect_gate_is(pauli_x(), {0, 0}, {1, 0}, {1, 0}, {0, 0});
+  expect_unitary(pauli_x());
+}
+
+TEST(GatePins, PauliY) {
+  // Y = [[0, -i], [i, 0]]: -i at u01 (row 0, column 1), +i at u10. The
+  // transposed variant [[0, i], [-i, 0]] is the classic sign slip — it is
+  // Y^T = -Y, unitary and Hermitian too, so only an element pin sees it.
+  expect_gate_is(pauli_y(), {0, 0}, {0, -1}, {0, 1}, {0, 0});
+  expect_unitary(pauli_y());
+}
+
+TEST(GatePins, PauliZ) {
+  // Z = diag(1, -1).
+  expect_gate_is(pauli_z(), {1, 0}, {0, 0}, {0, 0}, {-1, 0});
+  expect_unitary(pauli_z());
+}
+
+TEST(GatePins, PhaseS) {
+  // S = diag(1, i): a quarter turn, u11 = +i (S^dagger would have -i).
+  expect_gate_is(phase_s(), {1, 0}, {0, 0}, {0, 0}, {0, 1});
+  expect_unitary(phase_s());
+}
+
+TEST(GatePins, PhaseT) {
+  // T = diag(1, e^{i pi/4}) = diag(1, (1 + i)/sqrt(2)).
+  const double s = 1.0 / std::numbers::sqrt2;
+  expect_gate_is(phase_t(), {1, 0}, {0, 0}, {0, 0}, {s, s});
+  expect_unitary(phase_t());
+}
+
+TEST(GatePins, RyAtPinnedAngles) {
+  // RY(t) = [[cos(t/2), -sin(t/2)], [sin(t/2), cos(t/2)]] — all real, the
+  // minus sign on u01 (so RY(pi/2)|0> rotates toward +|1>, not -|1>).
+  expect_gate_is(ry(0.0), {1, 0}, {0, 0}, {0, 0}, {1, 0});
+  const double h = 1.0 / std::numbers::sqrt2;
+  expect_gate_is(ry(std::numbers::pi / 2.0), {h, 0}, {-h, 0}, {h, 0},
+                 {h, 0});
+  // RY(pi) maps |0> -> |1>, |1> -> -|0>.
+  expect_gate_is(ry(std::numbers::pi), {0, 0}, {-1, 0}, {1, 0}, {0, 0});
+  for (const double theta : {0.3, 1.1, 2.9, -0.7}) {
+    const double c = std::cos(theta / 2.0);
+    const double s = std::sin(theta / 2.0);
+    expect_gate_is(ry(theta), {c, 0}, {-s, 0}, {s, 0}, {c, 0});
+    expect_unitary(ry(theta));
+  }
+}
+
+TEST(GatePins, RzAtPinnedAngles) {
+  // RZ(t) = diag(e^{-i t/2}, e^{+i t/2}): the NEGATIVE half-angle phase
+  // sits on the |0> branch. Flipping the two phases is the standard rz
+  // sign error; it only shows up in interference, never in probabilities,
+  // which is exactly why it gets pinned element-wise here.
+  expect_gate_is(rz(0.0), {1, 0}, {0, 0}, {0, 0}, {1, 0});
+  const double h = 1.0 / std::numbers::sqrt2;
+  // RZ(pi/2) = diag((1 - i)/sqrt(2), (1 + i)/sqrt(2)).
+  expect_gate_is(rz(std::numbers::pi / 2.0), {h, -h}, {0, 0}, {0, 0},
+                 {h, h});
+  // RZ(pi) = diag(-i, i).
+  expect_gate_is(rz(std::numbers::pi), {0, -1}, {0, 0}, {0, 0}, {0, 1});
+  for (const double theta : {0.3, 1.1, 2.9, -0.7}) {
+    expect_gate_is(rz(theta),
+                   {std::cos(theta / 2.0), -std::sin(theta / 2.0)}, {0, 0},
+                   {0, 0}, {std::cos(theta / 2.0), std::sin(theta / 2.0)});
+    expect_unitary(rz(theta));
+  }
+}
+
+TEST(GatePins, AlgebraicIdentitiesAcrossFactories) {
+  // Cross-checks tying the factories to each other: S^2 = Z, T^2 = S, and
+  // Y = i X Z (global-phase-free way to relate the three Paulis).
+  const Gate1 s2{phase_s().u00 * phase_s().u00, {0, 0}, {0, 0},
+                 phase_s().u11 * phase_s().u11};
+  expect_gate_is(s2, pauli_z().u00, pauli_z().u01, pauli_z().u10,
+                 pauli_z().u11);
+  const Gate1 t2{phase_t().u00 * phase_t().u00, {0, 0}, {0, 0},
+                 phase_t().u11 * phase_t().u11};
+  expect_gate_is(t2, phase_s().u00, phase_s().u01, phase_s().u10,
+                 phase_s().u11);
+  // (i X Z): X Z = [[0, -1], [1, 0]]; times i gives [[0, -i], [i, 0]] = Y.
+  const Amplitude i{0, 1};
+  expect_gate_is(pauli_y(), i * Amplitude{0, 0}, i * Amplitude{-1, 0},
+                 i * Amplitude{1, 0}, i * Amplitude{0, 0});
+}
+
+TEST(GatePins, RowMajorOrderObservedThroughApplication) {
+  // The element-order contract of Gate1 ({u00, u01, u10, u11}, row-major)
+  // as the kernels consume it: applying U to |0> must yield column 0
+  // (u00, u10), and to |1> column 1 (u01, u11). A Gate1 built with its
+  // off-diagonals swapped would pass a naive "contains the same numbers"
+  // check but fail this.
+  const Gate1 g{{0.6, 0}, {-0.8, 0}, {0.8, 0}, {0.6, 0}};  // real rotation
+  StateVector from_zero(1);
+  from_zero.apply(g, 0);
+  EXPECT_NEAR(from_zero.amplitude(0).real(), 0.6, kTol);
+  EXPECT_NEAR(from_zero.amplitude(1).real(), 0.8, kTol);
+  StateVector from_one(1);
+  from_one.apply(pauli_x(), 0);
+  from_one.apply(g, 0);
+  EXPECT_NEAR(from_one.amplitude(0).real(), -0.8, kTol);
+  EXPECT_NEAR(from_one.amplitude(1).real(), 0.6, kTol);
+}
+
+}  // namespace
+}  // namespace qdc::quantum

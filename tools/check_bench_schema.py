@@ -14,10 +14,14 @@ Dispatches on the document's "bench" key:
     per-case keys: "topology_kind" (the TopologyView kind string — e.g.
     "materialized", "path", "lb_network") and "frontier" (whether the run
     used the active-frontier round loop).
-  * "quantum_scaling" (schema v1, bench_quantum_scaling): statevector
+  * "quantum_scaling" (schema v2, bench_quantum_scaling): statevector
     kernel cases with ops_per_sec results, a per-case payload checksum
     (0x + 16 hex digits — the amplitude-bit fold the bench asserts equal
-    across thread counts), and a Grover sweep section.
+    across thread counts), and a Grover sweep section. v2 adds two
+    per-case keys: "variant" ("unfused", "fused" or "fused_dense" —
+    which kernel family ran, see src/quantum/fusion.hpp) and
+    "fusion_window" (0 for unfused, else the window size in
+    [2, kMaxFusionWindow]).
   * "service_throughput" (schema v1, bench_service_throughput):
     end-to-end daemon throughput — fresh-execution cases with
     jobs_per_sec across server worker counts, plus a cache-hit serving
@@ -44,6 +48,11 @@ ERRORS: list[str] = []
 # Mirrors qdc::quantum::kMaxQubits (src/quantum/state.hpp): no real report
 # can carry a wider statevector than the simulator accepts.
 MAX_QUBITS = 24
+
+# Mirrors qdc::quantum::kMaxFusionWindow (src/quantum/state.hpp) and the
+# kernel variants of src/quantum/fusion.hpp.
+MAX_FUSION_WINDOW = 6
+QUANTUM_VARIANTS = ("unfused", "fused", "fused_dense")
 
 CHECKSUM_RE = re.compile(r"0x[0-9a-f]{16}")
 
@@ -139,6 +148,20 @@ def check_engine_sweep(sweep: dict, where: str) -> None:
 
 def check_quantum_case(case: dict, where: str) -> None:
     expect_key(case, "name", str, where)
+    variant = expect_key(case, "variant", str, where)
+    if variant is not None and variant not in QUANTUM_VARIANTS:
+        known = ", ".join(QUANTUM_VARIANTS)
+        fail(f"{where}: variant must be one of {known}, got '{variant}'")
+    window = expect_key(case, "fusion_window", int, where)
+    if window is not None and variant is not None:
+        if variant == "unfused":
+            if window != 0:
+                fail(f"{where}: fusion_window must be 0 for the unfused "
+                     f"variant, got {window}")
+        elif not 2 <= window <= MAX_FUSION_WINDOW:
+            fail(f"{where}: fusion_window must be in "
+                 f"[2, {MAX_FUSION_WINDOW}] for fused variants, "
+                 f"got {window}")
     qubits = expect_key(case, "qubits", int, where)
     ops = expect_key(case, "ops", int, where)
     if qubits is not None and not 1 <= qubits <= MAX_QUBITS:
@@ -208,7 +231,7 @@ def check_service_sweep(sweep: dict, where: str) -> None:
 
 SCHEMAS = {
     "engine_scaling": (3, check_engine_case, check_engine_sweep),
-    "quantum_scaling": (1, check_quantum_case, check_quantum_sweep),
+    "quantum_scaling": (2, check_quantum_case, check_quantum_sweep),
     "service_throughput": (1, check_service_case, check_service_sweep),
 }
 

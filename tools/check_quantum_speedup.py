@@ -1,20 +1,32 @@
 #!/usr/bin/env python3
-"""CI regression gate: statevector gate-kernel speedup at 4 threads >= 1.3x.
+"""CI regression gates for the statevector kernels.
 
 Usage:
 
     python3 tools/check_quantum_speedup.py BENCH_quantum.json [--min-speedup X]
 
 Reads the report written by `bench_quantum_scaling --gate` (any mode works,
-as long as the "gates" case carries threads 1 and 4) and asserts the
-4-thread speedup. The bar is lower than the engine gate's 1.5x: the gate
-kernels stream every amplitude through memory once per gate, so they
-saturate bandwidth well before the embarrassingly-parallel round engine
-does. When the report says the machine has fewer than 4 hardware threads,
-the gate SKIPS with a visible notice instead of failing: a 1-core runner
-cannot measure parallel speedup, and a silent pass would be
-indistinguishable from a real one. Exit status: 0 pass or skip, 1
-regression or malformed report.
+as long as the "gates" / "gates_fused" cases are present) and asserts two
+independent gates:
+
+  * parallel: "gates" speedup at 4 threads >= 1.3x. The bar is lower than
+    the engine gate's 1.5x: the gate kernels stream every amplitude through
+    memory once per gate, so they saturate bandwidth well before the
+    embarrassingly-parallel round engine does. SKIPS with a visible notice
+    when the report says the machine has fewer than 4 hardware threads — a
+    1-core runner cannot measure parallel speedup, and a silent pass would
+    be indistinguishable from a real one.
+  * fused: "gates_fused" at 1 thread >= 1.5x faster than "gates" at
+    1 thread (wall-time ratio). Gate fusion pays by replacing one
+    full-state memory pass per gate with one pass per fused window
+    (src/quantum/fusion.hpp), so the gate measures the traffic reduction.
+    SKIPS visibly in smoke mode (the shrunken state sits in cache, so
+    there is no traffic to reduce) and on constrained runners (< 4
+    hardware threads — the same 1-core boxes whose timings are too noisy
+    for the parallel gate).
+
+Exit status: 0 when every gate passes or skips, 1 on any regression or a
+malformed report.
 """
 
 from __future__ import annotations
@@ -26,6 +38,86 @@ from pathlib import Path
 MIN_SPEEDUP = 1.3
 GATE_THREADS = 4
 GATE_CASE = "gates"
+
+FUSED_CASE = "gates_fused"
+MIN_FUSED_SPEEDUP = 1.5
+
+
+def find_result(doc: dict, case_name: str, threads: int):
+    """Returns the result row for (case, threads), or None."""
+    for case in doc.get("cases", []):
+        if case.get("name") != case_name:
+            continue
+        for res in case.get("results", []):
+            if res.get("threads") == threads:
+                return res
+    return None
+
+
+def check_parallel_gate(doc: dict, hw: int, min_speedup: float) -> int:
+    if hw < GATE_THREADS:
+        print(f"check_quantum_speedup: SKIPPED parallel gate — runner has "
+              f"only {hw} hardware thread(s), needs >= {GATE_THREADS} to "
+              f"measure parallel speedup. The >= {min_speedup}x gate did "
+              f"NOT run.")
+        return 0
+    res = find_result(doc, GATE_CASE, GATE_THREADS)
+    if res is None:
+        print(f"check_quantum_speedup: no {GATE_CASE} result at "
+              f"threads={GATE_THREADS}", file=sys.stderr)
+        return 1
+    speedup = res.get("speedup")
+    if not isinstance(speedup, (int, float)):
+        print(f"check_quantum_speedup: {GATE_CASE} has no speedup value at "
+              f"threads={GATE_THREADS}", file=sys.stderr)
+        return 1
+    if speedup < min_speedup:
+        print(f"check_quantum_speedup: REGRESSION — {GATE_CASE} speedup at "
+              f"{GATE_THREADS} threads is {speedup:.2f}x, gate requires "
+              f">= {min_speedup}x")
+        return 1
+    print(f"check_quantum_speedup: OK — {GATE_CASE} speedup at "
+          f"{GATE_THREADS} threads is {speedup:.2f}x (>= {min_speedup}x)")
+    return 0
+
+
+def check_fused_gate(doc: dict, hw: int) -> int:
+    if doc.get("mode") == "smoke":
+        print(f"check_quantum_speedup: SKIPPED fused gate — smoke-mode "
+              f"states are cache-resident, so fusion's memory-traffic win "
+              f"is not measurable. The >= {MIN_FUSED_SPEEDUP}x gate did "
+              f"NOT run.")
+        return 0
+    if hw < GATE_THREADS:
+        print(f"check_quantum_speedup: SKIPPED fused gate — constrained "
+              f"runner ({hw} hardware thread(s) < {GATE_THREADS}); timings "
+              f"there are too noisy to hold a ratio gate. The >= "
+              f"{MIN_FUSED_SPEEDUP}x gate did NOT run.")
+        return 0
+    unfused = find_result(doc, GATE_CASE, 1)
+    fused = find_result(doc, FUSED_CASE, 1)
+    if unfused is None or fused is None:
+        print(f"check_quantum_speedup: need both {GATE_CASE} and "
+              f"{FUSED_CASE} results at threads=1 for the fused gate",
+              file=sys.stderr)
+        return 1
+    t_unfused = unfused.get("seconds")
+    t_fused = fused.get("seconds")
+    if (not isinstance(t_unfused, (int, float)) or
+            not isinstance(t_fused, (int, float)) or t_fused <= 0):
+        print(f"check_quantum_speedup: malformed seconds in {GATE_CASE} / "
+              f"{FUSED_CASE} at threads=1", file=sys.stderr)
+        return 1
+    ratio = t_unfused / t_fused
+    if ratio < MIN_FUSED_SPEEDUP:
+        print(f"check_quantum_speedup: REGRESSION — {FUSED_CASE} is only "
+              f"{ratio:.2f}x faster than {GATE_CASE} at 1 thread, gate "
+              f"requires >= {MIN_FUSED_SPEEDUP}x")
+        return 1
+    print(f"check_quantum_speedup: OK — {FUSED_CASE} is {ratio:.2f}x "
+          f"faster than {GATE_CASE} at 1 thread "
+          f"(>= {MIN_FUSED_SPEEDUP}x)")
+    return 0
 
 
 def main(argv: list[str]) -> int:
@@ -57,36 +149,10 @@ def main(argv: list[str]) -> int:
         print(f"check_quantum_speedup: {path} has no hardware_threads",
               file=sys.stderr)
         return 1
-    if hw < GATE_THREADS:
-        print(f"check_quantum_speedup: SKIPPED — runner has only {hw} "
-              f"hardware thread(s), needs >= {GATE_THREADS} to measure "
-              f"parallel speedup. The >= {min_speedup}x gate did NOT run.")
-        return 0
 
-    for case in doc.get("cases", []):
-        if case.get("name") != GATE_CASE:
-            continue
-        for res in case.get("results", []):
-            if res.get("threads") == GATE_THREADS:
-                speedup = res.get("speedup")
-                if not isinstance(speedup, (int, float)):
-                    print(f"check_quantum_speedup: {GATE_CASE} has no "
-                          f"speedup value at threads={GATE_THREADS}",
-                          file=sys.stderr)
-                    return 1
-                if speedup < min_speedup:
-                    print(f"check_quantum_speedup: REGRESSION — {GATE_CASE} "
-                          f"speedup at {GATE_THREADS} threads is "
-                          f"{speedup:.2f}x, gate requires >= "
-                          f"{min_speedup}x")
-                    return 1
-                print(f"check_quantum_speedup: OK — {GATE_CASE} speedup at "
-                      f"{GATE_THREADS} threads is {speedup:.2f}x "
-                      f"(>= {min_speedup}x)")
-                return 0
-    print(f"check_quantum_speedup: {path} has no {GATE_CASE} result at "
-          f"threads={GATE_THREADS}", file=sys.stderr)
-    return 1
+    status = check_parallel_gate(doc, hw, min_speedup)
+    status = check_fused_gate(doc, hw) or status
+    return status
 
 
 if __name__ == "__main__":
